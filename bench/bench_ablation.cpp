@@ -1,0 +1,106 @@
+// Ablations of the design choices DESIGN.md Sec. 5 calls out. Every row
+// runs the full pipeline on scenario 3 (flower-pond hole, 20x r_c
+// separation) and reports measured L, total distance, and C.
+//
+//   A. Harmonic interior weights: uniform (paper) vs mean-value.
+//   B. Boundary parametrization: uniform-per-hop (paper) vs chord-length.
+//   C. Rotation search: paper depth-4 binary vs deeper vs exhaustive.
+//   D. Connectivity-safe adjustment: on (paper) vs off.
+//   E. Adjustment engine: grid CVT vs the paper's two-hop local Voronoi.
+#include "bench_common.h"
+
+namespace {
+
+using namespace anr;
+using namespace anr::bench;
+
+struct Row {
+  std::string name;
+  double l = 0.0;
+  double d = 0.0;
+  bool c = false;
+  double pred_l = 0.0;
+};
+
+Row run(const std::string& name, const Scenario& sc,
+        const std::vector<Vec2>& deploy, Vec2 off, PlannerOptions opt) {
+  opt.mesher.target_grid_points = 900;
+  opt.cvt_samples = 15000;
+  opt.max_adjust_steps = 35;
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, std::move(opt));
+  MarchPlan plan = planner.plan(deploy, off);
+  TransitionMetrics m = simulate_transition(plan.trajectories, sc.comm_range,
+                                            plan.transition_end, 150);
+  return Row{name, m.stable_link_ratio, m.total_distance,
+             m.global_connectivity, plan.predicted_link_ratio};
+}
+
+}  // namespace
+
+int main() {
+  Stopwatch sw;
+  Scenario sc = scenario(3);
+  print_scenario_banner(sc);
+  auto deploy = optimal_coverage_positions(sc.m1, sc.num_robots, 1,
+                                           uniform_density())
+                    .positions;
+  Vec2 off = sc.m1.centroid() + Vec2{20.0 * sc.comm_range, 0.0} -
+             sc.m2_shape.centroid();
+
+  std::vector<Row> rows;
+  {
+    PlannerOptions base;
+    rows.push_back(run("baseline (paper defaults)", sc, deploy, off, base));
+  }
+  {
+    PlannerOptions o;
+    o.disk.weights = HarmonicWeights::kMeanValue;
+    rows.push_back(run("A: mean-value weights", sc, deploy, off, o));
+  }
+  {
+    PlannerOptions o;
+    o.disk.spacing = BoundarySpacing::kChordLength;
+    rows.push_back(run("B: chord-length boundary", sc, deploy, off, o));
+  }
+  {
+    PlannerOptions o;
+    o.rotation.initial_partitions = 8;
+    o.rotation.depth = 6;
+    rows.push_back(run("C: rotation 8-part depth-6", sc, deploy, off, o));
+  }
+  {
+    PlannerOptions o;
+    o.exhaustive_rotation = true;
+    rows.push_back(run("C: rotation exhaustive (360)", sc, deploy, off, o));
+  }
+  {
+    PlannerOptions o;
+    o.safe_adjustment = false;
+    rows.push_back(run("D: unsafe adjustment", sc, deploy, off, o));
+  }
+  {
+    PlannerOptions o;
+    o.adjustment = AdjustmentEngine::kLocalVoronoi;
+    rows.push_back(run("E: two-hop local Voronoi", sc, deploy, off, o));
+  }
+  {
+    PlannerOptions o;
+    o.distributed = true;
+    rows.push_back(run("F: distributed protocols", sc, deploy, off, o));
+  }
+  {
+    PlannerOptions o;
+    o.extraction = ExtractionMode::kGabriel;
+    rows.push_back(run("G: Gabriel-graph extraction", sc, deploy, off, o));
+  }
+
+  TextTable table;
+  table.header({"variant", "predicted L", "measured L", "D (m)", "C"});
+  for (const Row& r : rows) {
+    table.row({r.name, fmt_pct(r.pred_l), fmt_pct(r.l), fmt(r.d, 0),
+               r.c ? "Y" : "N"});
+  }
+  std::cout << table.str() << "bench_ablation total " << fmt(sw.seconds(), 1)
+            << " s\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Five-method comparison on one table: the paper's four methods plus the
+// related-work virtual-force (potential-field) family it cites as prior
+// art ([1]–[3]). Scenario 1 (similar shapes) and scenario 2 (dissimilar)
+// at 15x r_c, reporting L, D, C, and the achieved coverage of M2.
+#include "bench_common.h"
+
+namespace {
+
+using namespace anr;
+using namespace anr::bench;
+
+struct Row {
+  std::string method;
+  TransitionMetrics m;
+  double coverage = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  Stopwatch sw;
+  for (int id : {1, 2}) {
+    Scenario sc = scenario(id);
+    print_scenario_banner(sc);
+    auto deploy = optimal_coverage_positions(sc.m1, sc.num_robots, 1,
+                                             uniform_density())
+                      .positions;
+    Vec2 off = sc.m1.centroid() + Vec2{15.0 * sc.comm_range, 0.0} -
+               sc.m2_shape.centroid();
+    FieldOfInterest m2 = sc.m2_shape.translated(off);
+    double r_s = sensing_radius_for(sc.comm_range);
+
+    auto measure = [&](const std::string& name, const MarchPlan& plan) {
+      Row r;
+      r.method = name;
+      r.m = simulate_transition(plan.trajectories, sc.comm_range,
+                                plan.transition_end, 140);
+      r.coverage =
+          evaluate_coverage(m2, plan.final_positions, r_s, 8000).covered_fraction;
+      return r;
+    };
+
+    std::vector<Row> rows;
+    {
+      MarchPlanner p(sc.m1, sc.m2_shape, sc.comm_range);
+      rows.push_back(measure("ours (a)", p.plan(deploy, off)));
+    }
+    {
+      PlannerOptions o;
+      o.objective = MarchObjective::kMinDistance;
+      MarchPlanner p(sc.m1, sc.m2_shape, sc.comm_range, o);
+      rows.push_back(measure("ours (b)", p.plan(deploy, off)));
+    }
+    {
+      DirectTranslationPlanner p(sc.m1, sc.m2_shape, sc.comm_range,
+                                 sc.num_robots);
+      rows.push_back(measure("direct translation", p.plan(deploy, off)));
+    }
+    {
+      HungarianMarchPlanner p(sc.m1, sc.m2_shape, sc.comm_range, sc.num_robots);
+      rows.push_back(measure("Hungarian", p.plan(deploy, off)));
+    }
+    {
+      VirtualForcePlanner p(sc.m1, sc.m2_shape, sc.comm_range);
+      rows.push_back(measure("virtual force [1-3]", p.plan(deploy, off)));
+    }
+
+    TextTable table;
+    table.header({"method", "L", "C", "D (m)", "M2 coverage"});
+    for (const Row& r : rows) {
+      table.row({r.method, fmt_pct(r.m.stable_link_ratio),
+                 r.m.global_connectivity ? "Y" : "N",
+                 fmt(r.m.total_distance, 0), fmt_pct(r.coverage)});
+    }
+    std::cout << table.str() << "\n";
+  }
+  std::cout << "bench_baselines total " << fmt(sw.seconds(), 1) << " s\n";
+  return 0;
+}

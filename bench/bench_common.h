@@ -1,0 +1,138 @@
+// Shared harness for the paper-figure benches.
+//
+// Each figure bench sweeps the M1–M2 separation (10x..100x the
+// communication range, as in Figs. 3–5), runs all four methods — our
+// method (a) (max stable links), our method (b) (min distance), direct
+// translation, Hungarian — and prints the total-moving-distance and
+// stable-link-ratio series the paper plots. Distances are reported as
+// ratios to the Hungarian method (the minimum-distance lower bound),
+// which is how the paper's fourth-row plots are normalized.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "anr/anr.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+
+namespace anr::bench {
+
+/// Per-(method, separation) measured outcome.
+struct MethodRun {
+  double total_distance = 0.0;
+  double stable_link_ratio = 0.0;
+  bool global_connectivity = false;
+};
+
+struct SweepResult {
+  std::vector<double> separations;
+  std::vector<MethodRun> ours_a, ours_b, direct, hungarian;
+};
+
+/// All four planners for one scenario, built once and reused across the
+/// separation sweep.
+class MethodSuite {
+ public:
+  explicit MethodSuite(const Scenario& sc, int grid_points = 900,
+                       int cvt_samples = 15000, int adjust_steps = 35)
+      : sc_(sc) {
+    PlannerOptions oa;
+    oa.mesher.target_grid_points = grid_points;
+    oa.cvt_samples = cvt_samples;
+    oa.max_adjust_steps = adjust_steps;
+    PlannerOptions ob = oa;
+    ob.objective = MarchObjective::kMinDistance;
+    ours_a_ = std::make_unique<MarchPlanner>(sc.m1, sc.m2_shape, sc.comm_range, oa);
+    ours_b_ = std::make_unique<MarchPlanner>(sc.m1, sc.m2_shape, sc.comm_range, ob);
+    direct_ = std::make_unique<DirectTranslationPlanner>(sc.m1, sc.m2_shape,
+                                                         sc.comm_range,
+                                                         sc.num_robots);
+    hungarian_ = std::make_unique<HungarianMarchPlanner>(
+        sc.m1, sc.m2_shape, sc.comm_range, sc.num_robots);
+    deploy_ = optimal_coverage_positions(sc.m1, sc.num_robots, /*seed=*/1,
+                                         uniform_density())
+                  .positions;
+  }
+
+  /// Runs every method at each separation (in communication ranges).
+  SweepResult sweep(const std::vector<double>& separations,
+                    int time_samples = 120) const {
+    SweepResult out;
+    out.separations = separations;
+    for (double sep : separations) {
+      Vec2 off = sc_.m1.centroid() +
+                 Vec2{sep * sc_.comm_range, 0.0} - sc_.m2_shape.centroid();
+      out.ours_a.push_back(measure(ours_a_->plan(deploy_, off), time_samples));
+      out.ours_b.push_back(measure(ours_b_->plan(deploy_, off), time_samples));
+      out.direct.push_back(measure(direct_->plan(deploy_, off), time_samples));
+      out.hungarian.push_back(
+          measure(hungarian_->plan(deploy_, off), time_samples));
+    }
+    return out;
+  }
+
+  const std::vector<Vec2>& deployment() const { return deploy_; }
+  const Scenario& scenario() const { return sc_; }
+
+  MethodRun measure(const MarchPlan& plan, int time_samples) const {
+    TransitionMetrics m = simulate_transition(plan.trajectories, sc_.comm_range,
+                                              plan.transition_end, time_samples);
+    return MethodRun{m.total_distance, m.stable_link_ratio,
+                     m.global_connectivity};
+  }
+
+ private:
+  Scenario sc_;
+  std::unique_ptr<MarchPlanner> ours_a_;
+  std::unique_ptr<MarchPlanner> ours_b_;
+  std::unique_ptr<DirectTranslationPlanner> direct_;
+  std::unique_ptr<HungarianMarchPlanner> hungarian_;
+  std::vector<Vec2> deploy_;
+};
+
+/// Prints the scenario banner (so the reader can audit the substituted
+/// geometry against the paper's reported areas).
+inline void print_scenario_banner(const Scenario& sc) {
+  std::cout << "== " << sc.name << ": " << sc.description << "\n"
+            << "   M1 area " << fmt(sc.m1.area(), 0) << " m^2 ("
+            << sc.m1.holes().size() << " holes), M2 area "
+            << fmt(sc.m2_shape.area(), 0) << " m^2 ("
+            << sc.m2_shape.holes().size() << " holes), robots "
+            << sc.num_robots << ", r_c " << sc.comm_range << " m\n";
+}
+
+/// Prints the two per-figure tables (distance ratio to Hungarian, and L).
+inline void print_sweep(const SweepResult& r) {
+  TextTable dist;
+  dist.header({"sep (x r_c)", "Hungarian D (m)", "ours(a)/Hun", "ours(b)/Hun",
+               "direct/Hun"});
+  for (std::size_t i = 0; i < r.separations.size(); ++i) {
+    double h = r.hungarian[i].total_distance;
+    dist.row({fmt(r.separations[i], 0), fmt(h, 0),
+              fmt(r.ours_a[i].total_distance / h),
+              fmt(r.ours_b[i].total_distance / h),
+              fmt(r.direct[i].total_distance / h)});
+  }
+  std::cout << "-- total moving distance (ratio to Hungarian lower bound)\n"
+            << dist.str();
+
+  TextTable links;
+  links.header({"sep (x r_c)", "ours(a) L", "ours(b) L", "direct L",
+                "Hungarian L"});
+  for (std::size_t i = 0; i < r.separations.size(); ++i) {
+    links.row({fmt(r.separations[i], 0), fmt_pct(r.ours_a[i].stable_link_ratio),
+               fmt_pct(r.ours_b[i].stable_link_ratio),
+               fmt_pct(r.direct[i].stable_link_ratio),
+               fmt_pct(r.hungarian[i].stable_link_ratio)});
+  }
+  std::cout << "-- total stable link ratio L\n" << links.str();
+}
+
+/// Default separation sweep of the paper's figures.
+inline std::vector<double> paper_separations() {
+  return {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+}
+
+}  // namespace anr::bench

@@ -1,0 +1,30 @@
+// Reproduces Fig. 3 (rows 4-5): scenarios 1, 2, 4, 5.
+//
+//   (a) non-hole -> non-hole, similar boundary
+//   (b) non-hole -> non-hole, dissimilar slim boundary
+//   (c) non-hole -> big convex hole
+//   (d) non-hole -> multiple small holes
+//
+// For each, sweep the M1-M2 separation from 10x to 100x the communication
+// range and report total moving distance (ratio to the Hungarian lower
+// bound) and total stable link ratio for all four methods.
+//
+// Expected shape (paper): distance ratios converge toward 1 as separation
+// grows, ours always below direct translation; our methods dominate the
+// stable-link-ratio plot, Hungarian is worst by a wide margin.
+#include "bench_common.h"
+
+int main() {
+  using namespace anr;
+  using namespace anr::bench;
+  Stopwatch sw;
+  for (int id : {1, 2, 4, 5}) {
+    Scenario sc = scenario(id);
+    print_scenario_banner(sc);
+    MethodSuite suite(sc);
+    print_sweep(suite.sweep(paper_separations()));
+    std::cout << "\n";
+  }
+  std::cout << "bench_fig3 total " << fmt(sw.seconds(), 1) << " s\n";
+  return 0;
+}

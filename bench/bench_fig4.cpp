@@ -1,0 +1,22 @@
+// Reproduces Fig. 4: scenario 3 — marching into the FoI with the
+// flower-shaped pond (Fig. 2(d)), 239,987 m^2.
+//
+//   (a) comparison of total moving distance (ratio to Hungarian);
+//   (b) comparison of total stable link ratio.
+//
+// Expected shape (paper): same ordering as Fig. 3 — our methods preserve
+// most links at near-Hungarian distance; direct translation costs more
+// distance; Hungarian scrambles the links.
+#include "bench_common.h"
+
+int main() {
+  using namespace anr;
+  using namespace anr::bench;
+  Stopwatch sw;
+  Scenario sc = scenario(3);
+  print_scenario_banner(sc);
+  MethodSuite suite(sc);
+  print_sweep(suite.sweep(paper_separations()));
+  std::cout << "bench_fig4 total " << fmt(sw.seconds(), 1) << " s\n";
+  return 0;
+}

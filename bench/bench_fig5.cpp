@@ -1,0 +1,23 @@
+// Reproduces Fig. 5: the hole-to-hole scenarios 6 and 7 — both the
+// current and the target FoI have complicated boundaries and inner holes.
+//
+// Expected shape (paper): our methods still achieve the least total
+// moving distance among link-preserving methods and the highest stable
+// link ratio; direct translation loses global connectivity here (see
+// bench_table1), reflected in badly broken links.
+#include "bench_common.h"
+
+int main() {
+  using namespace anr;
+  using namespace anr::bench;
+  Stopwatch sw;
+  for (int id : {6, 7}) {
+    Scenario sc = scenario(id);
+    print_scenario_banner(sc);
+    MethodSuite suite(sc);
+    print_sweep(suite.sweep(paper_separations()));
+    std::cout << "\n";
+  }
+  std::cout << "bench_fig5 total " << fmt(sw.seconds(), 1) << " s\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Scaling study (beyond the paper's fixed n = 144): swarm size sweep on
+// scenario 1 plus an indoor stress case, reporting solution quality,
+// distributed message complexity, and wall-clock planning cost.
+//
+// Expected shape: L stays roughly flat with n (the harmonic map is
+// resolution-independent), D ratio stays near 1, protocol message counts
+// grow superlinearly (flooding is O(n*E)), planning time is dominated by
+// the adjustment-phase CVT.
+#include "bench_common.h"
+#include "foi/indoor.h"
+
+int main() {
+  using namespace anr;
+  using namespace anr::bench;
+  Stopwatch total;
+
+  Scenario sc = scenario(1);
+  Vec2 off = sc.m1.centroid() + Vec2{20.0 * sc.comm_range, 0.0} -
+             sc.m2_shape.centroid();
+
+  TextTable table;
+  table.header({"robots", "links", "L", "D/Hungarian", "C", "plan (s)",
+                "protocol msgs"});
+
+  for (int n : {100, 144, 225, 324}) {
+    auto deploy =
+        optimal_coverage_positions(sc.m1, n, /*seed=*/1, uniform_density())
+            .positions;
+    if (!net::is_connected(deploy, sc.comm_range)) {
+      table.row({std::to_string(n), "-", "deployment disconnected at r_c"});
+      continue;
+    }
+    PlannerOptions opt;
+    opt.distributed = true;  // measure the protocol costs
+    opt.mesher.target_grid_points = 900;
+    opt.cvt_samples = 15000;
+    opt.max_adjust_steps = 35;
+    MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, opt);
+    HungarianMarchPlanner hungarian(sc.m1, sc.m2_shape, sc.comm_range, n);
+
+    Stopwatch sw;
+    MarchPlan plan = planner.plan(deploy, off);
+    double plan_seconds = sw.seconds();
+    auto m = simulate_transition(plan.trajectories, sc.comm_range,
+                                 plan.transition_end, 120);
+    auto mh = simulate_transition(hungarian.plan(deploy, off).trajectories,
+                                  sc.comm_range, 1.0, 60);
+
+    table.row({std::to_string(n), std::to_string(m.initial_links),
+               fmt_pct(m.stable_link_ratio),
+               fmt(m.total_distance / mh.total_distance),
+               m.global_connectivity ? "Y" : "N", fmt(plan_seconds, 2),
+               std::to_string(plan.protocol_messages)});
+  }
+  std::cout << "== swarm-size scaling (scenario 1, 20x r_c, distributed "
+               "protocols)\n"
+            << table.str() << "\n";
+
+  // Indoor stress: 3x2 rooms, 14 wall holes.
+  FieldOfInterest floor = make_indoor_foi();
+  FieldOfInterest staging = base_m1();
+  auto deploy = optimal_coverage_positions(staging, 144, 1, uniform_density());
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 1500;
+  opt.cvt_samples = 15000;
+  opt.max_adjust_steps = 40;
+  MarchPlanner planner(staging, floor, 80.0, opt);
+  Vec2 doff = staging.centroid() + Vec2{20.0 * 80.0, 0.0} - floor.centroid();
+  Stopwatch sw;
+  MarchPlan plan = planner.plan(deploy.positions, doff);
+  auto m = simulate_transition(plan.trajectories, 80.0, plan.transition_end, 150);
+  std::cout << "== indoor stress (3x2 rooms, " << floor.holes().size()
+            << " wall holes): L=" << fmt_pct(m.stable_link_ratio)
+            << " C=" << (m.global_connectivity ? "Y" : "N")
+            << " snapped=" << plan.snapped_targets
+            << " repaired=" << plan.repaired_robots << " plan="
+            << fmt(sw.seconds(), 2) << " s\n";
+
+  std::cout << "bench_scaling total " << fmt(total.seconds(), 1) << " s\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Table I: global connectivity during the transition
+// procedure, for all seven scenarios and all four methods.
+//
+// Expected shape (paper):
+//   - our methods (a) and (b): Y on every scenario;
+//   - direct translation: N on scenarios 2, 6, 7 (dissimilar shapes /
+//     hole-to-hole), Y elsewhere;
+//   - Hungarian: N everywhere.
+// Exact N cells depend on the substituted FoI polygons; what must hold is
+// ours == Y everywhere and Hungarian mostly N.
+#include "bench_common.h"
+
+int main() {
+  using namespace anr;
+  using namespace anr::bench;
+  Stopwatch sw;
+
+  TextTable table;
+  table.header({"", "Our Method (a)", "Our Method (b)", "Direct Translation",
+                "Hungarian"});
+  auto yn = [](bool c) { return c ? std::string("Y") : std::string("N"); };
+
+  for (int id = 1; id <= 7; ++id) {
+    Scenario sc = scenario(id);
+    MethodSuite suite(sc);
+    // The paper's table is per scenario (one transition); use the 20x
+    // separation, the middle of the sweep.
+    auto r = suite.sweep({20.0}, /*time_samples=*/200);
+    table.row({"Scenario " + std::to_string(id), yn(r.ours_a[0].global_connectivity),
+               yn(r.ours_b[0].global_connectivity),
+               yn(r.direct[0].global_connectivity),
+               yn(r.hungarian[0].global_connectivity)});
+  }
+  std::cout << "== Table I: global connectivity during transition\n"
+            << table.str() << "bench_table1 total " << fmt(sw.seconds(), 1)
+            << " s\n";
+  return 0;
+}

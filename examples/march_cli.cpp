@@ -1,0 +1,180 @@
+// march_cli — run any paper scenario from the command line.
+//
+// Usage:
+//   march_cli [--scenario N] [--separation X] [--method a|b|direct|hungarian]
+//             [--robots N] [--seed S] [--distributed] [--svg PATH] [--csv]
+//             [--save PLAN.json] [--load PLAN.json] [--animate PATH.svg]
+//
+// --save archives the computed plan as JSON; --load replays a previously
+// saved plan (skipping planning) and re-measures it.
+//
+// Prints the measured metrics (or a CSV row with --csv, handy for
+// scripting sweeps). Examples:
+//   ./build/examples/march_cli --scenario 3 --separation 40 --method a
+//   for s in 10 20 40 80; do
+//     ./build/examples/march_cli --csv --scenario 2 --separation $s --method direct
+//   done
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "anr/anr.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace anr;
+
+struct CliOptions {
+  int scenario_id = 1;
+  double separation = 20.0;
+  std::string method = "a";
+  int robots = 144;
+  std::uint64_t seed = 1;
+  bool distributed = false;
+  bool csv = false;
+  std::string svg;
+  std::string animate;
+  std::string save_path;
+  std::string load_path;
+};
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--scenario 1..7] [--separation X] [--method a|b|direct|"
+               "hungarian] [--robots N] [--seed S] [--distributed] "
+               "[--svg PATH] [--csv] [--save PLAN.json] [--load PLAN.json]\n";
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto need_value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      opt.scenario_id = std::stoi(need_value());
+    } else if (arg == "--separation") {
+      opt.separation = std::stod(need_value());
+    } else if (arg == "--method") {
+      opt.method = need_value();
+    } else if (arg == "--robots") {
+      opt.robots = std::stoi(need_value());
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(need_value());
+    } else if (arg == "--distributed") {
+      opt.distributed = true;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--svg") {
+      opt.svg = need_value();
+    } else if (arg == "--animate") {
+      opt.animate = need_value();
+    } else if (arg == "--save") {
+      opt.save_path = need_value();
+    } else if (arg == "--load") {
+      opt.load_path = need_value();
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  if (opt.scenario_id < 1 || opt.scenario_id > 7) usage_and_exit(argv[0]);
+  if (opt.method != "a" && opt.method != "b" && opt.method != "direct" &&
+      opt.method != "hungarian") {
+    usage_and_exit(argv[0]);
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli = parse(argc, argv);
+  Scenario sc = scenario(cli.scenario_id);
+  sc.num_robots = cli.robots;
+
+  auto deploy = optimal_coverage_positions(sc.m1, sc.num_robots, cli.seed,
+                                           uniform_density());
+  if (!net::is_connected(deploy.positions, sc.comm_range)) {
+    std::cerr << "deployment of " << sc.num_robots
+              << " robots is not connected at r_c = " << sc.comm_range
+              << " m; use more robots\n";
+    return 1;
+  }
+  Vec2 off = sc.m1.centroid() + Vec2{cli.separation * sc.comm_range, 0.0} -
+             sc.m2_shape.centroid();
+
+  MarchPlan plan;
+  if (!cli.load_path.empty()) {
+    auto loaded = load_plan(cli.load_path);
+    if (!loaded) {
+      std::cerr << "failed to load plan from " << cli.load_path << "\n";
+      return 1;
+    }
+    plan = std::move(*loaded);
+  } else if (cli.method == "a" || cli.method == "b") {
+    PlannerOptions popt;
+    popt.distributed = cli.distributed;
+    if (cli.method == "b") popt.objective = MarchObjective::kMinDistance;
+    MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, popt);
+    plan = planner.plan(deploy.positions, off);
+  } else if (cli.method == "direct") {
+    DirectTranslationPlanner planner(sc.m1, sc.m2_shape, sc.comm_range,
+                                     sc.num_robots);
+    plan = planner.plan(deploy.positions, off);
+  } else {
+    HungarianMarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range,
+                                  sc.num_robots);
+    plan = planner.plan(deploy.positions, off);
+  }
+  if (!cli.save_path.empty() && !save_plan(plan, cli.save_path)) {
+    std::cerr << "failed to save plan to " << cli.save_path << "\n";
+    return 1;
+  }
+  TransitionMetrics m =
+      simulate_transition(plan.trajectories, sc.comm_range, plan.transition_end);
+
+  if (!cli.svg.empty()) {
+    SvgCanvas canvas(60.0);
+    canvas.foi(sc.m1, "#888888");
+    canvas.foi(sc.m2_shape.translated(off), "#555555");
+    canvas.trajectories(plan.trajectories);
+    canvas.robots(plan.start, 2.5, "#aaaaaa");
+    canvas.robots(plan.final_positions, 3.0, "#14304d");
+    if (!canvas.save(cli.svg)) {
+      std::cerr << "failed to write " << cli.svg << "\n";
+    }
+  }
+
+  if (!cli.animate.empty()) {
+    SvgCanvas canvas(60.0);
+    canvas.foi(sc.m1, "#888888");
+    canvas.foi(sc.m2_shape.translated(off), "#555555");
+    canvas.animated_robots(plan.trajectories, 8.0);
+    if (!canvas.save(cli.animate)) {
+      std::cerr << "failed to write " << cli.animate << "\n";
+    }
+  }
+
+  if (cli.csv) {
+    std::cout << cli.scenario_id << "," << cli.method << "," << cli.separation
+              << "," << sc.num_robots << "," << m.total_distance << ","
+              << m.stable_link_ratio << "," << (m.global_connectivity ? 1 : 0)
+              << "\n";
+    return 0;
+  }
+  std::cout << "scenario " << cli.scenario_id << " (" << sc.description
+            << "), method " << cli.method << ", separation "
+            << cli.separation << " x r_c, " << sc.num_robots << " robots\n"
+            << "  D = " << fmt(m.total_distance, 0) << " m\n"
+            << "  L = " << fmt_pct(m.stable_link_ratio) << " ("
+            << m.stable_links << "/" << m.initial_links << ")\n"
+            << "  C = " << (m.global_connectivity ? "Y" : "N") << "\n";
+  if (cli.distributed) {
+    std::cout << "  protocol messages = " << plan.protocol_messages << "\n";
+  }
+  return 0;
+}

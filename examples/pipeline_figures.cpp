@@ -1,0 +1,131 @@
+// Regenerates the paper's Fig. 2 as six SVG panels (fig2a.svg …
+// fig2f.svg) on the scenario-3 geometry:
+//   (a) connectivity graph in M1        (b) extracted triangulation T
+//   (c) harmonic map of T on the disk   (d) gridded M2 with the pond
+//   (e) redeployment along the map      (f) optimal coverage after Lloyd
+// Blue edges are links preserved from M1, red edges are new ones — the
+// paper's color convention.
+//
+// Run: ./build/examples/pipeline_figures   (writes ./fig2*.svg)
+#include <iostream>
+
+#include "anr/anr.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace anr;
+
+void save(const SvgCanvas& canvas, const std::string& path) {
+  if (canvas.save(path)) {
+    std::cout << "  wrote " << path << "\n";
+  } else {
+    std::cerr << "  FAILED to write " << path << "\n";
+  }
+}
+
+// Splits current links into preserved (existed in M1) and new.
+void draw_colored_links(SvgCanvas& canvas, const std::vector<Vec2>& start,
+                        const std::vector<Vec2>& now, double r_c) {
+  SvgStyle blue;
+  blue.stroke = "#1f6fb2";
+  SvgStyle red;
+  red.stroke = "#c23b22";
+  double r2 = r_c * r_c;
+  for (auto [i, j] : communication_links(now, r_c)) {
+    bool existed = distance2(start[static_cast<std::size_t>(i)],
+                             start[static_cast<std::size_t>(j)]) <= r2 + 1e-9;
+    canvas.line(now[static_cast<std::size_t>(i)],
+                now[static_cast<std::size_t>(j)], existed ? blue : red);
+  }
+}
+
+}  // namespace
+
+int main() {
+  Scenario sc = scenario(3);
+  auto deploy = optimal_coverage_positions(sc.m1, sc.num_robots, 1,
+                                           uniform_density())
+                    .positions;
+  Vec2 off = sc.m1.centroid() + Vec2{20.0 * sc.comm_range, 0.0} -
+             sc.m2_shape.centroid();
+  std::cout << "regenerating Fig. 2 panels (scenario 3)\n";
+
+  // (a) connectivity graph in M1.
+  {
+    SvgCanvas c(40.0);
+    c.foi(sc.m1, "#777777");
+    SvgStyle gray;
+    gray.stroke = "#9db6c9";
+    c.links(deploy, communication_links(deploy, sc.comm_range), gray);
+    c.robots(deploy);
+    save(c, "fig2a.svg");
+  }
+
+  // (b) triangulation T.
+  auto ext = extract_triangulation(deploy, sc.comm_range);
+  {
+    SvgCanvas c(40.0);
+    c.foi(sc.m1, "#777777");
+    SvgStyle edge;
+    edge.stroke = "#4a7aa5";
+    c.mesh(ext.mesh, edge);
+    c.robots(deploy);
+    save(c, "fig2b.svg");
+  }
+
+  // (c) harmonic map of T on the unit disk (scaled up for visibility).
+  DiskMap tmap = harmonic_disk_map(ext.mesh);
+  {
+    SvgCanvas c(0.15);
+    SvgStyle edge;
+    edge.stroke = "#4a7aa5";
+    edge.stroke_width = 0.01;
+    for (const EdgeKey& e : ext.mesh.edges()) {
+      c.line(tmap.disk_pos[static_cast<std::size_t>(e.a)],
+             tmap.disk_pos[static_cast<std::size_t>(e.b)], edge);
+    }
+    SvgStyle rim;
+    rim.stroke = "#333333";
+    rim.stroke_width = 0.015;
+    c.circle({0, 0}, 1.0, rim);
+    save(c, "fig2c.svg");
+  }
+
+  // (d) gridded M2 (the flower pond shows as the hole).
+  MesherOptions mopt;
+  mopt.target_grid_points = 1200;
+  FoiMesh m2_mesh = mesh_foi(sc.m2_shape, mopt);
+  {
+    SvgCanvas c(40.0);
+    SvgStyle edge;
+    edge.stroke = "#b9a774";
+    edge.stroke_width = 0.6;
+    c.mesh(m2_mesh.mesh, edge);
+    c.foi(sc.m2_shape, "#6b5b2a");
+    save(c, "fig2d.svg");
+  }
+
+  // (e) redeployment along the induced map.
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range);
+  MarchPlan plan = planner.plan(deploy, off);
+  {
+    SvgCanvas c(40.0);
+    c.foi(sc.m2_shape.translated(off), "#6b5b2a");
+    draw_colored_links(c, deploy, plan.mapped_targets, sc.comm_range);
+    c.robots(plan.mapped_targets);
+    save(c, "fig2e.svg");
+  }
+
+  // (f) after the minor adjustment.
+  {
+    SvgCanvas c(40.0);
+    c.foi(sc.m2_shape.translated(off), "#6b5b2a");
+    draw_colored_links(c, deploy, plan.final_positions, sc.comm_range);
+    c.robots(plan.final_positions);
+    save(c, "fig2f.svg");
+  }
+
+  std::cout << "done\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// libanr — public API umbrella.
+//
+// Reproduction of "Optimal Marching of Autonomous Networked Robots"
+// (Ban, Jin, Wu — ICDCS 2016). Typical usage:
+//
+//   #include "anr/anr.h"
+//
+//   anr::Scenario sc = anr::scenario(3);
+//   auto deploy = anr::optimal_coverage_positions(
+//       sc.m1, sc.num_robots, /*seed=*/1, anr::uniform_density());
+//   anr::MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range);
+//   anr::Vec2 offset = sc.m2_at(20.0).centroid() - sc.m2_shape.centroid();
+//   anr::MarchPlan plan = planner.plan(deploy.positions, offset);
+//   anr::TransitionMetrics m = anr::simulate_transition(
+//       plan.trajectories, sc.comm_range, plan.transition_end);
+//
+// See README.md for the architecture overview and examples/ for runnable
+// programs.
+#pragma once
+
+#include "baselines/direct_translation.h"
+#include "baselines/hungarian_march.h"
+#include "baselines/virtual_force.h"
+#include "coverage/coverage_eval.h"
+#include "coverage/density.h"
+#include "coverage/grid_cvt.h"
+#include "coverage/lloyd.h"
+#include "coverage/local_voronoi.h"
+#include "coverage/voronoi.h"
+#include "foi/foi.h"
+#include "foi/foi_mesher.h"
+#include "foi/indoor.h"
+#include "foi/scenario.h"
+#include "foi/shapes.h"
+#include "geom/barycentric.h"
+#include "geom/polygon.h"
+#include "geom/vec2.h"
+#include "harmonic/composition.h"
+#include "io/json.h"
+#include "io/plan_io.h"
+#include "harmonic/disk_map.h"
+#include "harmonic/distributed_disk_map.h"
+#include "harmonic/rotation_search.h"
+#include "march/metrics.h"
+#include "march/mission.h"
+#include "march/planner.h"
+#include "march/repair.h"
+#include "march/resilience.h"
+#include "march/trajectory.h"
+#include "march/transition_sim.h"
+#include "march/triangulation_extract.h"
+#include "matching/hungarian.h"
+#include "mesh/alpha_extract.h"
+#include "mesh/boundary.h"
+#include "mesh/delaunay.h"
+#include "mesh/hole_fill.h"
+#include "mesh/mesh_quality.h"
+#include "mesh/triangle_mesh.h"
+#include "net/connectivity.h"
+#include "net/network.h"
+#include "net/protocols/boundary_walk.h"
+#include "net/protocols/flood.h"
+#include "net/protocols/gossip.h"
+#include "net/protocols/relax.h"
+#include "net/protocols/subgroup.h"
+#include "net/unit_disk_graph.h"
+#include "terrain/height_field.h"
+#include "terrain/surface_metrics.h"
+#include "terrain/surface_planner.h"
+#include "viz/svg.h"

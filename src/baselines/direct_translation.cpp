@@ -1,0 +1,83 @@
+#include "baselines/direct_translation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "coverage/lloyd.h"
+#include "march/metrics.h"
+#include "matching/hungarian.h"
+
+namespace anr {
+
+DirectTranslationPlanner::DirectTranslationPlanner(FieldOfInterest m1,
+                                                   FieldOfInterest m2_shape,
+                                                   double r_c, int num_robots,
+                                                   BaselineOptions options)
+    : m1_(std::move(m1)),
+      m2_(std::move(m2_shape)),
+      r_c_(r_c),
+      opt_(options) {
+  ANR_CHECK(num_robots >= 1 && r_c_ > 0.0);
+  coverage_ = optimal_coverage_positions(m2_, num_robots, opt_.coverage_seed,
+                                         uniform_density(), opt_.coverage)
+                  .positions;
+}
+
+MarchPlan DirectTranslationPlanner::plan(const std::vector<Vec2>& positions,
+                                         Vec2 m2_offset) const {
+  ANR_CHECK(positions.size() == coverage_.size());
+  const std::size_t n = positions.size();
+
+  Vec2 delta = (m2_.centroid() + m2_offset) - m1_.centroid();
+
+  // Phase 1: rigid translation over [0, T1]. Phase durations scale with
+  // the distance covered so all robots keep comparable speeds.
+  std::vector<Vec2> translated(n);
+  for (std::size_t i = 0; i < n; ++i) translated[i] = positions[i] + delta;
+
+  std::vector<Vec2> goals(n);
+  for (std::size_t i = 0; i < n; ++i) goals[i] = coverage_[i] + m2_offset;
+  AssignmentResult match = min_distance_assignment(translated, goals);
+
+  double t1 = opt_.transition_time;
+  double max_local = 1e-9;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_local = std::max(
+        max_local,
+        distance(translated[i],
+                 goals[static_cast<std::size_t>(match.row_to_col[i])]));
+  }
+  double speed = std::max(delta.norm(), max_local) / opt_.transition_time;
+  double t2 = t1 + max_local / speed;
+
+  std::vector<Polygon> obstacles = m1_.holes();
+  for (const Polygon& h : m2_.holes()) obstacles.push_back(h.translated(m2_offset));
+
+  MarchPlan plan;
+  plan.start = positions;
+  plan.transition_end = t2;
+  plan.total_time = t2;
+  plan.mapped_targets.resize(n);
+  plan.final_positions.resize(n);
+  plan.trajectories.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec2 q = goals[static_cast<std::size_t>(match.row_to_col[i])];
+    plan.mapped_targets[i] = translated[i];
+    plan.final_positions[i] = q;
+    // Rigid leg, then local Hungarian leg, both with hole detours.
+    Trajectory leg1 =
+        make_timed_path(positions[i], translated[i], 0.0, t1, obstacles);
+    Trajectory leg2 = make_timed_path(translated[i], q, t1, t2, obstacles);
+    Trajectory full = std::move(leg1);
+    for (std::size_t w = 1; w < leg2.num_waypoints(); ++w) {
+      full.append(leg2.waypoints()[w], leg2.times()[w]);
+    }
+    plan.trajectories.push_back(std::move(full));
+  }
+  plan.predicted_link_ratio = predicted_stable_link_ratio(
+      positions, plan.final_positions, communication_links(positions, r_c_),
+      r_c_);
+  return plan;
+}
+
+}  // namespace anr

@@ -1,0 +1,34 @@
+// Baseline: direct translation marching (paper Sec. IV).
+//
+// "Computes the centroids of both the current and target FoIs M1 and M2
+// and a rigid translation from the centroid of M1 to the centroid of M2.
+// The mobile robots move from M1 to M2 based on the rigid translation,
+// and then adjust themselves to optimal coverage positions in M2 based on
+// Hungarian method." The rigid phase trivially preserves every link; the
+// Hungarian shuffle afterwards is where links break.
+#pragma once
+
+#include "baselines/hungarian_march.h"
+
+namespace anr {
+
+/// Plans direct-translation marches into translates of the M2 shape.
+class DirectTranslationPlanner {
+ public:
+  DirectTranslationPlanner(FieldOfInterest m1, FieldOfInterest m2_shape,
+                           double r_c, int num_robots,
+                           BaselineOptions options = {});
+
+  MarchPlan plan(const std::vector<Vec2>& positions, Vec2 m2_offset) const;
+
+  const std::vector<Vec2>& coverage_positions() const { return coverage_; }
+
+ private:
+  FieldOfInterest m1_;
+  FieldOfInterest m2_;
+  double r_c_;
+  BaselineOptions opt_;
+  std::vector<Vec2> coverage_;
+};
+
+}  // namespace anr

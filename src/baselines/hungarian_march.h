@@ -1,0 +1,45 @@
+// Baseline: pure Hungarian marching (paper Sec. IV).
+//
+// "Directly applies Hungarian algorithm to find the moving path of the
+// group of mobile robots from M1 to the optimal coverage positions in M2,
+// which should achieve the minimum total moving distance among all
+// possible methods." The optimal coverage positions are assumed
+// precomputed (the paper grants both comparison methods that knowledge).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "foi/foi.h"
+#include "march/planner.h"
+
+namespace anr {
+
+struct BaselineOptions {
+  double transition_time = 1.0;
+  std::uint64_t coverage_seed = 17;  ///< seed for the precomputed CVT in M2
+  LloydOptions coverage;
+};
+
+/// Plans Hungarian marches into translates of the M2 shape. Construction
+/// precomputes the optimal coverage positions (origin frame).
+class HungarianMarchPlanner {
+ public:
+  HungarianMarchPlanner(FieldOfInterest m1, FieldOfInterest m2_shape,
+                        double r_c, int num_robots,
+                        BaselineOptions options = {});
+
+  MarchPlan plan(const std::vector<Vec2>& positions, Vec2 m2_offset) const;
+
+  /// The precomputed coverage positions (origin frame).
+  const std::vector<Vec2>& coverage_positions() const { return coverage_; }
+
+ private:
+  FieldOfInterest m1_;
+  FieldOfInterest m2_;
+  double r_c_;
+  BaselineOptions opt_;
+  std::vector<Vec2> coverage_;
+};
+
+}  // namespace anr

@@ -1,0 +1,112 @@
+#include "baselines/virtual_force.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geom/grid_index.h"
+#include "march/metrics.h"
+
+namespace anr {
+
+VirtualForcePlanner::VirtualForcePlanner(FieldOfInterest m1,
+                                         FieldOfInterest m2_shape, double r_c,
+                                         VirtualForceOptions options)
+    : m1_(std::move(m1)),
+      m2_(std::move(m2_shape)),
+      r_c_(r_c),
+      opt_(options) {
+  ANR_CHECK(r_c_ > 0.0 && opt_.steps >= 1);
+}
+
+MarchPlan VirtualForcePlanner::plan(const std::vector<Vec2>& positions,
+                                    Vec2 m2_offset) const {
+  const std::size_t n = positions.size();
+  ANR_CHECK(n >= 1);
+  FieldOfInterest m2 = m2_.translated(m2_offset);
+  Vec2 goal = m2.centroid();
+  double d0 = opt_.spacing_frac * r_c_;
+
+  MarchPlan plan;
+  plan.start = positions;
+  plan.transition_end = opt_.transition_time;
+  plan.total_time = opt_.transition_time;
+  plan.trajectories.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.trajectories[i].append(positions[i], 0.0);
+  }
+
+  std::vector<Vec2> cur = positions;
+  double dt = opt_.transition_time / opt_.steps;
+  double step_cap = opt_.max_step * r_c_;
+
+  for (int step = 1; step <= opt_.steps; ++step) {
+    GridIndex index(cur, r_c_);
+    std::vector<Vec2> force(n, Vec2{});
+    for (std::size_t i = 0; i < n; ++i) {
+      // (1) Attraction toward the target FoI until inside.
+      if (!m2.contains(cur[i])) {
+        force[i] += (goal - cur[i]).normalized() * (opt_.attraction_gain * r_c_);
+      }
+      // (2) Springs against in-range neighbors: zero at d0.
+      for (int j : index.query_radius(cur[i], r_c_)) {
+        if (static_cast<std::size_t>(j) == i) continue;
+        Vec2 d = cur[i] - cur[static_cast<std::size_t>(j)];
+        double len = d.norm();
+        if (len < 1e-9) continue;
+        force[i] += d * (opt_.spring_gain * (d0 - len) / len);
+      }
+      // (3) Boundary push-back once inside M2.
+      if (m2.contains(cur[i])) {
+        double b = m2.distance_to_boundary(cur[i]);
+        if (b < d0 / 2.0) {
+          Vec2 away = cur[i] - m2.outer().closest_boundary_point(cur[i]);
+          double hole = m2.distance_to_nearest_hole(cur[i]);
+          if (hole < b) {
+            // Nearest boundary is a hole: push away from it instead.
+            for (const Polygon& hp : m2.holes()) {
+              if (hp.boundary_distance(cur[i]) <= hole + 1e-9) {
+                away = cur[i] - hp.closest_boundary_point(cur[i]);
+                break;
+              }
+            }
+          }
+          if (away.norm() > 1e-9) {
+            force[i] += away.normalized() * (opt_.boundary_gain * (d0 / 2.0 - b));
+          }
+        }
+      }
+    }
+    double t = step * dt;
+    for (std::size_t i = 0; i < n; ++i) {
+      Vec2 move = force[i];
+      double len = move.norm();
+      if (len > step_cap) move = move * (step_cap / len);
+      Vec2 next = cur[i] + move;
+      // Robots may not enter holes.
+      if (m2.contains(cur[i]) && !m2.contains(next)) next = m2.clamp_inside(next);
+      if (m1_.contains(cur[i]) && !m1_.contains(next) && !m2.contains(next)) {
+        // Leaving M1 toward M2 is fine; entering an M1 hole is not.
+        if (m1_.distance_to_nearest_hole(next) <
+            m1_.outer().boundary_distance(next)) {
+          next = m1_.clamp_inside(next);
+        }
+      }
+      if (distance(next, cur[i]) > 1e-9) {
+        plan.trajectories[i].append(next, t);
+        cur[i] = next;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // Close the timeline so all trajectories share the end time.
+    plan.trajectories[i].append(cur[i], opt_.transition_time);
+  }
+  plan.mapped_targets = cur;
+  plan.final_positions = cur;
+  plan.predicted_link_ratio = predicted_stable_link_ratio(
+      positions, cur, communication_links(positions, r_c_), r_c_);
+  return plan;
+}
+
+}  // namespace anr

@@ -1,0 +1,49 @@
+// Baseline: virtual-force (potential-field) relocation — the earliest
+// family of coverage-movement algorithms the paper cites ([1] Howard et
+// al., [2] Poduri & Sukhatme, [3] Zou & Chakrabarty).
+//
+// Each robot feels: (1) an attraction toward the target FoI (until it is
+// inside), (2) pairwise spring forces against robots within range —
+// repulsive when closer than the preferred lattice spacing, mildly
+// attractive when farther (this is [2]'s connectivity-aware variant), and
+// (3) repulsion from hole and outer boundaries once inside. Motion is
+// damped gradient descent, simulated in fixed time steps.
+//
+// The paper argues this family handles a *single* FoI well but has no
+// mechanism for coordinated FoI-to-FoI transitions; this baseline lets
+// the benches show that quantitatively (slow convergence, no guarantees).
+#pragma once
+
+#include "foi/foi.h"
+#include "march/planner.h"
+
+namespace anr {
+
+struct VirtualForceOptions {
+  double transition_time = 1.0;  ///< time allotted to reach/cover M2
+  int steps = 400;               ///< simulation steps
+  /// Preferred inter-robot spacing as a fraction of r_c; forces are zero
+  /// at exactly this distance.
+  double spacing_frac = 0.75;
+  double attraction_gain = 1.0;   ///< pull toward the target FoI
+  double spring_gain = 0.6;       ///< inter-robot spring strength
+  double boundary_gain = 1.5;     ///< push-back from boundaries
+  double max_step = 0.1;          ///< per-step travel cap, fraction of r_c
+};
+
+/// Plans a virtual-force march into translates of the M2 shape.
+class VirtualForcePlanner {
+ public:
+  VirtualForcePlanner(FieldOfInterest m1, FieldOfInterest m2_shape, double r_c,
+                      VirtualForceOptions options = {});
+
+  MarchPlan plan(const std::vector<Vec2>& positions, Vec2 m2_offset) const;
+
+ private:
+  FieldOfInterest m1_;
+  FieldOfInterest m2_;
+  double r_c_;
+  VirtualForceOptions opt_;
+};
+
+}  // namespace anr

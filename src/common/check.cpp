@@ -1,0 +1,18 @@
+#include "common/check.h"
+
+#include <sstream>
+
+namespace anr::detail {
+
+void check_failed(const char* expr, const std::string& msg,
+                  std::source_location loc) {
+  std::ostringstream os;
+  os << "ANR_CHECK failed: (" << expr << ") at " << loc.file_name() << ":"
+     << loc.line() << " in " << loc.function_name();
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw ContractViolation(os.str());
+}
+
+}  // namespace anr::detail

@@ -1,0 +1,50 @@
+// Lightweight runtime-contract checking for libanr.
+//
+// ANR_CHECK fires in all build types: the algorithms in this library are
+// geometric and distributed, where a silently-violated invariant (a
+// non-manifold mesh, an unsorted boundary loop) produces garbage results
+// far from the root cause. Failing fast with a message beats debugging a
+// wrong harmonic map. ANR_DCHECK compiles out in NDEBUG builds and is used
+// on hot inner loops.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace anr {
+
+/// Thrown when a runtime contract (ANR_CHECK / ANR_ENSURE) is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const std::string& msg,
+                               std::source_location loc);
+}  // namespace detail
+
+}  // namespace anr
+
+#define ANR_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::anr::detail::check_failed(#expr, "", std::source_location::current()); \
+    }                                                                       \
+  } while (false)
+
+#define ANR_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::anr::detail::check_failed(#expr, (msg), std::source_location::current()); \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define ANR_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define ANR_DCHECK(expr) ANR_CHECK(expr)
+#endif

@@ -1,0 +1,4 @@
+#include "common/rng.h"
+
+// Rng is header-only today; this TU anchors the target so the build file
+// stays uniform (one .cpp per module).

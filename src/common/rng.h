@@ -1,0 +1,44 @@
+// Deterministic, explicitly-seeded randomness.
+//
+// Every stochastic piece of the library (initial robot scatter, Lloyd
+// jitter, workload generators) takes an Rng by reference so that a single
+// seed reproduces an entire experiment bit-for-bit. No global RNG state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace anr {
+
+/// Seeded pseudo-random generator wrapping std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Standard normal sample scaled by `stddev`.
+  double normal(double stddev) {
+    return std::normal_distribution<double>(0.0, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace anr

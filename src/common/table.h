@@ -1,0 +1,37 @@
+// Plain-text table formatting for benchmark output.
+//
+// Every bench binary prints rows that mirror a table or figure of the
+// paper; TextTable keeps those aligned and easy to diff between runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace anr {
+
+/// Column-aligned plain-text table. Add a header once, then rows; `str()`
+/// renders everything with per-column widths.
+class TextTable {
+ public:
+  /// Sets (replaces) the header row.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row. Row length may differ from the header; shorter
+  /// rows render with trailing blanks.
+  void row(std::vector<std::string> cells);
+
+  /// Renders the table, header separated by a dashed rule.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `digits` decimal places.
+std::string fmt(double v, int digits = 3);
+
+/// Formats `v` as a percentage (value 0.873 -> "87.3%").
+std::string fmt_pct(double v, int digits = 1);
+
+}  // namespace anr

@@ -1,0 +1,52 @@
+#include "coverage/coverage_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geom/grid_index.h"
+
+namespace anr {
+
+double sensing_radius_for(double r_c) {
+  ANR_CHECK(r_c > 0.0);
+  return r_c / std::sqrt(3.0);
+}
+
+CoverageReport evaluate_coverage(const FieldOfInterest& foi,
+                                 const std::vector<Vec2>& robots, double r_s,
+                                 int target_samples) {
+  ANR_CHECK(!robots.empty());
+  ANR_CHECK(r_s > 0.0);
+  ANR_CHECK(target_samples >= 64);
+
+  double h = std::sqrt(2.0 * foi.area() /
+                       (std::sqrt(3.0) * static_cast<double>(target_samples)));
+  auto samples = foi.lattice_points(h);
+  ANR_CHECK_MSG(!samples.empty(), "FoI too small to sample");
+
+  GridIndex index(robots, r_s);
+  CoverageReport rep;
+  rep.samples = static_cast<int>(samples.size());
+  long covered_at_least[4] = {0, 0, 0, 0};
+  double gap_sum = 0.0;
+  for (Vec2 s : samples) {
+    int k = static_cast<int>(index.query_radius(s, r_s).size());
+    for (int i = 0; i < 4; ++i) {
+      if (k >= i + 1) ++covered_at_least[i];
+    }
+    int nearest = index.nearest(s);
+    double gap = distance(s, robots[static_cast<std::size_t>(nearest)]);
+    rep.worst_gap = std::max(rep.worst_gap, gap);
+    gap_sum += gap;
+  }
+  for (int i = 0; i < 4; ++i) {
+    rep.k_covered_fraction[i] = static_cast<double>(covered_at_least[i]) /
+                                static_cast<double>(samples.size());
+  }
+  rep.covered_fraction = rep.k_covered_fraction[0];
+  rep.mean_gap = gap_sum / static_cast<double>(samples.size());
+  return rep;
+}
+
+}  // namespace anr

@@ -1,0 +1,38 @@
+// Coverage evaluation: does a deployment actually cover the FoI?
+//
+// The paper's premise (Sec. II, Lemma 1 discussion): with the disk
+// sensing model and r_c >= sqrt(3) * r_s, the triangular-lattice layout
+// reached by the CVT adjustment gives complete area coverage. This module
+// measures that claim: the fraction of the FoI within sensing range of
+// some robot, the k-coverage histogram, and the largest uncovered gap.
+#pragma once
+
+#include <vector>
+
+#include "foi/foi.h"
+
+namespace anr {
+
+struct CoverageReport {
+  /// Fraction of sampled FoI area within r_s of at least one robot.
+  double covered_fraction = 0.0;
+  /// Fraction covered by at least k robots, k = 1..4 (index 0 = k=1).
+  double k_covered_fraction[4] = {0.0, 0.0, 0.0, 0.0};
+  /// Largest distance from any FoI sample to its nearest robot.
+  double worst_gap = 0.0;
+  /// Mean distance from a FoI sample to its nearest robot.
+  double mean_gap = 0.0;
+  int samples = 0;
+};
+
+/// Evaluates `robots` covering `foi` with sensing radius `r_s`, sampling
+/// the region on a lattice of roughly `target_samples` points.
+CoverageReport evaluate_coverage(const FieldOfInterest& foi,
+                                 const std::vector<Vec2>& robots, double r_s,
+                                 int target_samples = 20000);
+
+/// The paper's sensing radius for a given communication range under the
+/// r_c >= sqrt(3) * r_s coverage-connectivity assumption (Sec. II-A).
+double sensing_radius_for(double r_c);
+
+}  // namespace anr

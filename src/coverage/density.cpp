@@ -1,0 +1,33 @@
+#include "coverage/density.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace anr {
+
+DensityFn uniform_density() {
+  return [](Vec2) { return 1.0; };
+}
+
+DensityFn hole_proximity_density(const FieldOfInterest& foi, double gain,
+                                 double falloff) {
+  ANR_CHECK(gain >= 0.0 && falloff > 0.0);
+  // Capture by value: the FoI owns its polygons, so copies stay valid for
+  // the lifetime of the returned closure.
+  return [foi, gain, falloff](Vec2 p) {
+    double d = foi.distance_to_nearest_hole(p);
+    if (!std::isfinite(d)) return 1.0;
+    return 1.0 + gain * std::exp(-d / falloff);
+  };
+}
+
+DensityFn hotspot_density(Vec2 center, double gain, double sigma) {
+  ANR_CHECK(gain >= 0.0 && sigma > 0.0);
+  return [center, gain, sigma](Vec2 p) {
+    double d2 = distance2(p, center);
+    return 1.0 + gain * std::exp(-d2 / (2.0 * sigma * sigma));
+  };
+}
+
+}  // namespace anr

@@ -1,0 +1,31 @@
+// Density functions for centroidal Voronoi coverage (paper Sec. IV-E).
+//
+// "We can encode sensing policies or task requirements into the
+// computation of the centroid of a Voronoi region … more robots will be
+// deployed near the center of a fire with higher temperature."
+#pragma once
+
+#include <functional>
+
+#include "foi/foi.h"
+
+namespace anr {
+
+/// Nonnegative weight over the FoI; centroids are computed with respect
+/// to this measure.
+using DensityFn = std::function<double(Vec2)>;
+
+/// Uniform density (classic CVT / equilateral-lattice coverage).
+DensityFn uniform_density();
+
+/// Density that grows toward hole boundaries: weight =
+/// 1 + gain * exp(-distance_to_nearest_hole / falloff). Reproduces the
+/// Fig. 6 requirement "the closer to the hole, the more mobile robots".
+DensityFn hole_proximity_density(const FieldOfInterest& foi, double gain,
+                                 double falloff);
+
+/// Radial hot-spot density (fire model): weight =
+/// 1 + gain * exp(-|p - center|^2 / (2 sigma^2)).
+DensityFn hotspot_density(Vec2 center, double gain, double sigma);
+
+}  // namespace anr

@@ -1,0 +1,60 @@
+#include "coverage/grid_cvt.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace anr {
+
+GridCvt::GridCvt(const FieldOfInterest& foi, DensityFn density,
+                 int target_samples)
+    : foi_(foi) {
+  ANR_CHECK(target_samples >= 64);
+  double area = foi.area();
+  spacing_ = std::sqrt(2.0 * area /
+                       (std::sqrt(3.0) * static_cast<double>(target_samples)));
+  samples_ = foi.lattice_points(spacing_);
+  ANR_CHECK_MSG(samples_.size() >= 16, "FoI too small for CVT sampling");
+  weight_.reserve(samples_.size());
+  for (Vec2 p : samples_) {
+    double w = density(p);
+    ANR_CHECK_MSG(w >= 0.0, "density must be nonnegative");
+    weight_.push_back(w);
+  }
+  sample_index_ = std::make_unique<GridIndex>(samples_, spacing_);
+}
+
+std::vector<Vec2> GridCvt::centroids(const std::vector<Vec2>& sites) const {
+  ANR_CHECK(!sites.empty());
+  // Nearest-site assignment via a site index: for each sample, query the
+  // site index outward.
+  GridIndex site_index(sites, std::max(spacing_ * 4.0, 1e-9));
+  std::vector<Vec2> acc(sites.size(), Vec2{});
+  std::vector<double> mass(sites.size(), 0.0);
+  for (std::size_t s = 0; s < samples_.size(); ++s) {
+    int site = site_index.nearest(samples_[s]);
+    ANR_CHECK(site >= 0);
+    acc[static_cast<std::size_t>(site)] += samples_[s] * weight_[s];
+    mass[static_cast<std::size_t>(site)] += weight_[s];
+  }
+  std::vector<Vec2> out;
+  out.reserve(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (mass[i] <= 0.0) {
+      out.push_back(sites[i]);
+      continue;
+    }
+    Vec2 c = acc[i] / mass[i];
+    if (!foi_.contains(c)) c = nearest_sample(c);
+    out.push_back(c);
+  }
+  return out;
+}
+
+Vec2 GridCvt::nearest_sample(Vec2 p) const {
+  int idx = sample_index_->nearest(p);
+  ANR_CHECK(idx >= 0);
+  return samples_[static_cast<std::size_t>(idx)];
+}
+
+}  // namespace anr

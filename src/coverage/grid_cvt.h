@@ -1,0 +1,50 @@
+// Discrete (grid-based) Voronoi centroids over a FoI.
+//
+// The paper computes centroids "with respect to a given density function"
+// and, for FoIs with holes, snaps centroids that fall into a hole to "the
+// nearest grid point along the hole boundary" (Sec. III-D-3). A dense
+// sample grid over the FoI makes all of that uniform: a site's Voronoi
+// region is the set of samples nearest to it; its centroid is the
+// density-weighted sample mean; snapping is a nearest-sample query.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "coverage/density.h"
+#include "foi/foi.h"
+#include "geom/grid_index.h"
+
+namespace anr {
+
+/// Precomputed sample grid + density over a FoI. Immutable after
+/// construction; Lloyd iterations share one instance.
+class GridCvt {
+ public:
+  /// Samples the FoI on a triangular lattice of roughly `target_samples`
+  /// points and evaluates `density` at each.
+  GridCvt(const FieldOfInterest& foi, DensityFn density,
+          int target_samples = 30000);
+
+  /// Density-weighted centroid of each site's discrete Voronoi region.
+  /// A site whose region captures no sample keeps its position. Centroids
+  /// landing outside the FoI (possible for concave regions/holes) are
+  /// snapped to the nearest sample point.
+  std::vector<Vec2> centroids(const std::vector<Vec2>& sites) const;
+
+  /// Nearest sample point to p (the paper's "nearest grid point").
+  Vec2 nearest_sample(Vec2 p) const;
+
+  const std::vector<Vec2>& samples() const { return samples_; }
+  const FieldOfInterest& foi() const { return foi_; }
+  double spacing() const { return spacing_; }
+
+ private:
+  FieldOfInterest foi_;
+  std::vector<Vec2> samples_;
+  std::vector<double> weight_;
+  std::unique_ptr<GridIndex> sample_index_;
+  double spacing_ = 0.0;
+};
+
+}  // namespace anr

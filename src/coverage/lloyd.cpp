@@ -1,0 +1,45 @@
+#include "coverage/lloyd.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace anr {
+
+LloydResult lloyd(const GridCvt& grid, std::vector<Vec2> sites,
+                  const LloydOptions& opt) {
+  ANR_CHECK(!sites.empty());
+  LloydResult out;
+  out.positions = std::move(sites);
+  for (out.iters = 0; out.iters < opt.max_iters; ++out.iters) {
+    auto next = grid.centroids(out.positions);
+    double max_move = 0.0;
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      max_move = std::max(max_move, distance(next[i], out.positions[i]));
+    }
+    out.positions = std::move(next);
+    out.final_move = max_move;
+    if (max_move <= opt.tol) {
+      out.converged = true;
+      ++out.iters;
+      break;
+    }
+  }
+  return out;
+}
+
+LloydResult optimal_coverage_positions(const FieldOfInterest& foi, int n,
+                                       std::uint64_t seed,
+                                       const DensityFn& density,
+                                       const LloydOptions& opt) {
+  ANR_CHECK(n >= 1);
+  Rng rng(seed);
+  GridCvt grid(foi, density);
+  std::vector<Vec2> sites;
+  sites.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) sites.push_back(foi.sample_point(rng));
+  return lloyd(grid, std::move(sites), opt);
+}
+
+}  // namespace anr

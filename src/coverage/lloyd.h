@@ -1,0 +1,41 @@
+// Lloyd iterations toward a centroidal Voronoi tessellation
+// (paper Sec. III-C).
+//
+// "At each step, a mobile robot … computes its corresponding Voronoi
+// region and the centroid … then moves to the centroid position."
+// Newman's hexagon theorem makes the converged layout the equilateral-
+// triangle lattice the coverage literature proves optimal.
+#pragma once
+
+#include "coverage/grid_cvt.h"
+
+namespace anr {
+
+struct LloydOptions {
+  int max_iters = 300;
+  /// Convergence threshold on the largest site move per iteration, in
+  /// world units (meters).
+  double tol = 0.5;
+};
+
+struct LloydResult {
+  std::vector<Vec2> positions;
+  int iters = 0;
+  double final_move = 0.0;
+  bool converged = false;
+};
+
+/// Runs Lloyd on `sites` over the precomputed grid.
+LloydResult lloyd(const GridCvt& grid, std::vector<Vec2> sites,
+                  const LloydOptions& opt = {});
+
+/// Optimal coverage positions for n robots in `foi`: seeded scatter
+/// (deterministic in `seed`) + Lloyd to convergence. This is what the
+/// baselines assume precomputed (paper Sec. IV) and what the minor-
+/// adjustment phase converges toward.
+LloydResult optimal_coverage_positions(const FieldOfInterest& foi, int n,
+                                       std::uint64_t seed,
+                                       const DensityFn& density,
+                                       const LloydOptions& opt = {});
+
+}  // namespace anr

@@ -1,0 +1,114 @@
+#include "coverage/local_voronoi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "geom/polygon_clip.h"
+#include "net/unit_disk_graph.h"
+
+namespace anr {
+
+LocalVoronoiLloyd::LocalVoronoiLloyd(FieldOfInterest foi, DensityFn density,
+                                     double comm_range, int samples_per_cell)
+    : foi_(std::move(foi)),
+      density_(std::move(density)),
+      r_c_(comm_range),
+      samples_per_cell_(samples_per_cell),
+      uniform_density_(!density_) {
+  ANR_CHECK(r_c_ > 0.0);
+  ANR_CHECK(samples_per_cell_ >= 16);
+  if (!density_) density_ = uniform_density();
+}
+
+Vec2 LocalVoronoiLloyd::cell_centroid(const Polygon& cell, Vec2 fallback) const {
+  if (cell.size() < 3 || cell.area() < 1e-9) return fallback;
+
+  // Fast path: uniform density, hole-free FoI — exact polygon centroid.
+  if (uniform_density_ && !foi_.has_holes()) {
+    Vec2 c = cell.centroid();
+    return foi_.contains(c) ? c : foi_.clamp_inside(c);
+  }
+
+  // General path: integrate the density over a local sample lattice
+  // restricted to the cell minus holes (the robot's "local grid points").
+  BBox bb = cell.bbox();
+  double h = std::sqrt(std::max(cell.area(), 1e-9) /
+                       static_cast<double>(samples_per_cell_));
+  Vec2 acc{};
+  double mass = 0.0;
+  for (double y = bb.lo.y + h / 2.0; y <= bb.hi.y; y += h) {
+    for (double x = bb.lo.x + h / 2.0; x <= bb.hi.x; x += h) {
+      Vec2 p{x, y};
+      if (!cell.contains(p) || !foi_.contains(p)) continue;
+      double w = density_(p);
+      acc += p * w;
+      mass += w;
+    }
+  }
+  if (mass <= 0.0) return fallback;
+  Vec2 c = acc / mass;
+  // Sec. III-D-3: a centroid inside a hole snaps to the hole boundary.
+  return foi_.contains(c) ? c : foi_.clamp_inside(c);
+}
+
+LocalLloydStep LocalVoronoiLloyd::step(const std::vector<Vec2>& robots) const {
+  const std::size_t n = robots.size();
+  ANR_CHECK(n >= 1);
+
+  // Robots outside the region compute their cell from the nearest
+  // placeable point (they are marching in, Sec. III-D-1).
+  std::vector<Vec2> inside(n);
+  for (std::size_t i = 0; i < n; ++i) inside[i] = foi_.clamp_inside(robots[i]);
+
+  auto adj = net::unit_disk_adjacency(inside, r_c_);
+  LocalLloydStep out;
+  out.centroids.resize(n);
+  // Two beacon rounds: 1-hop positions, then forwarded neighbor lists.
+  for (const auto& nb : adj) out.messages += 2 * nb.size();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Two-hop neighborhood.
+    std::set<int> two_hop;
+    for (int u : adj[i]) {
+      two_hop.insert(u);
+      for (int w : adj[static_cast<std::size_t>(u)]) {
+        if (w != static_cast<int>(i)) two_hop.insert(w);
+      }
+    }
+    Polygon cell = foi_.outer();
+    for (int u : two_hop) {
+      if (cell.size() < 3) break;
+      Vec2 other = inside[static_cast<std::size_t>(u)];
+      if (distance2(inside[i], other) == 0.0) continue;
+      cell = clip(cell, bisector_half_plane(inside[i], other));
+    }
+    out.centroids[i] = cell_centroid(cell, inside[i]);
+  }
+  return out;
+}
+
+LocalVoronoiLloyd::RunResult LocalVoronoiLloyd::run(std::vector<Vec2> robots,
+                                                    double tol,
+                                                    int max_steps) const {
+  RunResult out;
+  out.positions = std::move(robots);
+  for (out.steps = 0; out.steps < max_steps; ++out.steps) {
+    LocalLloydStep s = step(out.positions);
+    out.messages += s.messages;
+    double max_move = 0.0;
+    for (std::size_t i = 0; i < out.positions.size(); ++i) {
+      max_move = std::max(max_move, distance(out.positions[i], s.centroids[i]));
+    }
+    out.positions = std::move(s.centroids);
+    if (max_move <= tol) {
+      out.converged = true;
+      ++out.steps;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace anr

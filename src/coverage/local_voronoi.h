@@ -1,0 +1,65 @@
+// Robot-local (distributed) Lloyd step — the paper's Sec. III-C verbatim:
+//
+// "At each step, a mobile robot collects the position information of its
+// two-range neighbors, computing its corresponding Voronoi region and the
+// centroid of the Voronoi region. The mobile robot then moves to the
+// centroid position."
+//
+// Each robot clips the FoI outer polygon (the map every robot carries,
+// Sec. I) by the perpendicular bisectors against its two-hop neighbors
+// only. In the dense deployments this library produces, two hops dominate
+// the true Voronoi cell, so the local step matches the global one — the
+// equivalence is asserted in tests. Density weighting and hole handling
+// (Sec. III-D-3: snap a centroid that falls into a hole to the nearest
+// grid point along the hole boundary) are evaluated on a per-cell local
+// sample grid.
+#pragma once
+
+#include <cstddef>
+
+#include "coverage/density.h"
+#include "foi/foi.h"
+
+namespace anr {
+
+struct LocalLloydStep {
+  std::vector<Vec2> centroids;  ///< per robot, the move target
+  std::size_t messages = 0;     ///< two beacon rounds over the UDG links
+};
+
+/// Computes one distributed Lloyd step over the robots inside `foi`.
+class LocalVoronoiLloyd {
+ public:
+  /// `samples_per_cell` controls the per-cell integration grid used when
+  /// the cell is density-weighted or intersects a hole; hole-free uniform
+  /// cells use the exact polygon centroid.
+  LocalVoronoiLloyd(FieldOfInterest foi, DensityFn density, double comm_range,
+                    int samples_per_cell = 300);
+
+  /// One step. Robots outside the FoI are first pulled to the nearest
+  /// placeable point (their cell is computed from there).
+  LocalLloydStep step(const std::vector<Vec2>& robots) const;
+
+  /// Runs steps until the largest move is below `tol` or `max_steps`.
+  struct RunResult {
+    std::vector<Vec2> positions;
+    int steps = 0;
+    std::size_t messages = 0;
+    bool converged = false;
+  };
+  RunResult run(std::vector<Vec2> robots, double tol = 0.5,
+                int max_steps = 100) const;
+
+  const FieldOfInterest& foi() const { return foi_; }
+
+ private:
+  Vec2 cell_centroid(const Polygon& cell, Vec2 fallback) const;
+
+  FieldOfInterest foi_;
+  DensityFn density_;
+  double r_c_;
+  int samples_per_cell_;
+  bool uniform_density_;
+};
+
+}  // namespace anr

@@ -1,0 +1,38 @@
+#include "coverage/voronoi.h"
+
+#include "geom/polygon_clip.h"
+
+namespace anr {
+
+std::vector<Polygon> clipped_voronoi_cells(const std::vector<Vec2>& sites,
+                                           const Polygon& boundary) {
+  std::vector<Polygon> cells;
+  cells.reserve(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    Polygon cell = boundary;
+    for (std::size_t j = 0; j < sites.size(); ++j) {
+      if (i == j || cell.size() < 3) continue;
+      if (distance2(sites[i], sites[j]) == 0.0) continue;  // coincident sites
+      cell = clip(cell, bisector_half_plane(sites[i], sites[j]));
+    }
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::vector<Vec2> voronoi_centroids(const std::vector<Vec2>& sites,
+                                    const Polygon& boundary) {
+  auto cells = clipped_voronoi_cells(sites, boundary);
+  std::vector<Vec2> out;
+  out.reserve(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (cells[i].size() >= 3 && cells[i].area() > 1e-12) {
+      out.push_back(cells[i].centroid());
+    } else {
+      out.push_back(sites[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace anr

@@ -1,0 +1,27 @@
+// Exact clipped Voronoi cells (reference implementation).
+//
+// Cell of a site = FoI outer polygon clipped by the perpendicular-bisector
+// half-planes against every other site. Exact and fast for hole-free FoIs;
+// holes are *not* subtracted here (polygon boolean subtraction is out of
+// scope) — the grid-based CVT in grid_cvt handles holes and densities and
+// is validated against this implementation on hole-free convex FoIs.
+#pragma once
+
+#include <vector>
+
+#include "foi/foi.h"
+#include "geom/polygon.h"
+
+namespace anr {
+
+/// Voronoi cell polygons of `sites` clipped to `boundary`. Sites outside
+/// the boundary get whatever (possibly empty) polygon the clipping yields.
+std::vector<Polygon> clipped_voronoi_cells(const std::vector<Vec2>& sites,
+                                           const Polygon& boundary);
+
+/// Uniform-density centroids of the clipped cells; a site with an empty
+/// cell keeps its position.
+std::vector<Vec2> voronoi_centroids(const std::vector<Vec2>& sites,
+                                    const Polygon& boundary);
+
+}  // namespace anr

@@ -1,0 +1,143 @@
+#include "foi/foi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace anr {
+
+FieldOfInterest::FieldOfInterest(Polygon outer, std::vector<Polygon> holes)
+    : outer_(std::move(outer)), holes_(std::move(holes)) {
+  ANR_CHECK_MSG(outer_.size() >= 3, "FoI outer boundary needs >= 3 vertices");
+  outer_.make_ccw();
+  for (Polygon& h : holes_) {
+    ANR_CHECK_MSG(h.size() >= 3, "FoI hole needs >= 3 vertices");
+    h.make_ccw();
+    ANR_CHECK_MSG(outer_.contains(h.centroid()), "hole centroid outside FoI");
+  }
+}
+
+double FieldOfInterest::area() const {
+  double a = outer_.area();
+  for (const Polygon& h : holes_) a -= h.area();
+  return a;
+}
+
+Vec2 FieldOfInterest::centroid() const {
+  double a = outer_.area();
+  Vec2 c = outer_.centroid() * a;
+  for (const Polygon& h : holes_) {
+    double ha = h.area();
+    c -= h.centroid() * ha;
+    a -= ha;
+  }
+  ANR_CHECK(a > 0.0);
+  return c / a;
+}
+
+bool FieldOfInterest::contains(Vec2 p) const {
+  if (!outer_.contains(p)) return false;
+  for (const Polygon& h : holes_) {
+    // A point on the hole boundary is placeable; strictly-inside points
+    // are not. Polygon::contains treats boundary as inside, so check the
+    // boundary tolerance explicitly.
+    if (h.contains(p) && h.boundary_distance(p) > 1e-9) return false;
+  }
+  return true;
+}
+
+double FieldOfInterest::distance_to_nearest_hole(Vec2 p) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Polygon& h : holes_) {
+    best = std::min(best, h.boundary_distance(p));
+  }
+  return best;
+}
+
+double FieldOfInterest::distance_to_boundary(Vec2 p) const {
+  double best = outer_.boundary_distance(p);
+  for (const Polygon& h : holes_) {
+    best = std::min(best, h.boundary_distance(p));
+  }
+  return best;
+}
+
+Vec2 FieldOfInterest::clamp_inside(Vec2 p) const {
+  if (contains(p)) return p;
+  // Project to the nearest violated boundary, then nudge toward the region
+  // interior along the direction from the offending polygon's centroid.
+  const Polygon* offender = nullptr;
+  bool outside_outer = !outer_.contains(p);
+  if (outside_outer) {
+    offender = &outer_;
+  } else {
+    for (const Polygon& h : holes_) {
+      if (h.contains(p)) {
+        offender = &h;
+        break;
+      }
+    }
+  }
+  if (offender == nullptr) return p;  // numeric edge: treat as inside
+  Vec2 q = offender->closest_boundary_point(p);
+  // Nudge slightly off the boundary into the region.
+  Vec2 dir = outside_outer ? (offender->centroid() - q).normalized()
+                           : (q - offender->centroid()).normalized();
+  Vec2 nudged = q + dir * 1e-6;
+  return contains(nudged) ? nudged : q;
+}
+
+bool FieldOfInterest::segment_inside(Vec2 a, Vec2 b) const {
+  if (!contains(a) || !contains(b)) return false;
+  if (outer_.segment_crosses_boundary(a, b)) return false;
+  for (const Polygon& h : holes_) {
+    if (h.segment_crosses_boundary(a, b)) return false;
+    // Fully-contained chord across a convex hole has no boundary crossing
+    // only if both endpoints are inside the hole, which contains() already
+    // rejected; midpoints guard concave holes hugging the segment.
+    if (h.contains(lerp(a, b, 0.5)) &&
+        h.boundary_distance(lerp(a, b, 0.5)) > 1e-9) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Vec2 FieldOfInterest::sample_point(Rng& rng) const {
+  BBox bb = bbox();
+  for (int tries = 0; tries < 100000; ++tries) {
+    Vec2 p{rng.uniform(bb.lo.x, bb.hi.x), rng.uniform(bb.lo.y, bb.hi.y)};
+    if (contains(p)) return p;
+  }
+  ANR_CHECK_MSG(false, "sample_point: rejection sampling failed (tiny FoI?)");
+  return {};
+}
+
+std::vector<Vec2> FieldOfInterest::lattice_points(double h, double margin) const {
+  ANR_CHECK(h > 0.0);
+  std::vector<Vec2> out;
+  BBox bb = bbox();
+  double row_h = h * std::sqrt(3.0) / 2.0;
+  int row = 0;
+  for (double y = bb.lo.y; y <= bb.hi.y; y += row_h, ++row) {
+    double x0 = bb.lo.x + (row % 2 == 0 ? 0.0 : h / 2.0);
+    for (double x = x0; x <= bb.hi.x; x += h) {
+      Vec2 p{x, y};
+      if (!contains(p)) continue;
+      if (margin > 0.0 && distance_to_boundary(p) < margin) continue;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+FieldOfInterest FieldOfInterest::translated(Vec2 d) const {
+  std::vector<Polygon> holes;
+  holes.reserve(holes_.size());
+  for (const Polygon& h : holes_) holes.push_back(h.translated(d));
+  return FieldOfInterest(outer_.translated(d), std::move(holes));
+}
+
+}  // namespace anr

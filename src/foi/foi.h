@@ -1,0 +1,67 @@
+// Field of Interest (FoI): a planar region bounded by a simple polygon,
+// minus zero or more hole polygons (obstacles / landscape features that
+// forbid robot placement — paper Sec. III-D-3).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/polygon.h"
+
+namespace anr {
+
+/// A FoI with outer boundary and holes. Outer boundary is stored CCW;
+/// holes are simple polygons strictly inside the outer boundary and
+/// mutually disjoint.
+class FieldOfInterest {
+ public:
+  FieldOfInterest() = default;
+  FieldOfInterest(Polygon outer, std::vector<Polygon> holes = {});
+
+  const Polygon& outer() const { return outer_; }
+  const std::vector<Polygon>& holes() const { return holes_; }
+  bool has_holes() const { return !holes_.empty(); }
+
+  /// Area of the region (outer minus holes).
+  double area() const;
+
+  /// Area centroid of the region (holes subtracted).
+  Vec2 centroid() const;
+
+  BBox bbox() const { return outer_.bbox(); }
+
+  /// True when p is inside the outer boundary and outside every hole
+  /// (hole boundaries count as outside the hole, i.e. placeable).
+  bool contains(Vec2 p) const;
+
+  /// Distance from p to the nearest hole boundary; +inf when no holes.
+  double distance_to_nearest_hole(Vec2 p) const;
+
+  /// Distance from p to the nearest region boundary (outer or hole).
+  double distance_to_boundary(Vec2 p) const;
+
+  /// If p is not in the region, the nearest point that is (projected to the
+  /// violated boundary, nudged inward); p itself otherwise.
+  Vec2 clamp_inside(Vec2 p) const;
+
+  /// True when the straight segment a->b stays inside the region (does not
+  /// exit the outer boundary or cut through a hole).
+  bool segment_inside(Vec2 a, Vec2 b) const;
+
+  /// Uniform random point inside the region (rejection sampling).
+  Vec2 sample_point(Rng& rng) const;
+
+  /// Points of a triangular lattice with spacing `h` that lie inside the
+  /// region and at least `margin` away from every boundary.
+  std::vector<Vec2> lattice_points(double h, double margin = 0.0) const;
+
+  /// Rigidly translated copy.
+  FieldOfInterest translated(Vec2 d) const;
+
+ private:
+  Polygon outer_;
+  std::vector<Polygon> holes_;
+};
+
+}  // namespace anr

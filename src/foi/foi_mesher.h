@@ -1,0 +1,45 @@
+// FoI mesher: grids and triangulates a FoI (paper Sec. III-B: "we can add
+// grid points and triangulate the surface data of FoI M2").
+//
+// The resulting mesh is what gets harmonic-mapped to the unit disk on the
+// M2 side of the pipeline; its vertices are the "grid points" of Eqn. (1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "foi/foi.h"
+#include "geom/grid_index.h"
+#include "mesh/triangle_mesh.h"
+
+namespace anr {
+
+/// Meshing parameters.
+struct MesherOptions {
+  /// Approximate number of interior grid points to generate. Actual count
+  /// varies with the FoI shape.
+  int target_grid_points = 1200;
+
+  /// Deterministic jitter (fraction of spacing) applied to interior lattice
+  /// points so the Delaunay step never sees exactly cocircular quadruples.
+  double jitter_frac = 0.05;
+
+  /// Seed for the jitter.
+  std::uint64_t seed = 7;
+};
+
+/// A gridded, triangulated FoI.
+struct FoiMesh {
+  TriangleMesh mesh;             ///< manifold mesh approximating the FoI
+  std::vector<char> on_boundary; ///< per vertex: lies on outer/hole boundary
+  double spacing = 0.0;          ///< lattice spacing used
+
+  /// Nearest-mesh-vertex lookup (built over mesh vertex positions).
+  std::shared_ptr<const GridIndex> vertex_index;
+};
+
+/// Meshes `foi`: triangular-lattice interior points + densified boundary
+/// points, Delaunay, inside-filter, manifold cleanup.
+FoiMesh mesh_foi(const FieldOfInterest& foi, const MesherOptions& opt = {});
+
+}  // namespace anr

@@ -1,0 +1,52 @@
+#include "foi/indoor.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace anr {
+
+FieldOfInterest make_indoor_foi(const IndoorOptions& opt) {
+  ANR_CHECK(opt.rooms_x >= 1 && opt.rooms_y >= 1);
+  ANR_CHECK(opt.room_size > 4.0 * opt.clearance + opt.door_width);
+  double w = opt.rooms_x * opt.room_size;
+  double h = opt.rooms_y * opt.room_size;
+  Polygon outer = make_rect({0.0, 0.0}, {w, h});
+
+  std::vector<Polygon> walls;
+  double t2 = opt.wall_thickness / 2.0;
+
+  // One wall between each pair of horizontally adjacent rooms: a vertical
+  // wall with a centered door gap, split into a lower and an upper piece.
+  auto add_piece = [&](Vec2 lo, Vec2 hi) {
+    if (hi.x - lo.x > 1e-9 && hi.y - lo.y > 1e-9) {
+      walls.push_back(make_rect(lo, hi));
+    }
+  };
+
+  for (int gx = 1; gx < opt.rooms_x; ++gx) {
+    double x = gx * opt.room_size;
+    for (int ry = 0; ry < opt.rooms_y; ++ry) {
+      double y0 = ry * opt.room_size + opt.clearance;
+      double y1 = (ry + 1) * opt.room_size - opt.clearance;
+      double door_lo = (y0 + y1 - opt.door_width) / 2.0;
+      double door_hi = (y0 + y1 + opt.door_width) / 2.0;
+      add_piece({x - t2, y0}, {x + t2, door_lo});
+      add_piece({x - t2, door_hi}, {x + t2, y1});
+    }
+  }
+  for (int gy = 1; gy < opt.rooms_y; ++gy) {
+    double y = gy * opt.room_size;
+    for (int rx = 0; rx < opt.rooms_x; ++rx) {
+      double x0 = rx * opt.room_size + opt.clearance;
+      double x1 = (rx + 1) * opt.room_size - opt.clearance;
+      double door_lo = (x0 + x1 - opt.door_width) / 2.0;
+      double door_hi = (x0 + x1 + opt.door_width) / 2.0;
+      add_piece({x0, y - t2}, {door_lo, y + t2});
+      add_piece({door_hi, y - t2}, {x1, y + t2});
+    }
+  }
+  return FieldOfInterest(std::move(outer), std::move(walls));
+}
+
+}  // namespace anr

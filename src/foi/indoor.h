@@ -1,0 +1,32 @@
+// Indoor FoI generator — a prototype of the paper's future-work item
+// ("we will consider the optimal marching problem in more complex
+// settings including indoor … cases", Sec. V).
+//
+// An indoor environment is modeled as a rectangular floor with interior
+// walls, each wall a thin rectangular hole with door gaps. This stresses
+// exactly the machinery the paper builds for holed FoIs: virtual-vertex
+// hole filling (one per wall), hole-landing snapping, and boundary-arc
+// trajectory detours.
+#pragma once
+
+#include "foi/foi.h"
+
+namespace anr {
+
+struct IndoorOptions {
+  int rooms_x = 3;          ///< rooms along x
+  int rooms_y = 2;          ///< rooms along y
+  double room_size = 220.0; ///< room edge length (meters)
+  double wall_thickness = 8.0;
+  double door_width = 60.0; ///< must exceed the robot lattice spacing
+  /// Clearance between wall ends and the outer boundary / wall crossings
+  /// (keeps holes disjoint and strictly interior).
+  double clearance = 30.0;
+};
+
+/// Builds the floor plan. Walls between adjacent rooms get a centered
+/// door gap; wall segments stop `clearance` short of the outer boundary
+/// and of each other at crossings.
+FieldOfInterest make_indoor_foi(const IndoorOptions& opt = {});
+
+}  // namespace anr

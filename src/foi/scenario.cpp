@@ -1,0 +1,172 @@
+#include "foi/scenario.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "foi/shapes.h"
+
+namespace anr {
+
+FieldOfInterest Scenario::m2_at(double separation_cr) const {
+  Vec2 c1 = m1.centroid();
+  Vec2 c2 = m2_shape.centroid();
+  Vec2 target = c1 + Vec2{separation_cr * comm_range, 0.0};
+  return m2_shape.translated(target - c2);
+}
+
+FieldOfInterest base_m1() {
+  // Fig. 2(a): a smooth, mildly concave blob with 144 robots; the paper
+  // reports 308,261 m^2. Mean radius is a placeholder — with_net_area
+  // rescales to the exact figure.
+  Polygon outer = make_blob({0.0, 0.0}, 320.0,
+                            {{2, 0.12, 0.4}, {3, 0.10, 1.9}, {5, 0.05, 0.7}});
+  return with_net_area(FieldOfInterest(std::move(outer)), 308261.0);
+}
+
+namespace {
+
+FieldOfInterest scenario1_m2() {
+  // Fig. 3(a): hole-free FoI of 289,745 m^2 with a boundary broadly
+  // similar to M1 (the paper notes the similarity).
+  Polygon outer = make_blob({0.0, 0.0}, 310.0,
+                            {{2, 0.10, 2.1}, {3, 0.08, 0.3}, {4, 0.06, 1.2}});
+  return with_net_area(FieldOfInterest(std::move(outer)), 289745.0);
+}
+
+FieldOfInterest scenario2_m2() {
+  // Fig. 3(b): hole-free 173,057 m^2 FoI whose boundary "differs a lot"
+  // from M1 — a slim, elongated shape.
+  Polygon outer = make_stretched_blob({0.0, 0.0}, 240.0, 1.9, 0.45,
+                                      {{2, 0.08, 0.9}, {3, 0.06, 2.2}});
+  return with_net_area(FieldOfInterest(std::move(outer)), 173057.0);
+}
+
+FieldOfInterest scenario3_m2() {
+  // Fig. 2(d) / Fig. 4: 239,987 m^2 with a concave, flower-shaped pond.
+  Polygon outer = make_blob({0.0, 0.0}, 310.0,
+                            {{2, 0.09, 1.1}, {3, 0.07, 2.6}});
+  Polygon pond = make_flower({20.0, -15.0}, 95.0, 5, 0.35);
+  return with_net_area(FieldOfInterest(std::move(outer), {std::move(pond)}),
+                       239987.0);
+}
+
+FieldOfInterest scenario4_m2() {
+  // Fig. 3(c): 233,342 m^2 with one big convex hole.
+  Polygon outer = make_blob({0.0, 0.0}, 320.0,
+                            {{2, 0.08, 0.2}, {4, 0.05, 1.5}});
+  Polygon hole = make_circle({-10.0, 20.0}, 130.0, 48);
+  return with_net_area(FieldOfInterest(std::move(outer), {std::move(hole)}),
+                       233342.0);
+}
+
+FieldOfInterest scenario5_m2() {
+  // Fig. 3(d): 253,578 m^2 with multiple small holes.
+  Polygon outer = make_blob({0.0, 0.0}, 310.0,
+                            {{2, 0.10, 1.7}, {3, 0.06, 0.5}});
+  std::vector<Polygon> holes;
+  holes.push_back(make_circle({-110.0, 70.0}, 52.0, 32));
+  holes.push_back(make_circle({120.0, 60.0}, 45.0, 32));
+  holes.push_back(make_circle({10.0, -120.0}, 58.0, 32));
+  return with_net_area(FieldOfInterest(std::move(outer), std::move(holes)),
+                       253578.0);
+}
+
+FieldOfInterest scenario6_m1() {
+  // Fig. 5(a) top: holed current FoI, 144 robots. Area unreported; we keep
+  // the same robot density as the base M1.
+  Polygon outer = make_blob({0.0, 0.0}, 330.0,
+                            {{2, 0.11, 2.8}, {3, 0.07, 1.0}});
+  Polygon hole = make_circle({30.0, 10.0}, 105.0, 40);
+  return with_net_area(FieldOfInterest(std::move(outer), {std::move(hole)}),
+                       300000.0);
+}
+
+FieldOfInterest scenario6_m2() {
+  Polygon outer = make_blob({0.0, 0.0}, 300.0,
+                            {{2, 0.13, 0.6}, {4, 0.06, 2.4}});
+  Polygon hole = make_flower({-25.0, 20.0}, 85.0, 4, 0.30);
+  return with_net_area(FieldOfInterest(std::move(outer), {std::move(hole)}),
+                       262000.0);
+}
+
+FieldOfInterest scenario7_m1() {
+  // Fig. 5(b) top: current FoI with two holes.
+  Polygon outer = make_blob({0.0, 0.0}, 330.0,
+                            {{2, 0.09, 1.3}, {5, 0.05, 0.2}});
+  std::vector<Polygon> holes;
+  holes.push_back(make_circle({-95.0, 55.0}, 70.0, 36));
+  holes.push_back(make_circle({105.0, -60.0}, 62.0, 36));
+  return with_net_area(FieldOfInterest(std::move(outer), std::move(holes)),
+                       295000.0);
+}
+
+FieldOfInterest scenario7_m2() {
+  Polygon outer = make_stretched_blob({0.0, 0.0}, 250.0, 1.6, 0.7,
+                                      {{2, 0.07, 2.0}, {3, 0.06, 0.8}});
+  Polygon hole = make_circle({40.0, -5.0}, 88.0, 40);
+  return with_net_area(FieldOfInterest(std::move(outer), {std::move(hole)}),
+                       248000.0);
+}
+
+}  // namespace
+
+Scenario scenario(int id) {
+  Scenario s;
+  s.id = id;
+  switch (id) {
+    case 1:
+      s.name = "scenario1";
+      s.description = "non-hole -> non-hole, similar boundary (Fig. 3a)";
+      s.m1 = base_m1();
+      s.m2_shape = scenario1_m2();
+      break;
+    case 2:
+      s.name = "scenario2";
+      s.description = "non-hole -> non-hole, dissimilar slim boundary (Fig. 3b)";
+      s.m1 = base_m1();
+      s.m2_shape = scenario2_m2();
+      break;
+    case 3:
+      s.name = "scenario3";
+      s.description = "non-hole -> concave flower-pond hole (Fig. 2d / Fig. 4)";
+      s.m1 = base_m1();
+      s.m2_shape = scenario3_m2();
+      break;
+    case 4:
+      s.name = "scenario4";
+      s.description = "non-hole -> big convex hole (Fig. 3c)";
+      s.m1 = base_m1();
+      s.m2_shape = scenario4_m2();
+      break;
+    case 5:
+      s.name = "scenario5";
+      s.description = "non-hole -> multiple small holes (Fig. 3d)";
+      s.m1 = base_m1();
+      s.m2_shape = scenario5_m2();
+      break;
+    case 6:
+      s.name = "scenario6";
+      s.description = "hole -> hole (Fig. 5a)";
+      s.m1 = scenario6_m1();
+      s.m2_shape = scenario6_m2();
+      break;
+    case 7:
+      s.name = "scenario7";
+      s.description = "hole -> hole, two holes to one (Fig. 5b)";
+      s.m1 = scenario7_m1();
+      s.m2_shape = scenario7_m2();
+      break;
+    default:
+      ANR_CHECK_MSG(false, "scenario id must be 1..7");
+  }
+  return s;
+}
+
+std::vector<Scenario> paper_scenarios() {
+  std::vector<Scenario> out;
+  out.reserve(7);
+  for (int id = 1; id <= 7; ++id) out.push_back(scenario(id));
+  return out;
+}
+
+}  // namespace anr

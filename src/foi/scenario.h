@@ -1,0 +1,40 @@
+// The paper's seven evaluation scenarios (Sec. IV).
+//
+// Every scenario marches 144 robots with communication range r_c = 80 m
+// from a current FoI M1 to a target FoI M2. The paper sweeps the
+// M1–M2 separation from 10x to 100x r_c; `m2_at()` realizes a given
+// separation by translating the M2 shape along +x.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "foi/foi.h"
+
+namespace anr {
+
+/// One marching scenario.
+struct Scenario {
+  int id = 0;
+  std::string name;
+  std::string description;
+  FieldOfInterest m1;
+  FieldOfInterest m2_shape;  ///< M2 geometry, centered near the origin
+  int num_robots = 144;
+  double comm_range = 80.0;  ///< r_c in meters
+
+  /// M2 translated so its centroid sits `separation_cr` communication
+  /// ranges along +x from M1's centroid.
+  FieldOfInterest m2_at(double separation_cr) const;
+};
+
+/// The base M1 of scenarios 1–5 (Fig. 2(a): ~308,261 m^2 blob).
+FieldOfInterest base_m1();
+
+/// Scenario by paper id (1..7).
+Scenario scenario(int id);
+
+/// All seven scenarios in order.
+std::vector<Scenario> paper_scenarios();
+
+}  // namespace anr

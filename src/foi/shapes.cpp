@@ -1,0 +1,67 @@
+#include "foi/shapes.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace anr {
+
+namespace {
+
+double modulation(double theta, const std::vector<BlobHarmonic>& harmonics) {
+  double m = 1.0;
+  for (const BlobHarmonic& h : harmonics) {
+    m += h.amp * std::cos(h.k * theta + h.phase);
+  }
+  return m;
+}
+
+}  // namespace
+
+Polygon make_blob(Vec2 center, double mean_radius,
+                  const std::vector<BlobHarmonic>& harmonics, int samples) {
+  ANR_CHECK(samples >= 8 && mean_radius > 0.0);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    double th = 2.0 * M_PI * i / samples;
+    double r = mean_radius * modulation(th, harmonics);
+    ANR_CHECK_MSG(r > 0.0, "blob harmonics produce negative radius");
+    pts.push_back(center + Vec2{r * std::cos(th), r * std::sin(th)});
+  }
+  Polygon p(std::move(pts));
+  p.make_ccw();
+  return p;
+}
+
+Polygon make_stretched_blob(Vec2 center, double mean_radius, double sx,
+                            double sy, const std::vector<BlobHarmonic>& harmonics,
+                            int samples) {
+  ANR_CHECK(sx > 0.0 && sy > 0.0);
+  Polygon blob = make_blob({0.0, 0.0}, mean_radius, harmonics, samples);
+  std::vector<Vec2> pts;
+  pts.reserve(blob.size());
+  for (Vec2 p : blob.points()) {
+    pts.push_back(center + Vec2{p.x * sx, p.y * sy});
+  }
+  Polygon out(std::move(pts));
+  out.make_ccw();
+  return out;
+}
+
+Polygon make_flower(Vec2 center, double r0, int petals, double petal_amp,
+                    int samples) {
+  return make_blob(center, r0, {{petals, petal_amp, 0.0}}, samples);
+}
+
+FieldOfInterest with_net_area(const FieldOfInterest& foi, double target_area) {
+  ANR_CHECK(target_area > 0.0);
+  double s = std::sqrt(target_area / foi.area());
+  Vec2 about = foi.outer().centroid();
+  std::vector<Polygon> holes;
+  holes.reserve(foi.holes().size());
+  for (const Polygon& h : foi.holes()) holes.push_back(h.scaled(s, about));
+  return FieldOfInterest(foi.outer().scaled(s, about), std::move(holes));
+}
+
+}  // namespace anr

@@ -1,0 +1,43 @@
+// Shape catalog: procedural FoI boundary and hole generators.
+//
+// The paper does not publish its FoI polygon coordinates, only each
+// region's area, hole structure, and a picture (Figs. 2–5). These
+// generators produce smooth blob/slim/flower shapes scaled to the exact
+// areas the paper reports; DESIGN.md Sec. 2 records the substitution.
+#pragma once
+
+#include <vector>
+
+#include "foi/foi.h"
+#include "geom/polygon.h"
+
+namespace anr {
+
+/// One Fourier harmonic of a radial blob: r(theta) *= 1 + amp*cos(k*theta + phase).
+struct BlobHarmonic {
+  int k;
+  double amp;
+  double phase;
+};
+
+/// Smooth closed "blob": circle of `mean_radius` modulated by harmonics.
+/// Keep |sum of amps| < 1 to stay simple (non-self-intersecting).
+Polygon make_blob(Vec2 center, double mean_radius,
+                  const std::vector<BlobHarmonic>& harmonics,
+                  int samples = 160);
+
+/// Elongated blob: blob stretched anisotropically (x by sx, y by sy).
+Polygon make_stretched_blob(Vec2 center, double mean_radius, double sx,
+                            double sy, const std::vector<BlobHarmonic>& harmonics,
+                            int samples = 160);
+
+/// Flower: r(theta) = r0 * (1 + petal_amp*cos(petals*theta)). Used for the
+/// paper's "flower-shaped pond" hole (Fig. 2(d)).
+Polygon make_flower(Vec2 center, double r0, int petals, double petal_amp,
+                    int samples = 120);
+
+/// Rescales outer + holes uniformly about the outer centroid until the net
+/// area (outer minus holes) equals `target_area`.
+FieldOfInterest with_net_area(const FieldOfInterest& foi, double target_area);
+
+}  // namespace anr

@@ -1,0 +1,32 @@
+#include "geom/barycentric.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "geom/predicates.h"
+
+namespace anr {
+
+std::array<double, 3> barycentric(Vec2 p, Vec2 a, Vec2 b, Vec2 c) {
+  double area = signed_area2(a, b, c);
+  ANR_CHECK_MSG(std::abs(area) > 1e-30, "barycentric on degenerate triangle");
+  double t1 = signed_area2(p, b, c) / area;
+  double t2 = signed_area2(a, p, c) / area;
+  double t3 = 1.0 - t1 - t2;
+  return {t1, t2, t3};
+}
+
+Vec2 barycentric_interpolate(Vec2 p, Vec2 a, Vec2 b, Vec2 c, Vec2 va, Vec2 vb,
+                             Vec2 vc) {
+  auto t = barycentric(p, a, b, c);
+  return va * t[0] + vb * t[1] + vc * t[2];
+}
+
+bool barycentric_inside(const std::array<double, 3>& t, double eps) {
+  for (double v : t) {
+    if (v < -eps || v > 1.0 + eps) return false;
+  }
+  return true;
+}
+
+}  // namespace anr

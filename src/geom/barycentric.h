@@ -1,0 +1,28 @@
+// Barycentric coordinates (paper Appendix A).
+//
+// The modified harmonic map interpolates a robot's target geographic
+// position from the three M2 grid points whose disk-domain triangle
+// contains the robot's (rotated) disk position — Eqn. (1) of the paper.
+#pragma once
+
+#include <array>
+
+#include "geom/vec2.h"
+
+namespace anr {
+
+/// Barycentric coordinates (t1, t2, t3) of p with respect to triangle
+/// (a, b, c): p = t1*a + t2*b + t3*c, t1 + t2 + t3 = 1.
+/// For p inside the triangle all three are in [0, 1].
+/// Requires a non-degenerate triangle.
+std::array<double, 3> barycentric(Vec2 p, Vec2 a, Vec2 b, Vec2 c);
+
+/// Interpolates values at the triangle corners by the barycentric
+/// coordinates of p: t1*va + t2*vb + t3*vc.
+Vec2 barycentric_interpolate(Vec2 p, Vec2 a, Vec2 b, Vec2 c, Vec2 va, Vec2 vb,
+                             Vec2 vc);
+
+/// True when all coordinates are within [-eps, 1+eps].
+bool barycentric_inside(const std::array<double, 3>& t, double eps = 1e-9);
+
+}  // namespace anr

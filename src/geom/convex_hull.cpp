@@ -1,0 +1,32 @@
+#include "geom/convex_hull.h"
+
+#include <algorithm>
+
+namespace anr {
+
+Polygon convex_hull(std::vector<Vec2> pts) {
+  std::sort(pts.begin(), pts.end(), [](Vec2 a, Vec2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const std::size_t n = pts.size();
+  if (n < 3) return Polygon(std::move(pts));
+
+  std::vector<Vec2> hull(2 * n);
+  std::size_t k = 0;
+  auto turns_right = [](Vec2 o, Vec2 a, Vec2 b) {
+    return (a - o).cross(b - o) <= 1e-12;
+  };
+  for (std::size_t i = 0; i < n; ++i) {  // lower chain
+    while (k >= 2 && turns_right(hull[k - 2], hull[k - 1], pts[i])) --k;
+    hull[k++] = pts[i];
+  }
+  for (std::size_t i = n - 1, t = k + 1; i-- > 0;) {  // upper chain
+    while (k >= t && turns_right(hull[k - 2], hull[k - 1], pts[i])) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);
+  return Polygon(std::move(hull));
+}
+
+}  // namespace anr

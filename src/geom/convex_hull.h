@@ -1,0 +1,19 @@
+// Convex hull (Andrew's monotone chain).
+//
+// Used by mesh-quality checks (hull area vs. mesh area), by the
+// direct-translation baseline for sanity reporting, and by tests as an
+// oracle for boundary extraction on convex point sets.
+#pragma once
+
+#include <vector>
+
+#include "geom/polygon.h"
+#include "geom/vec2.h"
+
+namespace anr {
+
+/// Convex hull of `pts` as a CCW polygon. Collinear points on hull edges
+/// are dropped. Fewer than 3 distinct points yields the points as-is.
+Polygon convex_hull(std::vector<Vec2> pts);
+
+}  // namespace anr

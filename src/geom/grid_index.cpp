@@ -1,0 +1,142 @@
+#include "geom/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+
+namespace anr {
+
+GridIndex::GridIndex(std::vector<Vec2> pts, double cell_size)
+    : pts_(std::move(pts)), cell_(cell_size) {
+  ANR_CHECK(cell_ > 0.0);
+  bool first = true;
+  for (std::size_t i = 0; i < pts_.size(); ++i) {
+    int cx = 0, cy = 0;
+    cell_of(pts_[i], cx, cy);
+    cells_[key(cx, cy)].push_back(static_cast<int>(i));
+    if (first) {
+      cx_lo_ = cx_hi_ = cx;
+      cy_lo_ = cy_hi_ = cy;
+      first = false;
+    } else {
+      cx_lo_ = std::min(cx_lo_, cx);
+      cx_hi_ = std::max(cx_hi_, cx);
+      cy_lo_ = std::min(cy_lo_, cy);
+      cy_hi_ = std::max(cy_hi_, cy);
+    }
+  }
+}
+
+GridIndex::CellKey GridIndex::key(int cx, int cy) const {
+  return (static_cast<std::int64_t>(cx) << 32) ^
+         (static_cast<std::int64_t>(cy) & 0xffffffffLL);
+}
+
+void GridIndex::cell_of(Vec2 p, int& cx, int& cy) const {
+  cx = static_cast<int>(std::floor(p.x / cell_));
+  cy = static_cast<int>(std::floor(p.y / cell_));
+}
+
+std::vector<int> GridIndex::query_radius(Vec2 q, double radius) const {
+  std::vector<int> out;
+  int cx0 = 0, cy0 = 0, cx1 = 0, cy1 = 0;
+  cell_of(q - Vec2{radius, radius}, cx0, cy0);
+  cell_of(q + Vec2{radius, radius}, cx1, cy1);
+  double r2 = radius * radius;
+  for (int cx = cx0; cx <= cx1; ++cx) {
+    for (int cy = cy0; cy <= cy1; ++cy) {
+      auto it = cells_.find(key(cx, cy));
+      if (it == cells_.end()) continue;
+      for (int i : it->second) {
+        if (distance2(pts_[static_cast<std::size_t>(i)], q) <= r2 + 1e-12) {
+          out.push_back(i);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+int GridIndex::nearest(Vec2 q) const {
+  if (pts_.empty()) return -1;
+
+  auto brute_force = [&] {
+    int best = 0;
+    for (std::size_t i = 1; i < pts_.size(); ++i) {
+      if (distance2(pts_[i], q) < distance2(pts_[static_cast<std::size_t>(best)], q)) {
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  };
+
+  int cx = 0, cy = 0;
+  cell_of(q, cx, cy);
+  // Queries far outside the data extent would walk huge empty rings; fall
+  // back to a linear scan there (such queries are rare and cheap enough).
+  int margin = 4;
+  if (cx < cx_lo_ - margin || cx > cx_hi_ + margin || cy < cy_lo_ - margin ||
+      cy > cy_hi_ + margin) {
+    return brute_force();
+  }
+
+  int best = -1;
+  double best_d2 = 1e300;
+  auto scan_cell = [&](int x, int y) {
+    auto it = cells_.find(key(x, y));
+    if (it == cells_.end()) return;
+    for (int i : it->second) {
+      double d2 = distance2(pts_[static_cast<std::size_t>(i)], q);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = i;
+      }
+    }
+  };
+
+  int max_ring = std::max(cx_hi_ - cx_lo_, cy_hi_ - cy_lo_) + margin + 1;
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    if (ring == 0) {
+      scan_cell(cx, cy);
+    } else {
+      for (int dx = -ring; dx <= ring; ++dx) {  // top and bottom rows
+        scan_cell(cx + dx, cy - ring);
+        scan_cell(cx + dx, cy + ring);
+      }
+      for (int dy = -ring + 1; dy <= ring - 1; ++dy) {  // side columns
+        scan_cell(cx - ring, cy + dy);
+        scan_cell(cx + ring, cy + dy);
+      }
+    }
+    // Once a candidate exists, stop when the next ring cannot be closer:
+    // every cell of ring r is at least (r-1)*cell_ away from q.
+    if (best >= 0 && best_d2 <= static_cast<double>(ring) * cell_ *
+                                    static_cast<double>(ring) * cell_) {
+      break;
+    }
+  }
+  return best >= 0 ? best : brute_force();
+}
+
+std::vector<int> GridIndex::k_nearest(Vec2 q, int k) const {
+  k = std::min<int>(k, static_cast<int>(pts_.size()));
+  if (k <= 0) return {};
+  // Simple approach: expand a radius until we have >= k hits, then sort.
+  double r = cell_;
+  std::vector<int> hits;
+  while (static_cast<int>(hits.size()) < k) {
+    hits = query_radius(q, r);
+    r *= 2.0;
+    ANR_CHECK_MSG(r < 1e12, "k_nearest(): runaway radius expansion");
+  }
+  std::sort(hits.begin(), hits.end(), [&](int a, int b) {
+    return distance2(pts_[static_cast<std::size_t>(a)], q) <
+           distance2(pts_[static_cast<std::size_t>(b)], q);
+  });
+  hits.resize(static_cast<std::size_t>(k));
+  return hits;
+}
+
+}  // namespace anr

@@ -1,0 +1,49 @@
+// Uniform spatial hash grid over points.
+//
+// Workhorse for neighbor queries: unit-disk graph construction
+// (all pairs within r_c), nearest-grid-point snapping when a robot maps
+// into a hole, and point location acceleration in the disk domain.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/polygon.h"
+#include "geom/vec2.h"
+
+namespace anr {
+
+/// Spatial index over a fixed point set. Cell size should be on the order
+/// of the typical query radius.
+class GridIndex {
+ public:
+  /// Builds the index over `pts` with the given cell size (> 0).
+  GridIndex(std::vector<Vec2> pts, double cell_size);
+
+  /// Indices of all points within `radius` of q (inclusive).
+  std::vector<int> query_radius(Vec2 q, double radius) const;
+
+  /// Index of the point nearest to q; -1 when the index is empty.
+  int nearest(Vec2 q) const;
+
+  /// Indices of the k points nearest to q (k clamped to size()), sorted by
+  /// increasing distance.
+  std::vector<int> k_nearest(Vec2 q, int k) const;
+
+  const std::vector<Vec2>& points() const { return pts_; }
+  std::size_t size() const { return pts_.size(); }
+
+ private:
+  using CellKey = std::int64_t;
+  CellKey key(int cx, int cy) const;
+  void cell_of(Vec2 p, int& cx, int& cy) const;
+
+  std::vector<Vec2> pts_;
+  double cell_;
+  std::unordered_map<CellKey, std::vector<int>> cells_;
+  // Cell-space bounding box of the data (valid when pts_ nonempty).
+  int cx_lo_ = 0, cx_hi_ = 0, cy_lo_ = 0, cy_hi_ = 0;
+};
+
+}  // namespace anr

@@ -1,0 +1,45 @@
+#include "geom/polygon_clip.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace anr {
+
+HalfPlane bisector_half_plane(Vec2 site, Vec2 other) {
+  ANR_CHECK_MSG(distance2(site, other) > 0.0, "bisector of coincident points");
+  return HalfPlane{(site + other) * 0.5, (other - site).normalized()};
+}
+
+Polygon clip(const Polygon& poly, const HalfPlane& hp) {
+  const auto& pts = poly.points();
+  std::vector<Vec2> out;
+  const std::size_t n = pts.size();
+  if (n == 0) return Polygon{};
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec2 cur = pts[i];
+    Vec2 nxt = pts[(i + 1) % n];
+    bool cur_in = hp.keeps(cur);
+    bool nxt_in = hp.keeps(nxt);
+    if (cur_in) out.push_back(cur);
+    if (cur_in != nxt_in) {
+      // Edge crosses the half-plane boundary; insert the crossing point.
+      double dc = (cur - hp.point).dot(hp.normal);
+      double dn = (nxt - hp.point).dot(hp.normal);
+      double t = dc / (dc - dn);
+      out.push_back(lerp(cur, nxt, t));
+    }
+  }
+  return Polygon(std::move(out));
+}
+
+Polygon clip(const Polygon& poly, const std::vector<HalfPlane>& hps) {
+  Polygon result = poly;
+  for (const HalfPlane& hp : hps) {
+    if (result.size() < 3) break;
+    result = clip(result, hp);
+  }
+  return result;
+}
+
+}  // namespace anr

@@ -1,0 +1,34 @@
+// Half-plane clipping of polygons (Sutherland–Hodgman style).
+//
+// The exact Voronoi-cell construction clips the FoI outer polygon by the
+// perpendicular-bisector half-planes of neighboring sites. Clipping a
+// concave subject polygon against a single half-plane can in principle
+// produce multiple components joined by degenerate edges; for area and
+// centroid computation (all we need) the Sutherland–Hodgman output is
+// still correct.
+#pragma once
+
+#include "geom/polygon.h"
+
+namespace anr {
+
+/// Oriented half-plane: the set of points p with (p - point).dot(normal) <= 0,
+/// i.e. `normal` points *out* of the kept region.
+struct HalfPlane {
+  Vec2 point;
+  Vec2 normal;
+
+  bool keeps(Vec2 p) const { return (p - point).dot(normal) <= 1e-12; }
+};
+
+/// Perpendicular-bisector half-plane keeping points closer to `site` than
+/// to `other`.
+HalfPlane bisector_half_plane(Vec2 site, Vec2 other);
+
+/// Clips `poly` against `hp`, returning the kept part (possibly empty).
+Polygon clip(const Polygon& poly, const HalfPlane& hp);
+
+/// Clips `poly` against every half-plane in turn.
+Polygon clip(const Polygon& poly, const std::vector<HalfPlane>& hps);
+
+}  // namespace anr

@@ -1,0 +1,67 @@
+#include "geom/predicates.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace anr {
+
+namespace {
+// Relative epsilon for the orientation test: scaled by the magnitude of the
+// inputs so the predicate behaves the same at meter scale and at unit-disk
+// scale.
+constexpr double kOrientEps = 1e-12;
+}  // namespace
+
+double signed_area2(Vec2 a, Vec2 b, Vec2 c) {
+  return (b - a).cross(c - a);
+}
+
+int orientation(Vec2 a, Vec2 b, Vec2 c) {
+  double det = signed_area2(a, b, c);
+  double scale = std::max({std::abs(a.x), std::abs(a.y), std::abs(b.x),
+                           std::abs(b.y), std::abs(c.x), std::abs(c.y), 1.0});
+  double eps = kOrientEps * scale * scale;
+  if (det > eps) return 1;
+  if (det < -eps) return -1;
+  return 0;
+}
+
+bool in_circumcircle(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  // Standard 3x3 determinant lifted onto the paraboloid, relative to d.
+  Vec2 ad = a - d, bd = b - d, cd = c - d;
+  double ad2 = ad.norm2(), bd2 = bd.norm2(), cd2 = cd.norm2();
+  double det = ad.x * (bd.y * cd2 - cd.y * bd2) -
+               ad.y * (bd.x * cd2 - cd.x * bd2) +
+               ad2 * (bd.x * cd.y - cd.x * bd.y);
+  // det > 0 iff d strictly inside circumcircle of CCW (a,b,c). Use a
+  // magnitude-relative guard so near-cocircular reads as "outside".
+  double scale = std::max({ad2, bd2, cd2, 1.0});
+  return det > 1e-10 * scale * scale;
+}
+
+bool point_in_triangle(Vec2 p, Vec2 a, Vec2 b, Vec2 c) {
+  int o1 = orientation(a, b, p);
+  int o2 = orientation(b, c, p);
+  int o3 = orientation(c, a, p);
+  bool has_pos = o1 > 0 || o2 > 0 || o3 > 0;
+  bool has_neg = o1 < 0 || o2 < 0 || o3 < 0;
+  return !(has_pos && has_neg);
+}
+
+Vec2 circumcenter(Vec2 a, Vec2 b, Vec2 c) {
+  Vec2 ab = b - a, ac = c - a;
+  double d = 2.0 * ab.cross(ac);
+  ANR_CHECK_MSG(std::abs(d) > 1e-30,
+                "degenerate triangle has no circumcenter: (" +
+                    std::to_string(a.x) + "," + std::to_string(a.y) + ") (" +
+                    std::to_string(b.x) + "," + std::to_string(b.y) + ") (" +
+                    std::to_string(c.x) + "," + std::to_string(c.y) + ")");
+  double ab2 = ab.norm2(), ac2 = ac.norm2();
+  double ux = (ac.y * ab2 - ab.y * ac2) / d;
+  double uy = (ab.x * ac2 - ac.x * ab2) / d;
+  return a + Vec2{ux, uy};
+}
+
+}  // namespace anr

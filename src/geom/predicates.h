@@ -1,0 +1,32 @@
+// Geometric predicates: orientation, in-circle, point-in-triangle.
+//
+// These are epsilon-guarded double-precision predicates, not exact
+// arithmetic. The library jitters degenerate inputs (e.g. cocircular
+// lattice points before Delaunay) instead of carrying an exact-predicate
+// dependency; tests exercise the degenerate cases we care about.
+#pragma once
+
+#include "geom/vec2.h"
+
+namespace anr {
+
+/// Sign of the signed area of triangle (a, b, c):
+/// +1 counter-clockwise, -1 clockwise, 0 (near-)collinear.
+int orientation(Vec2 a, Vec2 b, Vec2 c);
+
+/// Twice the signed area of triangle (a, b, c). Positive when CCW.
+double signed_area2(Vec2 a, Vec2 b, Vec2 c);
+
+/// True when point d lies strictly inside the circumcircle of CCW triangle
+/// (a, b, c). Near-cocircular points count as outside (keeps Bowyer–Watson
+/// terminating).
+bool in_circumcircle(Vec2 a, Vec2 b, Vec2 c, Vec2 d);
+
+/// True when p is inside or on the boundary of triangle (a, b, c),
+/// any orientation.
+bool point_in_triangle(Vec2 p, Vec2 a, Vec2 b, Vec2 c);
+
+/// Circumcenter of triangle (a, b, c). Requires a non-degenerate triangle.
+Vec2 circumcenter(Vec2 a, Vec2 b, Vec2 c);
+
+}  // namespace anr

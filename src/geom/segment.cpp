@@ -1,0 +1,66 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/predicates.h"
+
+namespace anr {
+
+namespace {
+
+bool on_segment_collinear(Vec2 p, const Segment& s) {
+  return p.x <= std::max(s.a.x, s.b.x) + 1e-12 &&
+         p.x >= std::min(s.a.x, s.b.x) - 1e-12 &&
+         p.y <= std::max(s.a.y, s.b.y) + 1e-12 &&
+         p.y >= std::min(s.a.y, s.b.y) - 1e-12;
+}
+
+}  // namespace
+
+bool segments_intersect(const Segment& s, const Segment& t) {
+  int o1 = orientation(s.a, s.b, t.a);
+  int o2 = orientation(s.a, s.b, t.b);
+  int o3 = orientation(t.a, t.b, s.a);
+  int o4 = orientation(t.a, t.b, s.b);
+
+  if (o1 != o2 && o3 != o4) return true;
+
+  if (o1 == 0 && on_segment_collinear(t.a, s)) return true;
+  if (o2 == 0 && on_segment_collinear(t.b, s)) return true;
+  if (o3 == 0 && on_segment_collinear(s.a, t)) return true;
+  if (o4 == 0 && on_segment_collinear(s.b, t)) return true;
+  return false;
+}
+
+std::optional<Vec2> segment_intersection(const Segment& s, const Segment& t) {
+  Vec2 r = s.b - s.a;
+  Vec2 q = t.b - t.a;
+  double denom = r.cross(q);
+  if (std::abs(denom) < 1e-18) return std::nullopt;  // parallel / collinear
+  Vec2 d = t.a - s.a;
+  double u = d.cross(q) / denom;
+  double v = d.cross(r) / denom;
+  const double eps = 1e-12;
+  if (u < -eps || u > 1.0 + eps || v < -eps || v > 1.0 + eps) {
+    return std::nullopt;
+  }
+  return s.a + r * std::clamp(u, 0.0, 1.0);
+}
+
+double closest_point_param(const Segment& s, Vec2 p) {
+  Vec2 d = s.b - s.a;
+  double len2 = d.norm2();
+  if (len2 <= 0.0) return 0.0;
+  return std::clamp((p - s.a).dot(d) / len2, 0.0, 1.0);
+}
+
+Vec2 closest_point(const Segment& s, Vec2 p) {
+  return lerp(s.a, s.b, closest_point_param(s, p));
+}
+
+double point_segment_distance(Vec2 p, const Segment& s) {
+  return distance(p, closest_point(s, p));
+}
+
+}  // namespace anr

@@ -1,0 +1,42 @@
+// Line segments: intersection tests, closest points, projections.
+//
+// Used by trajectory planning (does a straight-line robot path cross a hole
+// boundary?) and by the Voronoi half-plane clipper.
+#pragma once
+
+#include <optional>
+
+#include "geom/vec2.h"
+
+namespace anr {
+
+/// Closed segment from a to b.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  double length() const { return distance(a, b); }
+  Vec2 midpoint() const { return (a + b) * 0.5; }
+  Vec2 direction() const { return (b - a).normalized(); }
+};
+
+/// True when segments s and t intersect (including touching endpoints and
+/// collinear overlap).
+bool segments_intersect(const Segment& s, const Segment& t);
+
+/// Proper intersection point of s and t when they cross at a single point;
+/// nullopt for disjoint, touching-only-at-shared-endpoint tolerance is
+/// *included* (an endpoint touch returns that point), collinear overlaps
+/// return nullopt (no unique point).
+std::optional<Vec2> segment_intersection(const Segment& s, const Segment& t);
+
+/// Parameter t in [0,1] of the point on segment s closest to p.
+double closest_point_param(const Segment& s, Vec2 p);
+
+/// Point on segment s closest to p.
+Vec2 closest_point(const Segment& s, Vec2 p);
+
+/// Distance from p to segment s.
+double point_segment_distance(Vec2 p, const Segment& s);
+
+}  // namespace anr

@@ -1,0 +1,11 @@
+#include "geom/vec2.h"
+
+#include <ostream>
+
+namespace anr {
+
+std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+
+}  // namespace anr

@@ -1,0 +1,86 @@
+// 2D vector / point type used throughout libanr.
+//
+// Robots live on a planar FoI (the paper's "general 2D surface" is treated
+// planar in its own evaluation); all geometry is double precision.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace anr {
+
+/// 2D point / vector with the usual arithmetic. Value type, trivially
+/// copyable; coordinates are meters in world space or unitless in the
+/// harmonic disk domain.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec2&) const = default;
+
+  /// Dot product.
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+
+  /// 2D cross product (z component of the 3D cross).
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+
+  double norm() const { return std::hypot(x, y); }
+  constexpr double norm2() const { return x * x + y * y; }
+
+  /// Unit vector; returns (0,0) for the zero vector.
+  Vec2 normalized() const {
+    double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// Counter-clockwise rotation by `angle` radians about the origin.
+  Vec2 rotated(double angle) const {
+    double c = std::cos(angle), s = std::sin(angle);
+    return {c * x - s * y, s * x + c * y};
+  }
+
+  /// Perpendicular (rotated +90 degrees).
+  constexpr Vec2 perp() const { return {-y, x}; }
+
+  /// atan2 angle of the vector in (-pi, pi].
+  double angle() const { return std::atan2(y, x); }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline constexpr double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+/// Linear interpolation: a at t=0, b at t=1.
+inline constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) {
+  return a * (1.0 - t) + b * t;
+}
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+
+}  // namespace anr

@@ -1,0 +1,111 @@
+#include "harmonic/composition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geom/barycentric.h"
+#include "geom/predicates.h"
+
+namespace anr {
+
+OverlapInterpolator::OverlapInterpolator(const HoleFillResult& filled,
+                                         const DiskMap& disk)
+    : mesh_(filled.mesh),
+      tri_virtual_(filled.triangle_is_virtual),
+      disk_pos_(disk.disk_pos) {
+  ANR_CHECK(disk_pos_.size() == mesh_.num_vertices());
+  ANR_CHECK(tri_virtual_.size() == mesh_.num_triangles());
+
+  vertex_virtual_.assign(mesh_.num_vertices(), 0);
+  for (VertexId vv : filled.virtual_vertices) {
+    vertex_virtual_[static_cast<std::size_t>(vv)] = 1;
+  }
+
+  // Bucket triangles over the unit-disk square [-1,1]^2. Cell size chosen
+  // so each bucket holds a handful of triangles.
+  grid_dim_ = std::max(
+      8, static_cast<int>(std::sqrt(static_cast<double>(mesh_.num_triangles()))));
+  cell_ = 2.0 / grid_dim_;
+  buckets_.assign(static_cast<std::size_t>(grid_dim_ * grid_dim_), {});
+  auto cell_index = [&](double coord) {
+    int c = static_cast<int>((coord + 1.0) / cell_);
+    return std::clamp(c, 0, grid_dim_ - 1);
+  };
+  const auto& tris = mesh_.triangles();
+  for (std::size_t ti = 0; ti < tris.size(); ++ti) {
+    Vec2 a = disk_pos_[static_cast<std::size_t>(tris[ti][0])];
+    Vec2 b = disk_pos_[static_cast<std::size_t>(tris[ti][1])];
+    Vec2 c = disk_pos_[static_cast<std::size_t>(tris[ti][2])];
+    int x0 = cell_index(std::min({a.x, b.x, c.x}));
+    int x1 = cell_index(std::max({a.x, b.x, c.x}));
+    int y0 = cell_index(std::min({a.y, b.y, c.y}));
+    int y1 = cell_index(std::max({a.y, b.y, c.y}));
+    for (int x = x0; x <= x1; ++x) {
+      for (int y = y0; y <= y1; ++y) {
+        buckets_[static_cast<std::size_t>(y * grid_dim_ + x)].tris.push_back(
+            static_cast<int>(ti));
+      }
+    }
+  }
+
+  // Nearest-real-vertex fallback index in disk space.
+  std::vector<Vec2> real_pos;
+  for (std::size_t v = 0; v < mesh_.num_vertices(); ++v) {
+    if (vertex_virtual_[v]) continue;
+    real_pos.push_back(disk_pos_[v]);
+    real_vertex_ids_.push_back(static_cast<int>(v));
+  }
+  ANR_CHECK(!real_pos.empty());
+  real_vertex_index_ = std::make_unique<GridIndex>(std::move(real_pos), cell_);
+}
+
+const OverlapInterpolator::Bucket& OverlapInterpolator::bucket_at(Vec2 p) const {
+  int x = std::clamp(static_cast<int>((p.x + 1.0) / cell_), 0, grid_dim_ - 1);
+  int y = std::clamp(static_cast<int>((p.y + 1.0) / cell_), 0, grid_dim_ - 1);
+  return buckets_[static_cast<std::size_t>(y * grid_dim_ + x)];
+}
+
+int OverlapInterpolator::locate_triangle(Vec2 p) const {
+  const auto& tris = mesh_.triangles();
+  for (int ti : bucket_at(p).tris) {
+    const Tri& t = tris[static_cast<std::size_t>(ti)];
+    if (point_in_triangle(p, disk_pos_[static_cast<std::size_t>(t[0])],
+                          disk_pos_[static_cast<std::size_t>(t[1])],
+                          disk_pos_[static_cast<std::size_t>(t[2])])) {
+      return ti;
+    }
+  }
+  return -1;
+}
+
+MappedTarget OverlapInterpolator::map_point(Vec2 disk_pt) const {
+  int ti = locate_triangle(disk_pt);
+  if (ti >= 0 && !tri_virtual_[static_cast<std::size_t>(ti)]) {
+    const Tri& t = mesh_.triangles()[static_cast<std::size_t>(ti)];
+    Vec2 a = disk_pos_[static_cast<std::size_t>(t[0])];
+    Vec2 b = disk_pos_[static_cast<std::size_t>(t[1])];
+    Vec2 c = disk_pos_[static_cast<std::size_t>(t[2])];
+    Vec2 world = barycentric_interpolate(disk_pt, a, b, c, mesh_.position(t[0]),
+                                         mesh_.position(t[1]), mesh_.position(t[2]));
+    return MappedTarget{world, false};
+  }
+  // In a filled hole or (numerically) outside the disk image: nearest real
+  // grid point (paper Sec. III-D-3).
+  int idx = real_vertex_index_->nearest(disk_pt);
+  ANR_CHECK(idx >= 0);
+  VertexId v = real_vertex_ids_[static_cast<std::size_t>(idx)];
+  return MappedTarget{mesh_.position(v), true};
+}
+
+std::vector<MappedTarget> OverlapInterpolator::map_all(
+    const std::vector<Vec2>& robot_disk, double theta) const {
+  std::vector<MappedTarget> out;
+  out.reserve(robot_disk.size());
+  for (Vec2 z : robot_disk) {
+    out.push_back(map_point(z.rotated(theta)));
+  }
+  return out;
+}
+
+}  // namespace anr

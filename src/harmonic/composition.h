@@ -1,0 +1,65 @@
+// Disk-overlap composition (paper Sec. III-B, Eqn. (1)).
+//
+// With the robot triangulation T and the target FoI M2 both harmonic-
+// mapped to unit disks, overlaying the disks (after rotating one by theta)
+// induces a map T -> M2: a robot's disk position lands in some triangle of
+// M2's disk image; barycentric interpolation of that triangle's geographic
+// corners gives the robot's target position in M2.
+//
+// Robots landing in a *virtual* triangle (a filled hole) or just outside
+// the M2 disk image snap to the nearest real grid point, as the paper
+// prescribes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "foi/foi_mesher.h"
+#include "harmonic/disk_map.h"
+#include "mesh/hole_fill.h"
+#include "mesh/triangle_mesh.h"
+
+namespace anr {
+
+/// One mapped target.
+struct MappedTarget {
+  Vec2 world;          ///< geographic coordinates in M2
+  bool snapped = false;  ///< true when hole/outside fallback was used
+};
+
+/// Point-location + interpolation structure over M2's disk image.
+class OverlapInterpolator {
+ public:
+  /// `filled` is M2's hole-filled mesh (world positions), `disk` its
+  /// harmonic map. Virtual triangles are excluded from interpolation.
+  OverlapInterpolator(const HoleFillResult& filled, const DiskMap& disk);
+
+  /// Maps a disk point (already rotated into M2's disk frame).
+  MappedTarget map_point(Vec2 disk_pt) const;
+
+  /// Maps a batch of robot disk positions rotated by `theta`.
+  std::vector<MappedTarget> map_all(const std::vector<Vec2>& robot_disk,
+                                    double theta) const;
+
+ private:
+  int locate_triangle(Vec2 p) const;
+
+  TriangleMesh mesh_;                 // filled M2 mesh (world coords), owned
+  std::vector<char> tri_virtual_;
+  std::vector<Vec2> disk_pos_;
+  std::vector<char> vertex_virtual_;
+
+  // Acceleration: uniform grid over disk-space triangle bounding boxes.
+  struct Bucket {
+    std::vector<int> tris;
+  };
+  int grid_dim_ = 0;
+  double cell_ = 0.0;
+  std::vector<Bucket> buckets_;
+  std::unique_ptr<GridIndex> real_vertex_index_;  // disk positions of real verts
+  std::vector<int> real_vertex_ids_;              // index -> mesh vertex id
+
+  const Bucket& bucket_at(Vec2 p) const;
+};
+
+}  // namespace anr

@@ -1,0 +1,161 @@
+#include "harmonic/disk_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geom/predicates.h"
+#include "mesh/boundary.h"
+
+namespace anr {
+
+namespace {
+
+// Mean-value weight for directed edge i->j given the two triangles
+// flanking it. w_ij = (tan(a/2) + tan(b/2)) / |ij| where a, b are the
+// angles at vertex i in those triangles, adjacent to edge ij.
+double mean_value_weight(const TriangleMesh& mesh, VertexId i, VertexId j) {
+  Vec2 pi = mesh.position(i), pj = mesh.position(j);
+  double r = distance(pi, pj);
+  ANR_CHECK(r > 0.0);
+  double w = 0.0;
+  for (int ti : mesh.vertex_triangles(i)) {
+    const Tri& t = mesh.triangles()[static_cast<std::size_t>(ti)];
+    // Find the third vertex of a triangle containing both i and j.
+    bool has_j = t[0] == j || t[1] == j || t[2] == j;
+    if (!has_j) continue;
+    VertexId k = -1;
+    for (VertexId v : t) {
+      if (v != i && v != j) k = v;
+    }
+    Vec2 pk = mesh.position(k);
+    Vec2 u = (pj - pi).normalized();
+    Vec2 v2 = (pk - pi).normalized();
+    double ang = std::acos(std::clamp(u.dot(v2), -1.0, 1.0));
+    w += std::tan(ang / 2.0);
+  }
+  return w / r;
+}
+
+}  // namespace
+
+double DiskMap::embedding_quality(const TriangleMesh& mesh) const {
+  if (mesh.num_triangles() == 0) return 1.0;
+  std::size_t good = 0;
+  for (const Tri& t : mesh.triangles()) {
+    double a = signed_area2(disk_pos[static_cast<std::size_t>(t[0])],
+                            disk_pos[static_cast<std::size_t>(t[1])],
+                            disk_pos[static_cast<std::size_t>(t[2])]);
+    if (a > 0.0) ++good;
+  }
+  return static_cast<double>(good) / static_cast<double>(mesh.num_triangles());
+}
+
+DiskMap harmonic_disk_map(const TriangleMesh& mesh, const DiskMapOptions& opt) {
+  const std::size_t n = mesh.num_vertices();
+  ANR_CHECK_MSG(mesh.vertex_manifold(), "harmonic map needs a manifold mesh");
+  auto loops = boundary_loops(mesh);
+  ANR_CHECK_MSG(loops.size() == 1,
+                "harmonic map needs disk topology (fill holes first)");
+  for (std::size_t v = 0; v < n; ++v) {
+    ANR_CHECK_MSG(!mesh.vertex_triangles(static_cast<VertexId>(v)).empty(),
+                  "harmonic map: unreferenced vertex (compact the mesh)");
+  }
+
+  const auto& loop = loops[0].vertices;
+  DiskMap out;
+  out.disk_pos.assign(n, Vec2{0.0, 0.0});
+  out.on_boundary.assign(n, 0);
+
+  // Pin boundary to the circle. Orientation: walk the loop in whichever
+  // order boundary_loops returned; the map is equivariant under circle
+  // reflection, and the rotation search absorbs the phase. For consistency
+  // across runs, start angles at the smallest-id loop vertex and orient so
+  // the loop is CCW in the disk.
+  std::vector<VertexId> walk = loop;
+  {
+    // Orient the loop CCW in source coordinates so the disk map preserves
+    // triangle orientation.
+    double area2 = 0.0;
+    for (std::size_t i = 0; i < walk.size(); ++i) {
+      area2 += mesh.position(walk[i]).cross(
+          mesh.position(walk[(i + 1) % walk.size()]));
+    }
+    if (area2 < 0.0) std::reverse(walk.begin(), walk.end());
+  }
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < walk.size(); ++i) {
+    if (walk[i] < walk[start]) start = i;
+  }
+  std::vector<VertexId> ordered;
+  ordered.reserve(walk.size());
+  for (std::size_t i = 0; i < walk.size(); ++i) {
+    ordered.push_back(walk[(start + i) % walk.size()]);
+  }
+
+  const std::size_t b = ordered.size();
+  double total_len = 0.0;
+  std::vector<double> cumulative(b, 0.0);
+  for (std::size_t i = 0; i < b; ++i) {
+    cumulative[i] = total_len;
+    total_len += distance(mesh.position(ordered[i]),
+                          mesh.position(ordered[(i + 1) % b]));
+  }
+  for (std::size_t i = 0; i < b; ++i) {
+    double frac = opt.spacing == BoundarySpacing::kUniformHops
+                      ? static_cast<double>(i) / static_cast<double>(b)
+                      : cumulative[i] / total_len;
+    double ang = 2.0 * M_PI * frac;
+    out.disk_pos[static_cast<std::size_t>(ordered[i])] =
+        Vec2{std::cos(ang), std::sin(ang)};
+    out.on_boundary[static_cast<std::size_t>(ordered[i])] = 1;
+  }
+
+  // Precompute neighbor weights.
+  std::vector<std::vector<std::pair<VertexId, double>>> wnbr(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (out.on_boundary[v]) continue;
+    for (VertexId u : mesh.neighbors(static_cast<VertexId>(v))) {
+      double w;
+      if (opt.custom_weight) {
+        w = opt.custom_weight(mesh, static_cast<VertexId>(v), u);
+        ANR_CHECK_MSG(w > 0.0, "custom harmonic weight must be positive");
+      } else {
+        w = opt.weights == HarmonicWeights::kUniform
+                ? 1.0
+                : mean_value_weight(mesh, static_cast<VertexId>(v), u);
+      }
+      wnbr[v].emplace_back(u, w);
+    }
+  }
+
+  // Gauss–Seidel with over-relaxation.
+  bool converged = false;
+  int sweep = 0;
+  for (; sweep < opt.max_sweeps; ++sweep) {
+    double max_move = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (out.on_boundary[v]) continue;
+      Vec2 acc{};
+      double wsum = 0.0;
+      for (const auto& [u, w] : wnbr[v]) {
+        acc += out.disk_pos[static_cast<std::size_t>(u)] * w;
+        wsum += w;
+      }
+      ANR_CHECK(wsum > 0.0);
+      Vec2 target = acc / wsum;
+      Vec2 updated = out.disk_pos[v] + (target - out.disk_pos[v]) * opt.over_relax;
+      max_move = std::max(max_move, distance(updated, out.disk_pos[v]));
+      out.disk_pos[v] = updated;
+    }
+    if (max_move <= opt.tol) {
+      converged = true;
+      break;
+    }
+  }
+  out.sweeps = sweep;
+  out.converged = converged;
+  return out;
+}
+
+}  // namespace anr

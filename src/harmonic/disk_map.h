@@ -1,0 +1,67 @@
+// Discrete harmonic map of a disk-topology triangle mesh to the unit disk
+// (paper Sec. III-B).
+//
+// Boundary vertices are pinned to the unit circle — by hop count (the
+// paper's distributed scheme: uniform angular spacing in boundary-walk
+// order) or by chord length (ablation option). Interior vertices relax to
+// the weighted average of their neighbors. With convex boundary and
+// positive weights this is Tutte/Floater: the result is a guaranteed
+// embedding (Kneser / Choquet for the smooth case the paper cites).
+//
+// This is the centralized solver (Gauss–Seidel with over-relaxation); the
+// message-passing equivalent lives in distributed_disk_map and is verified
+// against this one in tests.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mesh/triangle_mesh.h"
+
+namespace anr {
+
+/// Interior weighting scheme.
+enum class HarmonicWeights {
+  kUniform,    ///< plain neighbor average — the paper's scheme
+  kMeanValue,  ///< Floater mean-value coordinates (shape-aware ablation)
+};
+
+/// Boundary parametrization scheme.
+enum class BoundarySpacing {
+  kUniformHops,  ///< equal angles per boundary hop — the paper's scheme
+  kChordLength,  ///< angles proportional to boundary edge lengths
+};
+
+struct DiskMapOptions {
+  HarmonicWeights weights = HarmonicWeights::kUniform;
+  BoundarySpacing spacing = BoundarySpacing::kUniformHops;
+  double tol = 1e-10;        ///< max vertex move per sweep to declare converged
+  int max_sweeps = 200000;
+  double over_relax = 1.7;   ///< SOR factor in (0, 2)
+
+  /// When set, overrides `weights`: returns the positive weight of the
+  /// directed edge (v, u). Used by the terrain layer to feed 3D
+  /// (surface-metric) weights into the same solver.
+  std::function<double(const TriangleMesh&, VertexId, VertexId)> custom_weight;
+};
+
+struct DiskMap {
+  /// Disk position per mesh vertex (boundary on the unit circle).
+  std::vector<Vec2> disk_pos;
+  /// Per vertex: lies on the (single) boundary loop.
+  std::vector<char> on_boundary;
+  int sweeps = 0;
+  bool converged = false;
+
+  /// Fraction of triangles that kept positive orientation in the disk —
+  /// 1.0 for a valid embedding.
+  double embedding_quality(const TriangleMesh& mesh) const;
+};
+
+/// Computes the harmonic map. `mesh` must be vertex-manifold with exactly
+/// one boundary loop (fill holes first) and every vertex referenced by a
+/// triangle.
+DiskMap harmonic_disk_map(const TriangleMesh& mesh,
+                          const DiskMapOptions& opt = {});
+
+}  // namespace anr

@@ -1,0 +1,67 @@
+#include "harmonic/distributed_disk_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "mesh/boundary.h"
+#include "net/protocols/boundary_walk.h"
+#include "net/protocols/relax.h"
+
+namespace anr {
+
+DistributedDiskMap distributed_harmonic_disk_map(const TriangleMesh& mesh,
+                                                 double tol,
+                                                 std::size_t max_rounds) {
+  const std::size_t n = mesh.num_vertices();
+  ANR_CHECK_MSG(boundary_loops(mesh).size() == 1,
+                "distributed disk map needs disk topology");
+
+  auto walk = net::run_boundary_walk(mesh);
+
+  DistributedDiskMap out;
+  out.boundary_messages = walk.messages;
+  out.boundary_rounds = walk.rounds;
+
+  std::vector<Vec2> initial(n, Vec2{0.0, 0.0});
+  std::vector<char> fixed(n, 0);
+  // Hop order is one of the two loop orientations; pick the one that makes
+  // the loop CCW in source coordinates so orientation is preserved, by
+  // flipping the angle sign when needed.
+  double area2 = 0.0;
+  {
+    // Reconstruct the hop-ordered loop to measure orientation.
+    std::vector<VertexId> order;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (walk.hop[v] >= 0) order.push_back(static_cast<VertexId>(v));
+    }
+    std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+      return walk.hop[static_cast<std::size_t>(a)] <
+             walk.hop[static_cast<std::size_t>(b)];
+    });
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      area2 += mesh.position(order[i]).cross(
+          mesh.position(order[(i + 1) % order.size()]));
+    }
+  }
+  double sign = area2 >= 0.0 ? 1.0 : -1.0;
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (walk.hop[v] < 0) continue;
+    double ang = sign * 2.0 * M_PI * walk.hop[v] / walk.loop_size[v];
+    initial[v] = Vec2{std::cos(ang), std::sin(ang)};
+    fixed[v] = 1;
+  }
+
+  auto relax = net::run_distributed_relax(mesh, initial, fixed, tol, max_rounds);
+  out.relax_messages = relax.messages;
+  out.relax_rounds = relax.rounds;
+
+  out.map.disk_pos = std::move(relax.positions);
+  out.map.on_boundary = std::move(fixed);
+  out.map.converged = relax.converged;
+  out.map.sweeps = static_cast<int>(relax.rounds);
+  return out;
+}
+
+}  // namespace anr

@@ -1,0 +1,33 @@
+// Message-passing harmonic map — the paper's actual distributed algorithm.
+//
+// Composes two protocols over the robot triangulation's own links:
+//   1. boundary walk (leader election + hop counting) pins boundary
+//      vertices uniformly on the unit circle;
+//   2. synchronous neighbor-averaging relaxation settles inner vertices.
+//
+// Equivalent (up to solver tolerance) to harmonic_disk_map with uniform
+// weights and uniform-hop spacing; the equivalence is asserted in tests.
+// Reported message/round counts give the protocol's communication cost.
+#pragma once
+
+#include <cstddef>
+
+#include "harmonic/disk_map.h"
+#include "mesh/triangle_mesh.h"
+
+namespace anr {
+
+struct DistributedDiskMap {
+  DiskMap map;
+  std::size_t boundary_messages = 0;
+  std::size_t relax_messages = 0;
+  std::size_t boundary_rounds = 0;
+  std::size_t relax_rounds = 0;
+};
+
+/// Runs the distributed pipeline on `mesh` (disk topology required).
+DistributedDiskMap distributed_harmonic_disk_map(const TriangleMesh& mesh,
+                                                 double tol = 1e-9,
+                                                 std::size_t max_rounds = 200000);
+
+}  // namespace anr

@@ -1,0 +1,72 @@
+#include "harmonic/rotation_search.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace anr {
+
+RotationSearchResult search_rotation(
+    const std::function<double(double)>& objective,
+    const RotationSearchOptions& opt) {
+  ANR_CHECK(opt.initial_partitions >= 1 && opt.depth >= 0);
+  RotationSearchResult out;
+  out.value = -1e300;
+
+  auto probe = [&](double theta) {
+    double v = objective(theta);
+    ++out.evaluations;
+    if (v > out.value) {
+      out.value = v;
+      out.angle = theta;
+    }
+    return v;
+  };
+
+  // Initial scan: midpoint of each segment.
+  double seg = 2.0 * M_PI / opt.initial_partitions;
+  double lo = 0.0, hi = seg;
+  double best_seg_value = -1e300;
+  for (int i = 0; i < opt.initial_partitions; ++i) {
+    double a = i * seg, b = (i + 1) * seg;
+    double v = probe((a + b) / 2.0);
+    if (v > best_seg_value) {
+      best_seg_value = v;
+      lo = a;
+      hi = b;
+    }
+  }
+
+  // Interval halving around the best segment: probe the midpoint of each
+  // half, recurse into the better one.
+  for (int d = 0; d < opt.depth; ++d) {
+    double mid = (lo + hi) / 2.0;
+    double vl = probe((lo + mid) / 2.0);
+    double vr = probe((mid + hi) / 2.0);
+    if (vl >= vr) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return out;
+}
+
+RotationSearchResult sweep_rotation(
+    const std::function<double(double)>& objective, int samples) {
+  ANR_CHECK(samples >= 1);
+  RotationSearchResult out;
+  out.value = -1e300;
+  for (int i = 0; i < samples; ++i) {
+    double theta = 2.0 * M_PI * i / samples;
+    double v = objective(theta);
+    ++out.evaluations;
+    if (v > out.value) {
+      out.value = v;
+      out.angle = theta;
+    }
+  }
+  return out;
+}
+
+}  // namespace anr

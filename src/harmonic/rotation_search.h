@@ -1,0 +1,41 @@
+// Rotation-angle search between the two overlapped unit disks
+// (paper Sec. III-B and III-D-2).
+//
+// The induced map T -> M2 depends on the relative rotation theta of the
+// disks. Method (a) picks theta maximizing the predicted stable link
+// ratio; method (b) minimizes total moving distance. The objective is not
+// unimodal in theta, so the paper uses a shallow interval-halving search
+// ("binary search … with a pre-defined search depth", depth 4 in their
+// simulations); an exhaustive sweep is available for the ablation bench.
+#pragma once
+
+#include <functional>
+
+namespace anr {
+
+struct RotationSearchOptions {
+  /// Number of equal initial segments of [0, 2*pi); the paper's pure
+  /// binary search corresponds to 2. More segments make the search robust
+  /// to multi-modality at a few extra probes.
+  int initial_partitions = 2;
+  /// Interval halvings after the initial scan (paper: 4).
+  int depth = 4;
+};
+
+struct RotationSearchResult {
+  double angle = 0.0;       ///< best angle probed
+  double value = 0.0;       ///< objective at `angle`
+  int evaluations = 0;
+};
+
+/// Maximizes `objective` over theta in [0, 2*pi) with the paper's scheme.
+/// To minimize, pass the negated objective.
+RotationSearchResult search_rotation(
+    const std::function<double(double)>& objective,
+    const RotationSearchOptions& opt = {});
+
+/// Exhaustive sweep at `samples` uniform angles (ablation oracle).
+RotationSearchResult sweep_rotation(
+    const std::function<double(double)>& objective, int samples = 360);
+
+}  // namespace anr

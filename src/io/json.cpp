@@ -1,0 +1,399 @@
+#include "io/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace anr::json {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want) {
+  throw std::runtime_error(std::string("json: value is not ") + want);
+}
+
+void escape_to(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void number_to(std::ostringstream& os, double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+    os << static_cast<long long>(d);
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    os << buf;
+  }
+}
+
+void dump_to(std::ostringstream& os, const Value& v, int indent, int depth);
+
+void dump_array(std::ostringstream& os, const Array& a, int indent, int depth) {
+  if (a.empty()) {
+    os << "[]";
+    return;
+  }
+  os << '[';
+  std::string pad(indent > 0 ? static_cast<std::size_t>(indent * (depth + 1)) : 0,
+                  ' ');
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (indent > 0) os << '\n' << pad;
+    dump_to(os, a[i], indent, depth + 1);
+    if (i + 1 < a.size()) os << ',';
+  }
+  if (indent > 0) {
+    os << '\n'
+       << std::string(static_cast<std::size_t>(indent * depth), ' ');
+  }
+  os << ']';
+}
+
+void dump_object(std::ostringstream& os, const Object& o, int indent, int depth) {
+  if (o.empty()) {
+    os << "{}";
+    return;
+  }
+  os << '{';
+  std::string pad(indent > 0 ? static_cast<std::size_t>(indent * (depth + 1)) : 0,
+                  ' ');
+  std::size_t i = 0;
+  for (const auto& [k, v] : o) {
+    if (indent > 0) os << '\n' << pad;
+    escape_to(os, k);
+    os << (indent > 0 ? ": " : ":");
+    dump_to(os, v, indent, depth + 1);
+    if (++i < o.size()) os << ',';
+  }
+  if (indent > 0) {
+    os << '\n'
+       << std::string(static_cast<std::size_t>(indent * depth), ' ');
+  }
+  os << '}';
+}
+
+void dump_to(std::ostringstream& os, const Value& v, int indent, int depth) {
+  if (v.is_null()) {
+    os << "null";
+  } else if (v.is_bool()) {
+    os << (v.as_bool() ? "true" : "false");
+  } else if (v.is_number()) {
+    number_to(os, v.as_number());
+  } else if (v.is_string()) {
+    escape_to(os, v.as_string());
+  } else if (v.is_array()) {
+    dump_array(os, v.as_array(), indent, depth);
+  } else {
+    dump_object(os, v.as_object(), indent, depth);
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value run() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) { throw ParseError(why, pos_); }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t len = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Value value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return Value(string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("bad literal");
+      default:
+        return Value(number());
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Object o;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(o));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      o.emplace(std::move(key), value());
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Value(std::move(o));
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Array a;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(a));
+    }
+    while (true) {
+      a.push_back(value());
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return Value(std::move(a));
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u digit");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogates unsupported).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  double number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && s_[start] == '-')) {
+      fail("bad number");
+    }
+    try {
+      return std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("unparseable number");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (!is_bool()) type_error("bool");
+  return std::get<bool>(v_);
+}
+
+double Value::as_number() const {
+  if (!is_number()) type_error("number");
+  return std::get<double>(v_);
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) type_error("string");
+  return std::get<std::string>(v_);
+}
+
+const Array& Value::as_array() const {
+  if (!is_array()) type_error("array");
+  return std::get<Array>(v_);
+}
+
+const Object& Value::as_object() const {
+  if (!is_object()) type_error("object");
+  return std::get<Object>(v_);
+}
+
+Array& Value::as_array() {
+  if (!is_array()) type_error("array");
+  return std::get<Array>(v_);
+}
+
+Object& Value::as_object() {
+  if (!is_object()) type_error("object");
+  return std::get<Object>(v_);
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Object& o = as_object();
+  auto it = o.find(key);
+  if (it == o.end()) throw std::runtime_error("json: missing key '" + key + "'");
+  return it->second;
+}
+
+bool Value::has(const std::string& key) const {
+  return is_object() && as_object().count(key) > 0;
+}
+
+std::string Value::dump(int indent) const {
+  std::ostringstream os;
+  dump_to(os, *this, indent, 0);
+  return os.str();
+}
+
+Value parse(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace anr::json

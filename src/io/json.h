@@ -1,0 +1,81 @@
+// Minimal JSON value, parser, and writer.
+//
+// libanr persists plans, trajectories, and metrics as JSON so runs can be
+// archived, replayed, and diffed (src/io/plan_io). No third-party JSON
+// dependency: this is a small, strict (RFC-8259-subset) recursive-descent
+// implementation — no comments, no trailing commas, numbers as double.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace anr::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// A JSON value: null, bool, number (double), string, array, or object.
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(int i) : v_(static_cast<double>(i)) {}
+  Value(std::size_t u) : v_(static_cast<double>(u)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Object field access; throws when absent or not an object.
+  const Value& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  bool has(const std::string& key) const;
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces.
+  std::string dump(int indent = 0) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Thrown by parse() with a byte offset and reason.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed).
+Value parse(const std::string& text);
+
+}  // namespace anr::json

@@ -1,0 +1,174 @@
+#include "io/plan_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace anr {
+
+namespace {
+
+json::Value points_to_json(const std::vector<Vec2>& pts) {
+  json::Array xs, ys;
+  xs.reserve(pts.size());
+  ys.reserve(pts.size());
+  for (Vec2 p : pts) {
+    xs.emplace_back(p.x);
+    ys.emplace_back(p.y);
+  }
+  json::Object o;
+  o.emplace("x", std::move(xs));
+  o.emplace("y", std::move(ys));
+  return json::Value(std::move(o));
+}
+
+std::vector<Vec2> points_from_json(const json::Value& v) {
+  const auto& xs = v.at("x").as_array();
+  const auto& ys = v.at("y").as_array();
+  ANR_CHECK_MSG(xs.size() == ys.size(), "point arrays of unequal length");
+  std::vector<Vec2> out;
+  out.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out.push_back({xs[i].as_number(), ys[i].as_number()});
+  }
+  return out;
+}
+
+}  // namespace
+
+json::Value trajectory_to_json(const Trajectory& t) {
+  json::Array ts, xs, ys;
+  for (std::size_t i = 0; i < t.num_waypoints(); ++i) {
+    ts.emplace_back(t.times()[i]);
+    xs.emplace_back(t.waypoints()[i].x);
+    ys.emplace_back(t.waypoints()[i].y);
+  }
+  json::Object o;
+  o.emplace("t", std::move(ts));
+  o.emplace("x", std::move(xs));
+  o.emplace("y", std::move(ys));
+  return json::Value(std::move(o));
+}
+
+Trajectory trajectory_from_json(const json::Value& v) {
+  const auto& ts = v.at("t").as_array();
+  const auto& xs = v.at("x").as_array();
+  const auto& ys = v.at("y").as_array();
+  ANR_CHECK_MSG(ts.size() == xs.size() && xs.size() == ys.size(),
+                "trajectory arrays of unequal length");
+  Trajectory out;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    out.append({xs[i].as_number(), ys[i].as_number()}, ts[i].as_number());
+  }
+  return out;
+}
+
+json::Value plan_to_json(const MarchPlan& plan) {
+  json::Object o;
+  json::Array trajs;
+  trajs.reserve(plan.trajectories.size());
+  for (const Trajectory& t : plan.trajectories) {
+    trajs.push_back(trajectory_to_json(t));
+  }
+  o.emplace("format", "anr-march-plan/1");
+  o.emplace("trajectories", std::move(trajs));
+  o.emplace("start", points_to_json(plan.start));
+  o.emplace("mapped_targets", points_to_json(plan.mapped_targets));
+  o.emplace("final_positions", points_to_json(plan.final_positions));
+  o.emplace("rotation_angle", plan.rotation_angle);
+  o.emplace("rotation_objective", plan.rotation_objective);
+  o.emplace("rotation_evaluations", plan.rotation_evaluations);
+  o.emplace("predicted_link_ratio", plan.predicted_link_ratio);
+  o.emplace("snapped_targets", plan.snapped_targets);
+  o.emplace("repaired_robots", plan.repaired_robots);
+  o.emplace("repaired_subgroups", plan.repaired_subgroups);
+  o.emplace("unmeshed_robots", plan.unmeshed_robots);
+  o.emplace("max_boundary_gap", plan.max_boundary_gap);
+  o.emplace("transition_end", plan.transition_end);
+  o.emplace("total_time", plan.total_time);
+  o.emplace("adjust_steps", plan.adjust_steps);
+  o.emplace("protocol_messages", plan.protocol_messages);
+  return json::Value(std::move(o));
+}
+
+MarchPlan plan_from_json(const json::Value& v) {
+  ANR_CHECK_MSG(v.at("format").as_string() == "anr-march-plan/1",
+                "unknown plan format");
+  MarchPlan plan;
+  for (const json::Value& t : v.at("trajectories").as_array()) {
+    plan.trajectories.push_back(trajectory_from_json(t));
+  }
+  plan.start = points_from_json(v.at("start"));
+  plan.mapped_targets = points_from_json(v.at("mapped_targets"));
+  plan.final_positions = points_from_json(v.at("final_positions"));
+  plan.rotation_angle = v.at("rotation_angle").as_number();
+  plan.rotation_objective = v.at("rotation_objective").as_number();
+  plan.rotation_evaluations =
+      static_cast<int>(v.at("rotation_evaluations").as_number());
+  plan.predicted_link_ratio = v.at("predicted_link_ratio").as_number();
+  plan.snapped_targets = static_cast<int>(v.at("snapped_targets").as_number());
+  plan.repaired_robots = static_cast<int>(v.at("repaired_robots").as_number());
+  plan.repaired_subgroups =
+      static_cast<int>(v.at("repaired_subgroups").as_number());
+  plan.unmeshed_robots = static_cast<int>(v.at("unmeshed_robots").as_number());
+  plan.max_boundary_gap = v.at("max_boundary_gap").as_number();
+  plan.transition_end = v.at("transition_end").as_number();
+  plan.total_time = v.at("total_time").as_number();
+  plan.adjust_steps = static_cast<int>(v.at("adjust_steps").as_number());
+  plan.protocol_messages =
+      static_cast<std::size_t>(v.at("protocol_messages").as_number());
+  return plan;
+}
+
+json::Value metrics_to_json(const TransitionMetrics& m) {
+  json::Object o;
+  o.emplace("total_distance", m.total_distance);
+  o.emplace("transition_distance", m.transition_distance);
+  o.emplace("adjustment_distance", m.adjustment_distance);
+  o.emplace("stable_link_ratio", m.stable_link_ratio);
+  o.emplace("stable_link_ratio_transition", m.stable_link_ratio_transition);
+  o.emplace("global_connectivity", m.global_connectivity);
+  o.emplace("first_disconnect_time", m.first_disconnect_time);
+  o.emplace("initial_links", m.initial_links);
+  o.emplace("stable_links", m.stable_links);
+  o.emplace("samples", m.samples);
+  return json::Value(std::move(o));
+}
+
+TransitionMetrics metrics_from_json(const json::Value& v) {
+  TransitionMetrics m;
+  m.total_distance = v.at("total_distance").as_number();
+  m.transition_distance = v.at("transition_distance").as_number();
+  m.adjustment_distance = v.at("adjustment_distance").as_number();
+  m.stable_link_ratio = v.at("stable_link_ratio").as_number();
+  m.stable_link_ratio_transition =
+      v.at("stable_link_ratio_transition").as_number();
+  m.global_connectivity = v.at("global_connectivity").as_bool();
+  m.first_disconnect_time = v.at("first_disconnect_time").as_number();
+  m.initial_links = static_cast<int>(v.at("initial_links").as_number());
+  m.stable_links = static_cast<int>(v.at("stable_links").as_number());
+  m.samples = static_cast<int>(v.at("samples").as_number());
+  return m;
+}
+
+bool save_plan(const MarchPlan& plan, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << plan_to_json(plan).dump(2) << '\n';
+  return static_cast<bool>(out);
+}
+
+std::optional<MarchPlan> load_plan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    return plan_from_json(json::parse(buf.str()));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace anr

@@ -1,0 +1,37 @@
+// Plan persistence: archive a MarchPlan (trajectories + diagnostics) and
+// its measured metrics as JSON; reload the trajectories to replay or
+// re-measure a run without re-planning.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "io/json.h"
+#include "march/planner.h"
+#include "march/transition_sim.h"
+
+namespace anr {
+
+/// Serializes a trajectory as {"t": [...], "x": [...], "y": [...]}.
+json::Value trajectory_to_json(const Trajectory& t);
+Trajectory trajectory_from_json(const json::Value& v);
+
+/// Serializes the plan: trajectories plus the scalar diagnostics
+/// (rotation angle, repairs, timings). The meshes are not persisted —
+/// they are derivable and large.
+json::Value plan_to_json(const MarchPlan& plan);
+
+/// Restores the persistable parts of a plan (trajectories, start, mapped
+/// and final positions, scalars). Mesh statistics come back empty.
+MarchPlan plan_from_json(const json::Value& v);
+
+/// Metrics record.
+json::Value metrics_to_json(const TransitionMetrics& m);
+TransitionMetrics metrics_from_json(const json::Value& v);
+
+/// Convenience: write/read a plan (pretty-printed JSON) to a file.
+/// Returns false / nullopt on I/O failure.
+bool save_plan(const MarchPlan& plan, const std::string& path);
+std::optional<MarchPlan> load_plan(const std::string& path);
+
+}  // namespace anr

@@ -1,0 +1,43 @@
+// Distributed rotation-angle search (paper Sec. III-B, faithful version).
+//
+// "At each step, a mobile robot divides current search interval of angle
+// into two and rotates its mapped position in unit disk with the midpoint
+// angle of the interval. The mobile robot computes its mapped position in
+// M2 and exchanges the position with its one-range neighbors. After
+// calculating its own stable link ratio, the mobile robot then floods the
+// information to other mobile robots."
+//
+// Per probe: one position-exchange round over the communication links,
+// then a network-wide flood summing the per-robot counts — every robot
+// ends up knowing the probe's global objective and takes the same branch
+// of the interval search. The message totals reported here are the real
+// communication price of the paper's design (O(n*E) per probe).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "geom/vec2.h"
+#include "harmonic/rotation_search.h"
+#include "march/planner.h"
+
+namespace anr {
+
+struct DistributedRotationResult {
+  double angle = 0.0;
+  double value = 0.0;  ///< global objective at `angle` (L for method a,
+                       ///< negative total displacement for method b)
+  int evaluations = 0;
+  std::size_t messages = 0;
+  std::size_t rounds = 0;
+};
+
+/// Runs the search over the communication topology of `positions` with
+/// range `r_c`. `map_targets(theta)` is each robot's locally computable
+/// mapped position (every robot carries the M2 map, Sec. III-B).
+DistributedRotationResult distributed_rotation_search(
+    const std::function<std::vector<Vec2>(double)>& map_targets,
+    const std::vector<Vec2>& positions, double r_c, MarchObjective objective,
+    const RotationSearchOptions& opt = {});
+
+}  // namespace anr

@@ -1,0 +1,39 @@
+#include "march/metrics.h"
+
+#include "common/check.h"
+#include "net/unit_disk_graph.h"
+
+namespace anr {
+
+std::vector<std::pair<int, int>> communication_links(
+    const std::vector<Vec2>& positions, double r_c) {
+  return net::unit_disk_edges(positions, r_c);
+}
+
+double predicted_stable_link_ratio(const std::vector<Vec2>& p,
+                                   const std::vector<Vec2>& q,
+                                   const std::vector<std::pair<int, int>>& links,
+                                   double r_c) {
+  ANR_CHECK(p.size() == q.size());
+  if (links.empty()) return 1.0;
+  double r2 = r_c * r_c;
+  std::size_t stable = 0;
+  for (auto [i, j] : links) {
+    bool at_start = distance2(p[static_cast<std::size_t>(i)],
+                              p[static_cast<std::size_t>(j)]) <= r2 + 1e-9;
+    bool at_end = distance2(q[static_cast<std::size_t>(i)],
+                            q[static_cast<std::size_t>(j)]) <= r2 + 1e-9;
+    if (at_start && at_end) ++stable;
+  }
+  return static_cast<double>(stable) / static_cast<double>(links.size());
+}
+
+double total_displacement(const std::vector<Vec2>& p,
+                          const std::vector<Vec2>& q) {
+  ANR_CHECK(p.size() == q.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) d += distance(p[i], q[i]);
+  return d;
+}
+
+}  // namespace anr

@@ -1,0 +1,38 @@
+// Marching metrics (paper Sec. II: Definitions 1 and 2).
+//
+// - Total stable link ratio L: fraction of M1 communication links that
+//   stay within range for the *entire* transition.
+// - Global connectivity C: the network is one connected component at
+//   every instant.
+// - Total moving distance D: sum of robot path lengths.
+//
+// For straight-line synchronized motion the inter-robot distance is convex
+// in t, so a link survives iff it holds at both endpoints — that is the
+// cheap predictor the rotation search optimizes; the transition simulator
+// measures the real sampled metric (detours break linearity).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace anr {
+
+/// M1 communication links (unordered robot index pairs) within `r_c`.
+std::vector<std::pair<int, int>> communication_links(
+    const std::vector<Vec2>& positions, double r_c);
+
+/// Endpoint-only predicted stable link ratio for straight-line motion from
+/// p to q: a link survives iff both endpoint configurations keep it within
+/// r_c. Returns 1.0 when there are no links.
+double predicted_stable_link_ratio(const std::vector<Vec2>& p,
+                                   const std::vector<Vec2>& q,
+                                   const std::vector<std::pair<int, int>>& links,
+                                   double r_c);
+
+/// Sum of straight-line displacements |q_i - p_i|.
+double total_displacement(const std::vector<Vec2>& p,
+                          const std::vector<Vec2>& q);
+
+}  // namespace anr

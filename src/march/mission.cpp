@@ -1,0 +1,42 @@
+#include "march/mission.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace anr {
+
+MissionResult run_mission(const FieldOfInterest& start_foi,
+                          const std::vector<Vec2>& deployment,
+                          const std::vector<MissionLeg>& legs, double r_c,
+                          const PlannerOptions& options, int time_samples) {
+  ANR_CHECK(!legs.empty());
+  MissionResult out;
+  out.final_positions = deployment;
+
+  const FieldOfInterest* current = &start_foi;
+  for (const MissionLeg& leg : legs) {
+    PlannerOptions opt = options;
+    if (leg.density) opt.density = leg.density;
+    // Legs are world-placed FoIs: the planner's M2 shape is the leg
+    // itself, marched to with zero offset.
+    MarchPlanner planner(*current, leg.foi, r_c, std::move(opt));
+    MissionLegResult res;
+    res.name = leg.name;
+    res.plan = planner.plan(out.final_positions, {0.0, 0.0});
+    res.metrics = simulate_transition(res.plan.trajectories, r_c,
+                                      res.plan.transition_end, time_samples);
+
+    out.total_distance += res.metrics.total_distance;
+    out.worst_link_ratio =
+        std::min(out.worst_link_ratio, res.metrics.stable_link_ratio);
+    out.always_connected =
+        out.always_connected && res.metrics.global_connectivity;
+    out.final_positions = res.plan.final_positions;
+    current = &leg.foi;
+    out.legs.push_back(std::move(res));
+  }
+  return out;
+}
+
+}  // namespace anr

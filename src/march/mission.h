@@ -1,0 +1,54 @@
+// Multi-FoI missions — the paper's framing (Sec. I): "a group of ANRs
+// that are instructed to explore a number of FoIs. After they complete a
+// task at current FoI, they move to the next one."
+//
+// A Mission is an ordered list of FoIs (each optionally with its own task
+// density). MissionPlanner plans every leg, feeding each leg's final
+// deployment into the next, and aggregates the per-leg and cumulative
+// metrics. Each leg's connectivity guarantee makes the chaining valid:
+// the swarm arrives connected, so the next leg can plan from it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coverage/density.h"
+#include "march/planner.h"
+#include "march/transition_sim.h"
+
+namespace anr {
+
+/// One stop of the mission.
+struct MissionLeg {
+  FieldOfInterest foi;
+  DensityFn density;  ///< task density in this FoI (empty = uniform)
+  std::string name;
+};
+
+/// Planned + measured outcome of one leg.
+struct MissionLegResult {
+  MarchPlan plan;
+  TransitionMetrics metrics;
+  std::string name;
+};
+
+struct MissionResult {
+  std::vector<MissionLegResult> legs;
+  double total_distance = 0.0;
+  /// Minimum stable-link ratio over the legs (the weakest transition).
+  double worst_link_ratio = 1.0;
+  /// True when every leg kept global connectivity.
+  bool always_connected = true;
+  std::vector<Vec2> final_positions;
+};
+
+/// Plans the whole mission starting from `deployment` in `start_foi`.
+/// The same PlannerOptions apply to every leg (the per-leg density
+/// overrides options.density).
+MissionResult run_mission(const FieldOfInterest& start_foi,
+                          const std::vector<Vec2>& deployment,
+                          const std::vector<MissionLeg>& legs, double r_c,
+                          const PlannerOptions& options = {},
+                          int time_samples = 140);
+
+}  // namespace anr

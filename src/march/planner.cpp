@@ -1,0 +1,368 @@
+#include "march/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+#include "harmonic/disk_map.h"
+#include "harmonic/distributed_disk_map.h"
+#include "march/distributed_rotation.h"
+#include "march/metrics.h"
+#include "march/triangulation_extract.h"
+#include "mesh/boundary.h"
+#include "mesh/hole_fill.h"
+#include "net/connectivity.h"
+#include "net/unit_disk_graph.h"
+
+namespace anr {
+
+namespace {
+
+// Compacts `mesh` to the vertices referenced by triangles. Returns the
+// compact mesh and fills robot_to_compact (-1 for dropped vertices).
+TriangleMesh compact_for_mapping(const TriangleMesh& mesh,
+                                 std::vector<int>& robot_to_compact) {
+  robot_to_compact.assign(mesh.num_vertices(), -1);
+  std::vector<Vec2> verts;
+  std::vector<Tri> tris;
+  for (const Tri& t : mesh.triangles()) {
+    Tri nt{};
+    for (int k = 0; k < 3; ++k) {
+      VertexId v = t[static_cast<std::size_t>(k)];
+      int& slot = robot_to_compact[static_cast<std::size_t>(v)];
+      if (slot < 0) {
+        slot = static_cast<int>(verts.size());
+        verts.push_back(mesh.position(v));
+      }
+      nt[static_cast<std::size_t>(k)] = slot;
+    }
+    tris.push_back(nt);
+  }
+  return TriangleMesh(std::move(verts), std::move(tris));
+}
+
+}  // namespace
+
+MarchPlanner::MarchPlanner(FieldOfInterest m1, FieldOfInterest m2_shape,
+                           double r_c, PlannerOptions options)
+    : m1_(std::move(m1)),
+      m2_(std::move(m2_shape)),
+      r_c_(r_c),
+      opt_(std::move(options)) {
+  ANR_CHECK(r_c_ > 0.0);
+  if (!opt_.density) opt_.density = uniform_density();
+
+  m2_mesh_ = mesh_foi(m2_, opt_.mesher);
+  m2_stats_ = mesh_stats(m2_mesh_.mesh);
+  HoleFillResult filled = fill_holes(m2_mesh_.mesh);
+  DiskMap disk = harmonic_disk_map(filled.mesh, opt_.disk);
+  ANR_CHECK_MSG(disk.converged, "M2 harmonic map did not converge");
+  interpolator_ = std::make_unique<OverlapInterpolator>(filled, disk);
+  cvt_ = std::make_unique<GridCvt>(m2_, opt_.density, opt_.cvt_samples);
+  if (opt_.adjustment == AdjustmentEngine::kLocalVoronoi) {
+    local_lloyd_ = std::make_unique<LocalVoronoiLloyd>(m2_, opt_.density, r_c_);
+  }
+}
+
+MarchPlan MarchPlanner::plan(const std::vector<Vec2>& positions,
+                             Vec2 m2_offset) const {
+  const std::size_t n = positions.size();
+  ANR_CHECK_MSG(n >= 4, "need at least 4 robots");
+
+  MarchPlan plan;
+  plan.start = positions;
+  plan.m2_stats = m2_stats_;
+  plan.transition_end = opt_.transition_time;
+
+  auto adjacency = net::unit_disk_adjacency(positions, r_c_);
+  ANR_CHECK_MSG(net::is_connected(adjacency),
+                "initial deployment is not connected");
+  auto links = communication_links(positions, r_c_);
+
+  // --- 1. Triangulation T -------------------------------------------------
+  ExtractionResult ext =
+      opt_.extraction == ExtractionMode::kGabriel
+          ? extract_triangulation_gabriel(positions, r_c_)
+          : (opt_.distributed
+                 ? extract_triangulation_distributed(positions, r_c_)
+                 : extract_triangulation(positions, r_c_));
+  plan.protocol_messages += ext.messages;
+  plan.unmeshed_robots = static_cast<int>(ext.unmeshed.size());
+  plan.t_stats = mesh_stats(ext.mesh);
+
+  std::vector<int> robot_to_compact;
+  TriangleMesh t_compact = compact_for_mapping(ext.mesh, robot_to_compact);
+
+  // --- 2. Harmonic map of T (holes filled when M1 had holes) --------------
+  HoleFillResult t_filled = fill_holes(t_compact);
+  DiskMap t_disk;
+  if (opt_.distributed) {
+    DistributedDiskMap dmap = distributed_harmonic_disk_map(t_filled.mesh);
+    plan.protocol_messages += dmap.boundary_messages + dmap.relax_messages;
+    t_disk = std::move(dmap.map);
+  } else {
+    t_disk = harmonic_disk_map(t_filled.mesh, opt_.disk);
+  }
+  ANR_CHECK_MSG(t_disk.converged || !opt_.distributed,
+                "distributed relaxation did not converge");
+
+  // Boundary robots: vertices of T's *outer* loop — they land on M2's rim.
+  std::vector<char> is_boundary(n, 0);
+  std::vector<int> outer_loop_robots;  // loop order, robot indices
+  {
+    auto loops = boundary_loops(t_compact);
+    std::size_t outer = outer_loop_index(t_compact, loops);
+    std::vector<char> compact_boundary(t_compact.num_vertices(), 0);
+    std::vector<int> compact_to_robot(t_compact.num_vertices(), -1);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (robot_to_compact[r] >= 0) {
+        compact_to_robot[static_cast<std::size_t>(robot_to_compact[r])] =
+            static_cast<int>(r);
+      }
+    }
+    for (VertexId v : loops[outer].vertices) {
+      compact_boundary[static_cast<std::size_t>(v)] = 1;
+      outer_loop_robots.push_back(compact_to_robot[static_cast<std::size_t>(v)]);
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      int cv = robot_to_compact[r];
+      if (cv >= 0 && compact_boundary[static_cast<std::size_t>(cv)]) {
+        is_boundary[r] = 1;
+      }
+    }
+  }
+
+  // Unmeshed robots copy the march of their nearest meshed neighbor
+  // (BFS over M1 links); precompute that anchor.
+  std::vector<int> anchor(n, -1);
+  {
+    std::queue<int> q;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (robot_to_compact[r] >= 0) {
+        anchor[r] = static_cast<int>(r);
+        q.push(static_cast<int>(r));
+      }
+    }
+    ANR_CHECK_MSG(!q.empty(), "triangulation extraction kept no robot");
+    while (!q.empty()) {
+      int v = q.front();
+      q.pop();
+      for (int u : adjacency[static_cast<std::size_t>(v)]) {
+        if (anchor[static_cast<std::size_t>(u)] < 0) {
+          anchor[static_cast<std::size_t>(u)] = anchor[static_cast<std::size_t>(v)];
+          q.push(u);
+        }
+      }
+    }
+  }
+
+  // --- 3./4. Rotation search over the overlapped disks --------------------
+  auto map_targets = [&](double theta, int* snapped) {
+    std::vector<Vec2> q(n);
+    std::vector<char> done(n, 0);
+    int snaps = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      int cv = robot_to_compact[r];
+      if (cv < 0) continue;
+      Vec2 z = t_disk.disk_pos[static_cast<std::size_t>(cv)].rotated(theta);
+      MappedTarget t = interpolator_->map_point(z);
+      q[r] = t.world + m2_offset;
+      done[r] = 1;
+      if (t.snapped) ++snaps;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (done[r]) continue;
+      int a = anchor[r];
+      ANR_CHECK(a >= 0 && done[static_cast<std::size_t>(a)]);
+      q[r] = positions[r] + (q[static_cast<std::size_t>(a)] -
+                             positions[static_cast<std::size_t>(a)]);
+    }
+    if (snapped != nullptr) *snapped = snaps;
+    return q;
+  };
+
+  // Distance-normalization scale for the stable-links tie-breaker below.
+  // Chosen so that the across-theta *variation* of the displacement term
+  // (at most ~n * FoI diameter) stays far below one preserved link
+  // (1 / |links|).
+  double diag = std::max(m1_.bbox().width() + m1_.bbox().height(), 1.0) *
+                static_cast<double>(n) * 1e4;
+
+  auto objective = [&](double theta) {
+    std::vector<Vec2> q = map_targets(theta, nullptr);
+    if (opt_.objective == MarchObjective::kMaxStableLinks) {
+      // The link ratio is quantized (k / |links|), so plateaus are common
+      // and the interval search would pick among ties arbitrarily. Break
+      // ties toward less displacement — too small to ever outvote a
+      // single preserved link.
+      return predicted_stable_link_ratio(positions, q, links, r_c_) -
+             total_displacement(positions, q) / diag;
+    }
+    return -total_displacement(positions, q);
+  };
+
+  RotationSearchResult rot;
+  if (opt_.exhaustive_rotation) {
+    rot = sweep_rotation(objective);
+  } else if (opt_.distributed) {
+    // Faithful protocol: per-probe 1-hop exchange + network flood.
+    DistributedRotationResult dr = distributed_rotation_search(
+        [&](double theta) { return map_targets(theta, nullptr); }, positions,
+        r_c_, opt_.objective, opt_.rotation);
+    plan.protocol_messages += dr.messages;
+    rot.angle = dr.angle;
+    rot.evaluations = dr.evaluations;
+    // Method (a) floods preserved-link counts; normalize to the ratio the
+    // centralized path reports.
+    rot.value = opt_.objective == MarchObjective::kMaxStableLinks && !links.empty()
+                    ? dr.value / static_cast<double>(links.size())
+                    : dr.value;
+  } else {
+    rot = search_rotation(objective, opt_.rotation);
+  }
+  plan.rotation_angle = rot.angle;
+  plan.rotation_objective = rot.value;
+  plan.rotation_evaluations = rot.evaluations;
+
+  // --- 5. Targets at the chosen rotation ----------------------------------
+  std::vector<Vec2> targets = map_targets(rot.angle, &plan.snapped_targets);
+
+  // Boundary-ring check-and-require (Sec. III-D-1): consecutive boundary
+  // robots must stay within range at their destinations for the rim to
+  // stay a connected chain. On strongly stretched M2 shapes the harmonic
+  // map can leave a gap wider than r_c; in that case re-space the ring
+  // uniformly by arc length along M2's outer boundary (keeping the
+  // robots' cyclic order), which bounds every gap by perimeter/b.
+  auto ring_gap = [&](const std::vector<Vec2>& q) {
+    double gap = 0.0;
+    for (std::size_t i = 0, b = outer_loop_robots.size(); i < b; ++i) {
+      int u = outer_loop_robots[i];
+      int v = outer_loop_robots[(i + 1) % b];
+      gap = std::max(gap, distance(q[static_cast<std::size_t>(u)],
+                                   q[static_cast<std::size_t>(v)]));
+    }
+    return gap;
+  };
+  plan.max_boundary_gap = ring_gap(targets);
+  const std::size_t ring_size = outer_loop_robots.size();
+  if (plan.max_boundary_gap > r_c_ && ring_size >= 3) {
+    Polygon rim = m2_.outer().translated(m2_offset);
+    double perimeter = rim.perimeter();
+    // Walk direction: follow the majority orientation of the current
+    // mapped ring along the rim.
+    double s0 = rim.perimeter_param(
+        targets[static_cast<std::size_t>(outer_loop_robots[0])]);
+    double forward_votes = 0.0;
+    double prev = s0;
+    for (std::size_t i = 1; i < ring_size; ++i) {
+      double s = rim.perimeter_param(
+          targets[static_cast<std::size_t>(outer_loop_robots[i])]);
+      double delta = std::fmod(s - prev + perimeter, perimeter);
+      forward_votes += (delta <= perimeter / 2.0) ? 1.0 : -1.0;
+      prev = s;
+    }
+    double dir = forward_votes >= 0.0 ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < ring_size; ++i) {
+      double s = s0 + dir * static_cast<double>(i) * perimeter /
+                          static_cast<double>(ring_size);
+      targets[static_cast<std::size_t>(outer_loop_robots[i])] =
+          rim.point_at_param(s);
+    }
+    plan.max_boundary_gap = ring_gap(targets);
+  }
+
+  // --- 6. Global-connectivity repair --------------------------------------
+  RepairReport rep =
+      repair_targets(positions, targets, adjacency, is_boundary, r_c_);
+  plan.repaired_robots = rep.repaired;
+  plan.repaired_subgroups = rep.subgroups;
+  plan.mapped_targets = targets;
+  plan.predicted_link_ratio =
+      predicted_stable_link_ratio(positions, targets, links, r_c_);
+
+
+  // --- 7. Transition trajectories (Eqn. 2 with hole detours) --------------
+  std::vector<Polygon> obstacles = m1_.holes();
+  for (const Polygon& h : m2_.holes()) {
+    obstacles.push_back(h.translated(m2_offset));
+  }
+  plan.trajectories.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    plan.trajectories.push_back(make_timed_path(
+        positions[r], targets[r], 0.0, opt_.transition_time, obstacles));
+  }
+
+  // --- 8. Minor local adjustment: connectivity-safe Lloyd -----------------
+  // Reference speed: fastest robot during the transition; adjustment steps
+  // take time proportional to their largest move at that speed.
+  double max_disp = 1e-9;
+  for (std::size_t r = 0; r < n; ++r) {
+    max_disp = std::max(max_disp, distance(positions[r], targets[r]));
+  }
+  double speed_ref = max_disp / opt_.transition_time;
+
+  std::vector<Vec2> cur = targets;
+  double t = opt_.transition_time;
+  std::vector<Polygon> m2_obstacles;
+  for (const Polygon& h : m2_.holes()) {
+    m2_obstacles.push_back(h.translated(m2_offset));
+  }
+  for (int step = 0; step < opt_.max_adjust_steps; ++step) {
+    // Centroids in the origin frame of the precomputed engine.
+    std::vector<Vec2> local(n);
+    for (std::size_t r = 0; r < n; ++r) local[r] = cur[r] - m2_offset;
+    std::vector<Vec2> cents =
+        opt_.adjustment == AdjustmentEngine::kLocalVoronoi
+            ? local_lloyd_->step(local).centroids
+            : cvt_->centroids(local);
+    std::vector<Vec2> cand(n);
+    for (std::size_t r = 0; r < n; ++r) cand[r] = cents[r] + m2_offset;
+
+    // Connectivity-safe step: try the full move; halve collectively while
+    // the trial configuration would split the network (Sec. III-D-1).
+    double factor = 1.0;
+    std::vector<Vec2> trial(n);
+    bool ok = false;
+    int max_halvings = opt_.safe_adjustment ? 7 : 1;
+    for (int halving = 0; halving < max_halvings; ++halving) {
+      for (std::size_t r = 0; r < n; ++r) {
+        trial[r] = lerp(cur[r], cand[r], factor);
+      }
+      if (!opt_.safe_adjustment || net::is_connected(trial, r_c_)) {
+        ok = true;
+        break;
+      }
+      factor /= 2.0;
+    }
+    if (!ok) break;  // no safe move at all: stay put
+
+    double max_move = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      max_move = std::max(max_move, distance(trial[r], cur[r]));
+    }
+    if (max_move <= opt_.adjust.tol) {
+      cur = trial;
+      ++plan.adjust_steps;
+      break;
+    }
+    double dt = std::max(max_move / speed_ref, 1e-6);
+    for (std::size_t r = 0; r < n; ++r) {
+      Trajectory seg =
+          make_timed_path(cur[r], trial[r], t, t + dt, m2_obstacles);
+      // Append the step's waypoints, skipping the duplicated start point.
+      for (std::size_t w = 1; w < seg.num_waypoints(); ++w) {
+        plan.trajectories[r].append(seg.waypoints()[w], seg.times()[w]);
+      }
+    }
+    cur = trial;
+    t += dt;
+    ++plan.adjust_steps;
+  }
+
+  plan.final_positions = cur;
+  plan.total_time = t;
+  return plan;
+}
+
+}  // namespace anr

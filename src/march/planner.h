@@ -1,0 +1,148 @@
+// MarchPlanner: the paper's end-to-end pipeline (Sec. III).
+//
+//   1. extract the triangulation T from the robots' connectivity graph;
+//   2. fill T's holes (if M1 had holes) and harmonic-map T to a unit disk;
+//   3. grid + triangulate M2, fill its holes, harmonic-map it to a disk;
+//   4. search the disk rotation maximizing predicted stable link ratio
+//      (method a) or minimizing total displacement (method b);
+//   5. interpolate each robot's target via barycentric coordinates
+//      (Eqn. 1), snapping hole landings to the nearest grid point;
+//   6. repair isolated robots/subgroups with parallel marches;
+//   7. straight-line transition with hole detours (Eqn. 2);
+//   8. minor local adjustment: connectivity-safe Lloyd toward the
+//      centroidal Voronoi configuration (optionally density-weighted).
+//
+// Construction does all the M2-side precomputation (meshing, harmonic
+// map, CVT sampling); plan() is then cheap per robot configuration and
+// per M1–M2 separation (M2 is rigidly offset by `m2_offset`).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "coverage/density.h"
+#include "coverage/grid_cvt.h"
+#include "coverage/lloyd.h"
+#include "coverage/local_voronoi.h"
+#include "harmonic/disk_map.h"
+#include "foi/foi.h"
+#include "foi/foi_mesher.h"
+#include "harmonic/composition.h"
+#include "harmonic/rotation_search.h"
+#include "march/repair.h"
+#include "march/trajectory.h"
+#include "mesh/mesh_quality.h"
+
+namespace anr {
+
+/// Rotation-search objective: the paper's method (a) vs method (b).
+enum class MarchObjective {
+  kMaxStableLinks,  ///< method (a): maximize predicted stable link ratio
+  kMinDistance,     ///< method (b): minimize total displacement
+};
+
+/// Triangulation-extraction strategy for T.
+enum class ExtractionMode {
+  kAuto,     ///< alpha extraction (centralized) or localized Delaunay
+             ///< (distributed mode) — the defaults
+  kGabriel,  ///< 1-hop Gabriel-graph extraction (sparser; ablation)
+};
+
+/// Minor-adjustment engine (paper Sec. III-C).
+enum class AdjustmentEngine {
+  kGridCvt,        ///< dense-sample discrete Voronoi (default; fast)
+  kLocalVoronoi,   ///< per-robot two-hop clipped Voronoi — the paper's
+                   ///< distributed formulation
+};
+
+struct PlannerOptions {
+  MarchObjective objective = MarchObjective::kMaxStableLinks;
+  RotationSearchOptions rotation;
+  MesherOptions mesher;        ///< M2 grid resolution
+  DiskMapOptions disk;         ///< harmonic-map weights / boundary spacing
+  int cvt_samples = 24000;     ///< adjustment-phase CVT sampling
+  LloydOptions adjust;         ///< minor-adjustment convergence
+  int max_adjust_steps = 50;
+  AdjustmentEngine adjustment = AdjustmentEngine::kGridCvt;
+  ExtractionMode extraction = ExtractionMode::kAuto;
+  /// Connectivity-safe stepping (Sec. III-D-1): halve moves that would
+  /// split the network. Disable only for the ablation bench.
+  bool safe_adjustment = true;
+  double transition_time = 1.0;  ///< T of Eqn. (2)
+  /// Use the message-passing protocols (boundary walk + distributed
+  /// relaxation) for T's disk map instead of the centralized solver;
+  /// slower, reports protocol costs.
+  bool distributed = false;
+  /// Exhaustive rotation sweep instead of the depth-limited search
+  /// (ablation oracle).
+  bool exhaustive_rotation = false;
+  /// Density for the adjustment CVT (defaults to uniform).
+  DensityFn density;
+};
+
+/// Everything a plan produced, for metrics and inspection.
+struct MarchPlan {
+  std::vector<Trajectory> trajectories;  ///< full timeline per robot
+  std::vector<Vec2> start;
+  std::vector<Vec2> mapped_targets;      ///< after rotation + repair
+  std::vector<Vec2> final_positions;     ///< after minor adjustment
+
+  double rotation_angle = 0.0;
+  double rotation_objective = 0.0;
+  int rotation_evaluations = 0;
+  double predicted_link_ratio = 0.0;  ///< endpoint predictor at chosen angle
+
+  int snapped_targets = 0;   ///< robots that landed in a hole / off-mesh
+  int repaired_robots = 0;
+  int repaired_subgroups = 0;
+  int unmeshed_robots = 0;   ///< robots absent from T
+
+  /// Largest distance between consecutive T-boundary robots at their
+  /// mapped destinations. The paper's global-connectivity argument rests
+  /// on the boundary ring staying a connected chain (Sec. III-D-1); this
+  /// must stay <= r_c.
+  double max_boundary_gap = 0.0;
+
+  double transition_end = 0.0;  ///< time where adjustment begins
+  double total_time = 0.0;
+  int adjust_steps = 0;
+
+  MeshStats t_stats;   ///< robot triangulation summary
+  MeshStats m2_stats;  ///< M2 grid mesh summary
+  std::size_t protocol_messages = 0;  ///< distributed-mode message total
+};
+
+/// Plans marches from M1 into (rigid translates of) the M2 shape.
+class MarchPlanner {
+ public:
+  /// `m2_shape` is the target FoI geometry; plan() adds `m2_offset`.
+  /// Throws ContractViolation on degenerate geometry.
+  MarchPlanner(FieldOfInterest m1, FieldOfInterest m2_shape, double r_c,
+               PlannerOptions options = {});
+
+  /// Plans the march of robots at `positions` (inside M1) to the M2 shape
+  /// translated by `m2_offset`.
+  MarchPlan plan(const std::vector<Vec2>& positions, Vec2 m2_offset) const;
+
+  const FieldOfInterest& m1() const { return m1_; }
+  const FieldOfInterest& m2_shape() const { return m2_; }
+  double comm_range() const { return r_c_; }
+  const PlannerOptions& options() const { return opt_; }
+
+ private:
+  FieldOfInterest m1_;
+  FieldOfInterest m2_;
+  double r_c_;
+  PlannerOptions opt_;
+
+  // M2-side precomputation (origin frame).
+  FoiMesh m2_mesh_;
+  std::unique_ptr<OverlapInterpolator> interpolator_;
+  std::unique_ptr<GridCvt> cvt_;
+  std::unique_ptr<LocalVoronoiLloyd> local_lloyd_;
+  MeshStats m2_stats_;
+};
+
+}  // namespace anr

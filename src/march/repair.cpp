@@ -1,0 +1,104 @@
+#include "march/repair.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+#include "net/connectivity.h"
+
+namespace anr {
+
+RepairReport repair_targets(
+    const std::vector<Vec2>& start, std::vector<Vec2>& targets,
+    const std::vector<std::vector<int>>& adjacency,
+    const std::vector<char>& is_boundary, double r_c,
+    const std::function<double(Vec2, Vec2)>& link_metric) {
+  const std::size_t n = start.size();
+  ANR_CHECK(targets.size() == n);
+  ANR_CHECK(adjacency.size() == n);
+  ANR_CHECK(is_boundary.size() == n);
+
+  std::function<double(Vec2, Vec2)> metric = link_metric;
+  if (!metric) metric = [](Vec2 a, Vec2 b) { return distance(a, b); };
+  auto survives = [&](int u, int v) {
+    return metric(targets[static_cast<std::size_t>(u)],
+                  targets[static_cast<std::size_t>(v)]) <= r_c + 1e-9;
+  };
+
+  RepairReport rep;
+  rep.was_repaired.assign(n, 0);
+
+  // BFS from boundary vertices over surviving links.
+  std::vector<std::vector<int>> surv_adj(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (int u : adjacency[v]) {
+      if (survives(static_cast<int>(v), u)) surv_adj[v].push_back(u);
+    }
+  }
+  std::vector<int> sources;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (is_boundary[v]) sources.push_back(static_cast<int>(v));
+  }
+  ANR_CHECK_MSG(!sources.empty(), "repair needs at least one boundary vertex");
+  rep.boundary_hops = net::bfs_hops(surv_adj, sources);
+
+  // Unreached components over M1 links restricted to unreached vertices.
+  std::vector<int> comp(n, -1);
+  int ncomp = 0;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (rep.boundary_hops[seed] >= 0 || comp[seed] >= 0) continue;
+    int id = ncomp++;
+    std::queue<int> q;
+    q.push(static_cast<int>(seed));
+    comp[seed] = id;
+    while (!q.empty()) {
+      int v = q.front();
+      q.pop();
+      for (int u : adjacency[static_cast<std::size_t>(v)]) {
+        if (rep.boundary_hops[static_cast<std::size_t>(u)] < 0 &&
+            comp[static_cast<std::size_t>(u)] < 0) {
+          comp[static_cast<std::size_t>(u)] = id;
+          q.push(u);
+        }
+      }
+    }
+  }
+  rep.subgroups = ncomp;
+  if (ncomp == 0) return rep;
+
+  // Per component: best (reference hop, reference id, member id).
+  constexpr int kInf = std::numeric_limits<int>::max() / 2;
+  std::vector<std::array<int, 3>> best(
+      static_cast<std::size_t>(ncomp), std::array<int, 3>{kInf, kInf, kInf});
+  for (std::size_t v = 0; v < n; ++v) {
+    if (comp[v] < 0) continue;
+    for (int u : adjacency[v]) {
+      int hops = rep.boundary_hops[static_cast<std::size_t>(u)];
+      if (hops < 0) continue;  // neighbor also unreached
+      std::array<int, 3> key{hops, u, static_cast<int>(v)};
+      auto& slot = best[static_cast<std::size_t>(comp[v])];
+      slot = std::min(slot, key);
+    }
+  }
+
+  // Apply the parallel march: every member of a component copies the
+  // displacement of the component's reference neighbor.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (comp[v] < 0) continue;
+    const auto& key = best[static_cast<std::size_t>(comp[v])];
+    ANR_CHECK_MSG(key[0] < kInf,
+                  "isolated subgroup with no reached M1 neighbor — M1 "
+                  "network disconnected?");
+    int ref = key[1];
+    Vec2 disp = targets[static_cast<std::size_t>(ref)] -
+                start[static_cast<std::size_t>(ref)];
+    targets[v] = start[v] + disp;
+    rep.was_repaired[v] = 1;
+    ++rep.repaired;
+  }
+  return rep;
+}
+
+}  // namespace anr

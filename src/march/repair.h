@@ -1,0 +1,52 @@
+// Global-connectivity repair of mapped targets (paper Sec. III-D-1) —
+// centralized equivalent of net/protocols/subgroup.
+//
+// After the modified harmonic map assigns destination q_i to each robot,
+// links whose endpoints end up farther than r_c apart will break. Robots
+// (or whole subgroups) with no surviving path to a boundary vertex would
+// be cut off mid-march. The repair: every vertex of an isolated subgroup
+// replaces its own destination with a *parallel* march — it copies the
+// displacement of the subgroup root's reference neighbor (a reached M1
+// neighbor nearest to the boundary in surviving-link hops). Identical
+// displacement keeps every intra-subgroup distance constant for the whole
+// transition, and the root keeps its link to the reference, so the
+// subgroup stays attached to the main body throughout.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace anr {
+
+struct RepairReport {
+  /// Robots whose destination was replaced by a parallel march.
+  int repaired = 0;
+  /// Number of isolated subgroups found (singletons included).
+  int subgroups = 0;
+  /// Per robot: true when its target was rewritten.
+  std::vector<char> was_repaired;
+  /// Surviving-link hop distance to the nearest boundary vertex; -1 when
+  /// unreached before repair.
+  std::vector<int> boundary_hops;
+};
+
+/// Repairs `targets` in place.
+///   start       — robot positions in M1
+///   targets     — mapped destinations (modified)
+///   adjacency   — M1 unit-disk communication graph
+///   is_boundary — boundary vertices of the triangulation T (these map
+///                 onto the boundary of M2, forming the connected rim the
+///                 paper's argument relies on)
+///   r_c         — communication range
+///   link_metric — distance used for link-survival checks; defaults to
+///                 planar Euclidean (the terrain layer passes the lifted
+///                 3D chord metric)
+RepairReport repair_targets(
+    const std::vector<Vec2>& start, std::vector<Vec2>& targets,
+    const std::vector<std::vector<int>>& adjacency,
+    const std::vector<char>& is_boundary, double r_c,
+    const std::function<double(Vec2, Vec2)>& link_metric = {});
+
+}  // namespace anr

@@ -1,0 +1,62 @@
+// Resilience: robot failure recovery and mid-march retargeting.
+//
+// The paper's introduction motivates both: "an ANR system is more
+// reliable since the failure of an individual robot can be recovered by
+// its peers", and "an unexpected event may happen during the relocation.
+// As a result, the ANRs must cooperatively determine how to adapt to the
+// event. If an ANR is isolated at this time, it may be excluded from the
+// new plan and thus become permanently lost." — which is exactly why the
+// marching algorithm maintains global connectivity at every instant: the
+// swarm can be retargeted or can absorb failures at ANY point of the
+// march, because it is always one connected network.
+#pragma once
+
+#include <vector>
+
+#include "coverage/grid_cvt.h"
+#include "march/planner.h"
+#include "march/trajectory.h"
+
+namespace anr {
+
+/// Outcome of re-covering the target FoI after robots fail.
+struct FailureRecovery {
+  std::vector<int> survivors;            ///< original indices that survive
+  std::vector<Trajectory> trajectories;  ///< survivors' full timelines
+  std::vector<Vec2> final_positions;     ///< survivors' re-spread positions
+  int lloyd_steps = 0;
+  double recovery_distance = 0.0;  ///< extra distance spent re-covering
+  double recovery_start = 0.0;
+};
+
+/// Robots in `failed` die at `t_fail`. Survivors finish their planned
+/// trajectories, then re-run a connectivity-safe Lloyd over the target FoI
+/// (world coordinates) to re-cover the dead robots' regions.
+FailureRecovery recover_from_failure(const std::vector<Trajectory>& planned,
+                                     double t_fail,
+                                     const std::vector<int>& failed,
+                                     const FieldOfInterest& m2_world,
+                                     double r_c,
+                                     const DensityFn& density = {},
+                                     int max_lloyd_steps = 60,
+                                     int cvt_samples = 15000);
+
+/// Outcome of retargeting the swarm mid-march.
+struct RetargetResult {
+  std::vector<Trajectory> trajectories;  ///< spliced full timelines
+  MarchPlan second_leg;                  ///< plan of the new march
+  std::vector<Vec2> positions_at_event;  ///< where the event caught them
+  double event_time = 0.0;
+};
+
+/// At `t_event`, a new instruction arrives: abandon the current march and
+/// head to `new_planner`'s M2 (offset by `new_offset`). The swarm's
+/// positions at that instant become the new deployment — valid because
+/// the in-progress march kept the network connected. Trajectory times of
+/// the second leg are shifted to start at `t_event`.
+RetargetResult retarget_mid_march(const std::vector<Trajectory>& current,
+                                  double t_event,
+                                  const MarchPlanner& new_planner,
+                                  Vec2 new_offset);
+
+}  // namespace anr

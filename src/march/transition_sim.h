@@ -1,0 +1,44 @@
+// Transition simulator: plays back a set of trajectories and measures the
+// paper's evaluation metrics (Sec. IV) by dense time sampling.
+#pragma once
+
+#include <vector>
+
+#include "march/trajectory.h"
+
+namespace anr {
+
+/// Measured outcome of one marching run.
+struct TransitionMetrics {
+  /// Total moving distance D (Sec. II-A): sum of all path lengths over the
+  /// whole timeline (transition + minor adjustment).
+  double total_distance = 0.0;
+  /// Distance traversed during the transition window only.
+  double transition_distance = 0.0;
+  /// Distance traversed during the adjustment phase.
+  double adjustment_distance = 0.0;
+
+  /// Total stable link ratio L (Def. 1) measured over the whole timeline.
+  double stable_link_ratio = 0.0;
+  /// L measured over the transition window only.
+  double stable_link_ratio_transition = 0.0;
+
+  /// Global connectivity C (Def. 2): one connected component at every
+  /// sampled instant of the whole timeline.
+  bool global_connectivity = true;
+  /// First sampled time at which the network split; < 0 when it never did.
+  double first_disconnect_time = -1.0;
+
+  int initial_links = 0;
+  int stable_links = 0;
+  int samples = 0;
+};
+
+/// Samples the timeline at `samples` uniform instants (plus both window
+/// boundaries) and computes the metrics. `transition_end` splits the
+/// timeline into transition and adjustment.
+TransitionMetrics simulate_transition(const std::vector<Trajectory>& trajs,
+                                      double r_c, double transition_end,
+                                      int samples = 160);
+
+}  // namespace anr

@@ -1,0 +1,157 @@
+#include "march/triangulation_extract.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "mesh/delaunay.h"
+#include "net/unit_disk_graph.h"
+
+namespace anr {
+
+ExtractionResult extract_triangulation(const std::vector<Vec2>& positions,
+                                       double r_c) {
+  auto ex = alpha_extract(positions, r_c);
+  ExtractionResult out;
+  out.mesh = std::move(ex.mesh);
+  out.unmeshed = std::move(ex.unmeshed);
+  out.messages = 0;
+  return out;
+}
+
+ExtractionResult extract_triangulation_gabriel(
+    const std::vector<Vec2>& positions, double r_c) {
+  const int n = static_cast<int>(positions.size());
+  auto adj = net::unit_disk_adjacency(positions, r_c);
+
+  // One beacon round gives each robot its neighbors' positions; the
+  // Gabriel test for edge (u, v) only consults common neighbors (any
+  // witness inside the diameter disk is within r_c of both ends).
+  std::size_t messages = 0;
+  for (const auto& nb : adj) messages += nb.size();
+
+  std::set<EdgeKey> kept_edges;
+  for (int u = 0; u < n; ++u) {
+    for (int v : adj[static_cast<std::size_t>(u)]) {
+      if (v <= u) continue;
+      Vec2 mid = (positions[static_cast<std::size_t>(u)] +
+                  positions[static_cast<std::size_t>(v)]) *
+                 0.5;
+      double rad2 = distance2(positions[static_cast<std::size_t>(u)], mid);
+      bool witness = false;
+      for (int w : adj[static_cast<std::size_t>(u)]) {
+        if (w == v) continue;
+        if (distance2(positions[static_cast<std::size_t>(w)], mid) <
+            rad2 - 1e-12) {
+          witness = true;
+          break;
+        }
+      }
+      if (!witness) kept_edges.insert(EdgeKey(u, v));
+    }
+  }
+
+  // Triangles = 3-cliques of Gabriel edges.
+  std::vector<std::vector<int>> kept_adj(static_cast<std::size_t>(n));
+  for (const EdgeKey& e : kept_edges) {
+    kept_adj[static_cast<std::size_t>(e.a)].push_back(e.b);
+    kept_adj[static_cast<std::size_t>(e.b)].push_back(e.a);
+  }
+  for (auto& list : kept_adj) std::sort(list.begin(), list.end());
+  std::vector<Tri> tris;
+  for (const EdgeKey& e : kept_edges) {
+    const auto& na = kept_adj[static_cast<std::size_t>(e.a)];
+    const auto& nbb = kept_adj[static_cast<std::size_t>(e.b)];
+    std::vector<int> common;
+    std::set_intersection(na.begin(), na.end(), nbb.begin(), nbb.end(),
+                          std::back_inserter(common));
+    for (int w : common) {
+      if (w > e.b) tris.push_back(Tri{e.a, e.b, w});
+    }
+  }
+  auto cleaned = clean_to_manifold(TriangleMesh(positions, std::move(tris)));
+  ExtractionResult out;
+  out.mesh = std::move(cleaned.mesh);
+  out.unmeshed = std::move(cleaned.unmeshed);
+  out.messages = messages;
+  return out;
+}
+
+ExtractionResult extract_triangulation_distributed(
+    const std::vector<Vec2>& positions, double r_c) {
+  const int n = static_cast<int>(positions.size());
+  auto adj = net::unit_disk_adjacency(positions, r_c);
+
+  // Beacon round: every robot broadcasts its position (1 message per
+  // directed link).
+  std::size_t messages = 0;
+  for (const auto& nb : adj) messages += nb.size();
+
+  // Each robot computes the Delaunay triangulation of {self} + neighbors
+  // and keeps incident edges (<= r_c). This uses only local knowledge.
+  std::vector<std::set<int>> keeps(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    const auto& nb = adj[static_cast<std::size_t>(v)];
+    if (nb.size() < 2) continue;  // cannot form a local triangle
+    std::vector<Vec2> local;
+    std::vector<int> ids;
+    local.push_back(positions[static_cast<std::size_t>(v)]);
+    ids.push_back(v);
+    for (int u : nb) {
+      local.push_back(positions[static_cast<std::size_t>(u)]);
+      ids.push_back(u);
+    }
+    TriangleMesh dt;
+    try {
+      dt = delaunay(local);
+    } catch (const ContractViolation&) {
+      continue;  // collinear local neighborhood: keep nothing
+    }
+    for (const EdgeKey& e : dt.edges()) {
+      if (e.a != 0 && e.b != 0) continue;  // only edges incident to self
+      int other = ids[static_cast<std::size_t>(e.a == 0 ? e.b : e.a)];
+      keeps[static_cast<std::size_t>(v)].insert(other);
+    }
+  }
+
+  // Agreement round: robots exchange keep-lists with neighbors (1 message
+  // per directed link); a link survives iff both ends keep it.
+  for (const auto& nb : adj) messages += nb.size();
+  std::set<EdgeKey> kept_edges;
+  for (int v = 0; v < n; ++v) {
+    for (int u : keeps[static_cast<std::size_t>(v)]) {
+      if (u > v && keeps[static_cast<std::size_t>(u)].count(v)) {
+        kept_edges.insert(EdgeKey(v, u));
+      }
+    }
+  }
+
+  // Triangles = 3-cliques of kept edges (each robot can form these from
+  // its own and neighbors' keep lists).
+  std::vector<std::vector<int>> kept_adj(static_cast<std::size_t>(n));
+  for (const EdgeKey& e : kept_edges) {
+    kept_adj[static_cast<std::size_t>(e.a)].push_back(e.b);
+    kept_adj[static_cast<std::size_t>(e.b)].push_back(e.a);
+  }
+  for (auto& list : kept_adj) std::sort(list.begin(), list.end());
+  std::vector<Tri> tris;
+  for (const EdgeKey& e : kept_edges) {
+    const auto& na = kept_adj[static_cast<std::size_t>(e.a)];
+    const auto& nbb = kept_adj[static_cast<std::size_t>(e.b)];
+    std::vector<int> common;
+    std::set_intersection(na.begin(), na.end(), nbb.begin(), nbb.end(),
+                          std::back_inserter(common));
+    for (int w : common) {
+      if (w > e.b) tris.push_back(Tri{e.a, e.b, w});
+    }
+  }
+
+  auto cleaned = clean_to_manifold(TriangleMesh(positions, std::move(tris)));
+  ExtractionResult out;
+  out.mesh = std::move(cleaned.mesh);
+  out.unmeshed = std::move(cleaned.unmeshed);
+  out.messages = messages;
+  return out;
+}
+
+}  // namespace anr

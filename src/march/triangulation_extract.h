@@ -1,0 +1,48 @@
+// Extraction of the triangulation T from the connectivity graph
+// (paper Sec. III-A, following the distributed algorithm of Zhou et al.
+// INFOCOM'11 [18]).
+//
+// Each robot knows its own GPS position (paper Sec. II) and learns its
+// 1-hop neighbors' positions from a single beacon exchange. The
+// distributed rule is localized Delaunay: a robot keeps an incident link
+// iff that link is a Delaunay edge of its own 1-hop neighborhood; a link
+// survives iff *both* endpoints keep it. Triangles are the 3-cliques of
+// surviving links. On the dense, lattice-like deployments this library
+// produces, the result coincides with the centralized alpha extraction
+// (global Delaunay restricted to edges <= r_c) — asserted in tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mesh/alpha_extract.h"
+#include "mesh/triangle_mesh.h"
+
+namespace anr {
+
+struct ExtractionResult {
+  TriangleMesh mesh;
+  std::vector<VertexId> unmeshed;  ///< robots not in any kept triangle
+  std::size_t messages = 0;        ///< beacon + agreement messages
+};
+
+/// Centralized reference: global Delaunay filtered to edges <= r_c,
+/// cleaned to a manifold.
+ExtractionResult extract_triangulation(const std::vector<Vec2>& positions,
+                                       double r_c);
+
+/// Distributed localized-Delaunay extraction (one beacon round + one
+/// keep-list exchange), followed by the same manifold cleanup.
+ExtractionResult extract_triangulation_distributed(
+    const std::vector<Vec2>& positions, double r_c);
+
+/// Ablation variant: Gabriel-graph extraction. An edge survives iff the
+/// disk with that edge as diameter contains no other robot — a purely
+/// 1-hop-checkable rule (each robot tests its neighbors' positions), but
+/// the resulting graph is sparser than the Delaunay triangulation, so the
+/// derived triangulation T has fewer triangles and a weaker link
+/// structure. bench_ablation quantifies the cost.
+ExtractionResult extract_triangulation_gabriel(
+    const std::vector<Vec2>& positions, double r_c);
+
+}  // namespace anr

@@ -1,0 +1,33 @@
+// Minimum-cost bipartite matching (Hungarian / Jonker–Volgenant).
+//
+// The paper converts minimum-total-moving-distance marching into minimum
+// cost bipartite matching (Defs. 3–5): robots' current positions on one
+// side, optimal coverage positions in M2 on the other, Euclidean-distance
+// costs. Used by both baselines (direct translation's local assignment and
+// the pure Hungarian method) and as the distance lower bound every bench
+// normalizes against.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace anr {
+
+/// Dense cost matrix: cost[i][j] = cost of assigning row i to column j.
+/// Must be square.
+struct AssignmentResult {
+  std::vector<int> row_to_col;  ///< per row, the matched column
+  double total_cost = 0.0;
+};
+
+/// Solves the assignment problem in O(n^3) with the shortest-augmenting-
+/// path (Jonker–Volgenant) formulation of the Hungarian method.
+AssignmentResult solve_assignment(const std::vector<std::vector<double>>& cost);
+
+/// Convenience: minimum total-Euclidean-distance matching of `from` onto
+/// `to` (equal sizes).
+AssignmentResult min_distance_assignment(const std::vector<Vec2>& from,
+                                         const std::vector<Vec2>& to);
+
+}  // namespace anr

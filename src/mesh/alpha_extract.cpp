@@ -1,0 +1,172 @@
+#include "mesh/alpha_extract.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "mesh/delaunay.h"
+
+namespace anr {
+
+namespace {
+
+// Partitions triangles into edge-connected components; returns component id
+// per triangle and the size of each component.
+std::pair<std::vector<int>, std::vector<int>> triangle_components(
+    const std::vector<Tri>& tris) {
+  std::map<EdgeKey, std::vector<int>> edge_to_tris;
+  for (std::size_t ti = 0; ti < tris.size(); ++ti) {
+    const Tri& t = tris[ti];
+    for (int k = 0; k < 3; ++k) {
+      edge_to_tris[EdgeKey(t[static_cast<std::size_t>(k)],
+                           t[static_cast<std::size_t>((k + 1) % 3)])]
+          .push_back(static_cast<int>(ti));
+    }
+  }
+  std::vector<int> comp(tris.size(), -1);
+  std::vector<int> sizes;
+  for (std::size_t seed = 0; seed < tris.size(); ++seed) {
+    if (comp[seed] >= 0) continue;
+    int id = static_cast<int>(sizes.size());
+    sizes.push_back(0);
+    std::vector<int> stack{static_cast<int>(seed)};
+    comp[seed] = id;
+    while (!stack.empty()) {
+      int ti = stack.back();
+      stack.pop_back();
+      ++sizes[static_cast<std::size_t>(id)];
+      const Tri& t = tris[static_cast<std::size_t>(ti)];
+      for (int k = 0; k < 3; ++k) {
+        const auto& adj =
+            edge_to_tris[EdgeKey(t[static_cast<std::size_t>(k)],
+                                 t[static_cast<std::size_t>((k + 1) % 3)])];
+        for (int tj : adj) {
+          if (comp[static_cast<std::size_t>(tj)] < 0) {
+            comp[static_cast<std::size_t>(tj)] = id;
+            stack.push_back(tj);
+          }
+        }
+      }
+    }
+  }
+  return {std::move(comp), std::move(sizes)};
+}
+
+// Splits the triangles incident to vertex v into fan components connected
+// through edges incident to v. Returns the triangle-index groups.
+std::vector<std::vector<int>> vertex_fans(const TriangleMesh& mesh, VertexId v) {
+  const auto& inc = mesh.vertex_triangles(v);
+  std::vector<std::vector<int>> fans;
+  std::set<int> left(inc.begin(), inc.end());
+  const auto& tris = mesh.triangles();
+  while (!left.empty()) {
+    int seed = *left.begin();
+    left.erase(left.begin());
+    std::vector<int> fan{seed};
+    std::vector<int> stack{seed};
+    while (!stack.empty()) {
+      int ti = stack.back();
+      stack.pop_back();
+      const Tri& t = tris[static_cast<std::size_t>(ti)];
+      for (auto it = left.begin(); it != left.end();) {
+        const Tri& s = tris[static_cast<std::size_t>(*it)];
+        int common = 0;
+        for (VertexId a : t) {
+          for (VertexId b : s) {
+            if (a == b) ++common;
+          }
+        }
+        if (common >= 2) {  // shares the edge through v (v plus one more)
+          fan.push_back(*it);
+          stack.push_back(*it);
+          it = left.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    fans.push_back(std::move(fan));
+  }
+  return fans;
+}
+
+}  // namespace
+
+AlphaExtraction clean_to_manifold(TriangleMesh mesh) {
+  // Iterate: keep largest edge-connected component, then break bowties by
+  // dropping all but the largest fan at each non-manifold vertex. Each pass
+  // strictly removes triangles, so this terminates.
+  for (int pass = 0; pass < 64; ++pass) {
+    std::vector<Tri> tris = mesh.triangles();
+    if (tris.empty()) break;
+
+    auto [comp, sizes] = triangle_components(tris);
+    int largest = static_cast<int>(
+        std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+    std::vector<Tri> kept;
+    kept.reserve(tris.size());
+    for (std::size_t ti = 0; ti < tris.size(); ++ti) {
+      if (comp[ti] == largest) kept.push_back(tris[ti]);
+    }
+    bool dropped_component = kept.size() != tris.size();
+    mesh.set_triangles(std::move(kept));
+
+    // Find bowtie vertices and drop their minority fans.
+    std::set<int> to_drop;
+    for (std::size_t v = 0; v < mesh.num_vertices(); ++v) {
+      if (mesh.vertex_triangles(static_cast<VertexId>(v)).empty()) continue;
+      auto fans = vertex_fans(mesh, static_cast<VertexId>(v));
+      if (fans.size() <= 1) continue;
+      std::size_t largest_fan = 0;
+      for (std::size_t f = 1; f < fans.size(); ++f) {
+        if (fans[f].size() > fans[largest_fan].size()) largest_fan = f;
+      }
+      for (std::size_t f = 0; f < fans.size(); ++f) {
+        if (f == largest_fan) continue;
+        to_drop.insert(fans[f].begin(), fans[f].end());
+      }
+    }
+    if (to_drop.empty() && !dropped_component) break;  // already clean
+    if (!to_drop.empty()) {
+      std::vector<Tri> pruned;
+      const auto& cur = mesh.triangles();
+      pruned.reserve(cur.size() - to_drop.size());
+      for (std::size_t ti = 0; ti < cur.size(); ++ti) {
+        if (!to_drop.count(static_cast<int>(ti))) pruned.push_back(cur[ti]);
+      }
+      mesh.set_triangles(std::move(pruned));
+    } else if (!dropped_component) {
+      break;
+    }
+  }
+  ANR_CHECK_MSG(mesh.vertex_manifold(), "cleanup failed to reach manifold");
+  mesh.make_ccw();
+
+  AlphaExtraction out;
+  out.mesh = std::move(mesh);
+  for (std::size_t v = 0; v < out.mesh.num_vertices(); ++v) {
+    if (out.mesh.vertex_triangles(static_cast<VertexId>(v)).empty()) {
+      out.unmeshed.push_back(static_cast<VertexId>(v));
+    }
+  }
+  return out;
+}
+
+AlphaExtraction alpha_extract(const std::vector<Vec2>& pts, double alpha) {
+  ANR_CHECK(alpha > 0.0);
+  TriangleMesh dt = delaunay(pts);
+  std::vector<Tri> kept;
+  double a2 = alpha * alpha;
+  for (const Tri& t : dt.triangles()) {
+    Vec2 a = pts[static_cast<std::size_t>(t[0])];
+    Vec2 b = pts[static_cast<std::size_t>(t[1])];
+    Vec2 c = pts[static_cast<std::size_t>(t[2])];
+    if (distance2(a, b) <= a2 && distance2(b, c) <= a2 && distance2(c, a) <= a2) {
+      kept.push_back(t);
+    }
+  }
+  return clean_to_manifold(TriangleMesh(pts, std::move(kept)));
+}
+
+}  // namespace anr

@@ -1,0 +1,33 @@
+// Shape-aware triangulation extraction from a point set.
+//
+// The robots' connectivity graph in a concave FoI is *not* the convex-hull
+// Delaunay triangulation: triangles spanning a concavity would use links
+// longer than the communication range r_c. This module keeps only Delaunay
+// triangles whose edges all fit within `alpha` (= r_c), then cleans the
+// result down to a single edge-connected, vertex-manifold component —
+// exactly the disk-topology triangulation T the harmonic map needs.
+#pragma once
+
+#include <vector>
+
+#include "mesh/triangle_mesh.h"
+
+namespace anr {
+
+/// Result of alpha extraction.
+struct AlphaExtraction {
+  TriangleMesh mesh;            ///< cleaned triangulation (all input vertices
+                                ///< present; some may be unreferenced)
+  std::vector<VertexId> unmeshed;  ///< vertices not in any kept triangle
+};
+
+/// Extracts the alpha-complex-style triangulation of `pts` with edge-length
+/// threshold `alpha`, keeps the largest edge-connected triangle component,
+/// and iteratively removes triangles at bowtie vertices until the mesh is
+/// vertex-manifold.
+AlphaExtraction alpha_extract(const std::vector<Vec2>& pts, double alpha);
+
+/// Same cleanup applied to an existing triangle soup over `pts`.
+AlphaExtraction clean_to_manifold(TriangleMesh mesh);
+
+}  // namespace anr

@@ -1,0 +1,73 @@
+#include "mesh/boundary.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "geom/polygon.h"
+
+namespace anr {
+
+double BoundaryLoop::length(const TriangleMesh& mesh) const {
+  double len = 0.0;
+  for (std::size_t i = 0, n = vertices.size(); i < n; ++i) {
+    len += distance(mesh.position(vertices[i]),
+                    mesh.position(vertices[(i + 1) % n]));
+  }
+  return len;
+}
+
+std::vector<BoundaryLoop> boundary_loops(const TriangleMesh& mesh) {
+  auto bedges = mesh.boundary_edges();
+  // Adjacency restricted to boundary edges. On a vertex-manifold mesh every
+  // boundary vertex has exactly two incident boundary edges, so the chains
+  // close into simple cycles.
+  std::map<VertexId, std::vector<VertexId>> adj;
+  for (const EdgeKey& e : bedges) {
+    adj[e.a].push_back(e.b);
+    adj[e.b].push_back(e.a);
+  }
+  for (const auto& [v, nb] : adj) {
+    ANR_CHECK_MSG(nb.size() == 2,
+                  "boundary vertex without exactly two boundary edges "
+                  "(non-manifold mesh?)");
+  }
+
+  std::vector<BoundaryLoop> loops;
+  std::map<VertexId, bool> visited;
+  for (const auto& [start, nb] : adj) {
+    if (visited[start]) continue;
+    BoundaryLoop loop;
+    VertexId prev = -1;
+    VertexId cur = start;
+    do {
+      loop.vertices.push_back(cur);
+      visited[cur] = true;
+      const auto& candidates = adj[cur];
+      VertexId next = (candidates[0] == prev) ? candidates[1] : candidates[0];
+      prev = cur;
+      cur = next;
+    } while (cur != start);
+    ANR_CHECK(loop.vertices.size() >= 3);
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+std::size_t outer_loop_index(const TriangleMesh& mesh,
+                             const std::vector<BoundaryLoop>& loops) {
+  ANR_CHECK(!loops.empty());
+  std::size_t best = 0;
+  double best_area = -1.0;
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    BBox bb;
+    for (VertexId v : loops[i].vertices) bb.expand(mesh.position(v));
+    double area = bb.width() * bb.height();
+    if (area > best_area) {
+      best_area = area;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace anr

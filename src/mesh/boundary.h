@@ -1,0 +1,33 @@
+// Boundary loop extraction.
+//
+// Harmonic mapping pins the mesh's *outer* boundary loop to the unit
+// circle; hole loops get filled with virtual vertices. The paper's
+// distributed version walks the loop with a hop-counting message
+// (src/net/protocols/boundary_walk); this is the centralized equivalent,
+// used by the FoI mesher and as the oracle in equivalence tests.
+#pragma once
+
+#include <vector>
+
+#include "mesh/triangle_mesh.h"
+
+namespace anr {
+
+/// One closed boundary loop as an ordered vertex cycle.
+struct BoundaryLoop {
+  std::vector<VertexId> vertices;
+
+  /// Sum of edge lengths around the loop.
+  double length(const TriangleMesh& mesh) const;
+};
+
+/// All boundary loops of `mesh` (edges incident to exactly one triangle,
+/// chained into cycles). Requires a vertex-manifold mesh.
+std::vector<BoundaryLoop> boundary_loops(const TriangleMesh& mesh);
+
+/// Index into `loops` of the outer boundary — the loop with the largest
+/// enclosed bounding-box area (holes are strictly inside it).
+std::size_t outer_loop_index(const TriangleMesh& mesh,
+                             const std::vector<BoundaryLoop>& loops);
+
+}  // namespace anr

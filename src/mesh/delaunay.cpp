@@ -1,0 +1,300 @@
+#include "mesh/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "common/check.h"
+#include "geom/polygon.h"
+#include "geom/predicates.h"
+
+namespace anr {
+
+namespace {
+
+// Internal triangle record. Triangles touching the three synthetic "super"
+// vertices are tested symbolically (super vertices act as points at
+// infinity, CGAL-style); finite triangles cache their circumcircle.
+struct TriRec {
+  Tri t;            // CCW in the (jittered) working coordinates
+  int supers = 0;   // how many vertices are super vertices
+  Vec2 cc;          // circumcenter (finite triangles only)
+  double r2 = 0.0;  // squared circumradius (finite triangles only)
+  bool alive = true;
+};
+
+class Builder {
+ public:
+  explicit Builder(const std::vector<Vec2>& pts) : input_(pts) {
+    const std::size_t n = pts.size();
+    BBox bb;
+    for (Vec2 p : pts) bb.expand(p);
+    span_ = std::max({bb.width(), bb.height(), 1.0});
+    Vec2 c = bb.center();
+
+    // Symbolic-perturbation jitter: work on deterministically perturbed
+    // copies so exactly collinear / cocircular inputs (densified polygon
+    // edges, perfect lattices) never produce degenerate fills. Magnitude
+    // ~1e-6 of the data span — geometrically negligible (sub-millimeter at
+    // FoI scale) but large enough that transient triangles over near-
+    // collinear chains keep well-conditioned circumcircles (circumradius
+    // scales as L^2 / jitter). Output triangles reference the original
+    // coordinates.
+    work_ = pts;
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= (i + 1) * 0xbf58476d1ce4e5b9ull;
+      h ^= h >> 31;
+      double jx = static_cast<double>(h & 0xffff) / 65535.0 - 0.5;
+      h *= 0x94d049bb133111ebull;
+      h ^= h >> 29;
+      double jy = static_cast<double>(h & 0xffff) / 65535.0 - 0.5;
+      work_[i] += Vec2{jx, jy} * (2e-6 * span_);
+    }
+
+    s0_ = static_cast<int>(n);
+    work_.push_back(c + Vec2{-2.0 * span_, -1.5 * span_});
+    work_.push_back(c + Vec2{2.0 * span_, -1.5 * span_});
+    work_.push_back(c + Vec2{0.0, 2.5 * span_});
+    tris_.push_back(make_rec(Tri{s0_, s0_ + 1, s0_ + 2}));
+  }
+
+  TriangleMesh run() {
+    for (int pi = 0; pi < s0_; ++pi) {
+      insert(pi);
+    }
+    std::vector<Tri> out;
+    for (const TriRec& tr : tris_) {
+      if (tr.alive && tr.supers == 0) out.push_back(tr.t);
+    }
+    TriangleMesh mesh(input_, std::move(out));
+    mesh.make_ccw();
+    return mesh;
+  }
+
+ private:
+  bool is_super(int v) const { return v >= s0_; }
+
+  TriRec make_rec(Tri t) {
+    TriRec tr;
+    // Orient CCW in working coordinates (well-conditioned: super vertices
+    // are only ~2.5 spans away, and symbolic tests never use their
+    // circumcircles).
+    if (signed_area2(work_[static_cast<std::size_t>(t[0])],
+                     work_[static_cast<std::size_t>(t[1])],
+                     work_[static_cast<std::size_t>(t[2])]) < 0.0) {
+      std::swap(t[1], t[2]);
+    }
+    tr.t = t;
+    for (int v : t) {
+      if (is_super(v)) ++tr.supers;
+    }
+    if (tr.supers == 0) {
+      Vec2 a = work_[static_cast<std::size_t>(t[0])];
+      Vec2 b = work_[static_cast<std::size_t>(t[1])];
+      Vec2 c = work_[static_cast<std::size_t>(t[2])];
+      tr.cc = circumcenter(a, b, c);
+      tr.r2 = distance2(tr.cc, a);
+    }
+    return tr;
+  }
+
+  // Conflict ("p inside circumcircle") test with super vertices treated as
+  // points at infinity:
+  //  - 0 supers: ordinary circumcircle test (inside-biased for borderline).
+  //  - 1 super (u, v real, CCW (u,v,s)): the limit circle is the half-plane
+  //    strictly left of u->v.
+  //  - 2 supers (u real, A, B super): the limit circle is the half-plane
+  //    through u bounded by the line parallel to A->B, on A/B's side.
+  //  - 3 supers: the initial triangle, contains every input point.
+  bool in_conflict(const TriRec& tr, Vec2 p) const {
+    switch (tr.supers) {
+      case 0:
+        return distance2(p, tr.cc) <= tr.r2 * (1.0 + 1e-12);
+      case 1: {
+        int k = 0;
+        while (!is_super(tr.t[static_cast<std::size_t>(k)])) ++k;
+        Vec2 u = work_[static_cast<std::size_t>(tr.t[static_cast<std::size_t>((k + 1) % 3)])];
+        Vec2 v = work_[static_cast<std::size_t>(tr.t[static_cast<std::size_t>((k + 2) % 3)])];
+        return signed_area2(u, v, p) >= 0.0;
+      }
+      case 2: {
+        int k = 0;
+        while (is_super(tr.t[static_cast<std::size_t>(k)])) ++k;
+        Vec2 u = work_[static_cast<std::size_t>(tr.t[static_cast<std::size_t>(k)])];
+        Vec2 a = work_[static_cast<std::size_t>(tr.t[static_cast<std::size_t>((k + 1) % 3)])];
+        Vec2 b = work_[static_cast<std::size_t>(tr.t[static_cast<std::size_t>((k + 2) % 3)])];
+        Vec2 d = b - a;
+        double side_p = d.cross(p - u);
+        double side_far = d.cross(a - u);
+        return side_p * side_far >= 0.0;
+      }
+      default:
+        return true;
+    }
+  }
+
+  bool triangle_contains(const TriRec& tr, Vec2 p) const {
+    return point_in_triangle(p, work_[static_cast<std::size_t>(tr.t[0])],
+                             work_[static_cast<std::size_t>(tr.t[1])],
+                             work_[static_cast<std::size_t>(tr.t[2])]);
+  }
+
+  // Edge -> alive triangle incidence, rebuilt per insertion (the cavity
+  // search and the pinch repair both need it).
+  std::map<EdgeKey, std::vector<int>> alive_edge_map() const {
+    std::map<EdgeKey, std::vector<int>> em;
+    for (std::size_t ti = 0; ti < tris_.size(); ++ti) {
+      const TriRec& tr = tris_[ti];
+      if (!tr.alive) continue;
+      for (int k = 0; k < 3; ++k) {
+        em[EdgeKey(tr.t[static_cast<std::size_t>(k)],
+                   tr.t[static_cast<std::size_t>((k + 1) % 3)])]
+            .push_back(static_cast<int>(ti));
+      }
+    }
+    return em;
+  }
+
+  void insert(int pi) {
+    Vec2 p = work_[static_cast<std::size_t>(pi)];
+    auto em = alive_edge_map();
+
+    // Seed: an alive triangle containing p (always exists — the symbolic
+    // super triangles tile the rest of the plane).
+    int seed = -1;
+    for (std::size_t ti = 0; ti < tris_.size(); ++ti) {
+      const TriRec& tr = tris_[ti];
+      if (!tr.alive) continue;
+      if (triangle_contains(tr, p) && in_conflict(tr, p)) {
+        seed = static_cast<int>(ti);
+        break;
+      }
+      if (seed < 0 && triangle_contains(tr, p)) seed = static_cast<int>(ti);
+    }
+    ANR_CHECK_MSG(seed >= 0, "no triangle contains the insertion point");
+
+    // Cavity: BFS over shared edges through conflicting triangles only.
+    // Growing from the containing triangle keeps the cavity connected even
+    // when borderline conflict tests disagree far away (near-degenerate
+    // inputs); stray "conflicting" islands are simply not excavated.
+    std::vector<char> in_cavity(tris_.size(), 0);
+    bad_.clear();
+    bad_.push_back(seed);
+    in_cavity[static_cast<std::size_t>(seed)] = 1;
+    for (std::size_t head = 0; head < bad_.size(); ++head) {
+      const TriRec& tr = tris_[static_cast<std::size_t>(bad_[head])];
+      for (int k = 0; k < 3; ++k) {
+        EdgeKey e(tr.t[static_cast<std::size_t>(k)],
+                  tr.t[static_cast<std::size_t>((k + 1) % 3)]);
+        for (int tj : em[e]) {
+          if (in_cavity[static_cast<std::size_t>(tj)]) continue;
+          if (!in_conflict(tris_[static_cast<std::size_t>(tj)], p)) continue;
+          in_cavity[static_cast<std::size_t>(tj)] = 1;
+          bad_.push_back(tj);
+        }
+      }
+    }
+
+    // Pinch repair: if a vertex appears on the cavity boundary more than
+    // twice, absorb the smallest alive triangle fan at that vertex so the
+    // boundary becomes a simple cycle. Only triggers inside the jitter-
+    // scale degeneracy band; any consistent resolution is geometrically
+    // fine there.
+    for (int guard = 0;; ++guard) {
+      ANR_CHECK_MSG(guard < 64, "cavity pinch repair did not converge");
+      cavity_edges_.clear();
+      for (int ti : bad_) {
+        const TriRec& tr = tris_[static_cast<std::size_t>(ti)];
+        for (int k = 0; k < 3; ++k) {
+          ++cavity_edges_[EdgeKey(tr.t[static_cast<std::size_t>(k)],
+                                  tr.t[static_cast<std::size_t>((k + 1) % 3)])];
+        }
+      }
+      std::map<int, int> degree;
+      for (const auto& [e, cnt] : cavity_edges_) {
+        if (cnt == 1) {
+          ++degree[e.a];
+          ++degree[e.b];
+        }
+      }
+      int pinch = -1;
+      for (const auto& [v, d] : degree) {
+        if (d > 2) {
+          pinch = v;
+          break;
+        }
+      }
+      if (pinch < 0) break;
+
+      // Group the alive, non-cavity triangles incident to `pinch` into
+      // fans connected through edges at `pinch`; absorb the smallest fan.
+      std::vector<int> candidates;
+      for (std::size_t ti = 0; ti < tris_.size(); ++ti) {
+        const TriRec& tr = tris_[ti];
+        if (!tr.alive || in_cavity[ti]) continue;
+        if (tr.t[0] == pinch || tr.t[1] == pinch || tr.t[2] == pinch) {
+          candidates.push_back(static_cast<int>(ti));
+        }
+      }
+      ANR_CHECK_MSG(!candidates.empty(), "pinched vertex with no free fan");
+      std::vector<char> grouped(candidates.size(), 0);
+      std::vector<int> best_fan;
+      for (std::size_t s = 0; s < candidates.size(); ++s) {
+        if (grouped[s]) continue;
+        std::vector<int> fan{candidates[s]};
+        grouped[s] = 1;
+        for (std::size_t head = 0; head < fan.size(); ++head) {
+          const TriRec& tr = tris_[static_cast<std::size_t>(fan[head])];
+          for (int k = 0; k < 3; ++k) {
+            VertexId a = tr.t[static_cast<std::size_t>(k)];
+            VertexId b = tr.t[static_cast<std::size_t>((k + 1) % 3)];
+            if (a != pinch && b != pinch) continue;
+            for (int tj : em[EdgeKey(a, b)]) {
+              for (std::size_t o = 0; o < candidates.size(); ++o) {
+                if (!grouped[o] && candidates[o] == tj) {
+                  grouped[o] = 1;
+                  fan.push_back(tj);
+                }
+              }
+            }
+          }
+        }
+        if (best_fan.empty() || fan.size() < best_fan.size()) {
+          best_fan = std::move(fan);
+        }
+      }
+      for (int ti : best_fan) {
+        in_cavity[static_cast<std::size_t>(ti)] = 1;
+        bad_.push_back(ti);
+      }
+    }
+
+    for (int ti : bad_) {
+      tris_[static_cast<std::size_t>(ti)].alive = false;
+    }
+    for (const auto& [e, cnt] : cavity_edges_) {
+      if (cnt != 1) continue;
+      tris_.push_back(make_rec(Tri{e.a, e.b, pi}));
+    }
+  }
+
+  const std::vector<Vec2>& input_;
+  std::vector<Vec2> work_;
+  double span_ = 1.0;
+  int s0_ = 0;
+  std::vector<TriRec> tris_;
+  std::vector<int> bad_;
+  std::map<EdgeKey, int> cavity_edges_;
+};
+
+}  // namespace
+
+TriangleMesh delaunay(const std::vector<Vec2>& pts) {
+  ANR_CHECK_MSG(pts.size() >= 3, "delaunay needs >= 3 points");
+  Builder builder(pts);
+  return builder.run();
+}
+
+}  // namespace anr

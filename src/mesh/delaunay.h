@@ -1,0 +1,26 @@
+// Delaunay triangulation (Bowyer–Watson).
+//
+// Serves two roles: (1) geometric reference for extracting the robot
+// triangulation T in M1 (keep Delaunay edges no longer than r_c — the
+// result matches what the distributed Zhou-et-al-style extraction
+// converges to, and the two are cross-checked in tests), and (2) the
+// triangulator behind the FoI mesher (grid + boundary points).
+#pragma once
+
+#include <vector>
+
+#include "mesh/triangle_mesh.h"
+
+namespace anr {
+
+/// Delaunay triangulation of `pts`. The returned mesh has exactly the
+/// input vertices (same order) and CCW triangles covering the convex hull.
+///
+/// Near-degenerate inputs (exactly cocircular lattice points) are handled
+/// by the epsilon guard in the in-circumcircle predicate: ambiguous flips
+/// are skipped, so the result may be only *near*-Delaunay there, which is
+/// fine for every consumer in this library. Requires >= 3 non-collinear
+/// points.
+TriangleMesh delaunay(const std::vector<Vec2>& pts);
+
+}  // namespace anr

@@ -1,0 +1,40 @@
+#include "mesh/hole_fill.h"
+
+#include "common/check.h"
+#include "geom/predicates.h"
+
+namespace anr {
+
+HoleFillResult fill_holes(const TriangleMesh& mesh) {
+  HoleFillResult out;
+  out.mesh = mesh;
+  out.triangle_is_virtual.assign(mesh.num_triangles(), 0);
+
+  auto loops = boundary_loops(mesh);
+  ANR_CHECK_MSG(!loops.empty(), "mesh has no boundary");
+  std::size_t outer = outer_loop_index(mesh, loops);
+
+  for (std::size_t li = 0; li < loops.size(); ++li) {
+    if (li == outer) continue;
+    const auto& loop = loops[li].vertices;
+    Vec2 center{};
+    for (VertexId v : loop) center += mesh.position(v);
+    center = center / static_cast<double>(loop.size());
+    VertexId vv = out.mesh.add_vertex(center);
+    out.virtual_vertices.push_back(vv);
+    for (std::size_t i = 0, n = loop.size(); i < n; ++i) {
+      Tri t{loop[i], loop[(i + 1) % n], vv};
+      // Orient the fan triangle CCW.
+      if (signed_area2(out.mesh.position(t[0]), out.mesh.position(t[1]),
+                       out.mesh.position(t[2])) < 0.0) {
+        std::swap(t[0], t[1]);
+      }
+      out.mesh.add_triangle(t);
+      out.triangle_is_virtual.push_back(1);
+    }
+    ++out.holes_filled;
+  }
+  return out;
+}
+
+}  // namespace anr

@@ -1,0 +1,30 @@
+// Virtual-vertex hole filling (paper Sec. III-D-3).
+//
+// Harmonic map to a disk requires disk topology. A FoI (or robot
+// triangulation) with holes gets each hole loop filled by one *virtual*
+// vertex placed at the loop's vertex average, fanned to every loop vertex.
+// Virtual vertices participate in the relaxation like interior vertices;
+// virtual triangles are excluded when interpolating robot targets (a robot
+// landing in one is snapped to the nearest real grid point instead).
+#pragma once
+
+#include <vector>
+
+#include "mesh/boundary.h"
+#include "mesh/triangle_mesh.h"
+
+namespace anr {
+
+/// Result of filling holes.
+struct HoleFillResult {
+  TriangleMesh mesh;                 ///< disk-topology mesh
+  std::vector<VertexId> virtual_vertices;  ///< one per filled hole
+  std::vector<char> triangle_is_virtual;   ///< parallel to mesh.triangles()
+  std::size_t holes_filled = 0;
+};
+
+/// Fills every non-outer boundary loop of `mesh` with a virtual vertex fan.
+/// The input must be vertex-manifold with at least one boundary loop.
+HoleFillResult fill_holes(const TriangleMesh& mesh);
+
+}  // namespace anr

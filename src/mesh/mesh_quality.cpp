@@ -1,0 +1,65 @@
+#include "mesh/mesh_quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "geom/predicates.h"
+#include "mesh/boundary.h"
+
+namespace anr {
+
+MeshStats mesh_stats(const TriangleMesh& mesh) {
+  MeshStats s;
+  s.vertices = mesh.num_vertices();
+  s.triangles = mesh.num_triangles();
+  auto edges = mesh.edges();
+  s.edges = edges.size();
+  s.boundary_edges = mesh.boundary_edges().size();
+  s.euler = mesh.euler_characteristic();
+  if (mesh.vertex_manifold() && s.boundary_edges > 0) {
+    s.boundary_loops = boundary_loops(mesh).size();
+  }
+
+  s.min_angle_deg = 180.0;
+  s.max_angle_deg = 0.0;
+  s.min_edge = 1e300;
+  s.max_edge = 0.0;
+  double edge_sum = 0.0;
+  for (const EdgeKey& e : edges) {
+    double len = distance(mesh.position(e.a), mesh.position(e.b));
+    s.min_edge = std::min(s.min_edge, len);
+    s.max_edge = std::max(s.max_edge, len);
+    edge_sum += len;
+  }
+  s.mean_edge = edges.empty() ? 0.0 : edge_sum / static_cast<double>(edges.size());
+
+  for (const Tri& t : mesh.triangles()) {
+    Vec2 p[3] = {mesh.position(t[0]), mesh.position(t[1]), mesh.position(t[2])};
+    s.total_area += 0.5 * std::abs(signed_area2(p[0], p[1], p[2]));
+    for (int k = 0; k < 3; ++k) {
+      Vec2 u = (p[(k + 1) % 3] - p[k]).normalized();
+      Vec2 v = (p[(k + 2) % 3] - p[k]).normalized();
+      double ang = std::acos(std::clamp(u.dot(v), -1.0, 1.0)) * 180.0 / M_PI;
+      s.min_angle_deg = std::min(s.min_angle_deg, ang);
+      s.max_angle_deg = std::max(s.max_angle_deg, ang);
+    }
+  }
+  if (mesh.num_triangles() == 0) {
+    s.min_angle_deg = 0.0;
+    s.min_edge = 0.0;
+  }
+  return s;
+}
+
+std::string MeshStats::summary() const {
+  std::ostringstream os;
+  os << "V=" << vertices << " F=" << triangles << " E=" << edges
+     << " boundary(E=" << boundary_edges << ", loops=" << boundary_loops
+     << ") chi=" << euler << " angles=[" << min_angle_deg << ", "
+     << max_angle_deg << "]deg edge=[" << min_edge << ", " << max_edge
+     << "] area=" << total_area;
+  return os.str();
+}
+
+}  // namespace anr

@@ -1,0 +1,35 @@
+// Mesh quality statistics.
+//
+// Used by tests to assert meshes are sane and by the pipeline bench to
+// report the stage-by-stage state Fig. 2 of the paper visualizes.
+#pragma once
+
+#include <string>
+
+#include "mesh/triangle_mesh.h"
+
+namespace anr {
+
+/// Aggregate statistics of a triangle mesh.
+struct MeshStats {
+  std::size_t vertices = 0;
+  std::size_t triangles = 0;
+  std::size_t edges = 0;
+  std::size_t boundary_edges = 0;
+  std::size_t boundary_loops = 0;
+  int euler = 0;
+  double min_angle_deg = 0.0;
+  double max_angle_deg = 0.0;
+  double min_edge = 0.0;
+  double max_edge = 0.0;
+  double mean_edge = 0.0;
+  double total_area = 0.0;
+
+  std::string summary() const;
+};
+
+/// Computes statistics; requires a vertex-manifold mesh for loop counting
+/// (falls back to 0 loops otherwise).
+MeshStats mesh_stats(const TriangleMesh& mesh);
+
+}  // namespace anr

@@ -1,0 +1,185 @@
+#include "mesh/triangle_mesh.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "geom/predicates.h"
+
+namespace anr {
+
+TriangleMesh::TriangleMesh(std::vector<Vec2> vertices, std::vector<Tri> triangles)
+    : verts_(std::move(vertices)), tris_(std::move(triangles)) {
+  for (const Tri& t : tris_) {
+    for (VertexId v : t) {
+      ANR_CHECK_MSG(v >= 0 && static_cast<std::size_t>(v) < verts_.size(),
+                    "triangle references missing vertex");
+    }
+  }
+}
+
+VertexId TriangleMesh::add_vertex(Vec2 p) {
+  invalidate();
+  verts_.push_back(p);
+  return static_cast<VertexId>(verts_.size() - 1);
+}
+
+void TriangleMesh::add_triangle(Tri t) {
+  for (VertexId v : t) {
+    ANR_CHECK_MSG(v >= 0 && static_cast<std::size_t>(v) < verts_.size(),
+                  "triangle references missing vertex");
+  }
+  invalidate();
+  tris_.push_back(t);
+}
+
+void TriangleMesh::set_triangles(std::vector<Tri> tris) {
+  invalidate();
+  tris_ = std::move(tris);
+}
+
+void TriangleMesh::build_adjacency() const {
+  if (adjacency_valid_) return;
+  nbr_.assign(verts_.size(), {});
+  vert_tris_.assign(verts_.size(), {});
+  edge_tris_.clear();
+  for (std::size_t ti = 0; ti < tris_.size(); ++ti) {
+    const Tri& t = tris_[ti];
+    for (int k = 0; k < 3; ++k) {
+      VertexId u = t[static_cast<std::size_t>(k)];
+      VertexId v = t[static_cast<std::size_t>((k + 1) % 3)];
+      ++edge_tris_[EdgeKey(u, v)];
+      vert_tris_[static_cast<std::size_t>(u)].push_back(static_cast<int>(ti));
+    }
+  }
+  for (const auto& [e, cnt] : edge_tris_) {
+    nbr_[static_cast<std::size_t>(e.a)].push_back(e.b);
+    nbr_[static_cast<std::size_t>(e.b)].push_back(e.a);
+  }
+  for (auto& list : nbr_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  adjacency_valid_ = true;
+}
+
+const std::vector<VertexId>& TriangleMesh::neighbors(VertexId v) const {
+  build_adjacency();
+  return nbr_[static_cast<std::size_t>(v)];
+}
+
+std::vector<EdgeKey> TriangleMesh::edges() const {
+  build_adjacency();
+  std::vector<EdgeKey> out;
+  out.reserve(edge_tris_.size());
+  for (const auto& [e, cnt] : edge_tris_) out.push_back(e);
+  return out;
+}
+
+int TriangleMesh::edge_triangle_count(VertexId u, VertexId v) const {
+  build_adjacency();
+  auto it = edge_tris_.find(EdgeKey(u, v));
+  return it == edge_tris_.end() ? 0 : it->second;
+}
+
+std::vector<EdgeKey> TriangleMesh::boundary_edges() const {
+  build_adjacency();
+  std::vector<EdgeKey> out;
+  for (const auto& [e, cnt] : edge_tris_) {
+    if (cnt == 1) out.push_back(e);
+  }
+  return out;
+}
+
+bool TriangleMesh::is_boundary_vertex(VertexId v) const {
+  build_adjacency();
+  for (VertexId u : nbr_[static_cast<std::size_t>(v)]) {
+    auto it = edge_tris_.find(EdgeKey(v, u));
+    if (it != edge_tris_.end() && it->second == 1) return true;
+  }
+  return false;
+}
+
+const std::vector<int>& TriangleMesh::vertex_triangles(VertexId v) const {
+  build_adjacency();
+  return vert_tris_[static_cast<std::size_t>(v)];
+}
+
+bool TriangleMesh::edge_manifold() const {
+  build_adjacency();
+  for (const auto& [e, cnt] : edge_tris_) {
+    if (cnt > 2) return false;
+  }
+  return true;
+}
+
+bool TriangleMesh::vertex_manifold() const {
+  build_adjacency();
+  if (!edge_manifold()) return false;
+  // A vertex is manifold when its incident triangles form one connected
+  // component under shared-edge adjacency.
+  for (std::size_t v = 0; v < verts_.size(); ++v) {
+    const auto& inc = vert_tris_[v];
+    if (inc.empty()) continue;
+    std::set<int> seen;
+    std::vector<int> stack{inc[0]};
+    seen.insert(inc[0]);
+    while (!stack.empty()) {
+      int ti = stack.back();
+      stack.pop_back();
+      const Tri& t = tris_[static_cast<std::size_t>(ti)];
+      for (int tj : inc) {
+        if (seen.count(tj)) continue;
+        const Tri& s = tris_[static_cast<std::size_t>(tj)];
+        // Shared edge through v: both triangles contain v and another
+        // common vertex.
+        int common = 0;
+        for (VertexId a : t) {
+          for (VertexId b : s) {
+            if (a == b) ++common;
+          }
+        }
+        if (common >= 2) {
+          seen.insert(tj);
+          stack.push_back(tj);
+        }
+      }
+    }
+    if (seen.size() != inc.size()) return false;
+  }
+  return true;
+}
+
+int TriangleMesh::euler_characteristic() const {
+  build_adjacency();
+  // Count only vertices referenced by at least one triangle; free vertices
+  // are bookkeeping, not topology.
+  int used = 0;
+  for (std::size_t v = 0; v < verts_.size(); ++v) {
+    if (!vert_tris_[v].empty()) ++used;
+  }
+  return used - static_cast<int>(edge_tris_.size()) +
+         static_cast<int>(tris_.size());
+}
+
+bool TriangleMesh::all_ccw() const {
+  for (const Tri& t : tris_) {
+    if (signed_area2(position(t[0]), position(t[1]), position(t[2])) <= 0.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void TriangleMesh::make_ccw() {
+  bool changed = false;
+  for (Tri& t : tris_) {
+    if (signed_area2(position(t[0]), position(t[1]), position(t[2])) < 0.0) {
+      std::swap(t[1], t[2]);
+      changed = true;
+    }
+  }
+  if (changed) invalidate();
+}
+
+}  // namespace anr

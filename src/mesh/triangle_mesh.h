@@ -1,0 +1,111 @@
+// Indexed triangle mesh with adjacency queries.
+//
+// This is the shared mesh representation for (1) the triangulation T
+// extracted from the robots' connectivity graph in M1 and (2) the gridded
+// triangulation of the target FoI M2. Both get harmonic-mapped to the unit
+// disk, so the mesh must expose boundary structure and vertex neighborhoods.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace anr {
+
+/// Vertex index into a TriangleMesh.
+using VertexId = int;
+
+/// Triangle as a CCW triple of vertex indices.
+using Tri = std::array<VertexId, 3>;
+
+/// Undirected edge with ordered endpoints (a < b).
+struct EdgeKey {
+  VertexId a;
+  VertexId b;
+
+  EdgeKey(VertexId u, VertexId v) : a(u < v ? u : v), b(u < v ? v : u) {}
+  auto operator<=>(const EdgeKey&) const = default;
+};
+
+/// Indexed triangle mesh. Vertices carry 2D positions; triangles index
+/// into the vertex array. Adjacency (vertex neighbors, edge->triangle
+/// incidence) is rebuilt lazily after structural edits.
+class TriangleMesh {
+ public:
+  TriangleMesh() = default;
+  TriangleMesh(std::vector<Vec2> vertices, std::vector<Tri> triangles);
+
+  // --- structure -----------------------------------------------------------
+
+  VertexId add_vertex(Vec2 p);
+  void add_triangle(Tri t);
+  void set_triangles(std::vector<Tri> tris);
+
+  std::size_t num_vertices() const { return verts_.size(); }
+  std::size_t num_triangles() const { return tris_.size(); }
+
+  Vec2 position(VertexId v) const { return verts_[static_cast<std::size_t>(v)]; }
+  void set_position(VertexId v, Vec2 p) { verts_[static_cast<std::size_t>(v)] = p; }
+  const std::vector<Vec2>& positions() const { return verts_; }
+  const std::vector<Tri>& triangles() const { return tris_; }
+
+  // --- adjacency (valid after build_adjacency; rebuilt automatically) ------
+
+  /// Recomputes neighbor lists and edge incidence. Called automatically by
+  /// the queries below when the mesh changed since the last build.
+  void build_adjacency() const;
+
+  /// Sorted unique neighbor vertex ids of v (vertices sharing an edge).
+  const std::vector<VertexId>& neighbors(VertexId v) const;
+
+  /// All undirected edges.
+  std::vector<EdgeKey> edges() const;
+
+  /// Number of triangles incident to edge (u, v); 0 when no such edge.
+  int edge_triangle_count(VertexId u, VertexId v) const;
+
+  /// Edges incident to exactly one triangle.
+  std::vector<EdgeKey> boundary_edges() const;
+
+  /// True when v lies on some boundary edge.
+  bool is_boundary_vertex(VertexId v) const;
+
+  /// Triangle indices incident to vertex v.
+  const std::vector<int>& vertex_triangles(VertexId v) const;
+
+  // --- validation ----------------------------------------------------------
+
+  /// True when every edge has at most two incident triangles.
+  bool edge_manifold() const;
+
+  /// True when each vertex's incident triangles form a single fan
+  /// (no bowtie vertices). Implies edge_manifold over those triangles.
+  bool vertex_manifold() const;
+
+  /// Euler characteristic V - E + F.
+  int euler_characteristic() const;
+
+  /// True when every triangle has positive signed area (consistent CCW).
+  bool all_ccw() const;
+
+  /// Orients every triangle CCW by its vertex positions.
+  void make_ccw();
+
+ private:
+  void invalidate() { adjacency_valid_ = false; }
+
+  std::vector<Vec2> verts_;
+  std::vector<Tri> tris_;
+
+  // Lazily-built adjacency caches.
+  mutable bool adjacency_valid_ = false;
+  mutable std::vector<std::vector<VertexId>> nbr_;
+  mutable std::vector<std::vector<int>> vert_tris_;
+  mutable std::map<EdgeKey, int> edge_tris_;
+};
+
+}  // namespace anr

@@ -1,0 +1,132 @@
+#include "net/connectivity.h"
+
+#include <queue>
+
+#include "net/unit_disk_graph.h"
+
+namespace anr::net {
+
+std::vector<int> components(const std::vector<std::vector<int>>& adj) {
+  std::vector<int> comp(adj.size(), -1);
+  int next = 0;
+  for (std::size_t seed = 0; seed < adj.size(); ++seed) {
+    if (comp[seed] >= 0) continue;
+    int id = next++;
+    std::queue<int> q;
+    q.push(static_cast<int>(seed));
+    comp[seed] = id;
+    while (!q.empty()) {
+      int v = q.front();
+      q.pop();
+      for (int u : adj[static_cast<std::size_t>(v)]) {
+        if (comp[static_cast<std::size_t>(u)] < 0) {
+          comp[static_cast<std::size_t>(u)] = id;
+          q.push(u);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+bool is_connected(const std::vector<std::vector<int>>& adj) {
+  if (adj.empty()) return true;
+  auto comp = components(adj);
+  for (int c : comp) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+bool is_connected(const std::vector<Vec2>& positions, double r) {
+  return is_connected(unit_disk_adjacency(positions, r));
+}
+
+std::vector<int> articulation_points(const std::vector<std::vector<int>>& adj) {
+  const int n = static_cast<int>(adj.size());
+  std::vector<int> disc(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<char> is_ap(static_cast<std::size_t>(n), 0);
+  int timer = 0;
+
+  // Iterative Tarjan DFS (explicit stack; swarm graphs can be deep).
+  struct Frame {
+    int v;
+    int parent;
+    std::size_t next_child = 0;
+    int tree_children = 0;
+  };
+  for (int root = 0; root < n; ++root) {
+    if (disc[static_cast<std::size_t>(root)] >= 0) continue;
+    std::vector<Frame> stack{{root, -1}};
+    disc[static_cast<std::size_t>(root)] =
+        low[static_cast<std::size_t>(root)] = timer++;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto& nb = adj[static_cast<std::size_t>(f.v)];
+      if (f.next_child < nb.size()) {
+        int u = nb[f.next_child++];
+        if (u == f.parent) continue;
+        if (disc[static_cast<std::size_t>(u)] >= 0) {
+          low[static_cast<std::size_t>(f.v)] =
+              std::min(low[static_cast<std::size_t>(f.v)],
+                       disc[static_cast<std::size_t>(u)]);
+        } else {
+          disc[static_cast<std::size_t>(u)] =
+              low[static_cast<std::size_t>(u)] = timer++;
+          stack.push_back(Frame{u, f.v});
+        }
+      } else {
+        Frame done = f;  // copy before popping: f dangles afterwards
+        stack.pop_back();
+        if (done.parent >= 0) {
+          Frame& pf = stack.back();
+          ++pf.tree_children;
+          low[static_cast<std::size_t>(done.parent)] =
+              std::min(low[static_cast<std::size_t>(done.parent)],
+                       low[static_cast<std::size_t>(done.v)]);
+          if (pf.parent >= 0 && low[static_cast<std::size_t>(done.v)] >=
+                                    disc[static_cast<std::size_t>(done.parent)]) {
+            is_ap[static_cast<std::size_t>(done.parent)] = 1;
+          }
+        } else if (done.tree_children >= 2) {
+          is_ap[static_cast<std::size_t>(done.v)] = 1;
+        }
+      }
+    }
+  }
+  std::vector<int> out;
+  for (int v = 0; v < n; ++v) {
+    if (is_ap[static_cast<std::size_t>(v)]) out.push_back(v);
+  }
+  return out;
+}
+
+bool is_biconnected(const std::vector<std::vector<int>>& adj) {
+  return is_connected(adj) && articulation_points(adj).empty();
+}
+
+std::vector<int> bfs_hops(const std::vector<std::vector<int>>& adj,
+                          const std::vector<int>& sources) {
+  std::vector<int> hops(adj.size(), -1);
+  std::queue<int> q;
+  for (int s : sources) {
+    if (hops[static_cast<std::size_t>(s)] < 0) {
+      hops[static_cast<std::size_t>(s)] = 0;
+      q.push(s);
+    }
+  }
+  while (!q.empty()) {
+    int v = q.front();
+    q.pop();
+    for (int u : adj[static_cast<std::size_t>(v)]) {
+      if (hops[static_cast<std::size_t>(u)] < 0) {
+        hops[static_cast<std::size_t>(u)] = hops[static_cast<std::size_t>(v)] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return hops;
+}
+
+}  // namespace anr::net

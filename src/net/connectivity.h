@@ -1,0 +1,40 @@
+// Graph connectivity over adjacency lists.
+//
+// Global connectivity C (paper Def. 2) requires every robot to have a path
+// to the rest of the network at every instant of the transition; the
+// transition simulator calls these on each sampled topology.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace anr::net {
+
+/// Connected-component id per node (ids are 0..k-1, assigned in BFS order
+/// from the smallest unvisited node).
+std::vector<int> components(const std::vector<std::vector<int>>& adj);
+
+/// True when the graph is a single connected component (or empty).
+bool is_connected(const std::vector<std::vector<int>>& adj);
+
+/// Convenience: connectivity of the unit-disk graph over `positions`.
+bool is_connected(const std::vector<Vec2>& positions, double r);
+
+/// BFS hop distance from the given sources to every node; -1 when
+/// unreachable.
+std::vector<int> bfs_hops(const std::vector<std::vector<int>>& adj,
+                          const std::vector<int>& sources);
+
+/// Articulation points (cut vertices): nodes whose single failure splits
+/// their component. A marching swarm with zero articulation points
+/// tolerates any one robot failure without losing connectivity — the
+/// fragility measure behind the paper's reliability claim (Sec. I).
+std::vector<int> articulation_points(const std::vector<std::vector<int>>& adj);
+
+/// True when the graph is connected and has no articulation points
+/// (requires >= 3 nodes to be meaningful; 1-2 node graphs return true
+/// when connected).
+bool is_biconnected(const std::vector<std::vector<int>>& adj);
+
+}  // namespace anr::net

@@ -1,0 +1,108 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "net/unit_disk_graph.h"
+
+namespace anr::net {
+
+Network::Network(std::vector<std::vector<NodeId>> adjacency)
+    : adj_(std::move(adjacency)), inbox_(adj_.size()) {
+  for (std::size_t v = 0; v < adj_.size(); ++v) {
+    auto& nb = adj_[v];
+    std::sort(nb.begin(), nb.end());
+    nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+    for (NodeId u : nb) {
+      ANR_CHECK_MSG(u >= 0 && static_cast<std::size_t>(u) < adj_.size(),
+                    "adjacency references missing node");
+      ANR_CHECK_MSG(u != static_cast<NodeId>(v), "self-loop in adjacency");
+    }
+  }
+}
+
+Network::Network(const std::vector<Vec2>& positions, double r)
+    : Network(unit_disk_adjacency(positions, r)) {}
+
+const std::vector<NodeId>& Network::neighbors(NodeId v) const {
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+bool Network::linked(NodeId a, NodeId b) const {
+  const auto& nb = adj_[static_cast<std::size_t>(a)];
+  return std::binary_search(nb.begin(), nb.end(), b);
+}
+
+void Network::set_link_delays(int max_delay, std::uint64_t seed) {
+  ANR_CHECK(max_delay >= 1);
+  max_delay_ = max_delay;
+  delay_state_ = seed * 0x9e3779b97f4a7c15ull + 0xbf58476d1ce4e5b9ull;
+}
+
+void Network::send(NodeId from, NodeId to, Message m) {
+  ANR_CHECK_MSG(linked(from, to), "send over non-existent link");
+  m.src = from;
+  std::size_t delay = 1;
+  if (max_delay_ > 1) {
+    // splitmix64-style deterministic stream.
+    delay_state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = delay_state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    delay = 1 + static_cast<std::size_t>(z % static_cast<std::uint64_t>(max_delay_));
+  }
+  queue_.push_back(Pending{to, rounds_ + delay, std::move(m)});
+  ++messages_sent_;
+}
+
+void Network::broadcast(NodeId from, const Message& m) {
+  for (NodeId to : neighbors(from)) {
+    send(from, to, m);
+  }
+}
+
+bool Network::deliver_round() {
+  ++rounds_;
+  if (queue_.empty()) return false;
+  // Deterministic delivery order: by receiver, then sender, preserving
+  // send order within a pair. Only messages whose delay elapsed arrive.
+  std::stable_sort(queue_.begin(), queue_.end(),
+                   [](const Pending& a, const Pending& b) {
+                     if (a.to != b.to) return a.to < b.to;
+                     return a.msg.src < b.msg.src;
+                   });
+  bool delivered = false;
+  std::vector<Pending> later;
+  later.reserve(queue_.size());
+  for (Pending& p : queue_) {
+    if (p.due_round <= rounds_) {
+      inbox_[static_cast<std::size_t>(p.to)].push_back(std::move(p.msg));
+      delivered = true;
+    } else {
+      later.push_back(std::move(p));
+    }
+  }
+  queue_ = std::move(later);
+  return delivered;
+}
+
+std::vector<Message> Network::take_inbox(NodeId v) {
+  return std::exchange(inbox_[static_cast<std::size_t>(v)], {});
+}
+
+bool Network::quiescent() const {
+  if (!queue_.empty()) return false;
+  for (const auto& box : inbox_) {
+    if (!box.empty()) return false;
+  }
+  return true;
+}
+
+void Network::reset_stats() {
+  messages_sent_ = 0;
+  rounds_ = 0;
+}
+
+}  // namespace anr::net

@@ -1,0 +1,97 @@
+// Round-based message-passing network simulator.
+//
+// The paper's algorithms are distributed: boundary hop-counting walks,
+// flooding of link-ratio sums, iterative neighbor averaging, and
+// boundary-sourced reachability packets. This substrate executes them as
+// real message exchanges over an explicit topology so that the library's
+// "distributed" claim is meaningful: protocols only read a node's own
+// state and its inbox. A synchronous round model (messages sent in round
+// k arrive at round k+1) keeps executions deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace anr::net {
+
+/// Node identifier; also the node's unique ID in protocols that elect by
+/// smallest ID (paper Sec. III-B).
+using NodeId = int;
+
+/// A protocol message. `tag` identifies the protocol-specific type; the
+/// two payload vectors carry whatever that protocol needs.
+struct Message {
+  NodeId src = -1;
+  int tag = 0;
+  std::vector<int> ints;
+  std::vector<double> reals;
+};
+
+/// Fixed-topology synchronous network. Construct from an explicit
+/// adjacency (e.g. the robot triangulation's edges) or from positions with
+/// a unit-disk range.
+///
+/// Asynchrony: `set_link_delays` gives every message an independent
+/// (seeded, deterministic) delivery delay of 1..max_delay rounds. Token
+/// protocols (boundary walk) and monotone flooding protocols (flood sum,
+/// subgroup detection) are delay-tolerant and tested under asynchrony;
+/// the Jacobi relaxation assumes lock-step rounds and is synchronous-only.
+class Network {
+ public:
+  /// Explicit adjacency; lists may be unsorted, self-loops are rejected.
+  explicit Network(std::vector<std::vector<NodeId>> adjacency);
+
+  /// Unit-disk topology over `positions` with communication range `r`.
+  Network(const std::vector<Vec2>& positions, double r);
+
+  /// Enables asynchronous delivery: each subsequently-sent message takes
+  /// a uniform 1..max_delay rounds to arrive. max_delay = 1 restores the
+  /// synchronous model.
+  void set_link_delays(int max_delay, std::uint64_t seed);
+
+  int size() const { return static_cast<int>(adj_.size()); }
+  const std::vector<NodeId>& neighbors(NodeId v) const;
+  bool linked(NodeId a, NodeId b) const;
+
+  /// Queues a message for delivery next round. The link (from, to) must
+  /// exist — protocols cannot talk past the topology.
+  void send(NodeId from, NodeId to, Message m);
+
+  /// Sends a copy of m to every neighbor of `from`.
+  void broadcast(NodeId from, const Message& m);
+
+  /// Advances one round: everything queued becomes visible in inboxes.
+  /// Returns true when at least one message was delivered.
+  bool deliver_round();
+
+  /// Drains and returns node v's inbox (messages delivered this round).
+  std::vector<Message> take_inbox(NodeId v);
+
+  /// True when no message is queued or sitting undelivered in an inbox.
+  bool quiescent() const;
+
+  // Execution statistics (message complexity of a protocol run).
+  std::size_t messages_sent() const { return messages_sent_; }
+  std::size_t rounds_elapsed() const { return rounds_; }
+  void reset_stats();
+
+ private:
+  struct Pending {
+    NodeId to;
+    std::size_t due_round;
+    Message msg;
+  };
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<std::vector<Message>> inbox_;
+  std::vector<Pending> queue_;
+  std::size_t messages_sent_ = 0;
+  std::size_t rounds_ = 0;
+  int max_delay_ = 1;
+  std::uint64_t delay_state_ = 0;
+};
+
+}  // namespace anr::net

@@ -1,0 +1,45 @@
+// Distributed boundary parametrization (paper Sec. III-B, first step).
+//
+// "A boundary vertex with the smallest ID initiates a message with a
+// counter that records how many hops the message has travelled along the
+// boundary. … The starting vertex notifies other boundary vertices the
+// size of the boundary."
+//
+// We realize the smallest-ID selection with Chang–Roberts ring election
+// (every boundary vertex starts a token; tokens survive only toward
+// smaller IDs), then a second lap assigns hop indices and the loop size.
+// Works per boundary loop, so meshes with holes get one parametrized loop
+// per hole plus the outer loop.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mesh/triangle_mesh.h"
+
+namespace anr::net {
+
+/// Per-vertex boundary parametrization.
+struct BoundaryWalkResult {
+  /// Hop index along the vertex's loop, counted from the loop leader
+  /// (leader itself is 0); -1 for non-boundary vertices.
+  std::vector<int> hop;
+  /// Number of vertices of the vertex's loop; 0 for non-boundary vertices.
+  std::vector<int> loop_size;
+  /// Leader (smallest) vertex id of the vertex's loop; -1 off-boundary.
+  std::vector<int> loop_leader;
+
+  std::size_t messages = 0;
+  std::size_t rounds = 0;
+};
+
+/// Runs the protocol over the communication links given by `mesh` edges.
+/// Each vertex uses only local knowledge: its incident boundary edges
+/// (available from its 1-hop triangle fan) and its inbox.
+/// `max_delay` > 1 runs the protocol under asynchronous delivery (each
+/// message delayed 1..max_delay rounds, deterministic in `delay_seed`).
+BoundaryWalkResult run_boundary_walk(const TriangleMesh& mesh,
+                                     int max_delay = 1,
+                                     std::uint64_t delay_seed = 0);
+
+}  // namespace anr::net

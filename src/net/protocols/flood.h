@@ -1,0 +1,33 @@
+// Network-wide flooding aggregation (paper Sec. III-B, rotation search).
+//
+// "After calculating its own stable link ratio, the mobile robot then
+// floods the information to other mobile robots."
+//
+// Every node floods its local value tagged with its origin id; nodes
+// forward each origin's value the first time they see it. At quiescence
+// every node holds all n values and computes the global sum locally.
+// Message complexity O(n * E) — the price the paper's design pays per
+// rotation-search probe; bench_micro reports it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.h"
+
+namespace anr::net {
+
+struct FloodSumResult {
+  double sum = 0.0;
+  /// True when every node computed the same sum (always true on a
+  /// connected topology).
+  bool agreed = false;
+  std::size_t messages = 0;
+  std::size_t rounds = 0;
+};
+
+/// Floods each node's value over `net`'s topology and sums network-wide.
+/// `net` is consumed as the execution fabric (its stats are the result's).
+FloodSumResult run_flood_sum(Network& net, const std::vector<double>& values);
+
+}  // namespace anr::net

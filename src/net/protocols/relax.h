@@ -1,0 +1,40 @@
+// Distributed harmonic relaxation (paper Sec. III-B, interior step).
+//
+// "Inner vertices initiate their positions at the center of the unit disk.
+// Then at each step, an inner vertex computes its position as the average
+// of the positions of its neighboring vertices."
+//
+// Synchronous Jacobi iteration: every vertex broadcasts its current disk
+// position each round; free (inner) vertices replace theirs by the
+// neighbor average. Convergence detection is performed by the simulator
+// harness (a real deployment would wrap this in any standard termination-
+// detection protocol; the paper elides that detail and so do we, but the
+// message counts reported exclude nothing else).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "mesh/triangle_mesh.h"
+
+namespace anr::net {
+
+struct RelaxResult {
+  std::vector<Vec2> positions;
+  std::size_t messages = 0;
+  std::size_t rounds = 0;
+  bool converged = false;
+};
+
+/// Runs distributed averaging over the edges of `mesh`. `fixed[v]` pins
+/// vertex v at `initial[v]` (boundary vertices on the circle); free
+/// vertices start at `initial[v]` and iterate. Stops when no vertex moves
+/// more than `tol` in a round, or after `max_rounds`.
+RelaxResult run_distributed_relax(const TriangleMesh& mesh,
+                                  const std::vector<Vec2>& initial,
+                                  const std::vector<char>& fixed,
+                                  double tol = 1e-9,
+                                  std::size_t max_rounds = 200000);
+
+}  // namespace anr::net

@@ -1,0 +1,52 @@
+// Distributed isolated-subgroup detection and rooting (paper Sec. III-D-1).
+//
+// After the harmonic map assigns destinations, some M1 links will break
+// (endpoints end up farther than r_c apart in M2). The paper's fix:
+// boundary vertices flood packets over *surviving* links; any vertex that
+// never receives one belongs to an isolated subgroup. Each subgroup then
+// elects a root — the member having a *reached* M1 neighbor that is
+// nearest (in hops) to a boundary vertex — and the whole subgroup marches
+// parallel to that reference neighbor.
+//
+// This protocol runs over the M1 topology (all links still physically up
+// during planning); the "surviving" relation only gates which links carry
+// the phase-A reachability packets.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "mesh/triangle_mesh.h"
+
+namespace anr::net {
+
+struct SubgroupResult {
+  /// Per vertex: hop distance to the nearest boundary vertex over
+  /// surviving links; -1 when unreached (isolated).
+  std::vector<int> boundary_hops;
+  /// Per vertex: true when connected to a boundary vertex via surviving
+  /// links.
+  std::vector<char> reached;
+  /// Per unreached vertex: the elected root of its subgroup; -1 for
+  /// reached vertices. A subgroup with no reached M1 neighbor anywhere
+  /// keeps root = the smallest-id member (degenerate but still grouped).
+  std::vector<int> subgroup_root;
+  /// Per unreached vertex: the root's reference neighbor (a reached M1
+  /// neighbor of the root); -1 when none exists or vertex is reached.
+  std::vector<int> reference;
+
+  std::size_t messages = 0;
+  std::size_t rounds = 0;
+};
+
+/// `survives(u, v)` says whether the M1 link (u, v) still holds at the
+/// mapped destinations; `is_boundary[v]` marks boundary vertices of the
+/// triangulation. Topology = edges of `mesh`. `max_delay` > 1 runs the
+/// protocol under asynchronous delivery (deterministic in `delay_seed`).
+SubgroupResult run_subgroup_detection(
+    const TriangleMesh& mesh, const std::vector<char>& is_boundary,
+    const std::function<bool(VertexId, VertexId)>& survives,
+    int max_delay = 1, std::uint64_t delay_seed = 0);
+
+}  // namespace anr::net

@@ -1,0 +1,39 @@
+#include "net/unit_disk_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "geom/grid_index.h"
+
+namespace anr::net {
+
+std::vector<std::vector<int>> unit_disk_adjacency(
+    const std::vector<Vec2>& positions, double r) {
+  ANR_CHECK(r > 0.0);
+  std::vector<std::vector<int>> adj(positions.size());
+  if (positions.empty()) return adj;
+  GridIndex index(positions, r);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (int j : index.query_radius(positions[i], r)) {
+      if (static_cast<std::size_t>(j) != i) {
+        adj[i].push_back(j);
+      }
+    }
+    std::sort(adj[i].begin(), adj[i].end());
+  }
+  return adj;
+}
+
+std::vector<std::pair<int, int>> unit_disk_edges(
+    const std::vector<Vec2>& positions, double r) {
+  auto adj = unit_disk_adjacency(positions, r);
+  std::vector<std::pair<int, int>> edges;
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    for (int j : adj[i]) {
+      if (static_cast<int>(i) < j) edges.emplace_back(static_cast<int>(i), j);
+    }
+  }
+  return edges;
+}
+
+}  // namespace anr::net

@@ -1,0 +1,23 @@
+// Unit-disk communication graph.
+//
+// Two robots are linked iff their distance is at most the communication
+// range r_c (paper Sec. II). This is the topology over which all
+// protocols run and over which the stable-link metric is defined.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace anr::net {
+
+/// Adjacency lists of the unit-disk graph over `positions` with range `r`.
+/// Lists come back sorted.
+std::vector<std::vector<int>> unit_disk_adjacency(
+    const std::vector<Vec2>& positions, double r);
+
+/// All unit-disk edges as (a, b) pairs with a < b.
+std::vector<std::pair<int, int>> unit_disk_edges(
+    const std::vector<Vec2>& positions, double r);
+
+}  // namespace anr::net

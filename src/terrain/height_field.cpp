@@ -1,0 +1,74 @@
+#include "terrain/height_field.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace anr {
+
+HeightField::HeightField(std::vector<Hill> hills) : hills_(std::move(hills)) {
+  for (const Hill& h : hills_) {
+    ANR_CHECK_MSG(h.radius > 0.0, "hill radius must be positive");
+  }
+}
+
+HeightField HeightField::rolling(const BBox& bounds, int count,
+                                 double max_amplitude, double radius,
+                                 std::uint64_t seed) {
+  ANR_CHECK(count >= 0 && radius > 0.0);
+  Rng rng(seed);
+  std::vector<Hill> hills;
+  hills.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Hill h;
+    h.center = {rng.uniform(bounds.lo.x, bounds.hi.x),
+                rng.uniform(bounds.lo.y, bounds.hi.y)};
+    h.amplitude = rng.uniform(-max_amplitude, max_amplitude);
+    h.radius = radius * rng.uniform(0.6, 1.4);
+    hills.push_back(h);
+  }
+  return HeightField(std::move(hills));
+}
+
+double HeightField::height(Vec2 p) const {
+  double z = 0.0;
+  for (const Hill& h : hills_) {
+    z += h.amplitude * std::exp(-distance2(p, h.center) / (2.0 * h.radius * h.radius));
+  }
+  return z;
+}
+
+Vec2 HeightField::gradient(Vec2 p) const {
+  Vec2 g{};
+  for (const Hill& h : hills_) {
+    double s2 = h.radius * h.radius;
+    double w = h.amplitude * std::exp(-distance2(p, h.center) / (2.0 * s2));
+    g += (h.center - p) * (w / s2);
+  }
+  return g;
+}
+
+double HeightField::chord_distance(Vec2 a, Vec2 b) const {
+  double dz = height(a) - height(b);
+  return std::sqrt(distance2(a, b) + dz * dz);
+}
+
+double HeightField::surface_length(Vec2 a, Vec2 b, int samples) const {
+  ANR_CHECK(samples >= 1);
+  if (flat()) return distance(a, b);
+  double len = 0.0;
+  Vec2 prev = a;
+  double prev_z = height(a);
+  for (int k = 1; k <= samples; ++k) {
+    Vec2 cur = lerp(a, b, static_cast<double>(k) / samples);
+    double z = height(cur);
+    double dz = z - prev_z;
+    len += std::sqrt(distance2(prev, cur) + dz * dz);
+    prev = cur;
+    prev_z = z;
+  }
+  return len;
+}
+
+}  // namespace anr

@@ -1,0 +1,56 @@
+// Analytic terrain (height field) — a prototype of the paper's
+// future-work item ("… and 3D surface cases", Sec. V).
+//
+// The 2D marching plan is computed on the map plane as usual; the terrain
+// layer then evaluates how that plan behaves on the actual surface:
+// travel cost becomes surface arc length, and two robots hear each other
+// only when their 3D (lifted) distance is within the radio range — a
+// ridge between two robots can break a link that looks fine on the map.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/polygon.h"
+#include "geom/vec2.h"
+
+namespace anr {
+
+/// One smooth Gaussian hill (negative amplitude = depression).
+struct Hill {
+  Vec2 center;
+  double amplitude = 0.0;  ///< peak height in meters
+  double radius = 1.0;     ///< Gaussian sigma in meters
+};
+
+/// Smooth procedural height field: z(p) = sum of Gaussian hills.
+class HeightField {
+ public:
+  HeightField() = default;  ///< flat terrain
+  explicit HeightField(std::vector<Hill> hills);
+
+  /// Deterministic rolling terrain: `count` hills scattered in `bounds`
+  /// with amplitudes in [-max_amplitude, max_amplitude].
+  static HeightField rolling(const BBox& bounds, int count,
+                             double max_amplitude, double radius,
+                             std::uint64_t seed);
+
+  double height(Vec2 p) const;
+
+  /// Analytic gradient (dz/dx, dz/dy).
+  Vec2 gradient(Vec2 p) const;
+
+  /// Straight-chord 3D distance between the lifted points.
+  double chord_distance(Vec2 a, Vec2 b) const;
+
+  /// Arc length of the lifted segment a->b (numeric quadrature).
+  double surface_length(Vec2 a, Vec2 b, int samples = 16) const;
+
+  bool flat() const { return hills_.empty(); }
+  const std::vector<Hill>& hills() const { return hills_; }
+
+ private:
+  std::vector<Hill> hills_;
+};
+
+}  // namespace anr

@@ -1,0 +1,28 @@
+// Surface-aware evaluation of a planar marching plan.
+//
+// Plays back trajectories exactly like march/transition_sim, but measures
+// them on the terrain: distances are surface arc lengths and a link is up
+// only when the lifted 3D distance fits the radio range. On flat terrain
+// the results coincide with the planar simulator (tested).
+#pragma once
+
+#include "march/trajectory.h"
+#include "march/transition_sim.h"
+#include "terrain/height_field.h"
+
+namespace anr {
+
+/// Planar metrics plus the surface-specific extras.
+struct SurfaceMetrics {
+  TransitionMetrics base;        ///< metrics measured with the 3D link model
+  double surface_distance = 0.0; ///< total arc length over the terrain
+  double planar_distance = 0.0;  ///< map-plane distance for comparison
+  double max_climb = 0.0;        ///< largest single-robot height change
+};
+
+/// Simulates `trajs` over `terrain` with radio range `r_c` (3D).
+SurfaceMetrics simulate_on_surface(const std::vector<Trajectory>& trajs,
+                                   const HeightField& terrain, double r_c,
+                                   double transition_end, int samples = 160);
+
+}  // namespace anr

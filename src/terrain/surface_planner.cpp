@@ -1,0 +1,342 @@
+#include "terrain/surface_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+#include "harmonic/disk_map.h"
+#include "march/repair.h"
+#include "mesh/alpha_extract.h"
+#include "mesh/boundary.h"
+#include "mesh/delaunay.h"
+#include "mesh/hole_fill.h"
+#include "net/connectivity.h"
+
+namespace anr {
+
+std::vector<std::vector<int>> surface_adjacency(const std::vector<Vec2>& pos,
+                                                const HeightField& terrain,
+                                                double r_c) {
+  const std::size_t n = pos.size();
+  std::vector<std::vector<int>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (terrain.chord_distance(pos[i], pos[j]) <= r_c + 1e-9) {
+        adj[i].push_back(static_cast<int>(j));
+        adj[j].push_back(static_cast<int>(i));
+      }
+    }
+  }
+  return adj;
+}
+
+std::vector<std::pair<int, int>> surface_links(const std::vector<Vec2>& pos,
+                                               const HeightField& terrain,
+                                               double r_c) {
+  auto adj = surface_adjacency(pos, terrain, r_c);
+  std::vector<std::pair<int, int>> out;
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    for (int j : adj[i]) {
+      if (static_cast<int>(i) < j) out.emplace_back(static_cast<int>(i), j);
+    }
+  }
+  return out;
+}
+
+std::function<double(const TriangleMesh&, VertexId, VertexId)>
+surface_mean_value_weights(const HeightField& terrain) {
+  // Capture by value: HeightField is a small vector of hills, and callers
+  // may pass temporaries.
+  return [terrain](const TriangleMesh& mesh, VertexId i, VertexId j) {
+    // 3D edge lengths of the lifted mesh; mean-value weight via the
+    // law-of-cosines angles at vertex i.
+    auto len3 = [&](VertexId a, VertexId b) {
+      return terrain.chord_distance(mesh.position(a), mesh.position(b));
+    };
+    double lij = len3(i, j);
+    ANR_CHECK(lij > 0.0);
+    double w = 0.0;
+    for (int ti : mesh.vertex_triangles(i)) {
+      const Tri& t = mesh.triangles()[static_cast<std::size_t>(ti)];
+      bool has_j = t[0] == j || t[1] == j || t[2] == j;
+      if (!has_j) continue;
+      VertexId k = -1;
+      for (VertexId v : t) {
+        if (v != i && v != j) k = v;
+      }
+      double lik = len3(i, k);
+      double ljk = len3(j, k);
+      double cos_a =
+          std::clamp((lij * lij + lik * lik - ljk * ljk) / (2.0 * lij * lik),
+                     -1.0, 1.0);
+      w += std::tan(std::acos(cos_a) / 2.0);
+    }
+    // Guard: boundary edges with a single flat triangle can yield a tiny
+    // weight; keep it strictly positive.
+    return std::max(w / lij, 1e-12);
+  };
+}
+
+SurfaceMarchPlanner::SurfaceMarchPlanner(FieldOfInterest m1,
+                                         FieldOfInterest m2_shape,
+                                         HeightField terrain, double r_c,
+                                         SurfacePlannerOptions options)
+    : m1_(std::move(m1)),
+      m2_(std::move(m2_shape)),
+      terrain_(std::move(terrain)),
+      r_c_(r_c),
+      opt_(std::move(options)) {
+  ANR_CHECK(r_c_ > 0.0);
+
+  m2_mesh_ = mesh_foi(m2_, opt_.mesher);
+  HoleFillResult filled = fill_holes(m2_mesh_.mesh);
+  DiskMapOptions dopt;
+  dopt.custom_weight = surface_mean_value_weights(terrain_);
+  DiskMap disk = harmonic_disk_map(filled.mesh, dopt);
+  ANR_CHECK_MSG(disk.converged, "M2 surface harmonic map did not converge");
+  interpolator_ = std::make_unique<OverlapInterpolator>(filled, disk);
+
+  // CVT density scaled by the surface area element: equalize surface
+  // area per robot, not map area.
+  const HeightField& hf = terrain_;
+  DensityFn slope_density = [&hf](Vec2 p) {
+    Vec2 g = hf.gradient(p);
+    return std::sqrt(1.0 + g.norm2());
+  };
+  cvt_ = std::make_unique<GridCvt>(m2_, slope_density, opt_.cvt_samples);
+}
+
+MarchPlan SurfaceMarchPlanner::plan(const std::vector<Vec2>& positions,
+                                    Vec2 m2_offset) const {
+  const std::size_t n = positions.size();
+  ANR_CHECK_MSG(n >= 4, "need at least 4 robots");
+
+  MarchPlan plan;
+  plan.start = positions;
+  plan.transition_end = opt_.transition_time;
+
+  auto adjacency = surface_adjacency(positions, terrain_, r_c_);
+  ANR_CHECK_MSG(net::is_connected(adjacency),
+                "initial deployment is not connected on the surface");
+  auto links = surface_links(positions, terrain_, r_c_);
+
+  // --- Triangulation T: planar Delaunay filtered by 3D chord length.
+  TriangleMesh dt = delaunay(positions);
+  std::vector<Tri> kept;
+  for (const Tri& t : dt.triangles()) {
+    if (chord(positions[static_cast<std::size_t>(t[0])],
+              positions[static_cast<std::size_t>(t[1])]) <= r_c_ &&
+        chord(positions[static_cast<std::size_t>(t[1])],
+              positions[static_cast<std::size_t>(t[2])]) <= r_c_ &&
+        chord(positions[static_cast<std::size_t>(t[2])],
+              positions[static_cast<std::size_t>(t[0])]) <= r_c_) {
+      kept.push_back(t);
+    }
+  }
+  AlphaExtraction ext = clean_to_manifold(TriangleMesh(positions, std::move(kept)));
+  plan.unmeshed_robots = static_cast<int>(ext.unmeshed.size());
+  plan.t_stats = mesh_stats(ext.mesh);
+
+  // Compact for mapping.
+  std::vector<int> robot_to_compact(n, -1);
+  std::vector<Vec2> cverts;
+  std::vector<Tri> ctris;
+  for (const Tri& t : ext.mesh.triangles()) {
+    Tri nt{};
+    for (int k = 0; k < 3; ++k) {
+      VertexId v = t[static_cast<std::size_t>(k)];
+      int& slot = robot_to_compact[static_cast<std::size_t>(v)];
+      if (slot < 0) {
+        slot = static_cast<int>(cverts.size());
+        cverts.push_back(ext.mesh.position(v));
+      }
+      nt[static_cast<std::size_t>(k)] = slot;
+    }
+    ctris.push_back(nt);
+  }
+  TriangleMesh t_compact(std::move(cverts), std::move(ctris));
+
+  HoleFillResult t_filled = fill_holes(t_compact);
+  DiskMapOptions dopt;
+  dopt.custom_weight = surface_mean_value_weights(terrain_);
+  DiskMap t_disk = harmonic_disk_map(t_filled.mesh, dopt);
+
+  // Boundary robots of T's outer loop.
+  std::vector<char> is_boundary(n, 0);
+  {
+    auto loops = boundary_loops(t_compact);
+    std::size_t outer = outer_loop_index(t_compact, loops);
+    std::vector<int> compact_to_robot(t_compact.num_vertices(), -1);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (robot_to_compact[r] >= 0) {
+        compact_to_robot[static_cast<std::size_t>(robot_to_compact[r])] =
+            static_cast<int>(r);
+      }
+    }
+    for (VertexId v : loops[outer].vertices) {
+      is_boundary[static_cast<std::size_t>(
+          compact_to_robot[static_cast<std::size_t>(v)])] = 1;
+    }
+  }
+
+  // Anchors for unmeshed robots.
+  std::vector<int> anchor(n, -1);
+  {
+    std::queue<int> q;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (robot_to_compact[r] >= 0) {
+        anchor[r] = static_cast<int>(r);
+        q.push(static_cast<int>(r));
+      }
+    }
+    ANR_CHECK_MSG(!q.empty(), "surface triangulation kept no robot");
+    while (!q.empty()) {
+      int v = q.front();
+      q.pop();
+      for (int u : adjacency[static_cast<std::size_t>(v)]) {
+        if (anchor[static_cast<std::size_t>(u)] < 0) {
+          anchor[static_cast<std::size_t>(u)] = anchor[static_cast<std::size_t>(v)];
+          q.push(u);
+        }
+      }
+    }
+  }
+
+  auto map_targets = [&](double theta, int* snapped) {
+    std::vector<Vec2> q(n);
+    std::vector<char> done(n, 0);
+    int snaps = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      int cv = robot_to_compact[r];
+      if (cv < 0) continue;
+      Vec2 z = t_disk.disk_pos[static_cast<std::size_t>(cv)].rotated(theta);
+      MappedTarget t = interpolator_->map_point(z);
+      q[r] = t.world + m2_offset;
+      done[r] = 1;
+      if (t.snapped) ++snaps;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (done[r]) continue;
+      int a = anchor[r];
+      q[r] = positions[r] + (q[static_cast<std::size_t>(a)] -
+                             positions[static_cast<std::size_t>(a)]);
+    }
+    if (snapped != nullptr) *snapped = snaps;
+    return q;
+  };
+
+  auto objective = [&](double theta) {
+    std::vector<Vec2> q = map_targets(theta, nullptr);
+    if (opt_.objective == MarchObjective::kMinDistance) {
+      double d = 0.0;
+      for (std::size_t r = 0; r < n; ++r) d += terrain_.surface_length(positions[r], q[r], 8);
+      return -d;
+    }
+    // Surface-metric stable-link predictor.
+    int stable = 0;
+    for (auto [i, j] : links) {
+      if (chord(q[static_cast<std::size_t>(i)], q[static_cast<std::size_t>(j)]) <=
+          r_c_ + 1e-9) {
+        ++stable;
+      }
+    }
+    return links.empty() ? 1.0
+                         : static_cast<double>(stable) /
+                               static_cast<double>(links.size());
+  };
+
+  RotationSearchResult rot = search_rotation(objective, opt_.rotation);
+  plan.rotation_angle = rot.angle;
+  plan.rotation_objective = rot.value;
+  plan.rotation_evaluations = rot.evaluations;
+
+  std::vector<Vec2> targets = map_targets(rot.angle, &plan.snapped_targets);
+
+  // Repair with the lifted metric.
+  const HeightField& hf = terrain_;
+  RepairReport rep = repair_targets(
+      positions, targets, adjacency, is_boundary, r_c_,
+      [&hf](Vec2 a, Vec2 b) { return hf.chord_distance(a, b); });
+  plan.repaired_robots = rep.repaired;
+  plan.repaired_subgroups = rep.subgroups;
+  plan.mapped_targets = targets;
+  {
+    int stable = 0;
+    for (auto [i, j] : links) {
+      if (chord(targets[static_cast<std::size_t>(i)],
+                targets[static_cast<std::size_t>(j)]) <= r_c_ + 1e-9) {
+        ++stable;
+      }
+    }
+    plan.predicted_link_ratio =
+        links.empty() ? 1.0
+                      : static_cast<double>(stable) /
+                            static_cast<double>(links.size());
+  }
+
+  // Trajectories on the map plane (holes are obstacles as usual).
+  std::vector<Polygon> obstacles = m1_.holes();
+  for (const Polygon& h : m2_.holes()) obstacles.push_back(h.translated(m2_offset));
+  plan.trajectories.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    plan.trajectories.push_back(make_timed_path(
+        positions[r], targets[r], 0.0, opt_.transition_time, obstacles));
+  }
+
+  // Connectivity-safe Lloyd with slope-weighted centroids and the lifted
+  // link model.
+  double max_disp = 1e-9;
+  for (std::size_t r = 0; r < n; ++r) {
+    max_disp = std::max(max_disp, distance(positions[r], targets[r]));
+  }
+  double speed_ref = max_disp / opt_.transition_time;
+  std::vector<Vec2> cur = targets;
+  double t = opt_.transition_time;
+  std::vector<Polygon> m2_obstacles;
+  for (const Polygon& h : m2_.holes()) m2_obstacles.push_back(h.translated(m2_offset));
+  for (int step = 0; step < opt_.max_adjust_steps; ++step) {
+    std::vector<Vec2> local(n);
+    for (std::size_t r = 0; r < n; ++r) local[r] = cur[r] - m2_offset;
+    std::vector<Vec2> cents = cvt_->centroids(local);
+    std::vector<Vec2> cand(n);
+    for (std::size_t r = 0; r < n; ++r) cand[r] = cents[r] + m2_offset;
+
+    double factor = 1.0;
+    std::vector<Vec2> trial(n);
+    bool ok = false;
+    for (int halving = 0; halving < 7; ++halving) {
+      for (std::size_t r = 0; r < n; ++r) trial[r] = lerp(cur[r], cand[r], factor);
+      if (net::is_connected(surface_adjacency(trial, terrain_, r_c_))) {
+        ok = true;
+        break;
+      }
+      factor /= 2.0;
+    }
+    if (!ok) break;
+    double max_move = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      max_move = std::max(max_move, distance(trial[r], cur[r]));
+    }
+    if (max_move <= opt_.adjust.tol) {
+      cur = trial;
+      ++plan.adjust_steps;
+      break;
+    }
+    double dt = std::max(max_move / speed_ref, 1e-6);
+    for (std::size_t r = 0; r < n; ++r) {
+      Trajectory seg = make_timed_path(cur[r], trial[r], t, t + dt, m2_obstacles);
+      for (std::size_t w = 1; w < seg.num_waypoints(); ++w) {
+        plan.trajectories[r].append(seg.waypoints()[w], seg.times()[w]);
+      }
+    }
+    cur = trial;
+    t += dt;
+    ++plan.adjust_steps;
+  }
+  plan.final_positions = cur;
+  plan.total_time = t;
+  return plan;
+}
+
+}  // namespace anr

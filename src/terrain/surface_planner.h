@@ -1,0 +1,82 @@
+// Surface-aware marching — the full 3D-surface prototype of the paper's
+// future work (Sec. V), not just post-hoc evaluation.
+//
+// Robots live on a height-field surface. Everything that is metric in
+// the paper's pipeline switches to the surface metric:
+//   - the communication graph and triangulation T use lifted 3D (chord)
+//     distances for the range test;
+//   - both harmonic maps use mean-value weights computed from 3D edge
+//     lengths (the discrete harmonic map of the *surface* mesh, which is
+//     exactly how the paper's cited machinery generalizes to surfaces);
+//   - the rotation objective, the subgroup repair, and the connectivity-
+//     safe adjustment all test links with the 3D chord metric;
+//   - the CVT density is scaled by the surface area element
+//     sqrt(1 + |grad z|^2), so robots equalize *surface* area, not map
+//     area.
+// Trajectories remain paths over the map plane (the robot drives the
+// terrain under them); measure them with simulate_on_surface.
+#pragma once
+
+#include <memory>
+
+#include "coverage/grid_cvt.h"
+#include "foi/foi_mesher.h"
+#include "harmonic/composition.h"
+#include "march/planner.h"
+#include "terrain/height_field.h"
+
+namespace anr {
+
+struct SurfacePlannerOptions {
+  MarchObjective objective = MarchObjective::kMaxStableLinks;
+  RotationSearchOptions rotation;
+  MesherOptions mesher;
+  int cvt_samples = 24000;
+  LloydOptions adjust;
+  int max_adjust_steps = 50;
+  double transition_time = 1.0;
+};
+
+/// Plans marches over a height field. API mirrors MarchPlanner.
+class SurfaceMarchPlanner {
+ public:
+  SurfaceMarchPlanner(FieldOfInterest m1, FieldOfInterest m2_shape,
+                      HeightField terrain, double r_c,
+                      SurfacePlannerOptions options = {});
+
+  /// Plans the march; `m2_offset` rigidly places the M2 shape on the map.
+  /// The terrain is global (not offset with M2).
+  MarchPlan plan(const std::vector<Vec2>& positions, Vec2 m2_offset) const;
+
+  const HeightField& terrain() const { return terrain_; }
+  double comm_range() const { return r_c_; }
+
+ private:
+  double chord(Vec2 a, Vec2 b) const { return terrain_.chord_distance(a, b); }
+
+  FieldOfInterest m1_;
+  FieldOfInterest m2_;
+  HeightField terrain_;
+  double r_c_;
+  SurfacePlannerOptions opt_;
+
+  FoiMesh m2_mesh_;
+  std::unique_ptr<OverlapInterpolator> interpolator_;
+  std::unique_ptr<GridCvt> cvt_;
+};
+
+/// Lifted unit-disk adjacency: links iff 3D chord distance <= r_c.
+std::vector<std::vector<int>> surface_adjacency(const std::vector<Vec2>& pos,
+                                                const HeightField& terrain,
+                                                double r_c);
+
+/// Lifted communication links (a < b pairs).
+std::vector<std::pair<int, int>> surface_links(const std::vector<Vec2>& pos,
+                                               const HeightField& terrain,
+                                               double r_c);
+
+/// Mean-value harmonic weight provider over the lifted surface mesh.
+std::function<double(const TriangleMesh&, VertexId, VertexId)>
+surface_mean_value_weights(const HeightField& terrain);
+
+}  // namespace anr

@@ -1,0 +1,194 @@
+#include "viz/svg.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace anr {
+
+namespace {
+
+std::string attr(const SvgStyle& s) {
+  std::ostringstream os;
+  os << "stroke=\"" << s.stroke << "\" stroke-width=\"" << s.stroke_width
+     << "\" fill=\"" << s.fill << "\" opacity=\"" << s.opacity << "\"";
+  return os.str();
+}
+
+std::string points_attr(const std::vector<Vec2>& pts) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i > 0) os << ' ';
+    // Flip y: SVG's y axis points down.
+    os << pts[i].x << ',' << -pts[i].y;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void SvgCanvas::expand(Vec2 p) { bounds_.expand(p); }
+
+void SvgCanvas::line(Vec2 a, Vec2 b, const SvgStyle& style) {
+  expand(a);
+  expand(b);
+  std::ostringstream os;
+  os << "<line x1=\"" << a.x << "\" y1=\"" << -a.y << "\" x2=\"" << b.x
+     << "\" y2=\"" << -b.y << "\" " << attr(style) << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::polyline(const std::vector<Vec2>& pts, const SvgStyle& style) {
+  if (pts.size() < 2) return;
+  for (Vec2 p : pts) expand(p);
+  std::ostringstream os;
+  os << "<polyline points=\"" << points_attr(pts) << "\" " << attr(style) << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::circle(Vec2 center, double radius, const SvgStyle& style) {
+  expand(center + Vec2{radius, radius});
+  expand(center - Vec2{radius, radius});
+  std::ostringstream os;
+  os << "<circle cx=\"" << center.x << "\" cy=\"" << -center.y << "\" r=\""
+     << radius << "\" " << attr(style) << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::polygon(const Polygon& poly, const SvgStyle& style) {
+  if (poly.size() < 3) return;
+  for (Vec2 p : poly.points()) expand(p);
+  std::ostringstream os;
+  os << "<polygon points=\"" << points_attr(poly.points()) << "\" "
+     << attr(style) << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::text(Vec2 anchor, const std::string& label, double size,
+                     const std::string& color) {
+  expand(anchor);
+  std::ostringstream os;
+  os << "<text x=\"" << anchor.x << "\" y=\"" << -anchor.y << "\" font-size=\""
+     << size << "\" fill=\"" << color << "\">" << label << "</text>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::foi(const FieldOfInterest& region, const std::string& color) {
+  SvgStyle outer;
+  outer.stroke = color;
+  outer.stroke_width = 2.0;
+  polygon(region.outer(), outer);
+  SvgStyle hole;
+  hole.stroke = color;
+  hole.stroke_width = 1.5;
+  hole.fill = "#cccccc";
+  hole.opacity = 0.8;
+  for (const Polygon& h : region.holes()) polygon(h, hole);
+}
+
+void SvgCanvas::mesh(const TriangleMesh& m, const SvgStyle& style) {
+  for (const EdgeKey& e : m.edges()) {
+    line(m.position(e.a), m.position(e.b), style);
+  }
+}
+
+void SvgCanvas::robots(const std::vector<Vec2>& pts, double radius,
+                       const std::string& color) {
+  SvgStyle dot;
+  dot.stroke = "none";
+  dot.fill = color;
+  for (Vec2 p : pts) circle(p, radius, dot);
+}
+
+void SvgCanvas::links(const std::vector<Vec2>& pts,
+                      const std::vector<std::pair<int, int>>& edges,
+                      const SvgStyle& style) {
+  for (auto [i, j] : edges) {
+    line(pts[static_cast<std::size_t>(i)], pts[static_cast<std::size_t>(j)],
+         style);
+  }
+}
+
+void SvgCanvas::trajectories(const std::vector<Trajectory>& trajs,
+                             const std::string& color) {
+  SvgStyle s;
+  s.stroke = color;
+  s.stroke_width = 0.8;
+  s.opacity = 0.5;
+  for (const Trajectory& t : trajs) {
+    polyline(t.waypoints(), s);
+  }
+}
+
+void SvgCanvas::animated_robots(const std::vector<Trajectory>& trajs,
+                                double duration_seconds, double radius,
+                                const std::string& color) {
+  if (trajs.empty()) return;
+  double t0 = trajs[0].start_time();
+  double t1 = trajs[0].end_time();
+  for (const Trajectory& t : trajs) {
+    t0 = std::min(t0, t.start_time());
+    t1 = std::max(t1, t.end_time());
+  }
+  double span = std::max(t1 - t0, 1e-9);
+
+  for (const Trajectory& t : trajs) {
+    if (t.empty()) continue;
+    for (Vec2 p : t.waypoints()) expand(p);
+    std::ostringstream os;
+    Vec2 s = t.start();
+    os << "<circle cx=\"" << s.x << "\" cy=\"" << -s.y << "\" r=\"" << radius
+       << "\" fill=\"" << color << "\">";
+    // keyTimes must start at 0 and end at 1: pad with the endpoints when
+    // the trajectory does not span the whole timeline.
+    std::ostringstream cx, cy, kt;
+    auto emit = [&](Vec2 p, double time) {
+      cx << p.x << ';';
+      cy << -p.y << ';';
+      kt << (time - t0) / span << ';';
+    };
+    if (t.start_time() > t0) emit(t.start(), t0);
+    for (std::size_t i = 0; i < t.num_waypoints(); ++i) {
+      emit(t.waypoints()[i], t.times()[i]);
+    }
+    if (t.end_time() < t1) emit(t.end(), t1);
+    auto strip = [](std::ostringstream& o) {
+      std::string v = o.str();
+      v.pop_back();  // trailing ';'
+      return v;
+    };
+    os << "<animate attributeName=\"cx\" dur=\"" << duration_seconds
+       << "s\" repeatCount=\"indefinite\" calcMode=\"linear\" values=\""
+       << strip(cx) << "\" keyTimes=\"" << strip(kt) << "\"/>";
+    os << "<animate attributeName=\"cy\" dur=\"" << duration_seconds
+       << "s\" repeatCount=\"indefinite\" calcMode=\"linear\" values=\""
+       << strip(cy) << "\" keyTimes=\"" << strip(kt) << "\"/>";
+    os << "</circle>";
+    elements_.push_back(os.str());
+  }
+}
+
+std::string SvgCanvas::str(double pixel_width) const {
+  ANR_CHECK_MSG(bounds_.valid(), "empty SVG canvas");
+  double x0 = bounds_.lo.x - margin_;
+  double y0 = -bounds_.hi.y - margin_;  // flipped
+  double w = bounds_.width() + 2.0 * margin_;
+  double h = bounds_.height() + 2.0 * margin_;
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << pixel_width
+     << "\" height=\"" << pixel_width * h / w << "\" viewBox=\"" << x0 << " "
+     << y0 << " " << w << " " << h << "\">\n";
+  for (const std::string& e : elements_) os << "  " << e << "\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+bool SvgCanvas::save(const std::string& path, double pixel_width) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << str(pixel_width);
+  return static_cast<bool>(out);
+}
+
+}  // namespace anr

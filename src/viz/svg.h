@@ -1,0 +1,85 @@
+// Minimal SVG writer for pipeline visualization.
+//
+// The paper's Figs. 2, 3, 5, 6 are pictures of FoIs, connectivity graphs,
+// triangulations, and deployments with preserved links in blue and new
+// links in red. SvgCanvas renders the same artifacts so every example can
+// drop paper-style figures next to its numeric output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "foi/foi.h"
+#include "geom/polygon.h"
+#include "geom/vec2.h"
+#include "march/trajectory.h"
+#include "mesh/triangle_mesh.h"
+
+namespace anr {
+
+/// Stroke/fill style for SVG primitives.
+struct SvgStyle {
+  std::string stroke = "#222222";
+  double stroke_width = 1.0;
+  std::string fill = "none";
+  double opacity = 1.0;
+};
+
+/// Accumulates SVG elements in world coordinates; `str()`/`save()` emit a
+/// complete document with a fitted viewBox (y flipped so world +y is up).
+class SvgCanvas {
+ public:
+  /// `margin` is world-space padding around the drawn content.
+  explicit SvgCanvas(double margin = 20.0) : margin_(margin) {}
+
+  void line(Vec2 a, Vec2 b, const SvgStyle& style = {});
+  void polyline(const std::vector<Vec2>& pts, const SvgStyle& style = {});
+  void circle(Vec2 center, double radius, const SvgStyle& style = {});
+  void polygon(const Polygon& poly, const SvgStyle& style = {});
+  void text(Vec2 anchor, const std::string& label, double size = 12.0,
+            const std::string& color = "#222222");
+
+  // Composite helpers used by the examples and benches.
+
+  /// Outer boundary solid, holes hatched gray.
+  void foi(const FieldOfInterest& region, const std::string& color = "#555555");
+
+  /// All mesh edges.
+  void mesh(const TriangleMesh& m, const SvgStyle& style = {});
+
+  /// Robots as dots.
+  void robots(const std::vector<Vec2>& pts, double radius = 3.0,
+              const std::string& color = "#1f6fb2");
+
+  /// Communication links, optionally split into preserved (blue) and new /
+  /// broken (red) by a predicate — the paper's blue/red edge convention.
+  void links(const std::vector<Vec2>& pts,
+             const std::vector<std::pair<int, int>>& edges,
+             const SvgStyle& style = {});
+
+  /// Trajectories as faint polylines.
+  void trajectories(const std::vector<Trajectory>& trajs,
+                    const std::string& color = "#999999");
+
+  /// Animated robots: one dot per trajectory that moves along its
+  /// waypoints over `duration_seconds` of SVG (SMIL) animation time,
+  /// looping forever. Open the file in a browser to watch the march.
+  void animated_robots(const std::vector<Trajectory>& trajs,
+                       double duration_seconds = 8.0, double radius = 3.0,
+                       const std::string& color = "#b03a2e");
+
+  /// Renders the SVG document.
+  std::string str(double pixel_width = 900.0) const;
+
+  /// Writes the document to `path`; returns false on I/O failure.
+  bool save(const std::string& path, double pixel_width = 900.0) const;
+
+ private:
+  void expand(Vec2 p);
+  std::string margin_note_;
+  double margin_;
+  BBox bounds_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace anr

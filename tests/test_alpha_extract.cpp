@@ -1,0 +1,99 @@
+// Alpha extraction: shape-aware triangulation from point sets.
+#include <gtest/gtest.h>
+
+#include "mesh/alpha_extract.h"
+#include "mesh/boundary.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+TEST(AlphaExtract, LatticeDiskIsCleanDisk) {
+  auto pts = testutil::lattice_disk({0, 0}, 50.0, 10.0);
+  ASSERT_GE(pts.size(), 20u);
+  auto ex = alpha_extract(pts, 12.0);
+  EXPECT_TRUE(ex.mesh.vertex_manifold());
+  EXPECT_TRUE(ex.unmeshed.empty());
+  EXPECT_EQ(ex.mesh.euler_characteristic(), 1);
+  EXPECT_EQ(boundary_loops(ex.mesh).size(), 1u);
+}
+
+TEST(AlphaExtract, LongEdgesExcluded) {
+  auto pts = testutil::lattice_disk({0, 0}, 50.0, 10.0);
+  auto ex = alpha_extract(pts, 12.0);
+  for (const EdgeKey& e : ex.mesh.edges()) {
+    EXPECT_LE(distance(ex.mesh.position(e.a), ex.mesh.position(e.b)), 12.0);
+  }
+}
+
+TEST(AlphaExtract, ConcaveShapePreserved) {
+  // Two lattice blobs joined by a thin lattice bridge stay one component;
+  // the concave notch is not spanned by triangles.
+  std::vector<Vec2> pts;
+  auto left = testutil::lattice_disk({0, 0}, 30.0, 8.0);
+  auto right = testutil::lattice_disk({100, 0}, 30.0, 8.0);
+  pts.insert(pts.end(), left.begin(), left.end());
+  pts.insert(pts.end(), right.begin(), right.end());
+  for (double x = 30.0; x <= 70.0; x += 8.0) {
+    pts.push_back({x, 0.0});
+    pts.push_back({x, 8.0});
+  }
+  auto ex = alpha_extract(pts, 10.0);
+  EXPECT_TRUE(ex.mesh.vertex_manifold());
+  // No triangle can span the 40m gap between the blobs off-bridge.
+  for (const EdgeKey& e : ex.mesh.edges()) {
+    EXPECT_LE(distance(ex.mesh.position(e.a), ex.mesh.position(e.b)), 10.0);
+  }
+}
+
+TEST(AlphaExtract, FarOutlierUnmeshed) {
+  auto pts = testutil::lattice_disk({0, 0}, 40.0, 10.0);
+  std::size_t core = pts.size();
+  pts.push_back({500.0, 500.0});  // isolated robot
+  auto ex = alpha_extract(pts, 12.0);
+  ASSERT_EQ(ex.unmeshed.size(), 1u);
+  EXPECT_EQ(ex.unmeshed[0], static_cast<VertexId>(core));
+}
+
+TEST(AlphaExtract, KeepsLargestComponent) {
+  // Two disjoint blobs: only the larger survives, the smaller is unmeshed.
+  std::vector<Vec2> pts = testutil::lattice_disk({0, 0}, 50.0, 10.0);
+  std::size_t big = pts.size();
+  auto small = testutil::lattice_disk({500, 500}, 20.0, 10.0);
+  pts.insert(pts.end(), small.begin(), small.end());
+  auto ex = alpha_extract(pts, 12.0);
+  EXPECT_EQ(ex.unmeshed.size(), pts.size() - big);
+}
+
+TEST(CleanToManifold, RemovesBowtie) {
+  TriangleMesh soup({{0, 0}, {1, 0}, {1, 1}, {-1, 0}, {-1, -1}, {2, 0}, {2, 1}},
+                    {Tri{0, 1, 2}, Tri{0, 3, 4}, Tri{1, 5, 2}, Tri{5, 6, 2}});
+  auto ex = clean_to_manifold(std::move(soup));
+  EXPECT_TRUE(ex.mesh.vertex_manifold());
+  // The single bowtie triangle at vertex 0's far side is dropped.
+  EXPECT_EQ(ex.mesh.num_triangles(), 3u);
+  EXPECT_EQ(ex.unmeshed.size(), 2u);
+}
+
+TEST(CleanToManifold, EmptyMeshOk) {
+  TriangleMesh empty({{0, 0}, {1, 1}}, {});
+  auto ex = clean_to_manifold(std::move(empty));
+  EXPECT_EQ(ex.mesh.num_triangles(), 0u);
+  EXPECT_EQ(ex.unmeshed.size(), 2u);
+}
+
+// Property: random dense point clouds always clean to a manifold.
+class AlphaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlphaProperty, AlwaysManifold) {
+  auto pts = testutil::random_points(150, 0.0, 100.0,
+                                     static_cast<std::uint64_t>(GetParam()));
+  auto ex = alpha_extract(pts, 18.0);
+  EXPECT_TRUE(ex.mesh.vertex_manifold());
+  EXPECT_TRUE(ex.mesh.all_ccw());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlphaProperty, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace anr

@@ -1,0 +1,126 @@
+// Baselines: Hungarian marching is the distance lower bound; direct
+// translation's rigid phase preserves links.
+#include <gtest/gtest.h>
+
+#include "baselines/direct_translation.h"
+#include "baselines/hungarian_march.h"
+#include "coverage/lloyd.h"
+#include "foi/scenario.h"
+#include "march/transition_sim.h"
+
+namespace anr {
+namespace {
+
+struct Fixture {
+  Scenario sc = scenario(1);
+  std::vector<Vec2> deploy;
+  Vec2 offset;
+
+  Fixture() {
+    deploy = optimal_coverage_positions(sc.m1, sc.num_robots, 1,
+                                        uniform_density())
+                 .positions;
+    offset = sc.m1.centroid() + Vec2{15.0 * sc.comm_range, 0.0} -
+             sc.m2_shape.centroid();
+  }
+};
+
+TEST(HungarianMarch, ReachesCoveragePositions) {
+  Fixture f;
+  HungarianMarchPlanner planner(f.sc.m1, f.sc.m2_shape, f.sc.comm_range,
+                                f.sc.num_robots);
+  MarchPlan plan = planner.plan(f.deploy, f.offset);
+  ASSERT_EQ(plan.final_positions.size(), f.deploy.size());
+  FieldOfInterest m2 = f.sc.m2_shape.translated(f.offset);
+  for (Vec2 p : plan.final_positions) {
+    EXPECT_TRUE(m2.contains(p));
+  }
+}
+
+TEST(HungarianMarch, IsDistanceLowerBoundAmongAssignments) {
+  Fixture f;
+  HungarianMarchPlanner planner(f.sc.m1, f.sc.m2_shape, f.sc.comm_range,
+                                f.sc.num_robots);
+  MarchPlan plan = planner.plan(f.deploy, f.offset);
+  // Identity assignment to the same goal set can only be worse.
+  double hungarian = 0.0, identity = 0.0;
+  for (std::size_t i = 0; i < f.deploy.size(); ++i) {
+    hungarian += distance(f.deploy[i], plan.final_positions[i]);
+    identity += distance(f.deploy[i], planner.coverage_positions()[i] + f.offset);
+  }
+  EXPECT_LE(hungarian, identity + 1e-6);
+}
+
+TEST(HungarianMarch, LowStableLinkRatio) {
+  // The paper's point: min-distance scrambling destroys local links.
+  Fixture f;
+  HungarianMarchPlanner planner(f.sc.m1, f.sc.m2_shape, f.sc.comm_range,
+                                f.sc.num_robots);
+  MarchPlan plan = planner.plan(f.deploy, f.offset);
+  auto m = simulate_transition(plan.trajectories, f.sc.comm_range,
+                               plan.transition_end, 80);
+  EXPECT_LT(m.stable_link_ratio, 0.5);
+}
+
+TEST(DirectTranslation, RigidPhaseKeepsAllLinks) {
+  Fixture f;
+  DirectTranslationPlanner planner(f.sc.m1, f.sc.m2_shape, f.sc.comm_range,
+                                   f.sc.num_robots);
+  MarchPlan plan = planner.plan(f.deploy, f.offset);
+  // During the rigid phase [0, 1] every pairwise distance is constant.
+  for (std::size_t i = 0; i < plan.trajectories.size(); ++i) {
+    Vec2 p0 = plan.trajectories[i].position(0.0);
+    Vec2 p_half = plan.trajectories[i].position(0.5);
+    EXPECT_NEAR(distance(p0, p_half),
+                distance(Vec2{}, (p_half - p0)), 1e-9);
+  }
+  // Pairwise distance invariance for a few pairs.
+  for (std::size_t i = 0; i + 1 < plan.trajectories.size(); i += 20) {
+    double d0 = distance(plan.trajectories[i].position(0.0),
+                         plan.trajectories[i + 1].position(0.0));
+    double dh = distance(plan.trajectories[i].position(0.7),
+                         plan.trajectories[i + 1].position(0.7));
+    EXPECT_NEAR(d0, dh, 1e-6);
+  }
+}
+
+TEST(DirectTranslation, BeatsHungarianOnLinkRatio) {
+  Fixture f;
+  DirectTranslationPlanner direct(f.sc.m1, f.sc.m2_shape, f.sc.comm_range,
+                                  f.sc.num_robots);
+  HungarianMarchPlanner hungarian(f.sc.m1, f.sc.m2_shape, f.sc.comm_range,
+                                  f.sc.num_robots);
+  auto md = simulate_transition(direct.plan(f.deploy, f.offset).trajectories,
+                                f.sc.comm_range, 1.0, 80);
+  auto mh = simulate_transition(hungarian.plan(f.deploy, f.offset).trajectories,
+                                f.sc.comm_range, 1.0, 80);
+  EXPECT_GT(md.stable_link_ratio, mh.stable_link_ratio);
+}
+
+TEST(DirectTranslation, CostsMoreDistanceThanHungarian) {
+  Fixture f;
+  DirectTranslationPlanner direct(f.sc.m1, f.sc.m2_shape, f.sc.comm_range,
+                                  f.sc.num_robots);
+  HungarianMarchPlanner hungarian(f.sc.m1, f.sc.m2_shape, f.sc.comm_range,
+                                  f.sc.num_robots);
+  auto md = simulate_transition(direct.plan(f.deploy, f.offset).trajectories,
+                                f.sc.comm_range, 1.0, 40);
+  auto mh = simulate_transition(hungarian.plan(f.deploy, f.offset).trajectories,
+                                f.sc.comm_range, 1.0, 40);
+  EXPECT_GE(md.total_distance, mh.total_distance - 1e-6);
+}
+
+TEST(Baselines, SameCoverageSeedSameGoals) {
+  Fixture f;
+  HungarianMarchPlanner a(f.sc.m1, f.sc.m2_shape, f.sc.comm_range,
+                          f.sc.num_robots);
+  DirectTranslationPlanner b(f.sc.m1, f.sc.m2_shape, f.sc.comm_range,
+                             f.sc.num_robots);
+  ASSERT_EQ(a.coverage_positions().size(), b.coverage_positions().size());
+  for (std::size_t i = 0; i < a.coverage_positions().size(); ++i) {
+    EXPECT_EQ(a.coverage_positions()[i], b.coverage_positions()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace anr

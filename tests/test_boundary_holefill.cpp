@@ -1,0 +1,85 @@
+// Boundary-loop extraction and virtual-vertex hole filling.
+#include <gtest/gtest.h>
+
+#include "foi/foi_mesher.h"
+#include "mesh/boundary.h"
+#include "mesh/hole_fill.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+TEST(BoundaryLoops, SquareMesh) {
+  TriangleMesh m({{0, 0}, {1, 0}, {1, 1}, {0, 1}}, {Tri{0, 1, 2}, Tri{0, 2, 3}});
+  auto loops = boundary_loops(m);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].vertices.size(), 4u);
+  EXPECT_NEAR(loops[0].length(m), 4.0, 1e-12);
+}
+
+TEST(BoundaryLoops, AnnulusHasTwoLoops) {
+  FieldOfInterest annulus = testutil::square_with_hole(100.0, 20.0);
+  MesherOptions opt;
+  opt.target_grid_points = 400;
+  FoiMesh fm = mesh_foi(annulus, opt);
+  auto loops = boundary_loops(fm.mesh);
+  ASSERT_EQ(loops.size(), 2u);
+  std::size_t outer = outer_loop_index(fm.mesh, loops);
+  std::size_t inner = 1 - outer;
+  EXPECT_GT(loops[outer].length(fm.mesh), loops[inner].length(fm.mesh));
+}
+
+TEST(HoleFill, AnnulusBecomesDisk) {
+  FieldOfInterest annulus = testutil::square_with_hole(100.0, 20.0);
+  MesherOptions opt;
+  opt.target_grid_points = 400;
+  FoiMesh fm = mesh_foi(annulus, opt);
+  EXPECT_EQ(fm.mesh.euler_characteristic(), 0);  // annulus
+
+  HoleFillResult filled = fill_holes(fm.mesh);
+  EXPECT_EQ(filled.holes_filled, 1u);
+  ASSERT_EQ(filled.virtual_vertices.size(), 1u);
+  EXPECT_EQ(filled.mesh.euler_characteristic(), 1);  // disk
+  EXPECT_EQ(boundary_loops(filled.mesh).size(), 1u);
+  EXPECT_TRUE(filled.mesh.vertex_manifold());
+
+  // Virtual vertex sits near the hole center.
+  Vec2 vv = filled.mesh.position(filled.virtual_vertices[0]);
+  EXPECT_NEAR(vv.x, 50.0, 5.0);
+  EXPECT_NEAR(vv.y, 50.0, 5.0);
+
+  // Virtual-flag bookkeeping is consistent.
+  ASSERT_EQ(filled.triangle_is_virtual.size(), filled.mesh.num_triangles());
+  std::size_t virtual_tris = 0;
+  for (char f : filled.triangle_is_virtual) virtual_tris += f ? 1u : 0u;
+  EXPECT_GT(virtual_tris, 0u);
+  EXPECT_EQ(filled.mesh.num_triangles() - virtual_tris, fm.mesh.num_triangles());
+}
+
+TEST(HoleFill, NoHolesIsNoOp) {
+  FieldOfInterest sq = testutil::square_foi(100.0);
+  MesherOptions opt;
+  opt.target_grid_points = 200;
+  FoiMesh fm = mesh_foi(sq, opt);
+  HoleFillResult filled = fill_holes(fm.mesh);
+  EXPECT_EQ(filled.holes_filled, 0u);
+  EXPECT_EQ(filled.mesh.num_triangles(), fm.mesh.num_triangles());
+  EXPECT_EQ(filled.mesh.num_vertices(), fm.mesh.num_vertices());
+}
+
+TEST(HoleFill, MultipleHoles) {
+  FieldOfInterest foi(make_rect({0, 0}, {200, 100}),
+                      {make_circle({50, 50}, 15.0, 24),
+                       make_circle({150, 50}, 15.0, 24)});
+  MesherOptions opt;
+  opt.target_grid_points = 800;
+  FoiMesh fm = mesh_foi(foi, opt);
+  ASSERT_EQ(boundary_loops(fm.mesh).size(), 3u);
+  HoleFillResult filled = fill_holes(fm.mesh);
+  EXPECT_EQ(filled.holes_filled, 2u);
+  EXPECT_EQ(boundary_loops(filled.mesh).size(), 1u);
+  EXPECT_EQ(filled.mesh.euler_characteristic(), 1);
+}
+
+}  // namespace
+}  // namespace anr

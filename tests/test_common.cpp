@@ -1,0 +1,106 @@
+// Common layer: contracts, RNG, tables, stopwatch.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+
+namespace anr {
+namespace {
+
+TEST(Check, PassingIsSilent) {
+  EXPECT_NO_THROW(ANR_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(ANR_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailureThrowsWithContext) {
+  try {
+    ANR_CHECK_MSG(false, "broken invariant");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("broken invariant"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  double va = a.uniform(0.0, 1.0);
+  EXPECT_EQ(va, b.uniform(0.0, 1.0));
+  EXPECT_NE(va, c.uniform(0.0, 1.0));
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(2);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(1, 6));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Table, AlignmentAndRule) {
+  TextTable t;
+  t.header({"a", "long header"});
+  t.row({"longer cell", "x"});
+  std::string s = t.str();
+  // Header, dashed rule, one row.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+  EXPECT_NE(s.find("long header"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  // Columns align: both lines have the same position for column 2.
+  std::size_t line1 = s.find("long header");
+  std::size_t line2 = s.find("x");
+  std::size_t col1 = line1 - 0;
+  std::size_t row_start = s.rfind('\n', line2 - 1) + 1;
+  EXPECT_EQ(col1, line2 - row_start);
+}
+
+TEST(Table, ShortRowsTolerated) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.row({"only one"});
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_pct(0.873), "87.3%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Stopwatch, MonotonicAndResets) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double t1 = sw.seconds();
+  EXPECT_GT(t1, 0.0);
+  EXPECT_GE(sw.millis(), t1 * 1000.0 * 0.5);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), t1);
+}
+
+}  // namespace
+}  // namespace anr

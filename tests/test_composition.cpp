@@ -1,0 +1,113 @@
+// Disk-overlap composition: point location, barycentric interpolation,
+// hole snapping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "foi/foi_mesher.h"
+#include "harmonic/composition.h"
+#include "harmonic/disk_map.h"
+#include "mesh/hole_fill.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+struct CompoCtx {
+  FoiMesh fm;
+  HoleFillResult filled;
+  DiskMap disk;
+};
+
+CompoCtx make_setup(const FieldOfInterest& foi, int grid = 500) {
+  CompoCtx s;
+  MesherOptions opt;
+  opt.target_grid_points = grid;
+  s.fm = mesh_foi(foi, opt);
+  s.filled = fill_holes(s.fm.mesh);
+  s.disk = harmonic_disk_map(s.filled.mesh);
+  return s;
+}
+
+TEST(Composition, IdentityOnGridVertices) {
+  FieldOfInterest sq = testutil::square_foi(100.0);
+  CompoCtx s = make_setup(sq);
+  OverlapInterpolator interp(s.filled, s.disk);
+  // Mapping a grid vertex's own disk position must return (approximately)
+  // its world position.
+  for (std::size_t v = 0; v < s.fm.mesh.num_vertices(); v += 7) {
+    MappedTarget t = interp.map_point(s.disk.disk_pos[v]);
+    EXPECT_LT(distance(t.world, s.fm.mesh.position(static_cast<VertexId>(v))),
+              1e-6)
+        << "vertex " << v;
+  }
+}
+
+TEST(Composition, InteriorPointsLandInside) {
+  FieldOfInterest sq = testutil::square_foi(100.0);
+  CompoCtx s = make_setup(sq);
+  OverlapInterpolator interp(s.filled, s.disk);
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    double r = std::sqrt(rng.uniform(0.0, 0.9));
+    double a = rng.uniform(0.0, 2.0 * M_PI);
+    MappedTarget t = interp.map_point({r * std::cos(a), r * std::sin(a)});
+    EXPECT_TRUE(sq.contains(t.world)) << t.world.x << "," << t.world.y;
+  }
+}
+
+TEST(Composition, HoleLandingsSnapToRealVertices) {
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 30.0);
+  CompoCtx s = make_setup(foi, 800);
+  OverlapInterpolator interp(s.filled, s.disk);
+  ASSERT_EQ(s.filled.virtual_vertices.size(), 1u);
+  // The virtual vertex's disk position is inside a virtual triangle.
+  Vec2 vv_disk =
+      s.disk.disk_pos[static_cast<std::size_t>(s.filled.virtual_vertices[0])];
+  MappedTarget t = interp.map_point(vv_disk);
+  EXPECT_TRUE(t.snapped);
+  EXPECT_TRUE(foi.contains(t.world));  // snapped onto a real grid point
+}
+
+TEST(Composition, AllDiskPointsResolve) {
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 25.0);
+  CompoCtx s = make_setup(foi, 600);
+  OverlapInterpolator interp(s.filled, s.disk);
+  Rng rng(9);
+  int snapped = 0;
+  for (int i = 0; i < 500; ++i) {
+    double r = std::sqrt(rng.uniform(0.0, 1.0));
+    double a = rng.uniform(0.0, 2.0 * M_PI);
+    MappedTarget t = interp.map_point({r * std::cos(a), r * std::sin(a)});
+    if (t.snapped) ++snapped;
+    EXPECT_TRUE(foi.contains(t.world));
+  }
+  // Some points land in the filled hole and must snap, but not most.
+  EXPECT_GT(snapped, 0);
+  EXPECT_LT(snapped, 250);
+}
+
+TEST(Composition, RotationEquivariance) {
+  FieldOfInterest sq = testutil::square_foi(100.0);
+  CompoCtx s = make_setup(sq);
+  OverlapInterpolator interp(s.filled, s.disk);
+  std::vector<Vec2> probes{{0.3, 0.1}, {-0.2, 0.4}, {0.0, -0.5}};
+  auto a = interp.map_all(probes, 0.7);
+  // map_all(theta) equals map_point of pre-rotated points.
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    MappedTarget direct = interp.map_point(probes[i].rotated(0.7));
+    EXPECT_EQ(a[i].world, direct.world);
+  }
+}
+
+TEST(Composition, PointsOutsideDiskSnap) {
+  FieldOfInterest sq = testutil::square_foi(100.0);
+  CompoCtx s = make_setup(sq);
+  OverlapInterpolator interp(s.filled, s.disk);
+  MappedTarget t = interp.map_point({1.5, 1.5});  // well outside the disk
+  EXPECT_TRUE(t.snapped);
+  EXPECT_TRUE(sq.contains(t.world));
+}
+
+}  // namespace
+}  // namespace anr

@@ -1,0 +1,158 @@
+// Coverage: exact Voronoi vs grid CVT, Lloyd convergence, density effects.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "coverage/density.h"
+#include "coverage/grid_cvt.h"
+#include "coverage/lloyd.h"
+#include "coverage/voronoi.h"
+#include "net/unit_disk_graph.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+TEST(Voronoi, CellsPartitionTheBoundary) {
+  Polygon sq = make_rect({0, 0}, {100, 100});
+  auto sites = testutil::random_points(12, 10.0, 90.0, 4);
+  auto cells = clipped_voronoi_cells(sites, sq);
+  double total = 0.0;
+  for (const Polygon& c : cells) total += c.area();
+  EXPECT_NEAR(total, sq.area(), 1e-6);
+}
+
+TEST(Voronoi, CellContainsItsSite) {
+  Polygon sq = make_rect({0, 0}, {100, 100});
+  auto sites = testutil::random_points(15, 5.0, 95.0, 8);
+  auto cells = clipped_voronoi_cells(sites, sq);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    EXPECT_TRUE(cells[i].contains(sites[i])) << i;
+  }
+}
+
+TEST(Voronoi, TwoSitesSplitSquare) {
+  Polygon sq = make_rect({0, 0}, {10, 10});
+  auto cents = voronoi_centroids({{2.5, 5.0}, {7.5, 5.0}}, sq);
+  EXPECT_NEAR(cents[0].x, 2.5, 1e-9);
+  EXPECT_NEAR(cents[1].x, 7.5, 1e-9);
+}
+
+TEST(GridCvt, CentroidsMatchExactVoronoiOnSquare) {
+  FieldOfInterest foi = testutil::square_foi(100.0);
+  GridCvt grid(foi, uniform_density(), 60000);
+  auto sites = testutil::random_points(10, 20.0, 80.0, 12);
+  auto approx = grid.centroids(sites);
+  auto exact = voronoi_centroids(sites, foi.outer());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    EXPECT_LT(distance(approx[i], exact[i]), 1.5) << i;  // ~grid spacing
+  }
+}
+
+TEST(GridCvt, CentroidsAvoidHoles) {
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 25.0);
+  GridCvt grid(foi, uniform_density(), 20000);
+  // A site at the hole center: its centroid must not be inside the hole.
+  std::vector<Vec2> sites{{50.0, 50.0}, {10.0, 10.0}, {90.0, 90.0}};
+  auto cents = grid.centroids(sites);
+  for (Vec2 c : cents) EXPECT_TRUE(foi.contains(c));
+}
+
+TEST(GridCvt, NearestSample) {
+  FieldOfInterest foi = testutil::square_foi(50.0);
+  GridCvt grid(foi, uniform_density(), 5000);
+  Vec2 s = grid.nearest_sample({25.0, 25.0});
+  EXPECT_LT(distance(s, Vec2(25.0, 25.0)), 2.0 * grid.spacing());
+}
+
+TEST(Lloyd, ConvergesAndStaysInside) {
+  FieldOfInterest foi = testutil::square_foi(200.0);
+  GridCvt grid(foi, uniform_density(), 20000);
+  Rng rng(3);
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 30; ++i) sites.push_back(foi.sample_point(rng));
+  auto res = lloyd(grid, sites);
+  EXPECT_TRUE(res.converged);
+  for (Vec2 p : res.positions) EXPECT_TRUE(foi.contains(p));
+}
+
+TEST(Lloyd, ReducesSpacingVariance) {
+  // CVT should approach the equilateral lattice: nearest-neighbor
+  // distances become much more uniform than the random start.
+  FieldOfInterest foi = testutil::square_foi(200.0);
+  GridCvt grid(foi, uniform_density(), 30000);
+  Rng rng(5);
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 50; ++i) sites.push_back(foi.sample_point(rng));
+
+  auto nn_cv = [&](const std::vector<Vec2>& pts) {
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      double best = 1e300;
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        if (i != j) best = std::min(best, distance(pts[i], pts[j]));
+      }
+      sum += best;
+      sum2 += best * best;
+    }
+    double mean = sum / static_cast<double>(pts.size());
+    double var = sum2 / static_cast<double>(pts.size()) - mean * mean;
+    return std::sqrt(std::max(var, 0.0)) / mean;
+  };
+
+  double before = nn_cv(sites);
+  auto res = lloyd(grid, sites);
+  double after = nn_cv(res.positions);
+  EXPECT_LT(after, before * 0.5);
+}
+
+TEST(Lloyd, OptimalCoverageDeterministicPerSeed) {
+  FieldOfInterest foi = testutil::square_foi(150.0);
+  auto a = optimal_coverage_positions(foi, 25, 42, uniform_density());
+  auto b = optimal_coverage_positions(foi, 25, 42, uniform_density());
+  ASSERT_EQ(a.positions.size(), b.positions.size());
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    EXPECT_EQ(a.positions[i], b.positions[i]);
+  }
+}
+
+TEST(Density, HotspotConcentratesSites) {
+  FieldOfInterest foi = testutil::square_foi(100.0);
+  Vec2 hot{25.0, 25.0};
+  auto uniform = optimal_coverage_positions(foi, 40, 7, uniform_density());
+  auto weighted = optimal_coverage_positions(
+      foi, 40, 7, hotspot_density(hot, 8.0, 15.0));
+  auto near_hot = [&](const std::vector<Vec2>& pts) {
+    int cnt = 0;
+    for (Vec2 p : pts) {
+      if (distance(p, hot) < 25.0) ++cnt;
+    }
+    return cnt;
+  };
+  EXPECT_GT(near_hot(weighted.positions), near_hot(uniform.positions));
+}
+
+TEST(Density, HoleProximityConcentratesNearHole) {
+  FieldOfInterest foi = testutil::square_with_hole(200.0, 30.0);
+  auto uniform = optimal_coverage_positions(foi, 60, 9, uniform_density());
+  auto weighted = optimal_coverage_positions(
+      foi, 60, 9, hole_proximity_density(foi, 6.0, 20.0));
+  auto near_hole = [&](const std::vector<Vec2>& pts) {
+    int cnt = 0;
+    for (Vec2 p : pts) {
+      if (foi.distance_to_nearest_hole(p) < 25.0) ++cnt;
+    }
+    return cnt;
+  };
+  EXPECT_GT(near_hole(weighted.positions), near_hole(uniform.positions));
+}
+
+TEST(Density, UniformIsOne) {
+  auto d = uniform_density();
+  EXPECT_DOUBLE_EQ(d({0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(d({1e6, -1e6}), 1.0);
+}
+
+}  // namespace
+}  // namespace anr

@@ -1,0 +1,95 @@
+// Coverage evaluation + the paper's coverage claims end-to-end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coverage/coverage_eval.h"
+#include "coverage/lloyd.h"
+#include "foi/scenario.h"
+#include "march/planner.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+TEST(CoverageEval, SensingRadiusRule) {
+  EXPECT_NEAR(sensing_radius_for(80.0), 80.0 / std::sqrt(3.0), 1e-12);
+}
+
+TEST(CoverageEval, SingleRobotSmallSquare) {
+  FieldOfInterest foi = testutil::square_foi(10.0);
+  // Robot at the center with r_s covering the whole square (diagonal/2).
+  auto rep = evaluate_coverage(foi, {{5.0, 5.0}}, 8.0, 1000);
+  EXPECT_DOUBLE_EQ(rep.covered_fraction, 1.0);
+  EXPECT_LE(rep.worst_gap, std::sqrt(2.0) * 5.0 + 0.5);
+  // k >= 2 impossible with one robot.
+  EXPECT_DOUBLE_EQ(rep.k_covered_fraction[1], 0.0);
+}
+
+TEST(CoverageEval, UncoveredCornerDetected) {
+  FieldOfInterest foi = testutil::square_foi(100.0);
+  auto rep = evaluate_coverage(foi, {{0.0, 0.0}}, 30.0, 5000);
+  EXPECT_LT(rep.covered_fraction, 0.2);
+  EXPECT_GT(rep.worst_gap, 100.0);
+}
+
+TEST(CoverageEval, OverlappingRobotsGiveKCoverage) {
+  FieldOfInterest foi = testutil::square_foi(20.0);
+  std::vector<Vec2> robots{{10.0, 10.0}, {11.0, 10.0}, {10.0, 11.0}};
+  auto rep = evaluate_coverage(foi, robots, 20.0, 2000);
+  EXPECT_DOUBLE_EQ(rep.covered_fraction, 1.0);
+  EXPECT_GT(rep.k_covered_fraction[2], 0.9);  // k>=3 almost everywhere
+}
+
+TEST(CoverageEval, CvtDeploymentCoversScenarioM1) {
+  // The paper's premise: the optimal-coverage CVT deployment with
+  // r_s = r_c / sqrt(3) fully covers the FoI.
+  Scenario sc = scenario(1);
+  auto dep = optimal_coverage_positions(sc.m1, sc.num_robots, 1,
+                                        uniform_density());
+  auto rep = evaluate_coverage(sc.m1, dep.positions,
+                               sensing_radius_for(sc.comm_range));
+  EXPECT_GT(rep.covered_fraction, 0.995);
+  EXPECT_LT(rep.worst_gap, sensing_radius_for(sc.comm_range) * 1.3);
+}
+
+TEST(CoverageEval, MarchRestoresCoverageInM2) {
+  // After the march + minor adjustment, the new FoI is covered too —
+  // the end-to-end purpose of the whole pipeline.
+  Scenario sc = scenario(3);
+  auto dep = optimal_coverage_positions(sc.m1, sc.num_robots, 1,
+                                        uniform_density());
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 700;
+  opt.cvt_samples = 12000;
+  opt.max_adjust_steps = 40;
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, opt);
+  Vec2 off = sc.m1.centroid() + Vec2{20.0 * sc.comm_range, 0.0} -
+             sc.m2_shape.centroid();
+  MarchPlan plan = planner.plan(dep.positions, off);
+
+  FieldOfInterest m2 = sc.m2_shape.translated(off);
+  auto before = evaluate_coverage(m2, plan.mapped_targets,
+                                  sensing_radius_for(sc.comm_range));
+  auto after = evaluate_coverage(m2, plan.final_positions,
+                                 sensing_radius_for(sc.comm_range));
+  // The minor adjustment improves coverage, ending near-complete.
+  EXPECT_GE(after.covered_fraction, before.covered_fraction - 1e-9);
+  EXPECT_GT(after.covered_fraction, 0.97);
+}
+
+TEST(CoverageEval, HolesExcludedFromDenominator) {
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 30.0);
+  // Ring of robots around the hole: hole interior must not count as
+  // uncovered area.
+  std::vector<Vec2> robots;
+  for (int i = 0; i < 12; ++i) {
+    double a = 2.0 * M_PI * i / 12;
+    robots.push_back(Vec2{50.0, 50.0} + Vec2{40.0 * std::cos(a), 40.0 * std::sin(a)});
+  }
+  auto rep = evaluate_coverage(foi, robots, 30.0, 8000);
+  EXPECT_GT(rep.covered_fraction, 0.8);
+}
+
+}  // namespace
+}  // namespace anr

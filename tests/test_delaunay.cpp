@@ -1,0 +1,103 @@
+// Delaunay triangulation: structural and empty-circumcircle properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/convex_hull.h"
+#include "geom/predicates.h"
+#include "mesh/delaunay.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+TEST(Delaunay, TriangleOfThree) {
+  TriangleMesh m = delaunay({{0, 0}, {1, 0}, {0, 1}});
+  EXPECT_EQ(m.num_triangles(), 1u);
+  EXPECT_TRUE(m.all_ccw());
+}
+
+TEST(Delaunay, SquareGivesTwoTriangles) {
+  TriangleMesh m = delaunay({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  EXPECT_EQ(m.num_triangles(), 2u);
+  EXPECT_EQ(m.edges().size(), 5u);
+}
+
+TEST(Delaunay, InteriorPointFan) {
+  TriangleMesh m = delaunay({{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}});
+  EXPECT_EQ(m.num_triangles(), 4u);
+  EXPECT_FALSE(m.is_boundary_vertex(4));
+}
+
+// Property sweep over random point sets: triangulation covers the convex
+// hull, is edge-manifold, CCW, and (near-)Delaunay.
+class DelaunayProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelaunayProperty, StructureAndEmptyCircumcircle) {
+  auto pts = testutil::random_points(120, 0.0, 100.0,
+                                     static_cast<std::uint64_t>(GetParam()));
+  TriangleMesh m = delaunay(pts);
+  EXPECT_TRUE(m.all_ccw());
+  EXPECT_TRUE(m.edge_manifold());
+  EXPECT_EQ(m.euler_characteristic(), 1);  // triangulated disk
+
+  // Total triangle area == hull area.
+  double tri_area = 0.0;
+  for (const Tri& t : m.triangles()) {
+    tri_area += 0.5 * signed_area2(m.position(t[0]), m.position(t[1]),
+                                   m.position(t[2]));
+  }
+  EXPECT_NEAR(tri_area, convex_hull(pts).area(), 1e-6);
+
+  // Empty circumcircle with a tolerance: no other point strictly inside.
+  for (const Tri& t : m.triangles()) {
+    Vec2 a = m.position(t[0]), b = m.position(t[1]), c = m.position(t[2]);
+    Vec2 cc = circumcenter(a, b, c);
+    double r = distance(cc, a);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (static_cast<VertexId>(i) == t[0] || static_cast<VertexId>(i) == t[1] ||
+          static_cast<VertexId>(i) == t[2]) {
+        continue;
+      }
+      EXPECT_GE(distance(cc, pts[i]), r * (1.0 - 1e-7))
+          << "point " << i << " violates empty circumcircle";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelaunayProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Delaunay, NearCocircularLatticeTerminates) {
+  // A perfect square lattice is maximally cocircular; the epsilon guard
+  // must still terminate with a full triangulation.
+  std::vector<Vec2> pts;
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      pts.push_back({static_cast<double>(x), static_cast<double>(y)});
+    }
+  }
+  TriangleMesh m = delaunay(pts);
+  EXPECT_TRUE(m.edge_manifold());
+  double tri_area = 0.0;
+  for (const Tri& t : m.triangles()) {
+    double a2 = signed_area2(m.position(t[0]), m.position(t[1]), m.position(t[2]));
+    // Exactly collinear hull rows may yield zero-area slivers (documented;
+    // consumers filter them) but never inverted triangles.
+    EXPECT_GE(a2, 0.0);
+    tri_area += 0.5 * a2;
+  }
+  EXPECT_NEAR(tri_area, 49.0, 1e-9);
+}
+
+TEST(Delaunay, VerticesPreserved) {
+  auto pts = testutil::random_points(30, -5.0, 5.0, 9);
+  TriangleMesh m = delaunay(pts);
+  ASSERT_EQ(m.num_vertices(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(m.position(static_cast<VertexId>(i)), pts[i]);
+  }
+}
+
+}  // namespace
+}  // namespace anr

@@ -1,0 +1,77 @@
+// Triangulation-extraction strategies: alpha (centralized reference),
+// localized Delaunay (distributed), Gabriel (1-hop ablation).
+#include <gtest/gtest.h>
+
+#include "coverage/lloyd.h"
+#include "foi/scenario.h"
+#include "march/triangulation_extract.h"
+#include "mesh/boundary.h"
+
+namespace anr {
+namespace {
+
+struct Deployment {
+  Scenario sc = scenario(1);
+  std::vector<Vec2> pos;
+  Deployment() {
+    pos = optimal_coverage_positions(sc.m1, sc.num_robots, 1, uniform_density())
+              .positions;
+  }
+};
+
+TEST(Extraction, DistributedMatchesCentralizedOnLatticeLikeDeployment) {
+  Deployment d;
+  auto central = extract_triangulation(d.pos, d.sc.comm_range);
+  auto dist = extract_triangulation_distributed(d.pos, d.sc.comm_range);
+  // On dense CVT deployments localized Delaunay converges to the global
+  // one: identical triangle counts and edge sets.
+  EXPECT_EQ(central.mesh.num_triangles(), dist.mesh.num_triangles());
+  auto ce = central.mesh.edges();
+  auto de = dist.mesh.edges();
+  EXPECT_EQ(ce.size(), de.size());
+  EXPECT_TRUE(std::equal(ce.begin(), ce.end(), de.begin()));
+  EXPECT_GT(dist.messages, 0u);
+  EXPECT_EQ(central.messages, 0u);
+}
+
+TEST(Extraction, AllVariantsManifold) {
+  Deployment d;
+  for (auto* fn : {&extract_triangulation, &extract_triangulation_distributed,
+                   &extract_triangulation_gabriel}) {
+    auto r = (*fn)(d.pos, d.sc.comm_range);
+    EXPECT_TRUE(r.mesh.vertex_manifold());
+    EXPECT_TRUE(r.mesh.all_ccw());
+    // Delaunay-based variants triangulate the region fully (one loop);
+    // Gabriel may leave interior quad gaps — extra loops are tolerated
+    // because the pipeline's hole filling absorbs them.
+    EXPECT_GE(boundary_loops(r.mesh).size(), 1u);
+  }
+  EXPECT_EQ(
+      boundary_loops(extract_triangulation(d.pos, d.sc.comm_range).mesh).size(),
+      1u);
+}
+
+TEST(Extraction, GabrielIsSubsetOfDelaunay) {
+  Deployment d;
+  auto alpha = extract_triangulation(d.pos, d.sc.comm_range);
+  auto gabriel = extract_triangulation_gabriel(d.pos, d.sc.comm_range);
+  // Gabriel graph is a subgraph of Delaunay; after cleanup the Gabriel
+  // triangulation cannot have more triangles.
+  EXPECT_LE(gabriel.mesh.num_triangles(), alpha.mesh.num_triangles());
+  EXPECT_GT(gabriel.mesh.num_triangles(), 0u);
+}
+
+TEST(Extraction, EdgesRespectRange) {
+  Deployment d;
+  for (auto* fn : {&extract_triangulation_distributed,
+                   &extract_triangulation_gabriel}) {
+    auto r = (*fn)(d.pos, d.sc.comm_range);
+    for (const EdgeKey& e : r.mesh.edges()) {
+      EXPECT_LE(distance(r.mesh.position(e.a), r.mesh.position(e.b)),
+                d.sc.comm_range + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anr

@@ -1,0 +1,143 @@
+// FieldOfInterest: containment, area, lattice generation, clamping,
+// segment visibility.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "foi/foi.h"
+#include "foi/shapes.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+TEST(Foi, AreaSubtractsHoles) {
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 20.0);
+  double hole_area = make_circle({50, 50}, 20.0, 32).area();
+  EXPECT_NEAR(foi.area(), 100.0 * 100.0 - hole_area, 1e-9);
+}
+
+TEST(Foi, Containment) {
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 20.0);
+  EXPECT_TRUE(foi.contains({10, 10}));
+  EXPECT_FALSE(foi.contains({50, 50}));   // hole center
+  EXPECT_FALSE(foi.contains({150, 50}));  // outside
+  EXPECT_TRUE(foi.contains({50, 75}));    // above hole, inside
+}
+
+TEST(Foi, CentroidOfSymmetricShape) {
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 20.0);
+  Vec2 c = foi.centroid();
+  EXPECT_NEAR(c.x, 50.0, 1e-6);
+  EXPECT_NEAR(c.y, 50.0, 1e-6);
+}
+
+TEST(Foi, OffCenterHoleShiftsCentroid) {
+  FieldOfInterest foi(make_rect({0, 0}, {100, 100}),
+                      {make_circle({25, 50}, 15.0, 32)});
+  EXPECT_GT(foi.centroid().x, 50.0);  // mass removed on the left
+}
+
+TEST(Foi, DistanceToHole) {
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 20.0);
+  EXPECT_NEAR(foi.distance_to_nearest_hole({50, 80}), 10.0, 0.5);
+  FieldOfInterest no_holes = testutil::square_foi(100.0);
+  EXPECT_TRUE(std::isinf(no_holes.distance_to_nearest_hole({50, 50})));
+}
+
+TEST(Foi, ClampInside) {
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 20.0);
+  EXPECT_EQ(foi.clamp_inside({10, 10}), (Vec2{10, 10}));  // already in
+  Vec2 from_outside = foi.clamp_inside({120, 50});
+  EXPECT_TRUE(foi.contains(from_outside));
+  EXPECT_LT(distance(from_outside, {100, 50}), 1.0);
+  Vec2 from_hole = foi.clamp_inside({52, 50});
+  EXPECT_TRUE(foi.contains(from_hole));
+  EXPECT_NEAR(distance(from_hole, Vec2{50, 50}), 20.0, 0.5);
+}
+
+TEST(Foi, SegmentInside) {
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 20.0);
+  EXPECT_TRUE(foi.segment_inside({5, 5}, {95, 5}));
+  EXPECT_FALSE(foi.segment_inside({5, 50}, {95, 50}));  // crosses hole
+  EXPECT_FALSE(foi.segment_inside({5, 5}, {150, 5}));   // exits
+}
+
+TEST(Foi, LatticePoints) {
+  FieldOfInterest foi = testutil::square_foi(100.0);
+  auto pts = foi.lattice_points(10.0);
+  // Triangular lattice density: ~ area / (sqrt(3)/2 h^2).
+  double expected = 100.0 * 100.0 / (std::sqrt(3.0) / 2.0 * 100.0);
+  EXPECT_NEAR(static_cast<double>(pts.size()), expected, expected * 0.2);
+  for (Vec2 p : pts) EXPECT_TRUE(foi.contains(p));
+}
+
+TEST(Foi, LatticeRespectsMarginAndHoles) {
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 20.0);
+  auto pts = foi.lattice_points(5.0, 3.0);
+  for (Vec2 p : pts) {
+    EXPECT_TRUE(foi.contains(p));
+    EXPECT_GE(foi.distance_to_boundary(p), 3.0 - 1e-9);
+  }
+}
+
+TEST(Foi, SamplePointAlwaysInside) {
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 30.0);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(foi.contains(foi.sample_point(rng)));
+  }
+}
+
+TEST(Foi, Translated) {
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 20.0);
+  FieldOfInterest t = foi.translated({1000.0, -50.0});
+  EXPECT_NEAR(t.area(), foi.area(), 1e-6);
+  Vec2 want = foi.centroid() + Vec2{1000.0, -50.0};
+  EXPECT_NEAR(t.centroid().x, want.x, 1e-9);
+  EXPECT_NEAR(t.centroid().y, want.y, 1e-9);
+  EXPECT_TRUE(t.contains({1010, -40}));
+  EXPECT_FALSE(t.contains({10, 10}));
+}
+
+TEST(Foi, RejectsHoleOutside) {
+  EXPECT_THROW(FieldOfInterest(make_rect({0, 0}, {10, 10}),
+                               {make_circle({50, 50}, 2.0)}),
+               ContractViolation);
+}
+
+TEST(Shapes, BlobIsSimpleAndCcw) {
+  Polygon blob = make_blob({0, 0}, 100.0, {{3, 0.2, 0.5}, {5, 0.1, 1.0}});
+  EXPECT_GT(blob.signed_area(), 0.0);
+  EXPECT_GT(blob.area(), M_PI * 100.0 * 100.0 * 0.5);
+}
+
+TEST(Shapes, FlowerHasPetals) {
+  Polygon flower = make_flower({0, 0}, 50.0, 5, 0.35);
+  // Radius oscillates between 0.65r and 1.35r.
+  double rmin = 1e300, rmax = 0.0;
+  for (Vec2 p : flower.points()) {
+    rmin = std::min(rmin, p.norm());
+    rmax = std::max(rmax, p.norm());
+  }
+  EXPECT_NEAR(rmin, 50.0 * 0.65, 1.0);
+  EXPECT_NEAR(rmax, 50.0 * 1.35, 1.0);
+}
+
+TEST(Shapes, WithNetAreaHitsTarget) {
+  FieldOfInterest foi(make_blob({0, 0}, 120.0, {{2, 0.1, 0.0}}),
+                      {make_circle({10, 0}, 30.0, 24)});
+  FieldOfInterest scaled = with_net_area(foi, 55555.0);
+  EXPECT_NEAR(scaled.area(), 55555.0, 1.0);
+  EXPECT_EQ(scaled.holes().size(), 1u);
+}
+
+TEST(Shapes, StretchedBlobAspect) {
+  Polygon slim = make_stretched_blob({0, 0}, 100.0, 2.0, 0.5, {});
+  BBox bb = slim.bbox();
+  EXPECT_NEAR(bb.width() / bb.height(), 4.0, 0.2);
+}
+
+}  // namespace
+}  // namespace anr

@@ -1,0 +1,92 @@
+// FoI mesher: the gridded triangulation must approximate the region and be
+// harmonic-map ready (manifold, right loop count, all vertices referenced).
+#include <gtest/gtest.h>
+
+#include "foi/foi_mesher.h"
+#include "foi/scenario.h"
+#include "mesh/boundary.h"
+#include "mesh/mesh_quality.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+TEST(FoiMesher, SquareCoversArea) {
+  FieldOfInterest sq = testutil::square_foi(100.0);
+  MesherOptions opt;
+  opt.target_grid_points = 600;
+  FoiMesh fm = mesh_foi(sq, opt);
+  MeshStats s = mesh_stats(fm.mesh);
+  EXPECT_NEAR(s.total_area, sq.area(), sq.area() * 0.02);
+  EXPECT_TRUE(fm.mesh.vertex_manifold());
+  EXPECT_TRUE(fm.mesh.all_ccw());
+  EXPECT_EQ(s.boundary_loops, 1u);
+}
+
+TEST(FoiMesher, AllVerticesReferenced) {
+  FieldOfInterest sq = testutil::square_foi(100.0);
+  FoiMesh fm = mesh_foi(sq);
+  for (std::size_t v = 0; v < fm.mesh.num_vertices(); ++v) {
+    EXPECT_FALSE(fm.mesh.vertex_triangles(static_cast<VertexId>(v)).empty());
+  }
+  EXPECT_EQ(fm.on_boundary.size(), fm.mesh.num_vertices());
+}
+
+TEST(FoiMesher, HoleProducesSecondLoop) {
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 25.0);
+  MesherOptions opt;
+  opt.target_grid_points = 800;
+  FoiMesh fm = mesh_foi(foi, opt);
+  EXPECT_EQ(boundary_loops(fm.mesh).size(), 2u);
+  MeshStats s = mesh_stats(fm.mesh);
+  EXPECT_NEAR(s.total_area, foi.area(), foi.area() * 0.03);
+  // No mesh vertex may sit strictly inside the hole.
+  for (std::size_t v = 0; v < fm.mesh.num_vertices(); ++v) {
+    EXPECT_TRUE(foi.contains(fm.mesh.position(static_cast<VertexId>(v))))
+        << "vertex " << v;
+  }
+}
+
+TEST(FoiMesher, TargetPointCountRoughlyHonored) {
+  FieldOfInterest sq = testutil::square_foi(200.0);
+  for (int target : {300, 1000, 3000}) {
+    MesherOptions opt;
+    opt.target_grid_points = target;
+    FoiMesh fm = mesh_foi(sq, opt);
+    EXPECT_NEAR(static_cast<double>(fm.mesh.num_vertices()),
+                static_cast<double>(target), target * 0.5)
+        << "target " << target;
+  }
+}
+
+TEST(FoiMesher, VertexIndexFindsNearest) {
+  FieldOfInterest sq = testutil::square_foi(100.0);
+  FoiMesh fm = mesh_foi(sq);
+  ASSERT_TRUE(fm.vertex_index != nullptr);
+  int idx = fm.vertex_index->nearest({50.0, 50.0});
+  ASSERT_GE(idx, 0);
+  EXPECT_LT(distance(fm.mesh.position(idx), Vec2(50.0, 50.0)),
+            2.0 * fm.spacing);
+}
+
+// Every paper scenario FoI must mesh cleanly — this is the gate the whole
+// pipeline depends on.
+class ScenarioMesher : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScenarioMesher, M2MeshesClean) {
+  Scenario sc = scenario(GetParam());
+  MesherOptions opt;
+  opt.target_grid_points = 900;
+  FoiMesh fm = mesh_foi(sc.m2_shape, opt);
+  EXPECT_TRUE(fm.mesh.vertex_manifold());
+  EXPECT_EQ(boundary_loops(fm.mesh).size(), sc.m2_shape.holes().size() + 1);
+  MeshStats s = mesh_stats(fm.mesh);
+  EXPECT_NEAR(s.total_area, sc.m2_shape.area(), sc.m2_shape.area() * 0.05);
+  EXPECT_GT(s.min_angle_deg, 5.0);  // no degenerate slivers
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioMesher,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace anr

@@ -1,0 +1,189 @@
+// Unit tests: Vec2 arithmetic, predicates, segments, barycentric
+// coordinates, convex hull.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/barycentric.h"
+#include "geom/convex_hull.h"
+#include "geom/predicates.h"
+#include "geom/segment.h"
+#include "geom/vec2.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+}
+
+TEST(Vec2, NormAndNormalize) {
+  Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-15);
+  EXPECT_EQ(Vec2{}.normalized(), (Vec2{0.0, 0.0}));
+}
+
+TEST(Vec2, Rotation) {
+  Vec2 v{1.0, 0.0};
+  Vec2 r = v.rotated(M_PI / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-15);
+  EXPECT_NEAR(r.y, 1.0, 1e-15);
+  // Rotation preserves norm.
+  Vec2 w{3.7, -2.2};
+  EXPECT_NEAR(w.rotated(1.234).norm(), w.norm(), 1e-12);
+}
+
+TEST(Vec2, Lerp) {
+  Vec2 a{0.0, 0.0}, b{10.0, 20.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (Vec2{5.0, 10.0}));
+}
+
+TEST(Predicates, Orientation) {
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {0, 1}), 1);   // CCW
+  EXPECT_EQ(orientation({0, 0}, {0, 1}, {1, 0}), -1);  // CW
+  EXPECT_EQ(orientation({0, 0}, {1, 1}, {2, 2}), 0);   // collinear
+}
+
+TEST(Predicates, OrientationScaleInvariance) {
+  // The epsilon guard must behave at meter scale like at unit scale.
+  for (double s : {1e-3, 1.0, 1e3, 1e6}) {
+    EXPECT_EQ(orientation({0, 0}, {s, 0}, {0, s}), 1) << "scale " << s;
+    EXPECT_EQ(orientation({0, 0}, {s, s}, {2 * s, 2 * s}), 0) << "scale " << s;
+  }
+}
+
+TEST(Predicates, InCircumcircle) {
+  // Unit circle through (1,0),(0,1),(-1,0): origin inside, (2,0) outside.
+  EXPECT_TRUE(in_circumcircle({1, 0}, {0, 1}, {-1, 0}, {0, 0}));
+  EXPECT_FALSE(in_circumcircle({1, 0}, {0, 1}, {-1, 0}, {2, 0}));
+  // Cocircular point counts as outside (termination guard).
+  EXPECT_FALSE(in_circumcircle({1, 0}, {0, 1}, {-1, 0}, {0, -1}));
+}
+
+TEST(Predicates, PointInTriangle) {
+  Vec2 a{0, 0}, b{4, 0}, c{0, 4};
+  EXPECT_TRUE(point_in_triangle({1, 1}, a, b, c));
+  EXPECT_TRUE(point_in_triangle({0, 0}, a, b, c));  // vertex
+  EXPECT_TRUE(point_in_triangle({2, 0}, a, b, c));  // edge
+  EXPECT_FALSE(point_in_triangle({3, 3}, a, b, c));
+  // Works for CW triangles too.
+  EXPECT_TRUE(point_in_triangle({1, 1}, a, c, b));
+}
+
+TEST(Predicates, Circumcenter) {
+  Vec2 cc = circumcenter({1, 0}, {0, 1}, {-1, 0});
+  EXPECT_NEAR(cc.x, 0.0, 1e-12);
+  EXPECT_NEAR(cc.y, 0.0, 1e-12);
+  // Equidistance property on a scalene triangle.
+  Vec2 a{2.0, 1.0}, b{7.0, 3.0}, c{4.0, 8.0};
+  Vec2 o = circumcenter(a, b, c);
+  EXPECT_NEAR(distance(o, a), distance(o, b), 1e-9);
+  EXPECT_NEAR(distance(o, b), distance(o, c), 1e-9);
+}
+
+TEST(Segment, Intersection) {
+  Segment s{{0, 0}, {4, 4}};
+  Segment t{{0, 4}, {4, 0}};
+  EXPECT_TRUE(segments_intersect(s, t));
+  auto x = segment_intersection(s, t);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(x->x, 2.0, 1e-12);
+  EXPECT_NEAR(x->y, 2.0, 1e-12);
+}
+
+TEST(Segment, NoIntersection) {
+  Segment s{{0, 0}, {1, 0}};
+  Segment t{{0, 1}, {1, 1}};
+  EXPECT_FALSE(segments_intersect(s, t));
+  EXPECT_FALSE(segment_intersection(s, t).has_value());
+}
+
+TEST(Segment, TouchingEndpoints) {
+  Segment s{{0, 0}, {1, 1}};
+  Segment t{{1, 1}, {2, 0}};
+  EXPECT_TRUE(segments_intersect(s, t));
+}
+
+TEST(Segment, CollinearOverlap) {
+  Segment s{{0, 0}, {2, 0}};
+  Segment t{{1, 0}, {3, 0}};
+  EXPECT_TRUE(segments_intersect(s, t));
+  EXPECT_FALSE(segment_intersection(s, t).has_value());  // no unique point
+}
+
+TEST(Segment, ClosestPoint) {
+  Segment s{{0, 0}, {10, 0}};
+  EXPECT_EQ(closest_point(s, {5, 3}), (Vec2{5, 0}));
+  EXPECT_EQ(closest_point(s, {-2, 1}), (Vec2{0, 0}));  // clamped
+  EXPECT_EQ(closest_point(s, {13, -1}), (Vec2{10, 0}));
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 3}, s), 3.0);
+}
+
+TEST(Barycentric, ReconstructsPoint) {
+  Vec2 a{0, 0}, b{5, 0}, c{1, 4};
+  Vec2 p{2.0, 1.5};
+  auto t = barycentric(p, a, b, c);
+  EXPECT_NEAR(t[0] + t[1] + t[2], 1.0, 1e-12);
+  Vec2 back = a * t[0] + b * t[1] + c * t[2];
+  EXPECT_NEAR(back.x, p.x, 1e-12);
+  EXPECT_NEAR(back.y, p.y, 1e-12);
+}
+
+TEST(Barycentric, VerticesAndInside) {
+  Vec2 a{0, 0}, b{4, 0}, c{0, 4};
+  auto ta = barycentric(a, a, b, c);
+  EXPECT_NEAR(ta[0], 1.0, 1e-12);
+  EXPECT_TRUE(barycentric_inside(barycentric({1, 1}, a, b, c)));
+  EXPECT_FALSE(barycentric_inside(barycentric({5, 5}, a, b, c)));
+}
+
+TEST(Barycentric, InterpolationIsAffine) {
+  // Interpolating the identity map returns the query point itself.
+  Vec2 a{1, 1}, b{6, 2}, c{3, 7};
+  Vec2 p{3.0, 3.0};
+  Vec2 q = barycentric_interpolate(p, a, b, c, a, b, c);
+  EXPECT_NEAR(q.x, p.x, 1e-12);
+  EXPECT_NEAR(q.y, p.y, 1e-12);
+}
+
+TEST(ConvexHull, Square) {
+  auto hull = convex_hull({{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}});
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_NEAR(hull.area(), 1.0, 1e-12);
+  EXPECT_GT(hull.signed_area(), 0.0);  // CCW
+}
+
+TEST(ConvexHull, CollinearPointsDropped) {
+  auto hull = convex_hull({{0, 0}, {1, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_EQ(hull.size(), 4u);
+}
+
+// Property sweep: hull contains all input points, for random point sets.
+class ConvexHullProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvexHullProperty, ContainsAllPoints) {
+  auto pts = testutil::random_points(60, -10.0, 10.0,
+                                     static_cast<std::uint64_t>(GetParam()));
+  auto hull = convex_hull(pts);
+  EXPECT_GT(hull.signed_area(), 0.0);
+  for (Vec2 p : pts) {
+    EXPECT_TRUE(hull.contains(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvexHullProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace anr

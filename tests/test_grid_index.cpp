@@ -1,0 +1,87 @@
+// Property tests: GridIndex vs brute force.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/grid_index.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+TEST(GridIndex, RadiusQueryMatchesBruteForce) {
+  auto pts = testutil::random_points(400, 0.0, 100.0, 42);
+  GridIndex idx(pts, 10.0);
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec2 q{rng.uniform(-10.0, 110.0), rng.uniform(-10.0, 110.0)};
+    double r = rng.uniform(1.0, 30.0);
+    auto got = idx.query_radius(q, r);
+    std::sort(got.begin(), got.end());
+    std::vector<int> want;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (distance(pts[i], q) <= r + 1e-12) want.push_back(static_cast<int>(i));
+    }
+    EXPECT_EQ(got, want) << "trial " << trial;
+  }
+}
+
+TEST(GridIndex, NearestMatchesBruteForce) {
+  auto pts = testutil::random_points(300, -50.0, 50.0, 11);
+  GridIndex idx(pts, 7.0);
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    Vec2 q{rng.uniform(-80.0, 80.0), rng.uniform(-80.0, 80.0)};
+    int got = idx.nearest(q);
+    int want = 0;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      if (distance2(pts[i], q) < distance2(pts[static_cast<std::size_t>(want)], q)) {
+        want = static_cast<int>(i);
+      }
+    }
+    ASSERT_GE(got, 0);
+    EXPECT_NEAR(distance(pts[static_cast<std::size_t>(got)], q),
+                distance(pts[static_cast<std::size_t>(want)], q), 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(GridIndex, KNearestSortedAndCorrect) {
+  auto pts = testutil::random_points(200, 0.0, 10.0, 99);
+  GridIndex idx(pts, 1.0);
+  Vec2 q{5.0, 5.0};
+  auto got = idx.k_nearest(q, 10);
+  ASSERT_EQ(got.size(), 10u);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(distance(pts[static_cast<std::size_t>(got[i - 1])], q),
+              distance(pts[static_cast<std::size_t>(got[i])], q));
+  }
+  // The 10th-nearest via brute force matches.
+  std::vector<double> dists;
+  for (Vec2 p : pts) dists.push_back(distance(p, q));
+  std::sort(dists.begin(), dists.end());
+  EXPECT_NEAR(distance(pts[static_cast<std::size_t>(got.back())], q), dists[9],
+              1e-12);
+}
+
+TEST(GridIndex, KNearestClampsToSize) {
+  auto pts = testutil::random_points(5, 0.0, 1.0, 1);
+  GridIndex idx(pts, 0.5);
+  EXPECT_EQ(idx.k_nearest({0.5, 0.5}, 10).size(), 5u);
+  EXPECT_TRUE(idx.k_nearest({0.5, 0.5}, 0).empty());
+}
+
+TEST(GridIndex, SinglePoint) {
+  GridIndex idx({{3.0, 4.0}}, 1.0);
+  EXPECT_EQ(idx.nearest({100.0, 100.0}), 0);
+  EXPECT_EQ(idx.query_radius({3.0, 4.0}, 0.1).size(), 1u);
+}
+
+TEST(GridIndex, FarQueryStillFindsNearest) {
+  auto pts = testutil::random_points(50, 0.0, 1.0, 5);
+  GridIndex idx(pts, 0.1);
+  EXPECT_GE(idx.nearest({1000.0, -500.0}), 0);
+}
+
+}  // namespace
+}  // namespace anr

@@ -1,0 +1,144 @@
+// Harmonic disk maps: embedding validity, boundary conditions, weight
+// schemes, distributed equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "foi/foi_mesher.h"
+#include "harmonic/disk_map.h"
+#include "harmonic/distributed_disk_map.h"
+#include "mesh/alpha_extract.h"
+#include "mesh/hole_fill.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+TriangleMesh lattice_mesh(double radius = 60.0) {
+  auto pts = testutil::lattice_disk({0, 0}, radius, 12.0);
+  return alpha_extract(pts, 14.0).mesh;
+}
+
+void expect_valid_disk_map(const TriangleMesh& mesh, const DiskMap& map) {
+  ASSERT_EQ(map.disk_pos.size(), mesh.num_vertices());
+  EXPECT_TRUE(map.converged);
+  EXPECT_DOUBLE_EQ(map.embedding_quality(mesh), 1.0);
+  for (std::size_t v = 0; v < mesh.num_vertices(); ++v) {
+    double r = map.disk_pos[v].norm();
+    if (map.on_boundary[v]) {
+      EXPECT_NEAR(r, 1.0, 1e-9) << "boundary vertex " << v;
+    } else {
+      EXPECT_LT(r, 1.0) << "interior vertex " << v;
+    }
+  }
+}
+
+TEST(DiskMap, UniformWeightsEmbedding) {
+  TriangleMesh mesh = lattice_mesh();
+  DiskMap map = harmonic_disk_map(mesh);
+  expect_valid_disk_map(mesh, map);
+}
+
+TEST(DiskMap, MeanValueWeightsEmbedding) {
+  TriangleMesh mesh = lattice_mesh();
+  DiskMapOptions opt;
+  opt.weights = HarmonicWeights::kMeanValue;
+  DiskMap map = harmonic_disk_map(mesh, opt);
+  expect_valid_disk_map(mesh, map);
+}
+
+TEST(DiskMap, ChordLengthSpacing) {
+  TriangleMesh mesh = lattice_mesh();
+  DiskMapOptions opt;
+  opt.spacing = BoundarySpacing::kChordLength;
+  DiskMap map = harmonic_disk_map(mesh, opt);
+  expect_valid_disk_map(mesh, map);
+}
+
+TEST(DiskMap, InteriorIsNeighborAverage) {
+  TriangleMesh mesh = lattice_mesh();
+  DiskMap map = harmonic_disk_map(mesh);
+  for (std::size_t v = 0; v < mesh.num_vertices(); ++v) {
+    if (map.on_boundary[v]) continue;
+    Vec2 avg{};
+    const auto& nb = mesh.neighbors(static_cast<VertexId>(v));
+    for (VertexId u : nb) avg += map.disk_pos[static_cast<std::size_t>(u)];
+    avg = avg / static_cast<double>(nb.size());
+    EXPECT_NEAR(map.disk_pos[v].x, avg.x, 1e-7);
+    EXPECT_NEAR(map.disk_pos[v].y, avg.y, 1e-7);
+  }
+}
+
+TEST(DiskMap, BoundaryUniformByHops) {
+  TriangleMesh mesh = lattice_mesh();
+  DiskMap map = harmonic_disk_map(mesh);
+  // Count boundary vertices; consecutive boundary angles differ by 2*pi/b.
+  std::size_t b = 0;
+  for (char f : map.on_boundary) b += f ? 1u : 0u;
+  ASSERT_GT(b, 3u);
+  std::vector<double> angles;
+  for (std::size_t v = 0; v < mesh.num_vertices(); ++v) {
+    if (map.on_boundary[v]) angles.push_back(map.disk_pos[v].angle());
+  }
+  std::sort(angles.begin(), angles.end());
+  for (std::size_t i = 1; i < angles.size(); ++i) {
+    EXPECT_NEAR(angles[i] - angles[i - 1], 2.0 * M_PI / static_cast<double>(b),
+                1e-6);
+  }
+}
+
+TEST(DiskMap, RequiresDiskTopology) {
+  FieldOfInterest annulus = testutil::square_with_hole(100.0, 25.0);
+  MesherOptions opt;
+  opt.target_grid_points = 300;
+  FoiMesh fm = mesh_foi(annulus, opt);
+  EXPECT_THROW(harmonic_disk_map(fm.mesh), ContractViolation);
+  // After hole filling it works.
+  HoleFillResult filled = fill_holes(fm.mesh);
+  DiskMap map = harmonic_disk_map(filled.mesh);
+  EXPECT_TRUE(map.converged);
+  EXPECT_GT(map.embedding_quality(filled.mesh), 0.99);
+}
+
+TEST(DiskMap, DistributedMatchesCentralized) {
+  TriangleMesh mesh = lattice_mesh(45.0);
+  DiskMap central = harmonic_disk_map(mesh);
+  DistributedDiskMap dist = distributed_harmonic_disk_map(mesh, 1e-10);
+  ASSERT_TRUE(dist.map.converged);
+  for (std::size_t v = 0; v < mesh.num_vertices(); ++v) {
+    EXPECT_NEAR(central.disk_pos[v].x, dist.map.disk_pos[v].x, 1e-4) << v;
+    EXPECT_NEAR(central.disk_pos[v].y, dist.map.disk_pos[v].y, 1e-4) << v;
+  }
+  EXPECT_GT(dist.boundary_messages, 0u);
+  EXPECT_GT(dist.relax_messages, 0u);
+}
+
+TEST(DiskMap, DeterministicAcrossRuns) {
+  TriangleMesh mesh = lattice_mesh();
+  DiskMap a = harmonic_disk_map(mesh);
+  DiskMap b = harmonic_disk_map(mesh);
+  for (std::size_t v = 0; v < mesh.num_vertices(); ++v) {
+    EXPECT_EQ(a.disk_pos[v], b.disk_pos[v]);
+  }
+}
+
+// Property sweep: maps of meshed FoI shapes are always valid embeddings.
+class DiskMapProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiskMapProperty, MeshedBlobEmbeds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Polygon blob = make_circle({0, 0}, 80.0 + rng.uniform(0.0, 40.0), 40);
+  FieldOfInterest foi{std::move(blob)};
+  MesherOptions opt;
+  opt.target_grid_points = 250;
+  opt.seed = static_cast<std::uint64_t>(GetParam());
+  FoiMesh fm = mesh_foi(foi, opt);
+  DiskMap map = harmonic_disk_map(fm.mesh);
+  expect_valid_disk_map(fm.mesh, map);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiskMapProperty, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace anr

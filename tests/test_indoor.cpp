@@ -1,0 +1,110 @@
+// Indoor floor-plan FoIs: validity, meshability, and a full march into a
+// multi-room environment (the paper's future-work "indoor" case).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "coverage/lloyd.h"
+#include "foi/foi_mesher.h"
+#include "foi/indoor.h"
+#include "foi/scenario.h"
+#include "harmonic/disk_map.h"
+#include "march/planner.h"
+#include "march/transition_sim.h"
+#include "mesh/boundary.h"
+#include "mesh/hole_fill.h"
+#include "net/connectivity.h"
+
+namespace anr {
+namespace {
+
+TEST(Indoor, FloorPlanStructure) {
+  IndoorOptions opt;
+  FieldOfInterest floor = make_indoor_foi(opt);
+  // 3x2 rooms: 2 vertical wall lines x 2 rooms x 2 pieces
+  //          + 1 horizontal wall line x 3 rooms x 2 pieces = 14 holes.
+  EXPECT_EQ(floor.holes().size(), 14u);
+  double gross = 3 * 220.0 * 2 * 220.0;
+  EXPECT_LT(floor.area(), gross);
+  EXPECT_GT(floor.area(), gross * 0.95);  // walls are thin
+}
+
+TEST(Indoor, RoomCentersPlaceableWallsNot) {
+  FieldOfInterest floor = make_indoor_foi();
+  EXPECT_TRUE(floor.contains({110.0, 110.0}));   // room center
+  EXPECT_FALSE(floor.contains({220.0, 60.0}));   // inside a vertical wall
+  EXPECT_TRUE(floor.contains({220.0, 220.0}));   // wall crossing clearance
+}
+
+TEST(Indoor, DoorwaysAreOpen) {
+  IndoorOptions opt;
+  FieldOfInterest floor = make_indoor_foi(opt);
+  // The door in the wall at x = 220 between y=0..220 is centered.
+  double door_y = (opt.clearance + opt.room_size - opt.clearance) / 2.0;
+  EXPECT_TRUE(floor.contains({220.0, door_y}));
+  EXPECT_TRUE(floor.segment_inside({200.0, door_y}, {240.0, door_y}));
+}
+
+TEST(Indoor, MeshesAndEmbeds) {
+  IndoorOptions opt;
+  opt.rooms_x = 2;
+  opt.rooms_y = 2;
+  FieldOfInterest floor = make_indoor_foi(opt);
+  MesherOptions mopt;
+  mopt.target_grid_points = 1500;
+  FoiMesh fm = mesh_foi(floor, mopt);
+  EXPECT_TRUE(fm.mesh.vertex_manifold());
+  EXPECT_EQ(boundary_loops(fm.mesh).size(), floor.holes().size() + 1);
+  HoleFillResult filled = fill_holes(fm.mesh);
+  DiskMap map = harmonic_disk_map(filled.mesh);
+  EXPECT_TRUE(map.converged);
+  EXPECT_GT(map.embedding_quality(filled.mesh), 0.99);
+}
+
+TEST(Indoor, FullMarchIntoBuilding) {
+  IndoorOptions opt;
+  opt.rooms_x = 2;
+  opt.rooms_y = 2;
+  FieldOfInterest floor = make_indoor_foi(opt);
+  FieldOfInterest staging = base_m1();
+  const double r_c = 80.0;
+  auto deploy = optimal_coverage_positions(staging, 144, 1, uniform_density());
+
+  PlannerOptions popt;
+  popt.mesher.target_grid_points = 1200;
+  popt.cvt_samples = 12000;
+  popt.max_adjust_steps = 30;
+  MarchPlanner planner(staging, floor, r_c, popt);
+  Vec2 off = staging.centroid() + Vec2{15.0 * r_c, 0.0} - floor.centroid();
+  MarchPlan plan = planner.plan(deploy.positions, off);
+
+  auto m = simulate_transition(plan.trajectories, r_c, plan.transition_end, 120);
+  EXPECT_TRUE(m.global_connectivity);
+  FieldOfInterest placed = floor.translated(off);
+  for (Vec2 p : plan.final_positions) {
+    EXPECT_TRUE(placed.contains(p));
+  }
+  // Robots spread across all four rooms.
+  int rooms_hit = 0;
+  for (int rx = 0; rx < 2; ++rx) {
+    for (int ry = 0; ry < 2; ++ry) {
+      Vec2 center = off + Vec2{(rx + 0.5) * opt.room_size,
+                               (ry + 0.5) * opt.room_size};
+      for (Vec2 p : plan.final_positions) {
+        if (distance(p, center) < opt.room_size / 2.0) {
+          ++rooms_hit;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(rooms_hit, 4);
+}
+
+TEST(Indoor, RejectsImpossibleGeometry) {
+  IndoorOptions opt;
+  opt.room_size = 50.0;  // smaller than clearances + door
+  EXPECT_THROW(make_indoor_foi(opt), ContractViolation);
+}
+
+}  // namespace
+}  // namespace anr

@@ -1,0 +1,154 @@
+// JSON parser/writer and plan persistence round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "coverage/lloyd.h"
+#include "foi/scenario.h"
+#include "io/json.h"
+#include "io/plan_io.h"
+#include "march/planner.h"
+#include "march/transition_sim.h"
+
+namespace anr {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_EQ(json::parse("true").as_bool(), true);
+  EXPECT_EQ(json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(json::parse("-3.25e2").as_number(), -325.0);
+  EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(json::parse(R"("a\nb\t\"q\"\\")").as_string(), "a\nb\t\"q\"\\");
+  EXPECT_EQ(json::parse(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, Containers) {
+  auto v = json::parse(R"({"a": [1, 2, {"b": true}], "c": null})");
+  ASSERT_TRUE(v.is_object());
+  const auto& a = v.at("a").as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[0].as_number(), 1.0);
+  EXPECT_TRUE(a[2].at("b").as_bool());
+  EXPECT_TRUE(v.at("c").is_null());
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("zzz"));
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(json::parse(""), json::ParseError);
+  EXPECT_THROW(json::parse("{"), json::ParseError);
+  EXPECT_THROW(json::parse("[1,]"), json::ParseError);
+  EXPECT_THROW(json::parse("tru"), json::ParseError);
+  EXPECT_THROW(json::parse("\"unterminated"), json::ParseError);
+  EXPECT_THROW(json::parse("1 2"), json::ParseError);
+  EXPECT_THROW(json::parse("{'single': 1}"), json::ParseError);
+}
+
+TEST(Json, TypeErrors) {
+  auto v = json::parse("[1]");
+  EXPECT_THROW(v.as_object(), std::runtime_error);
+  EXPECT_THROW(v.at("x"), std::runtime_error);
+  EXPECT_THROW(json::parse("3").as_string(), std::runtime_error);
+}
+
+TEST(Json, DumpRoundTrip) {
+  std::string doc =
+      R"({"arr":[1,2.5,-3],"nested":{"t":true,"s":"x\ny"},"z":null})";
+  auto v = json::parse(doc);
+  // compact dump re-parses to the same structure
+  auto again = json::parse(v.dump());
+  EXPECT_EQ(again.at("arr").as_array().size(), 3u);
+  EXPECT_EQ(again.at("nested").at("s").as_string(), "x\ny");
+  // pretty dump also re-parses
+  auto pretty = json::parse(v.dump(2));
+  EXPECT_DOUBLE_EQ(pretty.at("arr").as_array()[1].as_number(), 2.5);
+}
+
+TEST(Json, NumberPrecisionPreserved) {
+  double val = 0.1234567890123456;
+  json::Object o;
+  o.emplace("v", val);
+  auto round = json::parse(json::Value(std::move(o)).dump());
+  EXPECT_DOUBLE_EQ(round.at("v").as_number(), val);
+}
+
+TEST(PlanIo, TrajectoryRoundTrip) {
+  Trajectory t;
+  t.append({0.5, -1.25}, 0.0);
+  t.append({10.0, 3.0}, 1.0);
+  t.append({12.5, 3.5}, 1.75);
+  Trajectory back = trajectory_from_json(
+      json::parse(trajectory_to_json(t).dump()));
+  ASSERT_EQ(back.num_waypoints(), t.num_waypoints());
+  for (std::size_t i = 0; i < t.num_waypoints(); ++i) {
+    EXPECT_EQ(back.waypoints()[i], t.waypoints()[i]);
+    EXPECT_DOUBLE_EQ(back.times()[i], t.times()[i]);
+  }
+}
+
+TEST(PlanIo, FullPlanRoundTripThroughFile) {
+  Scenario sc = scenario(1);
+  auto deploy = optimal_coverage_positions(sc.m1, sc.num_robots, 1,
+                                           uniform_density())
+                    .positions;
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 500;
+  opt.cvt_samples = 8000;
+  opt.max_adjust_steps = 10;
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, opt);
+  Vec2 off = sc.m1.centroid() + Vec2{15.0 * sc.comm_range, 0.0} -
+             sc.m2_shape.centroid();
+  MarchPlan plan = planner.plan(deploy, off);
+
+  std::string path = "/tmp/anr_plan_roundtrip.json";
+  ASSERT_TRUE(save_plan(plan, path));
+  auto loaded = load_plan(path);
+  ASSERT_TRUE(loaded.has_value());
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded->trajectories.size(), plan.trajectories.size());
+  EXPECT_EQ(loaded->rotation_angle, plan.rotation_angle);
+  EXPECT_EQ(loaded->snapped_targets, plan.snapped_targets);
+  EXPECT_EQ(loaded->final_positions, plan.final_positions);
+
+  // Replaying the loaded trajectories reproduces the measured metrics.
+  auto m1 = simulate_transition(plan.trajectories, sc.comm_range,
+                                plan.transition_end, 80);
+  auto m2 = simulate_transition(loaded->trajectories, sc.comm_range,
+                                loaded->transition_end, 80);
+  EXPECT_DOUBLE_EQ(m1.stable_link_ratio, m2.stable_link_ratio);
+  EXPECT_DOUBLE_EQ(m1.total_distance, m2.total_distance);
+  EXPECT_EQ(m1.global_connectivity, m2.global_connectivity);
+}
+
+TEST(PlanIo, MetricsRoundTrip) {
+  TransitionMetrics m;
+  m.total_distance = 123.5;
+  m.stable_link_ratio = 0.87;
+  m.global_connectivity = false;
+  m.first_disconnect_time = 0.42;
+  m.initial_links = 99;
+  TransitionMetrics back =
+      metrics_from_json(json::parse(metrics_to_json(m).dump()));
+  EXPECT_DOUBLE_EQ(back.total_distance, m.total_distance);
+  EXPECT_DOUBLE_EQ(back.stable_link_ratio, m.stable_link_ratio);
+  EXPECT_EQ(back.global_connectivity, m.global_connectivity);
+  EXPECT_EQ(back.initial_links, m.initial_links);
+}
+
+TEST(PlanIo, LoadRejectsGarbage) {
+  std::string path = "/tmp/anr_plan_garbage.json";
+  std::ofstream(path) << "{\"format\": \"something-else\"}";
+  EXPECT_FALSE(load_plan(path).has_value());
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_plan("/nonexistent/x.json").has_value());
+}
+
+}  // namespace
+}  // namespace anr

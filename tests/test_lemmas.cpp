@@ -1,0 +1,130 @@
+// Computational demonstrations of the paper's two lemmas (Sec. II-A,
+// Fig. 1) — the theory that motivates the whole design.
+//
+// Lemma 1: maximizing the stable link ratio L and minimizing the total
+// moving distance D cannot be achieved simultaneously.
+// Lemma 2: local connectivity cannot be fully preserved in general.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "march/metrics.h"
+#include "matching/hungarian.h"
+
+namespace anr {
+namespace {
+
+// Fig. 1(a): seven robots in a horizontal 2-row triangular strip must
+// redeploy into the same strip rotated vertical. Unit spacing d, r_c
+// slightly above d so only lattice neighbors are linked.
+struct Fig1a {
+  std::vector<Vec2> p;  // horizontal strip (A..G)
+  std::vector<Vec2> q;  // vertical strip (a..g)
+  double r_c = 1.05;
+
+  Fig1a() {
+    double h = std::sqrt(3.0) / 2.0;
+    // Horizontal: 4 on the bottom row, 3 nested above.
+    p = {{0, 0}, {1, 0}, {2, 0}, {3, 0}, {0.5, h}, {1.5, h}, {2.5, h}};
+    // Vertical: the same shape rotated 90 degrees, some distance away.
+    Vec2 off{20.0, -1.5};
+    for (Vec2 v : p) q.push_back(Vec2{-v.y, v.x} + off);
+  }
+};
+
+double assignment_distance(const std::vector<Vec2>& p,
+                           const std::vector<Vec2>& q,
+                           const std::vector<int>& perm) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    d += distance(p[i], q[static_cast<std::size_t>(perm[i])]);
+  }
+  return d;
+}
+
+double assignment_link_ratio(const std::vector<Vec2>& p,
+                             const std::vector<Vec2>& q,
+                             const std::vector<int>& perm, double r_c) {
+  std::vector<Vec2> targets(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    targets[i] = q[static_cast<std::size_t>(perm[i])];
+  }
+  return predicted_stable_link_ratio(p, targets,
+                                     communication_links(p, r_c), r_c);
+}
+
+TEST(Lemma1, MaxLinksAndMinDistanceAreDifferentAssignments) {
+  Fig1a fig;
+  const int n = static_cast<int>(fig.p.size());
+
+  // Brute-force all 7! assignments: find max-L and min-D optima.
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  double best_l = -1.0, best_l_dist = 0.0;
+  double best_d = 1e300, best_d_links = 0.0;
+  do {
+    double l = assignment_link_ratio(fig.p, fig.q, perm, fig.r_c);
+    double d = assignment_distance(fig.p, fig.q, perm);
+    if (l > best_l || (l == best_l && d < best_l_dist)) {
+      best_l = l;
+      best_l_dist = d;
+    }
+    if (d < best_d) {
+      best_d = d;
+      best_d_links = l;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  // The identity assignment (A->a etc.) preserves every link (rigid
+  // rotation): max L = 1.
+  EXPECT_DOUBLE_EQ(best_l, 1.0);
+  // Lemma 1: the min-distance assignment does NOT achieve max L, and the
+  // max-L assignment costs strictly more distance.
+  EXPECT_LT(best_d_links, 1.0);
+  EXPECT_GT(best_l_dist, best_d + 1e-9);
+
+  // Cross-check the Hungarian solver against the brute-force optimum.
+  auto hung = min_distance_assignment(fig.p, fig.q);
+  EXPECT_NEAR(hung.total_cost, best_d, 1e-9);
+}
+
+TEST(Lemma2, RoundToSlimMustBreakLinks) {
+  // Fig. 1(b): hexagon + center (7 robots, center has 6 links, ring has
+  // 2 ring-links each + center) into a 1D chain. In any chain layout with
+  // spacing >= d the degree of every robot is at most 2, so the center
+  // robot must break at least 4 of its 6 links — local connectivity
+  // cannot be fully preserved (for ANY assignment).
+  double d = 1.0, r_c = 1.05;
+  std::vector<Vec2> p{{0, 0}};
+  for (int k = 0; k < 6; ++k) {
+    double a = M_PI / 3.0 * k;
+    p.push_back({d * std::cos(a), d * std::sin(a)});
+  }
+  std::vector<Vec2> q;
+  for (int k = 0; k < 7; ++k) q.push_back({30.0 + k * d, 0.0});
+
+  auto links = communication_links(p, r_c);
+  EXPECT_EQ(links.size(), 12u);  // 6 spokes + 6 ring edges
+
+  std::vector<int> perm(7);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best_l = -1.0;
+  do {
+    std::vector<Vec2> targets(7);
+    for (std::size_t i = 0; i < 7; ++i) {
+      targets[i] = q[static_cast<std::size_t>(perm[i])];
+    }
+    best_l = std::max(
+        best_l, predicted_stable_link_ratio(p, targets, links, r_c));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  // Even the best possible assignment keeps only 6 of the 12 links (the
+  // chain has 6 edges): L_max = 0.5 < 1 — Lemma 2.
+  EXPECT_LT(best_l, 1.0);
+  EXPECT_NEAR(best_l, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace anr

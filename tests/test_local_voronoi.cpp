@@ -1,0 +1,113 @@
+// Distributed (two-hop) Lloyd vs global oracles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "coverage/local_voronoi.h"
+#include "coverage/lloyd.h"
+#include "coverage/voronoi.h"
+#include "net/connectivity.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+TEST(LocalVoronoi, MatchesGlobalVoronoiWhenDense) {
+  // Robots spaced well within comm range: two hops capture every Voronoi
+  // neighbor, so the local step equals the global clipped-Voronoi step.
+  FieldOfInterest foi = testutil::square_foi(100.0);
+  std::vector<Vec2> robots;
+  for (int y = 1; y < 5; ++y) {
+    for (int x = 1; x < 5; ++x) {
+      robots.push_back({x * 20.0 + (y % 2) * 3.0, y * 20.0});
+    }
+  }
+  LocalVoronoiLloyd local(foi, {}, /*comm_range=*/45.0);
+  auto step = local.step(robots);
+  auto global = voronoi_centroids(robots, foi.outer());
+  for (std::size_t i = 0; i < robots.size(); ++i) {
+    EXPECT_LT(distance(step.centroids[i], global[i]), 1e-6) << i;
+  }
+  EXPECT_GT(step.messages, 0u);
+}
+
+TEST(LocalVoronoi, AgreesWithGridCvt) {
+  FieldOfInterest foi = testutil::square_foi(120.0);
+  Rng rng(4);
+  std::vector<Vec2> robots;
+  for (int i = 0; i < 25; ++i) robots.push_back(foi.sample_point(rng));
+  LocalVoronoiLloyd local(foi, {}, 80.0);
+  GridCvt grid(foi, uniform_density(), 40000);
+  auto a = local.step(robots).centroids;
+  auto b = grid.centroids(robots);
+  for (std::size_t i = 0; i < robots.size(); ++i) {
+    EXPECT_LT(distance(a[i], b[i]), 2.5) << i;  // within grid resolution
+  }
+}
+
+TEST(LocalVoronoi, CentroidsStayOutOfHoles) {
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 25.0);
+  LocalVoronoiLloyd local(foi, {}, 60.0);
+  std::vector<Vec2> robots{{50.0, 20.0}, {50.0, 80.0}, {20.0, 50.0}, {80.0, 50.0}};
+  auto step = local.step(robots);
+  for (Vec2 c : step.centroids) {
+    EXPECT_TRUE(foi.contains(c));
+  }
+}
+
+TEST(LocalVoronoi, RunConvergesToUniformSpread) {
+  FieldOfInterest foi = testutil::square_foi(100.0);
+  Rng rng(7);
+  std::vector<Vec2> robots;
+  for (int i = 0; i < 16; ++i) {
+    robots.push_back({rng.uniform(0.0, 30.0), rng.uniform(0.0, 30.0)});
+  }
+  LocalVoronoiLloyd local(foi, {}, 200.0);  // fully connected
+  auto res = local.run(robots, 0.5, 200);
+  EXPECT_TRUE(res.converged);
+  // Nearest-neighbor distances become large and even (spread out of the
+  // initial corner clump).
+  double min_nn = 1e300;
+  for (std::size_t i = 0; i < res.positions.size(); ++i) {
+    double best = 1e300;
+    for (std::size_t j = 0; j < res.positions.size(); ++j) {
+      if (i != j) best = std::min(best, distance(res.positions[i], res.positions[j]));
+    }
+    min_nn = std::min(min_nn, best);
+  }
+  EXPECT_GT(min_nn, 15.0);
+}
+
+TEST(LocalVoronoi, DensityPullsRobots) {
+  FieldOfInterest foi = testutil::square_foi(100.0);
+  Vec2 hot{80.0, 80.0};
+  LocalVoronoiLloyd weighted(foi, hotspot_density(hot, 10.0, 20.0), 200.0);
+  LocalVoronoiLloyd uniform(foi, {}, 200.0);
+  std::vector<Vec2> robots;
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) robots.push_back(foi.sample_point(rng));
+  auto rw = weighted.run(robots, 0.5, 120);
+  auto ru = uniform.run(robots, 0.5, 120);
+  auto near_hot = [&](const std::vector<Vec2>& pts) {
+    int c = 0;
+    for (Vec2 p : pts) {
+      if (distance(p, hot) < 30.0) ++c;
+    }
+    return c;
+  };
+  EXPECT_GT(near_hot(rw.positions), near_hot(ru.positions));
+}
+
+TEST(LocalVoronoi, ClampsOutsideRobots) {
+  FieldOfInterest foi = testutil::square_foi(50.0);
+  LocalVoronoiLloyd local(foi, {}, 100.0);
+  std::vector<Vec2> robots{{-20.0, 25.0}, {25.0, 25.0}};
+  auto step = local.step(robots);
+  for (Vec2 c : step.centroids) {
+    EXPECT_TRUE(foi.contains(c));
+  }
+}
+
+}  // namespace
+}  // namespace anr

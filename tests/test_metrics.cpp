@@ -1,0 +1,81 @@
+// Marching metrics helpers (Defs. 1-2 predictors) and mesh statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "march/metrics.h"
+#include "mesh/mesh_quality.h"
+#include "mesh/triangle_mesh.h"
+
+namespace anr {
+namespace {
+
+TEST(Metrics, CommunicationLinks) {
+  std::vector<Vec2> p{{0, 0}, {5, 0}, {20, 0}};
+  auto links = communication_links(p, 6.0);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0], (std::pair<int, int>{0, 1}));
+}
+
+TEST(Metrics, PredictedRatioEndpointRule) {
+  std::vector<Vec2> p{{0, 0}, {5, 0}};
+  auto links = communication_links(p, 6.0);
+  // Both endpoints in range -> survives.
+  EXPECT_DOUBLE_EQ(
+      predicted_stable_link_ratio(p, {{100, 0}, {105, 0}}, links, 6.0), 1.0);
+  // End out of range -> broken.
+  EXPECT_DOUBLE_EQ(
+      predicted_stable_link_ratio(p, {{100, 0}, {110, 0}}, links, 6.0), 0.0);
+}
+
+TEST(Metrics, ConvexityJustifiesEndpointRule) {
+  // Property: for straight-line synchronized motion, max inter-distance is
+  // at an endpoint. Sample densely and verify.
+  Vec2 p1{0, 0}, p2{5, 1};
+  Vec2 q1{40, 30}, q2{44, 26};
+  double d0 = distance(p1, p2), d1 = distance(q1, q2);
+  double dmax = 0.0;
+  for (int k = 0; k <= 1000; ++k) {
+    double t = k / 1000.0;
+    dmax = std::max(dmax, distance(lerp(p1, q1, t), lerp(p2, q2, t)));
+  }
+  EXPECT_LE(dmax, std::max(d0, d1) + 1e-9);
+}
+
+TEST(Metrics, NoLinksRatioIsOne) {
+  std::vector<Vec2> p{{0, 0}, {100, 100}};
+  EXPECT_DOUBLE_EQ(predicted_stable_link_ratio(p, p, {}, 5.0), 1.0);
+}
+
+TEST(Metrics, TotalDisplacement) {
+  std::vector<Vec2> p{{0, 0}, {1, 1}};
+  std::vector<Vec2> q{{3, 4}, {1, 1}};
+  EXPECT_DOUBLE_EQ(total_displacement(p, q), 5.0);
+}
+
+TEST(MeshStats, SquareMesh) {
+  TriangleMesh m({{0, 0}, {1, 0}, {1, 1}, {0, 1}}, {Tri{0, 1, 2}, Tri{0, 2, 3}});
+  MeshStats s = mesh_stats(m);
+  EXPECT_EQ(s.vertices, 4u);
+  EXPECT_EQ(s.triangles, 2u);
+  EXPECT_EQ(s.edges, 5u);
+  EXPECT_EQ(s.boundary_edges, 4u);
+  EXPECT_EQ(s.boundary_loops, 1u);
+  EXPECT_EQ(s.euler, 1);
+  EXPECT_NEAR(s.total_area, 1.0, 1e-12);
+  EXPECT_NEAR(s.min_angle_deg, 45.0, 1e-9);
+  EXPECT_NEAR(s.max_angle_deg, 90.0, 1e-9);
+  EXPECT_NEAR(s.min_edge, 1.0, 1e-12);
+  EXPECT_NEAR(s.max_edge, std::sqrt(2.0), 1e-12);
+  EXPECT_FALSE(s.summary().empty());
+}
+
+TEST(MeshStats, EmptyMesh) {
+  TriangleMesh m({{0, 0}}, {});
+  MeshStats s = mesh_stats(m);
+  EXPECT_EQ(s.triangles, 0u);
+  EXPECT_DOUBLE_EQ(s.total_area, 0.0);
+}
+
+}  // namespace
+}  // namespace anr

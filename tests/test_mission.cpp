@@ -1,0 +1,80 @@
+// Multi-FoI missions: chaining legs preserves the guarantees.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "coverage/lloyd.h"
+#include "foi/scenario.h"
+#include "march/mission.h"
+#include "net/connectivity.h"
+
+namespace anr {
+namespace {
+
+PlannerOptions fast_options() {
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 600;
+  opt.cvt_samples = 9000;
+  opt.max_adjust_steps = 20;
+  return opt;
+}
+
+TEST(Mission, TwoLegPatrol) {
+  FieldOfInterest start = base_m1();
+  auto deploy = optimal_coverage_positions(start, 144, 1, uniform_density());
+
+  std::vector<MissionLeg> legs;
+  legs.push_back({scenario(1).m2_shape.translated({1500.0, 200.0}), {},
+                  "leg-east"});
+  legs.push_back({scenario(3).m2_shape.translated({2900.0, -300.0}), {},
+                  "leg-pond"});
+
+  MissionResult res = run_mission(start, deploy.positions, legs, 80.0,
+                                  fast_options(), 100);
+  ASSERT_EQ(res.legs.size(), 2u);
+  EXPECT_TRUE(res.always_connected);
+  EXPECT_GT(res.worst_link_ratio, 0.4);
+  EXPECT_NEAR(res.total_distance,
+              res.legs[0].metrics.total_distance +
+                  res.legs[1].metrics.total_distance,
+              1e-9);
+  // Final deployment is connected and inside the last FoI.
+  EXPECT_TRUE(net::is_connected(res.final_positions, 80.0));
+  for (Vec2 p : res.final_positions) {
+    EXPECT_TRUE(legs.back().foi.contains(p));
+  }
+  // Legs chain: leg 2 starts where leg 1 ended.
+  for (std::size_t i = 0; i < res.final_positions.size(); i += 29) {
+    EXPECT_EQ(res.legs[1].plan.start[i], res.legs[0].plan.final_positions[i]);
+  }
+}
+
+TEST(Mission, PerLegDensityApplies) {
+  FieldOfInterest start = base_m1();
+  auto deploy = optimal_coverage_positions(start, 144, 1, uniform_density());
+  FieldOfInterest pond = scenario(3).m2_shape.translated({1500.0, 0.0});
+
+  std::vector<MissionLeg> uniform_leg{{pond, {}, "uniform"}};
+  std::vector<MissionLeg> weighted_leg{
+      {pond, hole_proximity_density(pond, 8.0, 60.0), "weighted"}};
+
+  auto ru = run_mission(start, deploy.positions, uniform_leg, 80.0,
+                        fast_options(), 60);
+  auto rw = run_mission(start, deploy.positions, weighted_leg, 80.0,
+                        fast_options(), 60);
+  auto near_hole = [&](const std::vector<Vec2>& pts) {
+    int c = 0;
+    for (Vec2 p : pts) {
+      if (pond.distance_to_nearest_hole(p) < 60.0) ++c;
+    }
+    return c;
+  };
+  EXPECT_GT(near_hole(rw.final_positions), near_hole(ru.final_positions));
+}
+
+TEST(Mission, EmptyMissionRejected) {
+  FieldOfInterest start = base_m1();
+  EXPECT_THROW(run_mission(start, {{0, 0}}, {}, 80.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace anr

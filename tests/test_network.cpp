@@ -1,0 +1,136 @@
+// Round-based network simulator: delivery semantics, topology guards,
+// unit-disk graph and connectivity.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "net/connectivity.h"
+#include "net/network.h"
+#include "net/unit_disk_graph.h"
+#include "test_util.h"
+
+namespace anr::net {
+namespace {
+
+TEST(UnitDiskGraph, Adjacency) {
+  std::vector<Vec2> pos{{0, 0}, {5, 0}, {11, 0}};
+  auto adj = unit_disk_adjacency(pos, 6.0);
+  EXPECT_EQ(adj[0], (std::vector<int>{1}));
+  EXPECT_EQ(adj[1], (std::vector<int>{0, 2}));
+  EXPECT_EQ(adj[2], (std::vector<int>{1}));
+}
+
+TEST(UnitDiskGraph, RangeIsInclusive) {
+  std::vector<Vec2> pos{{0, 0}, {10, 0}};
+  EXPECT_EQ(unit_disk_edges(pos, 10.0).size(), 1u);
+  EXPECT_TRUE(unit_disk_edges(pos, 9.999).empty());
+}
+
+TEST(UnitDiskGraph, EdgesMatchBruteForce) {
+  auto pos = testutil::random_points(150, 0.0, 100.0, 21);
+  double r = 15.0;
+  auto edges = unit_disk_edges(pos, r);
+  std::size_t brute = 0;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      if (distance(pos[i], pos[j]) <= r + 1e-12) ++brute;
+    }
+  }
+  EXPECT_EQ(edges.size(), brute);
+}
+
+TEST(Connectivity, ComponentsAndBfs) {
+  // Two components: 0-1-2 and 3-4.
+  std::vector<std::vector<int>> adj{{1}, {0, 2}, {1}, {4}, {3}};
+  auto comp = components(adj);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_FALSE(is_connected(adj));
+
+  auto hops = bfs_hops(adj, {0});
+  EXPECT_EQ(hops, (std::vector<int>{0, 1, 2, -1, -1}));
+}
+
+TEST(Connectivity, SingleAndEmpty) {
+  EXPECT_TRUE(is_connected(std::vector<std::vector<int>>{}));
+  EXPECT_TRUE(is_connected(std::vector<std::vector<int>>{{}}));
+}
+
+TEST(Network, DeliversNextRound) {
+  Network net(std::vector<std::vector<NodeId>>{{1}, {0}});
+  Message m;
+  m.tag = 42;
+  m.ints = {7};
+  net.send(0, 1, std::move(m));
+  EXPECT_TRUE(net.take_inbox(1).empty());  // not delivered yet
+  EXPECT_TRUE(net.deliver_round());
+  auto inbox = net.take_inbox(1);
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].tag, 42);
+  EXPECT_EQ(inbox[0].src, 0);
+  EXPECT_EQ(inbox[0].ints, (std::vector<int>{7}));
+  EXPECT_TRUE(net.quiescent());
+}
+
+TEST(Network, RejectsOffTopologySend) {
+  Network net(std::vector<std::vector<NodeId>>{{1}, {0}, {}});
+  EXPECT_THROW(net.send(0, 2, Message{}), ContractViolation);
+}
+
+TEST(Network, BroadcastReachesAllNeighbors) {
+  std::vector<Vec2> pos{{0, 0}, {1, 0}, {0, 1}, {50, 50}};
+  Network net(pos, 2.0);
+  Message m;
+  m.tag = 1;
+  net.broadcast(0, m);
+  net.deliver_round();
+  EXPECT_EQ(net.take_inbox(1).size(), 1u);
+  EXPECT_EQ(net.take_inbox(2).size(), 1u);
+  EXPECT_TRUE(net.take_inbox(3).empty());
+  EXPECT_EQ(net.messages_sent(), 2u);
+}
+
+TEST(Network, DeterministicDeliveryOrder) {
+  Network net(std::vector<std::vector<NodeId>>{{2}, {2}, {0, 1}});
+  Message a;
+  a.tag = 10;
+  Message b;
+  b.tag = 20;
+  net.send(1, 2, std::move(b));
+  net.send(0, 2, std::move(a));
+  net.deliver_round();
+  auto inbox = net.take_inbox(2);
+  ASSERT_EQ(inbox.size(), 2u);
+  // Sorted by sender id regardless of send order.
+  EXPECT_EQ(inbox[0].src, 0);
+  EXPECT_EQ(inbox[1].src, 1);
+}
+
+TEST(Network, StatsAndReset) {
+  Network net(std::vector<std::vector<NodeId>>{{1}, {0}});
+  net.send(0, 1, Message{});
+  net.deliver_round();
+  net.take_inbox(1);
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.rounds_elapsed(), 1u);
+  net.reset_stats();
+  EXPECT_EQ(net.messages_sent(), 0u);
+  EXPECT_EQ(net.rounds_elapsed(), 0u);
+}
+
+TEST(Network, RejectsSelfLoopTopology) {
+  EXPECT_THROW(Network(std::vector<std::vector<NodeId>>{{0}}), ContractViolation);
+}
+
+TEST(Network, QuiescenceTracksUndrainedInboxes) {
+  Network net(std::vector<std::vector<NodeId>>{{1}, {0}});
+  net.send(0, 1, Message{});
+  net.deliver_round();
+  EXPECT_FALSE(net.quiescent());  // message sits in inbox
+  net.take_inbox(1);
+  EXPECT_TRUE(net.quiescent());
+}
+
+}  // namespace
+}  // namespace anr::net

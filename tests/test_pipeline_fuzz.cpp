@@ -1,0 +1,95 @@
+// Pipeline fuzzing: randomized FoI pairs (seeded blobs with random holes)
+// through the full method-(a) pipeline. The invariants that must hold on
+// EVERY input: global connectivity, boundary-ring gap <= r_c, final
+// positions placeable, determinism of the plan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "coverage/lloyd.h"
+#include "foi/shapes.h"
+#include "march/planner.h"
+#include "march/transition_sim.h"
+#include "net/connectivity.h"
+
+namespace anr {
+namespace {
+
+FieldOfInterest random_foi(Rng& rng, bool allow_holes) {
+  std::vector<BlobHarmonic> harmonics;
+  int terms = rng.uniform_int(2, 4);
+  for (int k = 0; k < terms; ++k) {
+    harmonics.push_back(BlobHarmonic{rng.uniform_int(2, 5),
+                                     rng.uniform(0.03, 0.11),
+                                     rng.uniform(0.0, 6.28)});
+  }
+  Polygon outer = make_blob({0.0, 0.0}, rng.uniform(260.0, 340.0), harmonics);
+  std::vector<Polygon> holes;
+  if (allow_holes && rng.chance(0.6)) {
+    int count = rng.uniform_int(1, 2);
+    for (int h = 0; h < count; ++h) {
+      Vec2 c{rng.uniform(-80.0, 80.0), rng.uniform(-80.0, 80.0)};
+      holes.push_back(make_circle(c, rng.uniform(40.0, 70.0), 28));
+    }
+    // Reject overlapping holes: regenerate as single-hole.
+    if (holes.size() == 2 &&
+        distance(holes[0].centroid(), holes[1].centroid()) <
+            holes[0].bbox().width() / 2.0 + holes[1].bbox().width() / 2.0 + 20.0) {
+      holes.pop_back();
+    }
+  }
+  return with_net_area(FieldOfInterest(std::move(outer), std::move(holes)),
+                       rng.uniform(220000.0, 320000.0));
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineFuzz, InvariantsHoldOnRandomFoiPairs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919u);
+  FieldOfInterest m1 = random_foi(rng, /*allow_holes=*/true);
+  FieldOfInterest m2 = random_foi(rng, /*allow_holes=*/true);
+  const double r_c = 80.0;
+  const int robots = 144;
+
+  auto deploy = optimal_coverage_positions(
+      m1, robots, static_cast<std::uint64_t>(GetParam()), uniform_density());
+  ASSERT_TRUE(net::is_connected(deploy.positions, r_c));
+
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 700;
+  opt.cvt_samples = 10000;
+  opt.max_adjust_steps = 25;
+  MarchPlanner planner(m1, m2, r_c, opt);
+  Vec2 off = m1.centroid() + Vec2{rng.uniform(8.0, 40.0) * r_c,
+                                  rng.uniform(-10.0, 10.0) * r_c} -
+             m2.centroid();
+  MarchPlan plan = planner.plan(deploy.positions, off);
+
+  // Invariant 1: the march never splits the network.
+  auto m = simulate_transition(plan.trajectories, r_c, plan.transition_end, 120);
+  EXPECT_TRUE(m.global_connectivity) << "seed " << GetParam();
+
+  // Invariant 2: the boundary ring stays a chain.
+  EXPECT_LE(plan.max_boundary_gap, r_c + 1e-9) << "seed " << GetParam();
+
+  // Invariant 3: everyone ends up placeable inside M2.
+  FieldOfInterest placed = m2.translated(off);
+  for (Vec2 p : plan.final_positions) {
+    EXPECT_TRUE(placed.contains(p)) << "seed " << GetParam();
+  }
+
+  // Invariant 4: link preservation beats the no-structure floor.
+  EXPECT_GT(m.stable_link_ratio, 0.3) << "seed " << GetParam();
+
+  // Invariant 5: determinism.
+  MarchPlan again = planner.plan(deploy.positions, off);
+  EXPECT_EQ(again.rotation_angle, plan.rotation_angle);
+  EXPECT_EQ(again.final_positions, plan.final_positions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace anr

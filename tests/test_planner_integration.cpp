@@ -1,0 +1,204 @@
+// End-to-end pipeline: the paper's central claims as assertions.
+//   - our methods always keep global connectivity (Table I);
+//   - method (a) preserves far more links than Hungarian (Figs. 3-5);
+//   - distance stays close to the Hungarian lower bound;
+//   - determinism, hole handling, distributed mode.
+#include <gtest/gtest.h>
+
+#include "baselines/hungarian_march.h"
+#include "common/check.h"
+#include "coverage/lloyd.h"
+#include "foi/scenario.h"
+#include "march/planner.h"
+#include "march/transition_sim.h"
+
+namespace anr {
+namespace {
+
+std::vector<Vec2> deployment(const Scenario& sc) {
+  return optimal_coverage_positions(sc.m1, sc.num_robots, 1, uniform_density())
+      .positions;
+}
+
+Vec2 offset_for(const Scenario& sc, double sep_cr) {
+  return sc.m1.centroid() + Vec2{sep_cr * sc.comm_range, 0.0} -
+         sc.m2_shape.centroid();
+}
+
+// One full-method plan per scenario: this is the expensive battery, so
+// use a modest grid and adjustment budget.
+PlannerOptions fast_options() {
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 700;
+  opt.cvt_samples = 12000;
+  opt.max_adjust_steps = 25;
+  return opt;
+}
+
+class ScenarioPipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScenarioPipeline, MethodAKeepsConnectivityAndLinks) {
+  Scenario sc = scenario(GetParam());
+  auto deploy = deployment(sc);
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, fast_options());
+  MarchPlan plan = planner.plan(deploy, offset_for(sc, 20.0));
+  auto m = simulate_transition(plan.trajectories, sc.comm_range,
+                               plan.transition_end, 120);
+
+  EXPECT_TRUE(m.global_connectivity) << "scenario " << GetParam();
+  EXPECT_GT(m.stable_link_ratio, 0.5) << "scenario " << GetParam();
+  // The boundary ring must stay a connected chain at the destinations —
+  // the premise of the paper's global-connectivity argument.
+  EXPECT_LE(plan.max_boundary_gap, sc.comm_range) << "scenario " << GetParam();
+
+  // Final positions live inside M2.
+  FieldOfInterest m2 = sc.m2_shape.translated(offset_for(sc, 20.0));
+  int outside = 0;
+  for (Vec2 p : plan.final_positions) {
+    if (!m2.contains(p)) ++outside;
+  }
+  EXPECT_EQ(outside, 0) << "scenario " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioPipeline,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+TEST(Planner, MethodAOutLinksHungarianByWideMargin) {
+  Scenario sc = scenario(1);
+  auto deploy = deployment(sc);
+  MarchPlanner ours(sc.m1, sc.m2_shape, sc.comm_range, fast_options());
+  HungarianMarchPlanner hungarian(sc.m1, sc.m2_shape, sc.comm_range,
+                                  sc.num_robots);
+  Vec2 off = offset_for(sc, 20.0);
+  auto mo = simulate_transition(ours.plan(deploy, off).trajectories,
+                                sc.comm_range, 1.0, 100);
+  auto mh = simulate_transition(hungarian.plan(deploy, off).trajectories,
+                                sc.comm_range, 1.0, 100);
+  EXPECT_GT(mo.stable_link_ratio, mh.stable_link_ratio + 0.3);
+}
+
+TEST(Planner, DistanceNearHungarianLowerBound) {
+  Scenario sc = scenario(1);
+  auto deploy = deployment(sc);
+  MarchPlanner ours(sc.m1, sc.m2_shape, sc.comm_range, fast_options());
+  HungarianMarchPlanner hungarian(sc.m1, sc.m2_shape, sc.comm_range,
+                                  sc.num_robots);
+  Vec2 off = offset_for(sc, 50.0);
+  auto mo = simulate_transition(ours.plan(deploy, off).trajectories,
+                                sc.comm_range, 1.0, 60);
+  auto mh = simulate_transition(hungarian.plan(deploy, off).trajectories,
+                                sc.comm_range, 1.0, 60);
+  // At 50 communication-range separations the overhead is a few percent.
+  EXPECT_LT(mo.total_distance, mh.total_distance * 1.10);
+}
+
+TEST(Planner, MethodBTradesLinksForDistance) {
+  Scenario sc = scenario(2);
+  auto deploy = deployment(sc);
+  PlannerOptions oa = fast_options();
+  PlannerOptions ob = fast_options();
+  ob.objective = MarchObjective::kMinDistance;
+  MarchPlanner pa(sc.m1, sc.m2_shape, sc.comm_range, oa);
+  MarchPlanner pb(sc.m1, sc.m2_shape, sc.comm_range, ob);
+  Vec2 off = offset_for(sc, 20.0);
+  MarchPlan plana = pa.plan(deploy, off);
+  MarchPlan planb = pb.plan(deploy, off);
+  // Method (b) optimizes displacement: its mapped displacement sum must
+  // not exceed method (a)'s.
+  double da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < deploy.size(); ++i) {
+    da += distance(deploy[i], plana.mapped_targets[i]);
+    db += distance(deploy[i], planb.mapped_targets[i]);
+  }
+  EXPECT_LE(db, da + 1e-6);
+  // And both maintain global connectivity.
+  auto ma = simulate_transition(plana.trajectories, sc.comm_range, 1.0, 80);
+  auto mb = simulate_transition(planb.trajectories, sc.comm_range, 1.0, 80);
+  EXPECT_TRUE(ma.global_connectivity);
+  EXPECT_TRUE(mb.global_connectivity);
+}
+
+TEST(Planner, Deterministic) {
+  Scenario sc = scenario(3);
+  auto deploy = deployment(sc);
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, fast_options());
+  Vec2 off = offset_for(sc, 10.0);
+  MarchPlan a = planner.plan(deploy, off);
+  MarchPlan b = planner.plan(deploy, off);
+  ASSERT_EQ(a.final_positions.size(), b.final_positions.size());
+  for (std::size_t i = 0; i < a.final_positions.size(); ++i) {
+    EXPECT_EQ(a.final_positions[i], b.final_positions[i]);
+  }
+  EXPECT_EQ(a.rotation_angle, b.rotation_angle);
+}
+
+TEST(Planner, SeparationInvarianceOfMethodARotation) {
+  // The stable-link objective only depends on relative geometry, so the
+  // chosen rotation must be identical across separations.
+  Scenario sc = scenario(1);
+  auto deploy = deployment(sc);
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, fast_options());
+  MarchPlan near = planner.plan(deploy, offset_for(sc, 10.0));
+  MarchPlan far = planner.plan(deploy, offset_for(sc, 100.0));
+  EXPECT_DOUBLE_EQ(near.rotation_angle, far.rotation_angle);
+  EXPECT_DOUBLE_EQ(near.predicted_link_ratio, far.predicted_link_ratio);
+}
+
+TEST(Planner, HoleTargetsAreSnappedOutOfHoles) {
+  Scenario sc = scenario(4);  // big convex hole
+  auto deploy = deployment(sc);
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, fast_options());
+  Vec2 off = offset_for(sc, 20.0);
+  MarchPlan plan = planner.plan(deploy, off);
+  EXPECT_GT(plan.snapped_targets, 0);  // the hole is large: some must snap
+  FieldOfInterest m2 = sc.m2_shape.translated(off);
+  for (std::size_t i = 0; i < plan.mapped_targets.size(); ++i) {
+    // Repaired robots may sit slightly off-FoI (parallel march); everyone
+    // else's mapped target must be placeable.
+    if (plan.repaired_robots == 0) {
+      EXPECT_TRUE(m2.contains(plan.mapped_targets[i])) << i;
+    }
+  }
+}
+
+TEST(Planner, DistributedModeMatchesCentralizedClosely) {
+  Scenario sc = scenario(1);
+  auto deploy = deployment(sc);
+  PlannerOptions central = fast_options();
+  PlannerOptions dist = fast_options();
+  dist.distributed = true;
+  MarchPlanner pc(sc.m1, sc.m2_shape, sc.comm_range, central);
+  MarchPlanner pd(sc.m1, sc.m2_shape, sc.comm_range, dist);
+  Vec2 off = offset_for(sc, 20.0);
+  MarchPlan a = pc.plan(deploy, off);
+  MarchPlan b = pd.plan(deploy, off);
+  EXPECT_GT(b.protocol_messages, 0u);
+  auto ma = simulate_transition(a.trajectories, sc.comm_range, 1.0, 60);
+  auto mb = simulate_transition(b.trajectories, sc.comm_range, 1.0, 60);
+  EXPECT_TRUE(mb.global_connectivity);
+  EXPECT_NEAR(ma.stable_link_ratio, mb.stable_link_ratio, 0.15);
+}
+
+TEST(Planner, ExhaustiveRotationAtLeastAsGoodAsPaperSearch) {
+  Scenario sc = scenario(2);
+  auto deploy = deployment(sc);
+  PlannerOptions shallow = fast_options();
+  PlannerOptions full = fast_options();
+  full.exhaustive_rotation = true;
+  MarchPlanner ps(sc.m1, sc.m2_shape, sc.comm_range, shallow);
+  MarchPlanner pf(sc.m1, sc.m2_shape, sc.comm_range, full);
+  Vec2 off = offset_for(sc, 20.0);
+  MarchPlan a = ps.plan(deploy, off);
+  MarchPlan b = pf.plan(deploy, off);
+  EXPECT_GE(b.rotation_objective, a.rotation_objective - 1e-12);
+}
+
+TEST(Planner, RejectsDisconnectedDeployment) {
+  Scenario sc = scenario(1);
+  std::vector<Vec2> bad{{0, 0}, {1, 0}, {5000, 5000}, {5001, 5000}};
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, fast_options());
+  EXPECT_THROW(planner.plan(bad, {0, 0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace anr

@@ -1,0 +1,167 @@
+// Unit + property tests: Polygon operations and half-plane clipping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/polygon.h"
+#include "geom/polygon_clip.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+TEST(Polygon, SquareBasics) {
+  Polygon sq = make_rect({0, 0}, {2, 3});
+  EXPECT_DOUBLE_EQ(sq.area(), 6.0);
+  EXPECT_GT(sq.signed_area(), 0.0);
+  EXPECT_EQ(sq.centroid(), (Vec2{1.0, 1.5}));
+  EXPECT_DOUBLE_EQ(sq.perimeter(), 10.0);
+  auto bb = sq.bbox();
+  EXPECT_EQ(bb.lo, (Vec2{0, 0}));
+  EXPECT_EQ(bb.hi, (Vec2{2, 3}));
+}
+
+TEST(Polygon, Containment) {
+  Polygon sq = make_rect({0, 0}, {10, 10});
+  EXPECT_TRUE(sq.contains({5, 5}));
+  EXPECT_TRUE(sq.contains({0, 5}));    // boundary
+  EXPECT_TRUE(sq.contains({10, 10}));  // corner
+  EXPECT_FALSE(sq.contains({11, 5}));
+  EXPECT_FALSE(sq.contains({-0.1, 5}));
+}
+
+TEST(Polygon, ConcaveContainment) {
+  // L-shape: the notch is outside.
+  Polygon l({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  EXPECT_TRUE(l.contains({1, 3}));
+  EXPECT_TRUE(l.contains({3, 1}));
+  EXPECT_FALSE(l.contains({3, 3}));  // notch
+  EXPECT_DOUBLE_EQ(l.area(), 12.0);
+}
+
+TEST(Polygon, MakeCcw) {
+  Polygon cw({{0, 0}, {0, 1}, {1, 1}, {1, 0}});
+  EXPECT_LT(cw.signed_area(), 0.0);
+  cw.make_ccw();
+  EXPECT_GT(cw.signed_area(), 0.0);
+}
+
+TEST(Polygon, BoundaryDistanceAndClosestPoint) {
+  Polygon sq = make_rect({0, 0}, {10, 10});
+  EXPECT_DOUBLE_EQ(sq.boundary_distance({5, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(sq.boundary_distance({5, 12}), 2.0);
+  EXPECT_EQ(sq.closest_boundary_point({5, 12}), (Vec2{5, 10}));
+}
+
+TEST(Polygon, SegmentCrossesBoundary) {
+  Polygon sq = make_rect({0, 0}, {10, 10});
+  EXPECT_TRUE(sq.segment_crosses_boundary({5, 5}, {15, 5}));
+  EXPECT_FALSE(sq.segment_crosses_boundary({2, 2}, {8, 8}));   // inside
+  EXPECT_FALSE(sq.segment_crosses_boundary({12, 0}, {12, 10}));  // outside
+}
+
+TEST(Polygon, Densified) {
+  Polygon sq = make_rect({0, 0}, {10, 10});
+  Polygon d = sq.densified(1.0);
+  EXPECT_EQ(d.size(), 40u);
+  EXPECT_NEAR(d.area(), sq.area(), 1e-9);
+  EXPECT_NEAR(d.perimeter(), sq.perimeter(), 1e-9);
+}
+
+TEST(Polygon, Transforms) {
+  Polygon sq = make_rect({0, 0}, {2, 2});
+  Polygon t = sq.translated({5, 7});
+  EXPECT_EQ(t.centroid(), (Vec2{6, 8}));
+  Polygon s = sq.scaled(3.0, sq.centroid());
+  EXPECT_NEAR(s.area(), 36.0, 1e-9);
+  EXPECT_EQ(s.centroid(), sq.centroid());
+  Polygon r = sq.rotated(M_PI / 2.0, sq.centroid());
+  EXPECT_NEAR(r.area(), 4.0, 1e-9);
+}
+
+TEST(Polygon, WithArea) {
+  Polygon c = make_circle({3, 4}, 10.0);
+  Polygon scaled = c.with_area(1234.5);
+  EXPECT_NEAR(scaled.area(), 1234.5, 1e-6);
+  EXPECT_NEAR(scaled.centroid().x, 3.0, 1e-9);
+}
+
+TEST(Polygon, CircleAreaConverges) {
+  Polygon c = make_circle({0, 0}, 1.0, 256);
+  EXPECT_NEAR(c.area(), M_PI, 1e-3);
+  EXPECT_NEAR(c.perimeter(), 2.0 * M_PI, 1e-3);
+}
+
+TEST(Polygon, PerimeterParamAndPointAtParam) {
+  Polygon sq = make_rect({0, 0}, {10, 10});
+  // Vertex 0 is (0,0); walking CCW: (10,0) at s=10, (10,10) at s=20...
+  EXPECT_DOUBLE_EQ(sq.perimeter_param({5, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(sq.perimeter_param({10, 5}), 15.0);
+  Vec2 p = sq.point_at_param(25.0);
+  EXPECT_EQ(p, (Vec2{5, 10}));
+  // Wraps modulo perimeter, including negatives.
+  EXPECT_EQ(sq.point_at_param(45.0), (Vec2{5, 0}));
+  EXPECT_EQ(sq.point_at_param(-5.0), (Vec2{0, 5}));
+}
+
+TEST(Polygon, ParamRoundTrip) {
+  Polygon c = make_circle({3, -2}, 20.0, 48);
+  for (double s : {0.0, 13.7, 55.5, 101.2}) {
+    Vec2 p = c.point_at_param(s);
+    EXPECT_NEAR(c.perimeter_param(p), std::fmod(s, c.perimeter()), 1e-6);
+  }
+}
+
+TEST(Clip, HalfPlaneSquare) {
+  Polygon sq = make_rect({0, 0}, {10, 10});
+  // Keep x <= 4.
+  HalfPlane hp{{4, 0}, {1, 0}};
+  Polygon clipped = clip(sq, hp);
+  EXPECT_NEAR(clipped.area(), 40.0, 1e-9);
+  for (Vec2 p : clipped.points()) {
+    EXPECT_LE(p.x, 4.0 + 1e-9);
+  }
+}
+
+TEST(Clip, BisectorKeepsCloserSide) {
+  Polygon sq = make_rect({0, 0}, {10, 10});
+  Vec2 a{2, 5}, b{8, 5};
+  Polygon cell = clip(sq, bisector_half_plane(a, b));
+  EXPECT_NEAR(cell.area(), 50.0, 1e-9);
+  EXPECT_TRUE(cell.contains({1, 5}));
+  EXPECT_FALSE(cell.contains({9, 5}));
+}
+
+TEST(Clip, EmptyResult) {
+  Polygon sq = make_rect({0, 0}, {10, 10});
+  HalfPlane hp{{-5, 0}, {1, 0}};  // keep x <= -5: nothing
+  EXPECT_LT(clip(sq, hp).size(), 3u);
+}
+
+TEST(Clip, MultipleHalfPlanes) {
+  Polygon sq = make_rect({0, 0}, {10, 10});
+  std::vector<HalfPlane> hps{{{4, 0}, {1, 0}}, {{0, 6}, {0, 1}}};
+  Polygon c = clip(sq, hps);
+  EXPECT_NEAR(c.area(), 24.0, 1e-9);
+}
+
+// Property: clipping a random convex polygon halves along a bisector
+// conserves total area across the two sides.
+class ClipProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClipProperty, BisectorPartitionsArea) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Polygon c = make_circle({0, 0}, 5.0 + rng.uniform(0.0, 5.0), 48);
+  Vec2 a{rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)};
+  Vec2 b{rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)};
+  if (distance(a, b) < 1e-6) b = a + Vec2{1.0, 0.0};
+  Polygon left = clip(c, bisector_half_plane(a, b));
+  Polygon right = clip(c, bisector_half_plane(b, a));
+  EXPECT_NEAR(left.area() + right.area(), c.area(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClipProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace anr

@@ -1,0 +1,304 @@
+// Distributed protocols vs their centralized oracles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "foi/foi_mesher.h"
+#include "march/repair.h"
+#include "mesh/alpha_extract.h"
+#include "mesh/boundary.h"
+#include "net/protocols/boundary_walk.h"
+#include "net/protocols/flood.h"
+#include "net/protocols/gossip.h"
+#include "net/protocols/relax.h"
+#include "net/protocols/subgroup.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+TriangleMesh lattice_mesh() {
+  auto pts = testutil::lattice_disk({0, 0}, 60.0, 12.0);
+  auto ex = alpha_extract(pts, 14.0);
+  return ex.mesh;
+}
+
+TEST(BoundaryWalk, MatchesCentralizedLoop) {
+  TriangleMesh mesh = lattice_mesh();
+  auto walk = net::run_boundary_walk(mesh);
+  auto loops = boundary_loops(mesh);
+  ASSERT_EQ(loops.size(), 1u);
+  const auto& loop = loops[0].vertices;
+
+  // Leader is the smallest boundary vertex id.
+  VertexId smallest = *std::min_element(loop.begin(), loop.end());
+  std::set<VertexId> loop_set(loop.begin(), loop.end());
+  std::set<int> hops_seen;
+  for (std::size_t v = 0; v < mesh.num_vertices(); ++v) {
+    if (loop_set.count(static_cast<VertexId>(v))) {
+      EXPECT_EQ(walk.loop_leader[v], smallest);
+      EXPECT_EQ(walk.loop_size[v], static_cast<int>(loop.size()));
+      EXPECT_GE(walk.hop[v], 0);
+      EXPECT_LT(walk.hop[v], static_cast<int>(loop.size()));
+      hops_seen.insert(walk.hop[v]);
+    } else {
+      EXPECT_EQ(walk.hop[v], -1);
+      EXPECT_EQ(walk.loop_leader[v], -1);
+    }
+  }
+  // Hops form the complete range 0..size-1 (a consistent parametrization).
+  EXPECT_EQ(hops_seen.size(), loop.size());
+  EXPECT_GT(walk.messages, 0u);
+}
+
+TEST(BoundaryWalk, HopNeighborsAreLoopNeighbors) {
+  TriangleMesh mesh = lattice_mesh();
+  auto walk = net::run_boundary_walk(mesh);
+  auto loops = boundary_loops(mesh);
+  const auto& loop = loops[0].vertices;
+  int size = static_cast<int>(loop.size());
+  // Consecutive hops must be adjacent along the boundary.
+  std::vector<VertexId> by_hop(static_cast<std::size_t>(size), -1);
+  for (VertexId v : loop) {
+    by_hop[static_cast<std::size_t>(walk.hop[static_cast<std::size_t>(v)])] = v;
+  }
+  for (int h = 0; h < size; ++h) {
+    VertexId a = by_hop[static_cast<std::size_t>(h)];
+    VertexId b = by_hop[static_cast<std::size_t>((h + 1) % size)];
+    EXPECT_EQ(mesh.edge_triangle_count(a, b), 1) << "hop " << h;
+  }
+}
+
+TEST(BoundaryWalk, MultipleLoopsGetSeparateLeaders) {
+  FieldOfInterest annulus = testutil::square_with_hole(120.0, 25.0);
+  MesherOptions opt;
+  opt.target_grid_points = 300;
+  FoiMesh fm = mesh_foi(annulus, opt);
+  auto walk = net::run_boundary_walk(fm.mesh);
+  std::set<int> leaders;
+  for (std::size_t v = 0; v < fm.mesh.num_vertices(); ++v) {
+    if (walk.loop_leader[v] >= 0) leaders.insert(walk.loop_leader[v]);
+  }
+  EXPECT_EQ(leaders.size(), 2u);
+}
+
+TEST(FloodSum, SumsAndAgrees) {
+  auto pts = testutil::lattice_disk({0, 0}, 40.0, 10.0);
+  net::Network net(pts, 12.0);
+  std::vector<double> vals(pts.size());
+  double want = 0.0;
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = static_cast<double>(i) * 0.5;
+    want += vals[i];
+  }
+  auto res = net::run_flood_sum(net, vals);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_NEAR(res.sum, want, 1e-9);
+  EXPECT_GT(res.messages, vals.size());
+}
+
+TEST(FloodSum, DisconnectedDisagrees) {
+  std::vector<Vec2> pos{{0, 0}, {1, 0}, {100, 100}, {101, 100}};
+  net::Network net(pos, 2.0);
+  auto res = net::run_flood_sum(net, {1.0, 2.0, 4.0, 8.0});
+  EXPECT_FALSE(res.agreed);
+}
+
+TEST(Gossip, ConvergesToExactMean) {
+  auto pts = testutil::lattice_disk({0, 0}, 40.0, 10.0);
+  net::Network net(pts, 12.0);
+  std::vector<double> vals(pts.size());
+  double mean = 0.0;
+  Rng rng(3);
+  for (double& v : vals) {
+    v = rng.uniform(-10.0, 10.0);
+    mean += v;
+  }
+  mean /= static_cast<double>(vals.size());
+  auto res = net::run_gossip_mean(net, vals, 400);
+  for (double e : res.estimates) {
+    EXPECT_NEAR(e, mean, 0.05);
+  }
+  EXPECT_LT(res.max_relative_error, 0.05);
+}
+
+TEST(Gossip, PerRoundCostFarBelowFlood) {
+  // Flooding is O(n*E) total; gossip is O(E) per round. A single gossip
+  // round costs a small fraction of one flood — the trade is rounds (time)
+  // for messages.
+  auto pts = testutil::lattice_disk({0, 0}, 40.0, 10.0);
+  std::vector<double> vals(pts.size(), 1.0);
+  net::Network gnet(pts, 12.0);
+  auto one_round = net::run_gossip_mean(gnet, vals, 1);
+  net::Network fnet(pts, 12.0);
+  auto flood = net::run_flood_sum(fnet, vals);
+  EXPECT_LT(one_round.messages, flood.messages / 10);
+  // And the estimate improves geometrically with rounds.
+  std::vector<double> smooth(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) smooth[i] = pts[i].x / 40.0;
+  net::Network gnet2(pts, 12.0);
+  auto r10 = net::run_gossip_mean(gnet2, smooth, 10);
+  net::Network gnet3(pts, 12.0);
+  auto r80 = net::run_gossip_mean(gnet3, smooth, 80);
+  EXPECT_LT(r80.max_relative_error, r10.max_relative_error / 2.0);
+}
+
+TEST(Gossip, SumsArePreservedEachRound) {
+  // Metropolis weights are doubly stochastic: the total (hence mean) is
+  // invariant round to round.
+  auto pts = testutil::lattice_disk({0, 0}, 30.0, 10.0);
+  std::vector<double> vals(pts.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = static_cast<double>(i);
+  double total = 0.0;
+  for (double v : vals) total += v;
+  net::Network net(pts, 12.0);
+  auto res = net::run_gossip_mean(net, vals, 7);
+  double after = 0.0;
+  for (double e : res.estimates) after += e;
+  EXPECT_NEAR(after, total, 1e-9);
+}
+
+TEST(Relax, MatchesFixedPointOfAveraging) {
+  TriangleMesh mesh = lattice_mesh();
+  auto loops = boundary_loops(mesh);
+  const auto& loop = loops[0].vertices;
+  std::vector<Vec2> init(mesh.num_vertices(), Vec2{0, 0});
+  std::vector<char> fixed(mesh.num_vertices(), 0);
+  for (std::size_t i = 0; i < loop.size(); ++i) {
+    double a = 2.0 * M_PI * static_cast<double>(i) / static_cast<double>(loop.size());
+    init[static_cast<std::size_t>(loop[i])] = {std::cos(a), std::sin(a)};
+    fixed[static_cast<std::size_t>(loop[i])] = 1;
+  }
+  auto res = net::run_distributed_relax(mesh, init, fixed, 1e-10);
+  EXPECT_TRUE(res.converged);
+  // At the fixed point every free vertex equals its neighbor average.
+  for (std::size_t v = 0; v < mesh.num_vertices(); ++v) {
+    if (fixed[v]) {
+      EXPECT_EQ(res.positions[v], init[v]);
+      continue;
+    }
+    Vec2 avg{};
+    const auto& nb = mesh.neighbors(static_cast<VertexId>(v));
+    for (VertexId u : nb) avg += res.positions[static_cast<std::size_t>(u)];
+    avg = avg / static_cast<double>(nb.size());
+    EXPECT_NEAR(res.positions[v].x, avg.x, 1e-6);
+    EXPECT_NEAR(res.positions[v].y, avg.y, 1e-6);
+  }
+}
+
+TEST(Subgroup, MatchesCentralizedRepairClassification) {
+  // Build a mesh, mark boundary, and break all links to a far "peninsula"
+  // by pretending its destinations moved away.
+  TriangleMesh mesh = lattice_mesh();
+  const std::size_t n = mesh.num_vertices();
+  std::vector<char> is_boundary(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (mesh.is_boundary_vertex(static_cast<VertexId>(v))) is_boundary[v] = 1;
+  }
+  // Survival: links incident to an "unlucky" interior set break.
+  std::set<VertexId> unlucky;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!is_boundary[v] && mesh.position(static_cast<VertexId>(v)).norm() < 20.0) {
+      unlucky.insert(static_cast<VertexId>(v));
+    }
+  }
+  ASSERT_FALSE(unlucky.empty());
+  auto survives = [&](VertexId a, VertexId b) {
+    return !unlucky.count(a) && !unlucky.count(b);
+  };
+  auto res = net::run_subgroup_detection(mesh, is_boundary, survives);
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (unlucky.count(static_cast<VertexId>(v))) {
+      EXPECT_FALSE(res.reached[v]) << v;
+      EXPECT_GE(res.subgroup_root[v], 0);
+      EXPECT_GE(res.reference[v], 0);
+      // Reference must be a reached mesh neighbor of the root.
+      EXPECT_TRUE(res.reached[static_cast<std::size_t>(res.reference[v])]);
+    } else {
+      EXPECT_TRUE(res.reached[v]) << v;
+      EXPECT_GE(res.boundary_hops[v], 0);
+    }
+  }
+  // All members of one connected unlucky blob share one root.
+  std::set<int> roots;
+  for (VertexId v : unlucky) roots.insert(res.subgroup_root[static_cast<std::size_t>(v)]);
+  EXPECT_EQ(roots.size(), 1u);
+}
+
+// Asynchrony: the token and flooding protocols must produce identical
+// results under arbitrary (seeded) per-message delays.
+class AsyncProtocols : public ::testing::TestWithParam<int> {};
+
+TEST_P(AsyncProtocols, BoundaryWalkDelayInvariant) {
+  TriangleMesh mesh = lattice_mesh();
+  auto sync = net::run_boundary_walk(mesh);
+  auto async = net::run_boundary_walk(mesh, /*max_delay=*/4,
+                                      static_cast<std::uint64_t>(GetParam()));
+  EXPECT_EQ(sync.hop, async.hop);
+  EXPECT_EQ(sync.loop_size, async.loop_size);
+  EXPECT_EQ(sync.loop_leader, async.loop_leader);
+  EXPECT_GE(async.rounds, sync.rounds);  // delays cost time, not correctness
+}
+
+TEST_P(AsyncProtocols, FloodSumDelayInvariant) {
+  auto pts = testutil::lattice_disk({0, 0}, 40.0, 10.0);
+  std::vector<double> vals(pts.size());
+  double want = 0.0;
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = static_cast<double>(i);
+    want += vals[i];
+  }
+  net::Network net(pts, 12.0);
+  net.set_link_delays(5, static_cast<std::uint64_t>(GetParam()));
+  auto res = net::run_flood_sum(net, vals);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_NEAR(res.sum, want, 1e-9);
+}
+
+TEST_P(AsyncProtocols, SubgroupDelayInvariant) {
+  TriangleMesh mesh = lattice_mesh();
+  const std::size_t n = mesh.num_vertices();
+  std::vector<char> is_boundary(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (mesh.is_boundary_vertex(static_cast<VertexId>(v))) is_boundary[v] = 1;
+  }
+  std::set<VertexId> unlucky;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!is_boundary[v] && mesh.position(static_cast<VertexId>(v)).norm() < 20.0) {
+      unlucky.insert(static_cast<VertexId>(v));
+    }
+  }
+  auto survives = [&](VertexId a, VertexId b) {
+    return !unlucky.count(a) && !unlucky.count(b);
+  };
+  auto sync = net::run_subgroup_detection(mesh, is_boundary, survives);
+  auto async = net::run_subgroup_detection(mesh, is_boundary, survives, 4,
+                                           static_cast<std::uint64_t>(GetParam()));
+  EXPECT_EQ(sync.reached, async.reached);
+  EXPECT_EQ(sync.boundary_hops, async.boundary_hops);
+  EXPECT_EQ(sync.subgroup_root, async.subgroup_root);
+  EXPECT_EQ(sync.reference, async.reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(DelaySeeds, AsyncProtocols,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Subgroup, AllReachedWhenNothingBreaks) {
+  TriangleMesh mesh = lattice_mesh();
+  std::vector<char> is_boundary(mesh.num_vertices(), 0);
+  for (std::size_t v = 0; v < mesh.num_vertices(); ++v) {
+    if (mesh.is_boundary_vertex(static_cast<VertexId>(v))) is_boundary[v] = 1;
+  }
+  auto res = net::run_subgroup_detection(mesh, is_boundary,
+                                         [](VertexId, VertexId) { return true; });
+  for (std::size_t v = 0; v < mesh.num_vertices(); ++v) {
+    EXPECT_TRUE(res.reached[v]);
+    EXPECT_EQ(res.subgroup_root[v], -1);
+  }
+}
+
+}  // namespace
+}  // namespace anr

@@ -1,0 +1,144 @@
+// Global-connectivity repair: isolated robots and subgroups march parallel
+// to a reference and end up attached to the main body.
+#include <gtest/gtest.h>
+
+#include "march/metrics.h"
+#include "march/repair.h"
+#include "net/connectivity.h"
+#include "net/unit_disk_graph.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+// A 5x5 grid of robots with spacing 10, r_c = 15.
+struct Grid {
+  std::vector<Vec2> start;
+  std::vector<std::vector<int>> adj;
+  std::vector<char> boundary;
+  double r_c = 15.0;
+
+  Grid() {
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        start.push_back({x * 10.0, y * 10.0});
+      }
+    }
+    adj = net::unit_disk_adjacency(start, r_c);
+    boundary.assign(start.size(), 0);
+    for (std::size_t i = 0; i < start.size(); ++i) {
+      int x = static_cast<int>(i) % 5, y = static_cast<int>(i) / 5;
+      if (x == 0 || x == 4 || y == 0 || y == 4) boundary[i] = 1;
+    }
+  }
+};
+
+TEST(Repair, NoOpWhenAllSurvive) {
+  Grid g;
+  std::vector<Vec2> targets = g.start;
+  for (Vec2& t : targets) t += Vec2{500.0, 0.0};  // rigid translation
+  auto rep = repair_targets(g.start, targets, g.adj, g.boundary, g.r_c);
+  EXPECT_EQ(rep.repaired, 0);
+  EXPECT_EQ(rep.subgroups, 0);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(targets[i], g.start[i] + Vec2(500.0, 0.0));
+  }
+}
+
+TEST(Repair, SingletonIsolationFixed) {
+  Grid g;
+  std::vector<Vec2> targets = g.start;
+  // Center robot (index 12) thrown far away: all its links break.
+  targets[12] = {1000.0, 1000.0};
+  auto rep = repair_targets(g.start, targets, g.adj, g.boundary, g.r_c);
+  EXPECT_EQ(rep.subgroups, 1);
+  EXPECT_EQ(rep.repaired, 1);
+  EXPECT_TRUE(rep.was_repaired[12]);
+  // Repaired target = parallel march with some reached neighbor: since all
+  // others stay put, robot 12 stays put too.
+  EXPECT_EQ(targets[12], g.start[12]);
+}
+
+TEST(Repair, SubgroupMarchesParallel) {
+  Grid g;
+  // Everyone translates by +500x except a 2x2 interior block thrown away
+  // as a group (its internal links survive, external break).
+  std::vector<Vec2> targets;
+  std::vector<int> block{6, 7, 11, 12};
+  for (std::size_t i = 0; i < g.start.size(); ++i) {
+    bool in_block =
+        std::find(block.begin(), block.end(), static_cast<int>(i)) != block.end();
+    targets.push_back(g.start[i] +
+                      (in_block ? Vec2{500.0, 300.0} : Vec2{500.0, 0.0}));
+  }
+  auto rep = repair_targets(g.start, targets, g.adj, g.boundary, g.r_c);
+  EXPECT_EQ(rep.subgroups, 1);
+  EXPECT_EQ(rep.repaired, static_cast<int>(block.size()));
+  // All block members share the main displacement now.
+  for (int b : block) {
+    EXPECT_EQ(targets[static_cast<std::size_t>(b)],
+              g.start[static_cast<std::size_t>(b)] + Vec2(500.0, 0.0));
+  }
+}
+
+TEST(Repair, PostRepairEndpointsKeepNetworkConnected) {
+  Grid g;
+  Rng rng(11);
+  // Random violent scatter of interior robots.
+  std::vector<Vec2> targets = g.start;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    targets[i] += Vec2{500.0, 0.0};
+    if (!g.boundary[i] && rng.chance(0.5)) {
+      targets[i] += Vec2{rng.uniform(-100.0, 100.0), rng.uniform(-100.0, 100.0)};
+    }
+  }
+  repair_targets(g.start, targets, g.adj, g.boundary, g.r_c);
+  // After repair: every robot has a surviving path to a boundary robot.
+  double r2 = g.r_c * g.r_c;
+  std::vector<std::vector<int>> surv(g.start.size());
+  for (std::size_t v = 0; v < g.start.size(); ++v) {
+    for (int u : g.adj[v]) {
+      if (distance2(targets[v], targets[static_cast<std::size_t>(u)]) <=
+          r2 + 1e-9) {
+        surv[v].push_back(u);
+      }
+    }
+  }
+  std::vector<int> sources;
+  for (std::size_t v = 0; v < g.boundary.size(); ++v) {
+    if (g.boundary[v]) sources.push_back(static_cast<int>(v));
+  }
+  auto hops = net::bfs_hops(surv, sources);
+  for (std::size_t v = 0; v < hops.size(); ++v) {
+    EXPECT_GE(hops[v], 0) << "robot " << v << " still unreached";
+  }
+}
+
+TEST(Repair, ParallelMarchPreservesLinksThroughoutMotion) {
+  Grid g;
+  std::vector<Vec2> targets = g.start;
+  targets[12] = {1000.0, 1000.0};
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (i != 12) targets[i] += Vec2{500.0, 0.0};
+  }
+  auto rep = repair_targets(g.start, targets, g.adj, g.boundary, g.r_c);
+  EXPECT_EQ(rep.repaired, 1);
+  // Straight-line motion: a link held at both endpoints survives in
+  // between (convexity). The repaired endpoint configuration keeps robot
+  // 12 linked to its reference.
+  auto links = communication_links(g.start, g.r_c);
+  double l = predicted_stable_link_ratio(g.start, targets, links, g.r_c);
+  EXPECT_DOUBLE_EQ(l, 1.0);  // everything parallel again
+}
+
+TEST(Repair, ReportsBoundaryHops) {
+  Grid g;
+  std::vector<Vec2> targets = g.start;
+  auto rep = repair_targets(g.start, targets, g.adj, g.boundary, g.r_c);
+  // Center of a 5x5 grid with boundary ring sources: 2 hops.
+  EXPECT_EQ(rep.boundary_hops[12], 2);
+  EXPECT_EQ(rep.boundary_hops[0], 0);
+}
+
+}  // namespace
+}  // namespace anr

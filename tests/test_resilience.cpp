@@ -1,0 +1,157 @@
+// Resilience: failure recovery and mid-march retargeting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "coverage/lloyd.h"
+#include "foi/scenario.h"
+#include "march/planner.h"
+#include "march/resilience.h"
+#include "march/transition_sim.h"
+#include "net/connectivity.h"
+
+namespace anr {
+namespace {
+
+struct Fixture {
+  Scenario sc = scenario(1);
+  std::vector<Vec2> deploy;
+  Vec2 offset;
+  PlannerOptions opt;
+
+  Fixture() {
+    deploy = optimal_coverage_positions(sc.m1, sc.num_robots, 1,
+                                        uniform_density())
+                 .positions;
+    offset = sc.m1.centroid() + Vec2{15.0 * sc.comm_range, 0.0} -
+             sc.m2_shape.centroid();
+    opt.mesher.target_grid_points = 600;
+    opt.cvt_samples = 10000;
+    opt.max_adjust_steps = 20;
+  }
+};
+
+TEST(TrajectoryOps, TruncateAndExtend) {
+  Trajectory t;
+  t.append({0, 0}, 0.0);
+  t.append({10, 0}, 1.0);
+  t.append({10, 10}, 2.0);
+  Trajectory head = t.truncated_at(1.5);
+  EXPECT_EQ(head.end(), (Vec2{10, 5}));
+  EXPECT_DOUBLE_EQ(head.end_time(), 1.5);
+  EXPECT_EQ(head.num_waypoints(), 3u);
+
+  Trajectory tail;
+  tail.append({10, 5}, 1.5);
+  tail.append({20, 5}, 3.0);
+  head.extend(tail);
+  EXPECT_EQ(head.end(), (Vec2{20, 5}));
+  EXPECT_DOUBLE_EQ(head.length(), 15.0 + 10.0);
+}
+
+TEST(TrajectoryOps, TruncateClampsOutOfRange) {
+  Trajectory t;
+  t.append({0, 0}, 1.0);
+  t.append({4, 0}, 2.0);
+  EXPECT_EQ(t.truncated_at(0.0).end(), (Vec2{0, 0}));
+  EXPECT_EQ(t.truncated_at(9.0).end(), (Vec2{4, 0}));
+}
+
+TEST(Resilience, FailureRecoveryReSpreadsSurvivors) {
+  Fixture f;
+  MarchPlanner planner(f.sc.m1, f.sc.m2_shape, f.sc.comm_range, f.opt);
+  MarchPlan plan = planner.plan(f.deploy, f.offset);
+
+  // A clustered group of 14 robots dies mid-march.
+  std::vector<int> failed;
+  for (int i = 0; i < 14; ++i) failed.push_back(i * 3);
+  FieldOfInterest m2 = f.sc.m2_shape.translated(f.offset);
+  FailureRecovery rec = recover_from_failure(plan.trajectories, 0.5, failed,
+                                             m2, f.sc.comm_range);
+
+  EXPECT_EQ(rec.survivors.size(), plan.trajectories.size() - failed.size());
+  EXPECT_EQ(rec.trajectories.size(), rec.survivors.size());
+  EXPECT_GT(rec.lloyd_steps, 0);
+  EXPECT_GT(rec.recovery_distance, 0.0);
+
+  // Survivors end inside M2, connected, and spread (no giant coverage gap:
+  // every CVT sample point is within ~1.6 lattice spacings of a robot).
+  EXPECT_TRUE(net::is_connected(rec.final_positions, f.sc.comm_range));
+  for (Vec2 p : rec.final_positions) EXPECT_TRUE(m2.contains(p));
+  GridCvt grid(m2, uniform_density(), 4000);
+  double expected_spacing = std::sqrt(
+      2.0 * m2.area() /
+      (std::sqrt(3.0) * static_cast<double>(rec.final_positions.size())));
+  double worst = 0.0;
+  for (Vec2 s : grid.samples()) {
+    double best = 1e300;
+    for (Vec2 p : rec.final_positions) best = std::min(best, distance(s, p));
+    worst = std::max(worst, best);
+  }
+  EXPECT_LT(worst, 1.8 * expected_spacing);
+}
+
+TEST(Resilience, RecoveryRejectsTotalLoss) {
+  Fixture f;
+  MarchPlanner planner(f.sc.m1, f.sc.m2_shape, f.sc.comm_range, f.opt);
+  MarchPlan plan = planner.plan(f.deploy, f.offset);
+  std::vector<int> all;
+  for (std::size_t i = 0; i < plan.trajectories.size(); ++i) {
+    all.push_back(static_cast<int>(i));
+  }
+  FieldOfInterest m2 = f.sc.m2_shape.translated(f.offset);
+  EXPECT_THROW(recover_from_failure(plan.trajectories, 0.5, all, m2,
+                                    f.sc.comm_range),
+               ContractViolation);
+}
+
+TEST(Resilience, RetargetMidMarchKeepsConnectivity) {
+  Fixture f;
+  MarchPlanner planner(f.sc.m1, f.sc.m2_shape, f.sc.comm_range, f.opt);
+  MarchPlan first = planner.plan(f.deploy, f.offset);
+
+  // Halfway through, a new instruction: head to scenario 2's M2 instead.
+  Scenario sc2 = scenario(2);
+  PlannerOptions opt2 = f.opt;
+  MarchPlanner planner2(f.sc.m1, sc2.m2_shape, f.sc.comm_range, opt2);
+  Vec2 off2 = f.sc.m1.centroid() + Vec2{8.0 * f.sc.comm_range,
+                                        6.0 * f.sc.comm_range} -
+              sc2.m2_shape.centroid();
+  RetargetResult rr =
+      retarget_mid_march(first.trajectories, /*t_event=*/0.5, planner2, off2);
+
+  ASSERT_EQ(rr.trajectories.size(), f.deploy.size());
+  // The spliced trajectory passes through the event positions at t_event.
+  for (std::size_t i = 0; i < rr.trajectories.size(); i += 17) {
+    EXPECT_LT(distance(rr.trajectories[i].position(0.5),
+                       rr.positions_at_event[i]),
+              1e-9);
+  }
+  // Final positions land in the new FoI, and the whole spliced run keeps
+  // global connectivity.
+  FieldOfInterest new_m2 = sc2.m2_shape.translated(off2);
+  for (Vec2 p : rr.second_leg.final_positions) {
+    EXPECT_TRUE(new_m2.contains(p));
+  }
+  auto metrics = simulate_transition(rr.trajectories, f.sc.comm_range,
+                                     0.5 + rr.second_leg.transition_end, 160);
+  EXPECT_TRUE(metrics.global_connectivity);
+}
+
+TEST(Resilience, RetargetAtStartEqualsFreshPlan) {
+  Fixture f;
+  MarchPlanner planner(f.sc.m1, f.sc.m2_shape, f.sc.comm_range, f.opt);
+  MarchPlan plan = planner.plan(f.deploy, f.offset);
+  RetargetResult rr = retarget_mid_march(plan.trajectories, 0.0, planner,
+                                         f.offset);
+  // Replanning at t=0 from the undisplaced deployment reproduces the plan.
+  for (std::size_t i = 0; i < rr.trajectories.size(); i += 23) {
+    EXPECT_LT(distance(rr.second_leg.final_positions[i],
+                       plan.final_positions[i]),
+              1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace anr

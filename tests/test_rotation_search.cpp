@@ -1,0 +1,70 @@
+// Rotation search: paper's depth-limited scheme vs exhaustive sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "harmonic/rotation_search.h"
+
+namespace anr {
+namespace {
+
+TEST(RotationSearch, FindsPeakOfSmoothUnimodal) {
+  double peak = 2.0;
+  auto f = [&](double t) { return std::cos(t - peak); };
+  RotationSearchOptions opt;
+  opt.initial_partitions = 4;
+  opt.depth = 8;
+  auto res = search_rotation(f, opt);
+  EXPECT_NEAR(res.angle, peak, 0.15);
+  EXPECT_NEAR(res.value, 1.0, 0.01);
+  EXPECT_EQ(res.evaluations, 4 + 2 * 8);
+}
+
+TEST(RotationSearch, PaperDefaultsProbeCount) {
+  auto f = [](double t) { return std::sin(t); };
+  auto res = search_rotation(f);  // defaults: 2 partitions, depth 4
+  EXPECT_EQ(res.evaluations, 2 + 2 * 4);
+  EXPECT_GT(res.value, 0.8);  // near the max of sin
+}
+
+TEST(RotationSearch, ReturnsBestProbeEverSeen) {
+  // Spiky objective: refinement may descend into a flat region, but the
+  // returned angle must be the best probe actually evaluated.
+  auto f = [](double t) { return t < 0.5 ? 10.0 : std::sin(t); };
+  RotationSearchOptions opt;
+  opt.initial_partitions = 8;
+  opt.depth = 3;
+  auto res = search_rotation(f, opt);
+  EXPECT_GE(res.value, 10.0);
+}
+
+TEST(SweepRotation, ExactOnDenseGrid) {
+  double peak = 4.0;
+  auto f = [&](double t) { return -std::pow(std::fmod(t - peak + 3 * M_PI, 2 * M_PI) - M_PI, 2.0); };
+  auto res = sweep_rotation(f, 720);
+  EXPECT_NEAR(res.angle, peak, 0.02);
+  EXPECT_EQ(res.evaluations, 720);
+}
+
+TEST(SweepRotation, AtLeastAsGoodAsDepthSearch) {
+  // Multi-modal objective with a narrow global peak: the sweep must match
+  // or beat the paper's shallow search.
+  auto f = [](double t) {
+    return std::cos(3.0 * t) + 2.0 * std::exp(-20.0 * std::pow(t - 5.5, 2.0));
+  };
+  auto shallow = search_rotation(f);
+  auto sweep = sweep_rotation(f, 360);
+  EXPECT_GE(sweep.value, shallow.value - 1e-12);
+}
+
+TEST(RotationSearch, RejectsBadOptions) {
+  auto f = [](double) { return 0.0; };
+  RotationSearchOptions bad;
+  bad.initial_partitions = 0;
+  EXPECT_THROW(search_rotation(f, bad), ContractViolation);
+  EXPECT_THROW(sweep_rotation(f, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace anr

@@ -1,0 +1,84 @@
+// The seven paper scenarios: areas match the figures, deployments are
+// feasible and connected at the paper's parameters.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "coverage/lloyd.h"
+#include "foi/scenario.h"
+#include "net/connectivity.h"
+
+namespace anr {
+namespace {
+
+TEST(Scenarios, BaseM1MatchesPaperArea) {
+  EXPECT_NEAR(base_m1().area(), 308261.0, 1.0);  // Fig. 2(a)
+}
+
+TEST(Scenarios, M2AreasMatchPaper) {
+  EXPECT_NEAR(scenario(1).m2_shape.area(), 289745.0, 1.0);  // Fig. 3(a)
+  EXPECT_NEAR(scenario(2).m2_shape.area(), 173057.0, 1.0);  // Fig. 3(b)
+  EXPECT_NEAR(scenario(3).m2_shape.area(), 239987.0, 1.0);  // Fig. 2(d)
+  EXPECT_NEAR(scenario(4).m2_shape.area(), 233342.0, 1.0);  // Fig. 3(c)
+  EXPECT_NEAR(scenario(5).m2_shape.area(), 253578.0, 1.0);  // Fig. 3(d)
+}
+
+TEST(Scenarios, HoleStructureMatchesPaper) {
+  EXPECT_TRUE(scenario(1).m2_shape.holes().empty());
+  EXPECT_TRUE(scenario(2).m2_shape.holes().empty());
+  EXPECT_EQ(scenario(3).m2_shape.holes().size(), 1u);  // flower pond
+  EXPECT_EQ(scenario(4).m2_shape.holes().size(), 1u);  // big convex hole
+  EXPECT_EQ(scenario(5).m2_shape.holes().size(), 3u);  // multiple small
+  EXPECT_FALSE(scenario(6).m1.holes().empty());        // hole -> hole
+  EXPECT_FALSE(scenario(6).m2_shape.holes().empty());
+  EXPECT_EQ(scenario(7).m1.holes().size(), 2u);
+  EXPECT_FALSE(scenario(7).m2_shape.holes().empty());
+}
+
+TEST(Scenarios, PaperParameters) {
+  for (const Scenario& sc : paper_scenarios()) {
+    EXPECT_EQ(sc.num_robots, 144);
+    EXPECT_DOUBLE_EQ(sc.comm_range, 80.0);
+  }
+}
+
+TEST(Scenarios, M2AtSeparationPlacesCentroid) {
+  Scenario sc = scenario(1);
+  for (double sep : {10.0, 50.0, 100.0}) {
+    FieldOfInterest m2 = sc.m2_at(sep);
+    Vec2 d = m2.centroid() - sc.m1.centroid();
+    EXPECT_NEAR(d.x, sep * sc.comm_range, 1e-6) << "sep " << sep;
+    EXPECT_NEAR(d.y, 0.0, 1e-6);
+    EXPECT_NEAR(m2.area(), sc.m2_shape.area(), 1e-6);
+  }
+}
+
+// The deployment that every experiment starts from must be connected at
+// r_c = 80 m — otherwise the marching problem is ill-posed.
+class ScenarioDeployment : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScenarioDeployment, OptimalCoverageIsConnected) {
+  Scenario sc = scenario(GetParam());
+  auto dep = optimal_coverage_positions(sc.m1, sc.num_robots, /*seed=*/1,
+                                        uniform_density());
+  ASSERT_EQ(dep.positions.size(), static_cast<std::size_t>(sc.num_robots));
+  for (Vec2 p : dep.positions) {
+    EXPECT_TRUE(sc.m1.contains(p));
+  }
+  EXPECT_TRUE(net::is_connected(dep.positions, sc.comm_range));
+
+  // And the same for the M2-side coverage the baselines assume.
+  auto dep2 = optimal_coverage_positions(sc.m2_shape, sc.num_robots, 17,
+                                         uniform_density());
+  EXPECT_TRUE(net::is_connected(dep2.positions, sc.comm_range));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioDeployment,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+TEST(Scenarios, InvalidIdThrows) {
+  EXPECT_THROW(scenario(0), ContractViolation);
+  EXPECT_THROW(scenario(8), ContractViolation);
+}
+
+}  // namespace
+}  // namespace anr

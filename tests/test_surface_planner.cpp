@@ -1,0 +1,135 @@
+// Surface-aware marching: the 3D prototype must reduce to the planar
+// planner on flat terrain and keep the guarantees on rough terrain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coverage/lloyd.h"
+#include "foi/scenario.h"
+#include "march/planner.h"
+#include "terrain/surface_metrics.h"
+#include "terrain/surface_planner.h"
+
+namespace anr {
+namespace {
+
+struct Fixture {
+  Scenario sc = scenario(1);
+  std::vector<Vec2> deploy;
+  Vec2 off;
+  SurfacePlannerOptions opt;
+
+  Fixture() {
+    deploy = optimal_coverage_positions(sc.m1, sc.num_robots, 1,
+                                        uniform_density())
+                 .positions;
+    off = sc.m1.centroid() + Vec2{15.0 * sc.comm_range, 0.0} -
+          sc.m2_shape.centroid();
+    opt.mesher.target_grid_points = 600;
+    opt.cvt_samples = 10000;
+    opt.max_adjust_steps = 20;
+  }
+
+  HeightField rough(double amplitude) const {
+    BBox bb = sc.m1.bbox();
+    bb.expand(sc.m2_shape.translated(off).bbox());
+    return HeightField::rolling(bb, 50, amplitude, 130.0, 31);
+  }
+};
+
+TEST(SurfaceAdjacency, FlatMatchesPlanar) {
+  auto pts = std::vector<Vec2>{{0, 0}, {50, 0}, {120, 0}};
+  auto adj = surface_adjacency(pts, HeightField{}, 80.0);
+  EXPECT_EQ(adj[0], (std::vector<int>{1}));
+  EXPECT_EQ(adj[1], (std::vector<int>{0, 2}));
+}
+
+TEST(SurfaceAdjacency, RidgeBreaksLink) {
+  // Two robots 70m apart with a 60m ridge between them: chord distance
+  // stays 70 (endpoints lifted equally) — but placing one robot ON the
+  // ridge stretches the chord beyond range.
+  HeightField ridge({Hill{{35.0, 0.0}, 60.0, 10.0}});
+  std::vector<Vec2> pts{{0, 0}, {35, 0}};
+  // Height difference ~60 over 35m: chord = sqrt(35^2 + ~60^2) ≈ 69.5.
+  auto adj = surface_adjacency(pts, ridge, 60.0);
+  EXPECT_TRUE(adj[0].empty());
+  auto adj2 = surface_adjacency(pts, ridge, 75.0);
+  EXPECT_FALSE(adj2[0].empty());
+}
+
+TEST(SurfaceWeights, PositiveOnLiftedMesh) {
+  TriangleMesh m({{0, 0}, {10, 0}, {5, 8}, {5, -8}},
+                 {Tri{0, 1, 2}, Tri{0, 3, 1}});
+  HeightField h({Hill{{5.0, 0.0}, 6.0, 4.0}});
+  auto w = surface_mean_value_weights(h);
+  EXPECT_GT(w(m, 0, 1), 0.0);
+  EXPECT_GT(w(m, 0, 2), 0.0);
+  // Flat terrain weights match the planar mean-value weights in spirit:
+  // symmetric triangle -> equal weights for symmetric edges.
+  auto wf = surface_mean_value_weights(HeightField{});
+  EXPECT_NEAR(wf(m, 0, 2), wf(m, 0, 3), 1e-12);
+}
+
+TEST(SurfacePlanner, FlatTerrainMatchesPlanarPlanner) {
+  Fixture f;
+  SurfaceMarchPlanner surf(f.sc.m1, f.sc.m2_shape, HeightField{},
+                           f.sc.comm_range, f.opt);
+  MarchPlan splan = surf.plan(f.deploy, f.off);
+
+  PlannerOptions popt;
+  popt.mesher = f.opt.mesher;
+  popt.cvt_samples = f.opt.cvt_samples;
+  popt.max_adjust_steps = f.opt.max_adjust_steps;
+  // Planar planner with mean-value weights = flat surface weights.
+  popt.disk.weights = HarmonicWeights::kMeanValue;
+  MarchPlanner planar(f.sc.m1, f.sc.m2_shape, f.sc.comm_range, popt);
+  MarchPlan pplan = planar.plan(f.deploy, f.off);
+
+  // Same rotation probes, closely matching predicted link ratios.
+  EXPECT_EQ(splan.rotation_evaluations, pplan.rotation_evaluations);
+  EXPECT_NEAR(splan.predicted_link_ratio, pplan.predicted_link_ratio, 0.05);
+
+  auto m = simulate_on_surface(splan.trajectories, HeightField{},
+                               f.sc.comm_range, splan.transition_end, 100);
+  EXPECT_TRUE(m.base.global_connectivity);
+  EXPECT_GT(m.base.stable_link_ratio, 0.6);
+}
+
+TEST(SurfacePlanner, RoughTerrainKeepsGuarantees) {
+  Fixture f;
+  HeightField terrain = f.rough(40.0);
+  SurfaceMarchPlanner surf(f.sc.m1, f.sc.m2_shape, terrain, f.sc.comm_range,
+                           f.opt);
+  MarchPlan plan = surf.plan(f.deploy, f.off);
+  auto m = simulate_on_surface(plan.trajectories, terrain, f.sc.comm_range,
+                               plan.transition_end, 120);
+  EXPECT_TRUE(m.base.global_connectivity);
+  EXPECT_GT(m.base.stable_link_ratio, 0.5);
+  EXPECT_GT(m.surface_distance, m.planar_distance);
+  // Final positions inside M2 on the map.
+  FieldOfInterest m2 = f.sc.m2_shape.translated(f.off);
+  for (Vec2 p : plan.final_positions) EXPECT_TRUE(m2.contains(p));
+}
+
+TEST(SurfacePlanner, SurfaceAwareBeatsPlanarPlanOnTerrain) {
+  // The surface-aware planner should preserve at least as many 3D links
+  // as the terrain-blind planar plan evaluated on the same terrain.
+  Fixture f;
+  HeightField terrain = f.rough(45.0);
+  SurfaceMarchPlanner surf(f.sc.m1, f.sc.m2_shape, terrain, f.sc.comm_range,
+                           f.opt);
+  PlannerOptions popt;
+  popt.mesher = f.opt.mesher;
+  popt.cvt_samples = f.opt.cvt_samples;
+  popt.max_adjust_steps = f.opt.max_adjust_steps;
+  MarchPlanner planar(f.sc.m1, f.sc.m2_shape, f.sc.comm_range, popt);
+
+  auto ms = simulate_on_surface(surf.plan(f.deploy, f.off).trajectories,
+                                terrain, f.sc.comm_range, 1.0, 100);
+  auto mp = simulate_on_surface(planar.plan(f.deploy, f.off).trajectories,
+                                terrain, f.sc.comm_range, 1.0, 100);
+  EXPECT_GE(ms.base.stable_link_ratio, mp.base.stable_link_ratio - 0.05);
+}
+
+}  // namespace
+}  // namespace anr

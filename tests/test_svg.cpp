@@ -1,0 +1,105 @@
+// SVG canvas: structure of the emitted document.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+#include "test_util.h"
+#include "viz/svg.h"
+
+namespace anr {
+namespace {
+
+TEST(Svg, EmptyCanvasThrows) {
+  SvgCanvas canvas;
+  EXPECT_THROW(canvas.str(), ContractViolation);
+}
+
+TEST(Svg, DocumentStructure) {
+  SvgCanvas canvas;
+  canvas.line({0, 0}, {10, 10});
+  canvas.circle({5, 5}, 2.0);
+  std::string doc = canvas.str();
+  EXPECT_NE(doc.find("<svg xmlns"), std::string::npos);
+  EXPECT_NE(doc.find("<line"), std::string::npos);
+  EXPECT_NE(doc.find("<circle"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, YAxisFlipped) {
+  SvgCanvas canvas;
+  canvas.line({0, 3}, {1, 7});
+  std::string doc = canvas.str();
+  // World y=3 renders as SVG y=-3.
+  EXPECT_NE(doc.find("y1=\"-3\""), std::string::npos);
+  EXPECT_NE(doc.find("y2=\"-7\""), std::string::npos);
+}
+
+TEST(Svg, ViewBoxCoversContentWithMargin) {
+  SvgCanvas canvas(10.0);
+  canvas.line({0, 0}, {100, 50});
+  std::string doc = canvas.str();
+  EXPECT_NE(doc.find("viewBox=\"-10 -60 120 70\""), std::string::npos);
+}
+
+TEST(Svg, CompositeHelpersEmit) {
+  SvgCanvas canvas;
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 20.0);
+  canvas.foi(foi);
+  canvas.robots({{10, 10}, {20, 20}});
+  canvas.links({{10, 10}, {20, 20}}, {{0, 1}});
+  Trajectory t;
+  t.append({0, 0}, 0.0);
+  t.append({5, 5}, 1.0);
+  canvas.trajectories({t});
+  std::string doc = canvas.str();
+  EXPECT_NE(doc.find("<polygon"), std::string::npos);
+  EXPECT_NE(doc.find("<polyline"), std::string::npos);
+  // Two robots, one link, one hole polygon + outer polygon.
+  EXPECT_GE(doc.size(), 400u);
+}
+
+TEST(Svg, AnimatedRobotsEmitSmil) {
+  SvgCanvas canvas;
+  Trajectory a;
+  a.append({0, 0}, 0.0);
+  a.append({10, 0}, 1.0);
+  Trajectory b;
+  b.append({0, 5}, 0.25);  // starts late and ends early: padded keyTimes
+  b.append({10, 5}, 0.75);
+  canvas.animated_robots({a, b}, 4.0);
+  std::string doc = canvas.str();
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '<') -
+                std::count(doc.begin(), doc.end(), '/'),
+            std::count(doc.begin(), doc.end(), '>') -
+                std::count(doc.begin(), doc.end(), '/'));
+  EXPECT_NE(doc.find("<animate attributeName=\"cx\""), std::string::npos);
+  EXPECT_NE(doc.find("repeatCount=\"indefinite\""), std::string::npos);
+  EXPECT_NE(doc.find("dur=\"4s\""), std::string::npos);
+  // Padded trajectory: keyTimes start at 0 and end at 1.
+  EXPECT_NE(doc.find("keyTimes=\"0;"), std::string::npos);
+  EXPECT_NE(doc.find(";1\""), std::string::npos);
+}
+
+TEST(Svg, SaveWritesFile) {
+  SvgCanvas canvas;
+  canvas.circle({0, 0}, 1.0);
+  std::string path = "/tmp/anr_test_svg_out.svg";
+  ASSERT_TRUE(canvas.save(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("</svg>"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Svg, SaveToBadPathFails) {
+  SvgCanvas canvas;
+  canvas.circle({0, 0}, 1.0);
+  EXPECT_FALSE(canvas.save("/nonexistent_dir_xyz/out.svg"));
+}
+
+}  // namespace
+}  // namespace anr

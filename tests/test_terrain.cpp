@@ -1,0 +1,125 @@
+// Terrain prototype: height field math and surface-aware metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coverage/lloyd.h"
+#include "foi/scenario.h"
+#include "march/planner.h"
+#include "terrain/surface_metrics.h"
+
+namespace anr {
+namespace {
+
+TEST(HeightField, FlatIsZero) {
+  HeightField flat;
+  EXPECT_DOUBLE_EQ(flat.height({123.0, -45.0}), 0.0);
+  EXPECT_EQ(flat.gradient({1.0, 2.0}), (Vec2{0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(flat.chord_distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(flat.surface_length({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(HeightField, SingleHill) {
+  HeightField h({Hill{{0.0, 0.0}, 100.0, 50.0}});
+  EXPECT_NEAR(h.height({0, 0}), 100.0, 1e-12);
+  EXPECT_LT(h.height({50, 0}), 100.0);
+  EXPECT_NEAR(h.height({500, 0}), 0.0, 1e-12);
+  // Gradient points toward the peak on the uphill side.
+  Vec2 g = h.gradient({50.0, 0.0});
+  EXPECT_LT(g.x, 0.0);
+  EXPECT_NEAR(g.y, 0.0, 1e-12);
+  // Analytic gradient matches finite differences.
+  double eps = 1e-5;
+  Vec2 p{30.0, -20.0};
+  double fd_x = (h.height({p.x + eps, p.y}) - h.height({p.x - eps, p.y})) / (2 * eps);
+  double fd_y = (h.height({p.x, p.y + eps}) - h.height({p.x, p.y - eps})) / (2 * eps);
+  Vec2 grad = h.gradient(p);
+  EXPECT_NEAR(grad.x, fd_x, 1e-6);
+  EXPECT_NEAR(grad.y, fd_y, 1e-6);
+}
+
+TEST(HeightField, SurfaceLengthExceedsPlanarOverHills) {
+  HeightField h({Hill{{50.0, 0.0}, 80.0, 30.0}});
+  double planar = 100.0;
+  double surface = h.surface_length({0, 0}, {100, 0}, 64);
+  EXPECT_GT(surface, planar + 10.0);
+  // Triangle inequality-ish sanity: no longer than climbing straight up
+  // and down the full amplitude twice.
+  EXPECT_LT(surface, planar + 4.0 * 80.0);
+}
+
+TEST(HeightField, ChordVsSurface) {
+  HeightField h({Hill{{50.0, 0.0}, 60.0, 25.0}});
+  // Chord cuts under the hill: shorter than the surface path.
+  EXPECT_LT(h.chord_distance({0, 0}, {100, 0}),
+            h.surface_length({0, 0}, {100, 0}, 64));
+}
+
+TEST(HeightField, RollingDeterministic) {
+  BBox bb;
+  bb.expand({0, 0});
+  bb.expand({1000, 1000});
+  HeightField a = HeightField::rolling(bb, 10, 40.0, 120.0, 7);
+  HeightField b = HeightField::rolling(bb, 10, 40.0, 120.0, 7);
+  EXPECT_EQ(a.hills().size(), 10u);
+  for (std::size_t i = 0; i < a.hills().size(); ++i) {
+    EXPECT_EQ(a.hills()[i].center, b.hills()[i].center);
+    EXPECT_EQ(a.hills()[i].amplitude, b.hills()[i].amplitude);
+  }
+}
+
+TEST(SurfaceMetrics, FlatMatchesPlanarSimulator) {
+  Scenario sc = scenario(1);
+  auto deploy = optimal_coverage_positions(sc.m1, sc.num_robots, 1,
+                                           uniform_density())
+                    .positions;
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 600;
+  opt.cvt_samples = 10000;
+  opt.max_adjust_steps = 15;
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, opt);
+  Vec2 off = sc.m1.centroid() + Vec2{15.0 * sc.comm_range, 0.0} -
+             sc.m2_shape.centroid();
+  MarchPlan plan = planner.plan(deploy, off);
+
+  auto planar = simulate_transition(plan.trajectories, sc.comm_range,
+                                    plan.transition_end, 100);
+  auto surf = simulate_on_surface(plan.trajectories, HeightField{},
+                                  sc.comm_range, plan.transition_end, 100);
+  EXPECT_NEAR(surf.base.total_distance, planar.total_distance, 1e-6);
+  EXPECT_EQ(surf.base.initial_links, planar.initial_links);
+  EXPECT_DOUBLE_EQ(surf.base.stable_link_ratio, planar.stable_link_ratio);
+  EXPECT_EQ(surf.base.global_connectivity, planar.global_connectivity);
+  EXPECT_NEAR(surf.surface_distance, surf.planar_distance, 1e-6);
+}
+
+TEST(SurfaceMetrics, HillsCostDistanceAndLinks) {
+  Scenario sc = scenario(1);
+  auto deploy = optimal_coverage_positions(sc.m1, sc.num_robots, 1,
+                                           uniform_density())
+                    .positions;
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 600;
+  opt.cvt_samples = 10000;
+  opt.max_adjust_steps = 15;
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, opt);
+  Vec2 off = sc.m1.centroid() + Vec2{15.0 * sc.comm_range, 0.0} -
+             sc.m2_shape.centroid();
+  MarchPlan plan = planner.plan(deploy, off);
+
+  BBox bb = sc.m1.bbox();
+  bb.expand(sc.m2_at(15.0).bbox());
+  HeightField rough = HeightField::rolling(bb, 40, 35.0, 150.0, 11);
+
+  auto flat = simulate_on_surface(plan.trajectories, HeightField{},
+                                  sc.comm_range, plan.transition_end, 100);
+  auto hilly = simulate_on_surface(plan.trajectories, rough, sc.comm_range,
+                                   plan.transition_end, 100);
+  EXPECT_GT(hilly.surface_distance, flat.surface_distance);
+  // The 3D link model can only remove links relative to the planar one.
+  EXPECT_LE(hilly.base.initial_links, flat.base.initial_links);
+  EXPECT_GT(hilly.max_climb, 0.0);
+}
+
+}  // namespace
+}  // namespace anr

@@ -1,0 +1,98 @@
+// Transition simulator: Def. 1 / Def. 2 metrics on crafted trajectories.
+#include <gtest/gtest.h>
+
+#include "march/transition_sim.h"
+
+namespace anr {
+namespace {
+
+Trajectory straight(Vec2 a, Vec2 b, double t0 = 0.0, double t1 = 1.0) {
+  Trajectory t;
+  t.append(a, t0);
+  t.append(b, t1);
+  return t;
+}
+
+TEST(TransitionSim, RigidTranslationPreservesEverything) {
+  std::vector<Trajectory> trajs;
+  for (int i = 0; i < 5; ++i) {
+    trajs.push_back(straight({i * 5.0, 0.0}, {i * 5.0 + 100.0, 0.0}));
+  }
+  auto m = simulate_transition(trajs, 6.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.stable_link_ratio, 1.0);
+  EXPECT_TRUE(m.global_connectivity);
+  EXPECT_EQ(m.initial_links, 4);
+  EXPECT_NEAR(m.total_distance, 500.0, 1e-9);
+}
+
+TEST(TransitionSim, BrokenLinkDetected) {
+  // Two robots start linked, end apart.
+  std::vector<Trajectory> trajs{straight({0, 0}, {0, 0}),
+                                straight({5, 0}, {50, 0})};
+  auto m = simulate_transition(trajs, 6.0, 1.0);
+  EXPECT_EQ(m.initial_links, 1);
+  EXPECT_EQ(m.stable_links, 0);
+  EXPECT_DOUBLE_EQ(m.stable_link_ratio, 0.0);
+  EXPECT_FALSE(m.global_connectivity);
+  EXPECT_GE(m.first_disconnect_time, 0.0);
+}
+
+TEST(TransitionSim, MidFlightBreakCountsEvenIfEndpointsClose) {
+  // Robot 1 detours far away and comes back: endpoints fine, middle broken.
+  Trajectory loop;
+  loop.append({5, 0}, 0.0);
+  loop.append({100, 0}, 0.5);
+  loop.append({5, 0}, 1.0);
+  std::vector<Trajectory> trajs{straight({0, 0}, {0, 0}), loop};
+  auto m = simulate_transition(trajs, 10.0, 1.0);
+  EXPECT_EQ(m.stable_links, 0);
+  EXPECT_FALSE(m.global_connectivity);
+}
+
+TEST(TransitionSim, TransitionVsAdjustmentSplit) {
+  Trajectory t;
+  t.append({0, 0}, 0.0);
+  t.append({10, 0}, 1.0);  // transition
+  t.append({10, 5}, 2.0);  // adjustment
+  Trajectory u;
+  u.append({3, 0}, 0.0);
+  u.append({13, 0}, 1.0);
+  u.append({13, 5}, 2.0);
+  auto m = simulate_transition({t, u}, 5.0, 1.0);
+  EXPECT_NEAR(m.transition_distance, 20.0, 1e-9);
+  EXPECT_NEAR(m.adjustment_distance, 10.0, 1e-9);
+  EXPECT_NEAR(m.total_distance, 30.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.stable_link_ratio, 1.0);
+}
+
+TEST(TransitionSim, LinkBrokenOnlyInAdjustmentLowersFullRatioOnly) {
+  Trajectory a;
+  a.append({0, 0}, 0.0);
+  a.append({0, 0}, 1.0);
+  a.append({0, 0}, 2.0);
+  Trajectory b;
+  b.append({5, 0}, 0.0);
+  b.append({5, 0}, 1.0);   // still linked at end of transition
+  b.append({50, 0}, 2.0);  // breaks during adjustment
+  auto m = simulate_transition({a, b}, 6.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.stable_link_ratio_transition, 1.0);
+  EXPECT_DOUBLE_EQ(m.stable_link_ratio, 0.0);
+}
+
+TEST(TransitionSim, NoLinksGivesRatioOne) {
+  std::vector<Trajectory> trajs{straight({0, 0}, {1, 1}),
+                                straight({100, 100}, {101, 101})};
+  auto m = simulate_transition(trajs, 5.0, 1.0);
+  EXPECT_EQ(m.initial_links, 0);
+  EXPECT_DOUBLE_EQ(m.stable_link_ratio, 1.0);
+  EXPECT_FALSE(m.global_connectivity);  // two robots, never connected
+}
+
+TEST(TransitionSim, SampleCountHonored) {
+  std::vector<Trajectory> trajs{straight({0, 0}, {1, 0})};
+  auto m = simulate_transition(trajs, 5.0, 1.0, 50);
+  EXPECT_EQ(m.samples, 51);  // 50 uniform + transition boundary
+}
+
+}  // namespace
+}  // namespace anr

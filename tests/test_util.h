@@ -1,0 +1,42 @@
+// Shared helpers for the libanr test suite.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "foi/foi.h"
+#include "geom/polygon.h"
+#include "geom/vec2.h"
+
+namespace anr::testutil {
+
+/// n uniform points in [lo, hi]^2.
+inline std::vector<Vec2> random_points(int n, double lo, double hi,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(lo, hi), rng.uniform(lo, hi)});
+  }
+  return pts;
+}
+
+/// Unit square FoI scaled to side `s`.
+inline FieldOfInterest square_foi(double s) {
+  return FieldOfInterest(make_rect({0.0, 0.0}, {s, s}));
+}
+
+/// Square FoI with a centered circular hole.
+inline FieldOfInterest square_with_hole(double s, double hole_r) {
+  return FieldOfInterest(make_rect({0.0, 0.0}, {s, s}),
+                         {make_circle({s / 2.0, s / 2.0}, hole_r, 32)});
+}
+
+/// Triangular-lattice robot deployment clipped to a circle, spacing d.
+inline std::vector<Vec2> lattice_disk(Vec2 center, double radius, double d) {
+  FieldOfInterest disk{make_circle(center, radius, 64)};
+  return disk.lattice_points(d);
+}
+
+}  // namespace anr::testutil
