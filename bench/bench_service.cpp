@@ -1,0 +1,130 @@
+// Mission-service throughput: jobs/sec vs worker threads with planner
+// caching, on a 64-job batch spread over 4 distinct M2 target shapes.
+//
+// What to expect:
+//   - The cache constructs exactly 4 planners (one per distinct
+//     (M1, M2, r_c, options) key) no matter how many jobs or threads;
+//     the remaining 60 jobs are cache hits that only pay plan().
+//   - jobs/sec scales with worker threads up to the machine's core
+//     count — plan() is CPU-bound and lock-free, so on a k-core box the
+//     k-thread row should approach k x the 1-thread row. On a 1-core
+//     container every thread count collapses to the same rate; the
+//     "threads" column is then a scheduling-overhead measurement.
+//
+// Output: a table plus one machine-readable JSON summary line
+// (jobs/sec per thread count, speedup, cache + stage stats) — see
+// EXPERIMENTS.md for how to read it.
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anr/anr.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+
+int main() {
+  using namespace anr;
+
+  // 4 distinct target geometries, shared M1 (scenarios 1-4 reuse the
+  // paper's base M1 where possible; each m2_shape is distinct).
+  std::vector<Scenario> scenarios;
+  for (int id = 1; id <= 4; ++id) scenarios.push_back(scenario(id));
+
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 450;
+  opt.cvt_samples = 5000;
+  opt.max_adjust_steps = 6;
+
+  // One deployment per distinct M1.
+  std::cout << "preparing deployments...\n";
+  std::vector<std::vector<Vec2>> deployments;
+  for (const Scenario& sc : scenarios) {
+    deployments.push_back(
+        optimal_coverage_positions(sc.m1, 100, /*seed=*/1, uniform_density())
+            .positions);
+  }
+
+  constexpr int kJobs = 64;
+  auto make_jobs = [&] {
+    std::vector<runtime::PlanJob> jobs;
+    jobs.reserve(kJobs);
+    for (int i = 0; i < kJobs; ++i) {
+      const Scenario& sc = scenarios[static_cast<std::size_t>(i % 4)];
+      runtime::PlanJob job;
+      job.id = "job-" + std::to_string(i);
+      job.m1 = sc.m1;
+      job.m2_shape = sc.m2_shape;
+      job.r_c = sc.comm_range;
+      job.m2_offset = sc.m1.centroid() +
+                      Vec2{15.0 * sc.comm_range, 0.0} -
+                      sc.m2_shape.centroid();
+      job.positions = deployments[static_cast<std::size_t>(i % 4)];
+      job.options = opt;
+      jobs.push_back(std::move(job));
+    }
+    return jobs;
+  };
+
+  unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "hardware threads: " << hw << ", jobs: " << kJobs
+            << ", distinct planner keys: 4\n\n";
+
+  TextTable table;
+  table.header({"threads", "wall (s)", "jobs/sec", "speedup", "cache hit",
+                "cache miss", "built", "plan p95 (ms)"});
+
+  json::Array threads_arr, rate_arr;
+  double rate_1 = 0.0, rate_8 = 0.0;
+  json::Object last_cache;
+  for (int threads : {1, 2, 4, 8}) {
+    runtime::ServiceOptions so;
+    so.threads = threads;
+    so.queue_capacity = kJobs;
+    runtime::MissionService service(so);
+
+    Stopwatch sw;
+    std::vector<runtime::JobResult> results = service.run_batch(make_jobs());
+    double wall = sw.seconds();
+
+    int ok = 0;
+    for (const runtime::JobResult& r : results) {
+      if (r.ok) {
+        ++ok;
+      } else {
+        std::cerr << r.id << " failed: " << r.error << "\n";
+      }
+    }
+    runtime::ServiceStats stats = service.stats();
+    double rate = static_cast<double>(ok) / wall;
+    if (threads == 1) rate_1 = rate;
+    if (threads == 8) rate_8 = rate;
+
+    table.row({std::to_string(threads), fmt(wall, 2), fmt(rate, 2),
+               rate_1 > 0.0 ? fmt(rate / rate_1, 2) : "-",
+               std::to_string(stats.cache.hits),
+               std::to_string(stats.cache.misses),
+               std::to_string(stats.cache.constructions),
+               fmt(stats.plan_exec.p95 * 1e3, 1)});
+
+    threads_arr.emplace_back(threads);
+    rate_arr.emplace_back(rate);
+    json::Value stats_json = runtime::stats_to_json(stats);
+    last_cache = stats_json.at("cache").as_object();
+  }
+
+  std::cout << "== mission-service throughput (64 jobs, 4 M2 shapes)\n"
+            << table.str() << "\n";
+
+  json::Object summary;
+  summary.emplace("bench", "bench_service");
+  summary.emplace("jobs", kJobs);
+  summary.emplace("distinct_keys", 4);
+  summary.emplace("hardware_threads", static_cast<std::size_t>(hw));
+  summary.emplace("threads", std::move(threads_arr));
+  summary.emplace("jobs_per_sec", std::move(rate_arr));
+  summary.emplace("speedup_8_vs_1", rate_1 > 0.0 ? rate_8 / rate_1 : 0.0);
+  summary.emplace("cache", std::move(last_cache));
+  std::cout << json::Value(std::move(summary)).dump() << "\n";
+  return 0;
+}

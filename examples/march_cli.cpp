@@ -109,9 +109,10 @@ int main(int argc, char** argv) {
 
   MarchPlan plan;
   if (!cli.load_path.empty()) {
-    auto loaded = load_plan(cli.load_path);
+    std::string io_error;
+    auto loaded = load_plan(cli.load_path, &io_error);
     if (!loaded) {
-      std::cerr << "failed to load plan from " << cli.load_path << "\n";
+      std::cerr << "failed to load plan: " << io_error << "\n";
       return 1;
     }
     plan = std::move(*loaded);
@@ -130,9 +131,12 @@ int main(int argc, char** argv) {
                                   sc.num_robots);
     plan = planner.plan(deploy.positions, off);
   }
-  if (!cli.save_path.empty() && !save_plan(plan, cli.save_path)) {
-    std::cerr << "failed to save plan to " << cli.save_path << "\n";
-    return 1;
+  if (!cli.save_path.empty()) {
+    std::string io_error;
+    if (!save_plan(plan, cli.save_path, &io_error)) {
+      std::cerr << "failed to save plan: " << io_error << "\n";
+      return 1;
+    }
   }
   TransitionMetrics m =
       simulate_transition(plan.trajectories, sc.comm_range, plan.transition_end);

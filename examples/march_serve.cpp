@@ -1,0 +1,148 @@
+// march_serve — batch/streaming front end of the mission-service runtime.
+//
+// Reads newline-delimited JSON planning requests (stdin or --input FILE),
+// executes them on a MissionService worker pool with planner caching, and
+// writes one JSON result line per request to stdout, in input order.
+// See src/io/job_io.h for the request/response schema.
+//
+// Usage:
+//   march_serve [--threads N] [--queue N] [--reject] [--cache N]
+//               [--input FILE] [--stats]
+//
+//   --threads N   worker threads (default: hardware concurrency)
+//   --queue N     bounded queue capacity (default 256)
+//   --reject      shed load when the queue is full instead of blocking
+//   --cache N     planner cache capacity (default 64)
+//   --input FILE  read requests from FILE instead of stdin
+//   --stats       print a service-stats JSON snapshot to stderr at exit
+//
+// Example:
+//   printf '%s\n%s\n' \
+//     '{"id":"a","scenario":1,"separation":15,"robots":64,"options":{"grid_points":400,"cvt_samples":5000,"max_adjust_steps":6}}' \
+//     '{"id":"b","scenario":1,"separation":25,"robots":64,"options":{"grid_points":400,"cvt_samples":5000,"max_adjust_steps":6}}' \
+//   | ./build/examples/march_serve --threads 4 --stats
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "anr/anr.h"
+
+namespace {
+
+using namespace anr;
+
+struct ServeOptions {
+  runtime::ServiceOptions service;
+  std::string input;
+  bool stats = false;
+};
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--threads N] [--queue N] [--reject] [--cache N]"
+               " [--input FILE] [--stats]\n";
+  std::exit(2);
+}
+
+ServeOptions parse(int argc, char** argv) {
+  ServeOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto need_value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      opt.service.threads = std::stoi(need_value());
+    } else if (arg == "--queue") {
+      opt.service.queue_capacity =
+          static_cast<std::size_t>(std::stoul(need_value()));
+    } else if (arg == "--reject") {
+      opt.service.overflow = runtime::OverflowPolicy::kReject;
+    } else if (arg == "--cache") {
+      opt.service.cache_capacity =
+          static_cast<std::size_t>(std::stoul(need_value()));
+    } else if (arg == "--input") {
+      opt.input = need_value();
+    } else if (arg == "--stats") {
+      opt.stats = true;
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeOptions opt = parse(argc, argv);
+
+  std::ifstream file;
+  if (!opt.input.empty()) {
+    file.open(opt.input);
+    if (!file) {
+      std::cerr << "march_serve: cannot open " << opt.input << "\n";
+      return 1;
+    }
+  }
+  std::istream& in = opt.input.empty() ? std::cin : file;
+
+  runtime::MissionService service(opt.service);
+  std::map<std::string, std::vector<Vec2>> deployments;
+
+  // Submit as we read — with kBlock backpressure the reader naturally
+  // throttles to the pool; results are printed in input order afterward.
+  std::vector<std::future<runtime::JobResult>> futures;
+  std::vector<bool> include_plan;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      JobRequest req = job_from_json(json::parse(line), &deployments);
+      if (req.job.id.empty()) req.job.id = "line-" + std::to_string(lineno);
+      include_plan.push_back(req.include_plan);
+      futures.push_back(service.submit(std::move(req.job)));
+    } catch (const std::exception& e) {
+      // Malformed request: emit an error result for this line without
+      // losing position or stopping the batch. Echo the caller's id when
+      // the line at least parsed as JSON carrying one.
+      runtime::JobResult bad;
+      bad.id = "line-" + std::to_string(lineno);
+      try {
+        const json::Value v = json::parse(line);
+        if (v.is_object() && v.as_object().count("id") &&
+            v.at("id").is_string() && !v.at("id").as_string().empty()) {
+          bad.id = v.at("id").as_string();
+        }
+      } catch (...) {
+        // not JSON at all: keep the positional id
+      }
+      bad.ok = false;
+      bad.error = std::string("bad request: ") + e.what();
+      std::promise<runtime::JobResult> p;
+      p.set_value(std::move(bad));
+      include_plan.push_back(false);
+      futures.push_back(p.get_future());
+    }
+  }
+
+  int failures = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    runtime::JobResult r = futures[i].get();
+    if (!r.ok) ++failures;
+    std::cout << result_to_json(r, include_plan[i]).dump() << "\n";
+  }
+  std::cout.flush();
+
+  service.shutdown();
+  if (opt.stats) {
+    std::cerr << stats_to_json(service.stats()).dump(2) << "\n";
+  }
+  return failures == 0 ? 0 : 1;
+}

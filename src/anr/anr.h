@@ -36,6 +36,7 @@
 #include "geom/polygon.h"
 #include "geom/vec2.h"
 #include "harmonic/composition.h"
+#include "io/job_io.h"
 #include "io/json.h"
 #include "io/plan_io.h"
 #include "harmonic/disk_map.h"
@@ -64,6 +65,8 @@
 #include "net/protocols/relax.h"
 #include "net/protocols/subgroup.h"
 #include "net/unit_disk_graph.h"
+#include "runtime/mission_service.h"
+#include "runtime/planner_cache.h"
 #include "terrain/height_field.h"
 #include "terrain/surface_metrics.h"
 #include "terrain/surface_planner.h"

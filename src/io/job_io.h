@@ -1,0 +1,65 @@
+// NDJSON job schema for the mission-service runtime (march_serve).
+//
+// One request per line, one result line per request. A request names its
+// geometry either by paper scenario id or explicitly:
+//
+//   {"id": "job-1", "scenario": 3, "separation": 20.0}
+//   {"id": "job-2",
+//    "m1": {"outer": {"x": [...], "y": [...]}, "holes": [...]},
+//    "m2": {"outer": {"x": [...], "y": [...]}},
+//    "r_c": 80.0, "offset": {"x": 1600.0, "y": 0.0},
+//    "positions": {"x": [...], "y": [...]},
+//    "options": {"objective": "a", "grid_points": 900,
+//                "cvt_samples": 15000, "max_adjust_steps": 35},
+//    "include_plan": true}
+//
+// Field semantics (all optional unless noted):
+//   id           echoed verbatim in the result (default "")
+//   scenario     paper scenario 1..7; supplies m1/m2/r_c/robot count
+//   m1, m2       explicit FoI geometry; override the scenario's
+//   r_c          communication range (default: scenario's, else 80)
+//   separation   M2 centroid offset along +x in multiples of r_c
+//   offset       explicit M2 translation; overrides separation
+//   positions    current deployment; when absent, an optimal-coverage
+//                deployment of `robots` robots (seed `seed`) is generated
+//   robots,seed  deployment generation inputs (defaults 144, 1)
+//   options      planner knobs: objective "a"|"b", grid_points,
+//                cvt_samples, max_adjust_steps, safe_adjustment,
+//                distributed, exhaustive_rotation, extraction
+//                "auto"|"gabriel", adjustment "grid"|"local",
+//                transition_time, rotation_partitions, rotation_depth
+//   include_plan embed the full plan_to_json payload in the result
+//
+// The result line echoes the id and reports ok/error, cache_hit, stage
+// timings, and the plan's headline diagnostics; with include_plan the
+// complete plan document is attached under "plan".
+#pragma once
+
+#include "io/json.h"
+#include "runtime/mission_service.h"
+
+namespace anr {
+
+/// FoI <-> {"outer": {"x": [...], "y": [...]}, "holes": [ ... ]}.
+json::Value foi_to_json(const FieldOfInterest& foi);
+FieldOfInterest foi_from_json(const json::Value& v);
+
+/// Parsed request: the job plus response-shaping flags.
+struct JobRequest {
+  runtime::PlanJob job;
+  bool include_plan = false;
+};
+
+/// Parses one request object (throws std::runtime_error / ContractViolation
+/// on malformed input). Deployment generation for requests without
+/// "positions" is memoized across calls via `deployment_cache` keyed by
+/// (geometry, robots, seed) — pass the same map for a whole batch.
+JobRequest job_from_json(
+    const json::Value& v,
+    std::map<std::string, std::vector<Vec2>>* deployment_cache = nullptr);
+
+/// Serializes one result line (compact object, no trailing newline).
+json::Value result_to_json(const runtime::JobResult& result,
+                           bool include_plan);
+
+}  // namespace anr

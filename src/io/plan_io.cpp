@@ -1,5 +1,7 @@
 #include "io/plan_io.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -152,21 +154,56 @@ TransitionMetrics metrics_from_json(const json::Value& v) {
   return m;
 }
 
-bool save_plan(const MarchPlan& plan, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << plan_to_json(plan).dump(2) << '\n';
-  return static_cast<bool>(out);
+namespace {
+
+void set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
 }
 
-std::optional<MarchPlan> load_plan(const std::string& path) {
+std::string errno_message(const std::string& verb, const std::string& path) {
+  return verb + " " + path + ": " +
+         (errno != 0 ? std::strerror(errno) : "unknown I/O error");
+}
+
+}  // namespace
+
+bool save_plan(const MarchPlan& plan, const std::string& path,
+               std::string* error) {
+  set_error(error, "");
+  errno = 0;
+  std::ofstream out(path);
+  if (!out) {
+    set_error(error, errno_message("cannot open for writing", path));
+    return false;
+  }
+  out << plan_to_json(plan).dump(2) << '\n';
+  out.flush();
+  if (!out) {
+    set_error(error, errno_message("write failed for", path));
+    return false;
+  }
+  return true;
+}
+
+std::optional<MarchPlan> load_plan(const std::string& path,
+                                   std::string* error) {
+  set_error(error, "");
+  errno = 0;
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) {
+    set_error(error, errno_message("cannot open", path));
+    return std::nullopt;
+  }
   std::stringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) {
+    set_error(error, errno_message("read failed for", path));
+    return std::nullopt;
+  }
   try {
     return plan_from_json(json::parse(buf.str()));
-  } catch (const std::exception&) {
+  } catch (const std::exception& e) {
+    set_error(error, path + ": " + e.what());
     return std::nullopt;
   }
 }

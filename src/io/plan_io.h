@@ -30,8 +30,13 @@ json::Value metrics_to_json(const TransitionMetrics& m);
 TransitionMetrics metrics_from_json(const json::Value& v);
 
 /// Convenience: write/read a plan (pretty-printed JSON) to a file.
-/// Returns false / nullopt on I/O failure.
-bool save_plan(const MarchPlan& plan, const std::string& path);
-std::optional<MarchPlan> load_plan(const std::string& path);
+/// Returns false / nullopt on failure. When `error` is non-null it
+/// receives the reason — the OS error (errno) for I/O failures, the
+/// parse/validation message for malformed documents — instead of the
+/// caller having to guess from a bare false.
+bool save_plan(const MarchPlan& plan, const std::string& path,
+               std::string* error = nullptr);
+std::optional<MarchPlan> load_plan(const std::string& path,
+                                   std::string* error = nullptr);
 
 }  // namespace anr

@@ -18,6 +18,54 @@ TriangleMesh::TriangleMesh(std::vector<Vec2> vertices, std::vector<Tri> triangle
   }
 }
 
+TriangleMesh::TriangleMesh(const TriangleMesh& other) {
+  std::lock_guard<std::mutex> lock(other.adjacency_mutex_);
+  verts_ = other.verts_;
+  tris_ = other.tris_;
+  if (other.adjacency_valid_.load(std::memory_order_acquire)) {
+    nbr_ = other.nbr_;
+    vert_tris_ = other.vert_tris_;
+    edge_tris_ = other.edge_tris_;
+    adjacency_valid_.store(true, std::memory_order_release);
+  }
+}
+
+TriangleMesh& TriangleMesh::operator=(const TriangleMesh& other) {
+  if (this == &other) return *this;
+  TriangleMesh copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+TriangleMesh::TriangleMesh(TriangleMesh&& other) noexcept
+    : verts_(std::move(other.verts_)), tris_(std::move(other.tris_)) {
+  // Moving from a mesh concurrently queried elsewhere is a caller bug
+  // (same contract as std containers); no lock needed.
+  if (other.adjacency_valid_.load(std::memory_order_acquire)) {
+    nbr_ = std::move(other.nbr_);
+    vert_tris_ = std::move(other.vert_tris_);
+    edge_tris_ = std::move(other.edge_tris_);
+    adjacency_valid_.store(true, std::memory_order_release);
+  }
+  other.adjacency_valid_.store(false, std::memory_order_release);
+}
+
+TriangleMesh& TriangleMesh::operator=(TriangleMesh&& other) noexcept {
+  if (this == &other) return *this;
+  verts_ = std::move(other.verts_);
+  tris_ = std::move(other.tris_);
+  if (other.adjacency_valid_.load(std::memory_order_acquire)) {
+    nbr_ = std::move(other.nbr_);
+    vert_tris_ = std::move(other.vert_tris_);
+    edge_tris_ = std::move(other.edge_tris_);
+    adjacency_valid_.store(true, std::memory_order_release);
+  } else {
+    adjacency_valid_.store(false, std::memory_order_release);
+  }
+  other.adjacency_valid_.store(false, std::memory_order_release);
+  return *this;
+}
+
 VertexId TriangleMesh::add_vertex(Vec2 p) {
   invalidate();
   verts_.push_back(p);
@@ -39,7 +87,9 @@ void TriangleMesh::set_triangles(std::vector<Tri> tris) {
 }
 
 void TriangleMesh::build_adjacency() const {
-  if (adjacency_valid_) return;
+  if (adjacency_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(adjacency_mutex_);
+  if (adjacency_valid_.load(std::memory_order_relaxed)) return;
   nbr_.assign(verts_.size(), {});
   vert_tris_.assign(verts_.size(), {});
   edge_tris_.clear();
@@ -60,7 +110,7 @@ void TriangleMesh::build_adjacency() const {
     std::sort(list.begin(), list.end());
     list.erase(std::unique(list.begin(), list.end()), list.end());
   }
-  adjacency_valid_ = true;
+  adjacency_valid_.store(true, std::memory_order_release);
 }
 
 const std::vector<VertexId>& TriangleMesh::neighbors(VertexId v) const {

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -34,10 +36,22 @@ struct EdgeKey {
 /// Indexed triangle mesh. Vertices carry 2D positions; triangles index
 /// into the vertex array. Adjacency (vertex neighbors, edge->triangle
 /// incidence) is rebuilt lazily after structural edits.
+///
+/// Thread safety: const queries (including the lazy adjacency build they
+/// trigger) are safe to call concurrently on a shared mesh — the runtime
+/// layer plans from one cached planner on many worker threads. Structural
+/// edits still require external synchronization against all other access.
 class TriangleMesh {
  public:
   TriangleMesh() = default;
   TriangleMesh(std::vector<Vec2> vertices, std::vector<Tri> triangles);
+
+  // The adjacency cache carries a mutex, so copies/moves are spelled out
+  // (they transfer the geometry and any built cache, never the lock).
+  TriangleMesh(const TriangleMesh& other);
+  TriangleMesh& operator=(const TriangleMesh& other);
+  TriangleMesh(TriangleMesh&& other) noexcept;
+  TriangleMesh& operator=(TriangleMesh&& other) noexcept;
 
   // --- structure -----------------------------------------------------------
 
@@ -96,13 +110,16 @@ class TriangleMesh {
   void make_ccw();
 
  private:
-  void invalidate() { adjacency_valid_ = false; }
+  void invalidate() { adjacency_valid_.store(false, std::memory_order_release); }
 
   std::vector<Vec2> verts_;
   std::vector<Tri> tris_;
 
-  // Lazily-built adjacency caches.
-  mutable bool adjacency_valid_ = false;
+  // Lazily-built adjacency caches. Double-checked: the atomic flag makes
+  // the fast path lock-free once built; the mutex serializes the build so
+  // concurrent const queries never race on the cache vectors.
+  mutable std::atomic<bool> adjacency_valid_{false};
+  mutable std::mutex adjacency_mutex_;
   mutable std::vector<std::vector<VertexId>> nbr_;
   mutable std::vector<std::vector<int>> vert_tris_;
   mutable std::map<EdgeKey, int> edge_tris_;

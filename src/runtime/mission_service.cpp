@@ -1,0 +1,237 @@
+#include "runtime/mission_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace anr::runtime {
+
+namespace {
+
+json::Value stage_to_json(const StageStats& s) {
+  json::Object o;
+  o.emplace("count", s.count);
+  o.emplace("min_s", s.min);
+  o.emplace("mean_s", s.mean);
+  o.emplace("p95_s", s.p95);
+  o.emplace("max_s", s.max);
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+json::Value stats_to_json(const ServiceStats& s) {
+  json::Object o;
+  o.emplace("submitted", s.submitted);
+  o.emplace("completed", s.completed);
+  o.emplace("failed", s.failed);
+  o.emplace("rejected", s.rejected);
+  o.emplace("queue_depth", s.queue_depth);
+  o.emplace("queue_high_water", s.queue_high_water);
+  o.emplace("workers", s.workers);
+  json::Object cache;
+  cache.emplace("hits", s.cache.hits);
+  cache.emplace("misses", s.cache.misses);
+  cache.emplace("constructions", s.cache.constructions);
+  cache.emplace("evictions", s.cache.evictions);
+  cache.emplace("entries", s.cache.entries);
+  o.emplace("cache", std::move(cache));
+  json::Object stages;
+  stages.emplace("queue_wait", stage_to_json(s.queue_wait));
+  stages.emplace("planner_build", stage_to_json(s.planner_build));
+  stages.emplace("plan_exec", stage_to_json(s.plan_exec));
+  o.emplace("stages", std::move(stages));
+  return json::Value(std::move(o));
+}
+
+void MissionService::StageRecorder::record(double seconds,
+                                           std::size_t reservoir_cap) {
+  std::lock_guard<std::mutex> lock(m);
+  if (count == 0 || seconds < min) min = seconds;
+  if (count == 0 || seconds > max) max = seconds;
+  sum += seconds;
+  ++count;
+  if (reservoir_cap == 0) return;
+  if (samples.size() < reservoir_cap) {
+    samples.push_back(seconds);
+  } else {
+    samples[next_slot] = seconds;
+    next_slot = (next_slot + 1) % reservoir_cap;
+  }
+}
+
+StageStats MissionService::StageRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(m);
+  StageStats s;
+  s.count = count;
+  if (count == 0) return s;
+  s.min = min;
+  s.max = max;
+  s.mean = sum / static_cast<double>(count);
+  if (!samples.empty()) {
+    std::vector<double> sorted = samples;
+    std::size_t idx = (sorted.size() * 95) / 100;
+    if (idx >= sorted.size()) idx = sorted.size() - 1;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(idx),
+                     sorted.end());
+    s.p95 = sorted[idx];
+  }
+  return s;
+}
+
+MissionService::MissionService(ServiceOptions options)
+    : opt_(options),
+      cache_(options.cache_capacity) {
+  ANR_CHECK(opt_.queue_capacity >= 1);
+  int threads = opt_.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+MissionService::~MissionService() { shutdown(); }
+
+void MissionService::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      accepting_ = false;
+    }
+    // Wake everyone: blocked submitters give up, workers drain the queue
+    // and exit once it is empty.
+    queue_push_cv_.notify_all();
+    queue_pop_cv_.notify_all();
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  });
+}
+
+std::future<JobResult> MissionService::submit(PlanJob job) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  std::promise<JobResult> promise;
+  std::future<JobResult> future = promise.get_future();
+
+  auto reject = [&](const std::string& why) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    JobResult r;
+    r.id = job.id;
+    r.ok = false;
+    r.error = why;
+    promise.set_value(std::move(r));
+    return std::move(future);
+  };
+
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  if (!accepting_) return reject("service is shut down");
+  if (queue_.size() >= opt_.queue_capacity) {
+    if (opt_.overflow == OverflowPolicy::kReject) {
+      return reject("queue full (capacity " +
+                    std::to_string(opt_.queue_capacity) + ")");
+    }
+    queue_push_cv_.wait(lock, [this] {
+      return !accepting_ || queue_.size() < opt_.queue_capacity;
+    });
+    if (!accepting_) return reject("service is shut down");
+  }
+  queue_.push_back(QueuedJob{std::move(job), std::move(promise),
+                             std::chrono::steady_clock::now()});
+  queue_high_water_ = std::max(queue_high_water_, queue_.size());
+  lock.unlock();
+  queue_pop_cv_.notify_one();
+  return future;
+}
+
+std::vector<JobResult> MissionService::run_batch(std::vector<PlanJob> jobs) {
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(jobs.size());
+  for (PlanJob& job : jobs) futures.push_back(submit(std::move(job)));
+  std::vector<JobResult> results;
+  results.reserve(futures.size());
+  for (std::future<JobResult>& f : futures) results.push_back(f.get());
+  return results;
+}
+
+void MissionService::worker_loop() {
+  for (;;) {
+    QueuedJob item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_pop_cv_.wait(lock, [this] { return !queue_.empty() || !accepting_; });
+      if (queue_.empty()) return;  // draining done and intake closed
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_push_cv_.notify_one();
+
+    double waited = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - item.enqueued)
+                        .count();
+    queue_wait_.record(waited, opt_.latency_reservoir);
+    JobResult result = execute(std::move(item.job), waited);
+    if (result.ok) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    item.promise.set_value(std::move(result));
+  }
+}
+
+JobResult MissionService::execute(PlanJob&& job, double queue_seconds) {
+  JobResult result;
+  result.id = job.id;
+  result.queue_seconds = queue_seconds;
+  try {
+    bool constructed = false;
+    Stopwatch build_sw;
+    std::shared_ptr<const MarchPlanner> planner = cache_.get_or_build(
+        job.m1, job.m2_shape, job.r_c, job.options, job.closure_tag,
+        &constructed);
+    result.build_seconds = build_sw.seconds();
+    result.cache_hit = !constructed;
+    if (constructed) {
+      planner_build_.record(result.build_seconds, opt_.latency_reservoir);
+    }
+
+    Stopwatch plan_sw;
+    result.plan = planner->plan(job.positions, job.m2_offset);
+    result.plan_seconds = plan_sw.seconds();
+    plan_exec_.record(result.plan_seconds, opt_.latency_reservoir);
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  return result;
+}
+
+ServiceStats MissionService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    s.queue_depth = queue_.size();
+    s.queue_high_water = queue_high_water_;
+  }
+  s.workers = worker_count();
+  s.cache = cache_.stats();
+  s.queue_wait = queue_wait_.snapshot();
+  s.planner_build = planner_build_.snapshot();
+  s.plan_exec = plan_exec_.snapshot();
+  return s;
+}
+
+}  // namespace anr::runtime

@@ -1,0 +1,183 @@
+// MissionService: a concurrent planning runtime for march jobs.
+//
+// The library's callers so far construct a MarchPlanner and call plan()
+// inline. A deployment serving many swarms and many target geometries
+// wants planning as a *service*: jobs go into a bounded queue, a fixed
+// pool of workers executes them, planners are shared through a
+// PlannerCache so each distinct (M1, M2, r_c, options) pays the expensive
+// M2 precomputation once, and callers get std::futures.
+//
+// Backpressure: the queue is bounded. When full, submit() either blocks
+// until a slot frees (OverflowPolicy::kBlock, the default) or resolves
+// the returned future immediately with a rejection (kReject) — pick
+// reject for latency-sensitive front ends that would rather shed load.
+//
+// Shutdown is graceful: shutdown() stops intake, lets the workers drain
+// every job already accepted, and joins. The destructor does the same.
+//
+// Thread-safety contract (audited in tests/test_runtime.cpp): a cached
+// MarchPlanner is shared across workers, so MarchPlanner::plan() const
+// must be — and is — free of shared mutable state. Closures passed in
+// PlannerOptions (density, custom disk weights) must themselves be pure
+// and thread-safe, and must be named by PlanJob::closure_tag so the
+// cache can tell configurations apart.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/json.h"
+#include "march/planner.h"
+#include "runtime/planner_cache.h"
+
+namespace anr::runtime {
+
+/// What submit() does when the job queue is full.
+enum class OverflowPolicy {
+  kBlock,   ///< block the submitter until a slot frees
+  kReject,  ///< resolve the future immediately with ok=false
+};
+
+struct ServiceOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  int threads = 0;
+  std::size_t queue_capacity = 256;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// Planner cache capacity (distinct configurations held).
+  std::size_t cache_capacity = 64;
+  /// Per-stage latency samples kept for the p95 estimate.
+  std::size_t latency_reservoir = 4096;
+};
+
+/// One planning job: the full planner configuration plus the swarm state.
+struct PlanJob {
+  std::string id;                ///< echoed in the result; free-form
+  FieldOfInterest m1;
+  FieldOfInterest m2_shape;
+  double r_c = 80.0;
+  Vec2 m2_offset{};
+  std::vector<Vec2> positions;   ///< current deployment (inside M1)
+  PlannerOptions options;
+  /// Names any closures in `options` for cache keying (see PlannerCache).
+  std::string closure_tag;
+};
+
+struct JobResult {
+  std::string id;
+  bool ok = false;
+  std::string error;             ///< set when !ok
+  MarchPlan plan;                ///< valid when ok
+  bool cache_hit = false;        ///< planner came from the cache
+  double queue_seconds = 0.0;    ///< time spent waiting in the queue
+  /// Time inside the cache lookup: the construction itself for the job
+  /// that built, the single-flight wait for jobs that arrived while the
+  /// planner was being built, ~0 for warm hits.
+  double build_seconds = 0.0;
+  double plan_seconds = 0.0;     ///< MarchPlanner::plan() proper
+};
+
+/// Latency summary over one pipeline stage, in seconds.
+struct StageStats {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double mean = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;   ///< finished ok
+  std::uint64_t failed = 0;      ///< finished with an error
+  std::uint64_t rejected = 0;    ///< shed by kReject backpressure
+  std::size_t queue_depth = 0;
+  std::size_t queue_high_water = 0;
+  int workers = 0;
+  PlannerCacheStats cache;
+  StageStats queue_wait;     ///< submit -> worker pickup
+  StageStats planner_build;  ///< cache-miss planner constructions only
+  StageStats plan_exec;      ///< plan() proper
+};
+
+/// Serializes a stats snapshot (bench output, service introspection).
+json::Value stats_to_json(const ServiceStats& s);
+
+class MissionService {
+ public:
+  explicit MissionService(ServiceOptions options = {});
+  ~MissionService();  // graceful: drains accepted jobs, then joins
+
+  MissionService(const MissionService&) = delete;
+  MissionService& operator=(const MissionService&) = delete;
+
+  /// Enqueues a job. The future always resolves (never broken): with the
+  /// plan, with a planner/plan error, or with a rejection under kReject
+  /// backpressure. Jobs submitted after shutdown() resolve as rejected.
+  std::future<JobResult> submit(PlanJob job);
+
+  /// Submits every job, waits for all, returns results in input order.
+  std::vector<JobResult> run_batch(std::vector<PlanJob> jobs);
+
+  /// Stops intake, drains every accepted job, joins the workers.
+  /// Idempotent.
+  void shutdown();
+
+  ServiceStats stats() const;
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct QueuedJob {
+    PlanJob job;
+    std::promise<JobResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Bounded latency reservoir: exact count/min/max/mean, deterministic
+  /// ring replacement for the p95 sample set.
+  struct StageRecorder {
+    void record(double seconds, std::size_t reservoir_cap);
+    StageStats snapshot() const;
+
+    mutable std::mutex m;
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    std::vector<double> samples;
+    std::size_t next_slot = 0;
+  };
+
+  void worker_loop();
+  JobResult execute(PlanJob&& job, double queue_seconds);
+
+  ServiceOptions opt_;
+  PlannerCache cache_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_push_cv_;  ///< waits for space (kBlock)
+  std::condition_variable queue_pop_cv_;   ///< workers wait for jobs
+  std::deque<QueuedJob> queue_;
+  bool accepting_ = true;
+  std::size_t queue_high_water_ = 0;
+
+  std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  StageRecorder queue_wait_;
+  StageRecorder planner_build_;
+  StageRecorder plan_exec_;
+};
+
+}  // namespace anr::runtime

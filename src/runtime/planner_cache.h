@@ -1,0 +1,125 @@
+// PlannerCache: share MarchPlanner construction across planning jobs.
+//
+// Constructing a MarchPlanner is the dominant cost of a one-shot plan —
+// it meshes M2, solves the harmonic disk map, and samples the adjustment
+// CVT (see src/march/planner.h). A service answering many jobs against a
+// handful of target geometries should pay that once per distinct
+// (M1, M2 shape, r_c, PlannerOptions) and share the planner, which is
+// safe because MarchPlanner::plan() is const and thread-safe.
+//
+// The cache keys planners by a *content* fingerprint: the canonical bytes
+// of both FoI polygon sets, r_c, and every PlannerOptions field, plus a
+// caller-supplied tag naming any closures (density, custom disk weights)
+// that cannot be fingerprinted structurally. Key equality compares the
+// full byte string, so a 64-bit hash collision can never alias two
+// different configurations.
+//
+// Concurrency: lookups take a shared lock; a miss inserts a placeholder
+// under an exclusive lock and constructs *outside* any map lock
+// (single-flight — concurrent misses on the same key build once, the
+// rest wait on the entry). Construction failures propagate to every
+// waiter and evict the placeholder so a later request can retry.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "march/planner.h"
+
+namespace anr::runtime {
+
+/// Content-identity of a planner configuration. Holds the canonical byte
+/// encoding (for exact equality) and its FNV-1a hash (for bucketing).
+class CacheKey {
+ public:
+  /// Fingerprints the full planner configuration. `closure_tag` must be
+  /// non-empty when `options.density` or `options.disk.custom_weight` is
+  /// set (std::function targets cannot be hashed structurally); throws
+  /// ContractViolation otherwise.
+  static CacheKey of(const FieldOfInterest& m1, const FieldOfInterest& m2_shape,
+                     double r_c, const PlannerOptions& options,
+                     std::string_view closure_tag = {});
+
+  bool operator==(const CacheKey& other) const {
+    return hash_ == other.hash_ && bytes_ == other.bytes_;
+  }
+  std::uint64_t hash() const { return hash_; }
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+  std::uint64_t hash_ = 0;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    return static_cast<std::size_t>(k.hash());
+  }
+};
+
+struct PlannerCacheStats {
+  std::uint64_t hits = 0;    ///< lookups served by an existing entry
+                             ///< (ready or single-flight in progress)
+  std::uint64_t misses = 0;  ///< lookups that had to create the entry
+  std::uint64_t constructions = 0;  ///< planners actually built
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;   ///< current resident planners
+};
+
+/// Thread-safe, capacity-bounded planner cache with single-flight
+/// construction. Evicts the least-recently-used *ready* entry when full.
+class PlannerCache {
+ public:
+  explicit PlannerCache(std::size_t capacity = 64);
+
+  /// Returns the planner for `key`, constructing it via `build` if absent.
+  /// Under concurrent misses on the same key exactly one caller builds;
+  /// the others block until the build finishes. If `constructed` is
+  /// non-null it is set to true only for the caller that built.
+  /// Exceptions thrown by `build` are rethrown in every waiting caller.
+  std::shared_ptr<const MarchPlanner> get_or_build(
+      const CacheKey& key,
+      const std::function<std::unique_ptr<MarchPlanner>()>& build,
+      bool* constructed = nullptr);
+
+  /// Convenience: fingerprint + build from the configuration itself.
+  std::shared_ptr<const MarchPlanner> get_or_build(
+      const FieldOfInterest& m1, const FieldOfInterest& m2_shape, double r_c,
+      const PlannerOptions& options, std::string_view closure_tag = {},
+      bool* constructed = nullptr);
+
+  PlannerCacheStats stats() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::mutex m;
+    std::condition_variable cv;
+    std::shared_ptr<const MarchPlanner> planner;  // set once, under m
+    std::exception_ptr error;                     // set instead on failure
+    bool done = false;
+    std::atomic<std::uint64_t> last_used{0};
+  };
+
+  void evict_lru_locked();
+
+  std::size_t capacity_;
+  mutable std::shared_mutex map_mutex_;
+  std::unordered_map<CacheKey, std::shared_ptr<Entry>, CacheKeyHash> map_;
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> constructions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace anr::runtime

@@ -150,5 +150,85 @@ TEST(PlanIo, LoadRejectsGarbage) {
   EXPECT_FALSE(load_plan("/nonexistent/x.json").has_value());
 }
 
+TEST(PlanIo, SyntheticPlanRoundTripKeepsEveryDiagnosticScalar) {
+  // Exercise plan_to_json/plan_from_json directly (no planner run) with
+  // every diagnostic set to a distinct sentinel, so a field dropped on
+  // either side of the round trip is caught immediately.
+  MarchPlan plan;
+  Trajectory t;
+  t.append({1.0, 2.0}, 0.0);
+  t.append({3.0, 4.0}, 1.0);
+  plan.trajectories.push_back(t);
+  plan.start = {{1.0, 2.0}};
+  plan.mapped_targets = {{3.0, 4.0}};
+  plan.final_positions = {{3.5, 4.5}};
+  plan.rotation_angle = 0.625;
+  plan.rotation_objective = 0.875;
+  plan.rotation_evaluations = 17;
+  plan.predicted_link_ratio = 0.9375;
+  plan.snapped_targets = 3;
+  plan.repaired_robots = 5;
+  plan.repaired_subgroups = 2;
+  plan.unmeshed_robots = 1;
+  plan.max_boundary_gap = 71.5;
+  plan.transition_end = 1.0;
+  plan.total_time = 2.25;
+  plan.adjust_steps = 9;
+  plan.protocol_messages = 12345;
+
+  MarchPlan back = plan_from_json(json::parse(plan_to_json(plan).dump()));
+  EXPECT_EQ(back.start, plan.start);
+  EXPECT_EQ(back.mapped_targets, plan.mapped_targets);
+  EXPECT_EQ(back.final_positions, plan.final_positions);
+  EXPECT_DOUBLE_EQ(back.rotation_angle, plan.rotation_angle);
+  EXPECT_DOUBLE_EQ(back.rotation_objective, plan.rotation_objective);
+  EXPECT_EQ(back.rotation_evaluations, plan.rotation_evaluations);
+  EXPECT_DOUBLE_EQ(back.predicted_link_ratio, plan.predicted_link_ratio);
+  EXPECT_EQ(back.snapped_targets, plan.snapped_targets);
+  EXPECT_EQ(back.repaired_robots, plan.repaired_robots);
+  EXPECT_EQ(back.repaired_subgroups, plan.repaired_subgroups);
+  EXPECT_EQ(back.unmeshed_robots, plan.unmeshed_robots);
+  EXPECT_DOUBLE_EQ(back.max_boundary_gap, plan.max_boundary_gap);
+  EXPECT_DOUBLE_EQ(back.transition_end, plan.transition_end);
+  EXPECT_DOUBLE_EQ(back.total_time, plan.total_time);
+  EXPECT_EQ(back.adjust_steps, plan.adjust_steps);
+  EXPECT_EQ(back.protocol_messages, plan.protocol_messages);
+}
+
+TEST(PlanIo, SaveAndLoadSurfaceTheFailureReason) {
+  MarchPlan plan;
+  std::string error;
+  EXPECT_FALSE(save_plan(plan, "/nonexistent-dir/plan.json", &error));
+  EXPECT_NE(error.find("/nonexistent-dir/plan.json"), std::string::npos);
+  EXPECT_NE(error.find("No such file or directory"), std::string::npos)
+      << error;
+
+  error.clear();
+  EXPECT_FALSE(load_plan("/nonexistent/x.json", &error).has_value());
+  EXPECT_NE(error.find("No such file or directory"), std::string::npos)
+      << error;
+
+  // Malformed document: the reason is the parse/validation message.
+  std::string path = "/tmp/anr_plan_badformat.json";
+  std::ofstream(path) << "{\"format\": \"something-else\"}";
+  error.clear();
+  EXPECT_FALSE(load_plan(path, &error).has_value());
+  EXPECT_NE(error.find("unknown plan format"), std::string::npos) << error;
+  std::remove(path.c_str());
+
+  // Success leaves the error empty.
+  std::string ok_path = "/tmp/anr_plan_okerr.json";
+  Trajectory t;
+  t.append({0.0, 0.0}, 0.0);
+  plan.trajectories.push_back(t);
+  error = "stale";
+  EXPECT_TRUE(save_plan(plan, ok_path, &error));
+  EXPECT_TRUE(error.empty());
+  error = "stale";
+  EXPECT_TRUE(load_plan(ok_path, &error).has_value());
+  EXPECT_TRUE(error.empty());
+  std::remove(ok_path.c_str());
+}
+
 }  // namespace
 }  // namespace anr

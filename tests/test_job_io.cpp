@@ -1,0 +1,123 @@
+// NDJSON job schema: FoI round trips, request parsing (scenario shortcut,
+// explicit geometry, options), deployment memoization, result lines.
+#include <gtest/gtest.h>
+
+#include "foi/scenario.h"
+#include "foi/shapes.h"
+#include "io/job_io.h"
+#include "io/json.h"
+
+namespace anr {
+namespace {
+
+TEST(JobIo, FoiRoundTripPreservesGeometry) {
+  Scenario sc = scenario(4);  // has holes
+  ASSERT_TRUE(sc.m1.has_holes() || sc.m2_shape.has_holes());
+  const FieldOfInterest& foi =
+      sc.m1.has_holes() ? sc.m1 : sc.m2_shape;
+  FieldOfInterest back = foi_from_json(json::parse(foi_to_json(foi).dump()));
+  ASSERT_EQ(back.outer().size(), foi.outer().size());
+  ASSERT_EQ(back.holes().size(), foi.holes().size());
+  for (std::size_t i = 0; i < foi.outer().size(); ++i) {
+    EXPECT_EQ(back.outer()[i], foi.outer()[i]);
+  }
+  EXPECT_DOUBLE_EQ(back.area(), foi.area());
+}
+
+TEST(JobIo, ScenarioShortcutFillsGeometryAndDeployment) {
+  auto v = json::parse(
+      R"({"id": "s1", "scenario": 1, "separation": 15.0, "robots": 64,
+          "options": {"objective": "b", "grid_points": 400}})");
+  std::map<std::string, std::vector<Vec2>> memo;
+  JobRequest req = job_from_json(v, &memo);
+  EXPECT_EQ(req.job.id, "s1");
+  Scenario sc = scenario(1);
+  EXPECT_DOUBLE_EQ(req.job.r_c, sc.comm_range);
+  EXPECT_EQ(req.job.positions.size(), 64u);
+  EXPECT_EQ(req.job.options.objective, MarchObjective::kMinDistance);
+  EXPECT_EQ(req.job.options.mesher.target_grid_points, 400);
+  Vec2 expect_off = sc.m1.centroid() + Vec2{15.0 * sc.comm_range, 0.0} -
+                    sc.m2_shape.centroid();
+  EXPECT_NEAR(req.job.m2_offset.x, expect_off.x, 1e-12);
+  EXPECT_NEAR(req.job.m2_offset.y, expect_off.y, 1e-12);
+  // Deployment generation was memoized under a stable key.
+  EXPECT_EQ(memo.size(), 1u);
+  JobRequest again = job_from_json(v, &memo);
+  EXPECT_EQ(memo.size(), 1u);
+  EXPECT_EQ(again.job.positions, req.job.positions);
+}
+
+TEST(JobIo, ExplicitGeometryAndPositions) {
+  Polygon m1_outer = make_blob({0.0, 0.0}, 400.0, {{3, 0.1, 0.0}}, 64);
+  Polygon m2_outer = make_blob({0.0, 0.0}, 380.0, {{4, 0.12, 0.5}}, 64);
+  json::Object req_o;
+  req_o.emplace("id", "explicit");
+  req_o.emplace("m1", foi_to_json(FieldOfInterest(m1_outer)));
+  req_o.emplace("m2", foi_to_json(FieldOfInterest(m2_outer)));
+  req_o.emplace("r_c", 90.0);
+  json::Object off;
+  off.emplace("x", 1000.0);
+  off.emplace("y", -50.0);
+  req_o.emplace("offset", std::move(off));
+  json::Array xs, ys;
+  for (int i = 0; i < 5; ++i) {
+    xs.emplace_back(10.0 * i);
+    ys.emplace_back(-5.0 * i);
+  }
+  json::Object pos;
+  pos.emplace("x", std::move(xs));
+  pos.emplace("y", std::move(ys));
+  req_o.emplace("positions", std::move(pos));
+  req_o.emplace("include_plan", true);
+
+  JobRequest req = job_from_json(json::Value(std::move(req_o)));
+  EXPECT_TRUE(req.include_plan);
+  EXPECT_DOUBLE_EQ(req.job.r_c, 90.0);
+  ASSERT_EQ(req.job.positions.size(), 5u);
+  EXPECT_EQ(req.job.positions[2], (Vec2{20.0, -10.0}));
+  EXPECT_EQ(req.job.m2_offset, (Vec2{1000.0, -50.0}));
+}
+
+TEST(JobIo, MissingGeometryAndBadEnumsThrow) {
+  EXPECT_THROW(job_from_json(json::parse(R"({"id": "empty"})")),
+               std::runtime_error);
+  EXPECT_THROW(job_from_json(json::parse(
+                   R"({"scenario": 1, "options": {"objective": "zz"}})")),
+               std::runtime_error);
+  EXPECT_THROW(job_from_json(json::parse(
+                   R"({"scenario": 1, "options": {"extraction": "zz"}})")),
+               std::runtime_error);
+}
+
+TEST(JobIo, ResultLinesCarryDiagnosticsAndErrors) {
+  runtime::JobResult bad;
+  bad.id = "x";
+  bad.ok = false;
+  bad.error = "queue full (capacity 4)";
+  json::Value vb = json::parse(result_to_json(bad, false).dump());
+  EXPECT_EQ(vb.at("id").as_string(), "x");
+  EXPECT_FALSE(vb.at("ok").as_bool());
+  EXPECT_EQ(vb.at("error").as_string(), "queue full (capacity 4)");
+
+  runtime::JobResult good;
+  good.id = "y";
+  good.ok = true;
+  good.cache_hit = true;
+  good.plan_seconds = 0.25;
+  good.plan.rotation_angle = 1.5;
+  good.plan.predicted_link_ratio = 0.9;
+  good.plan.start = {{0, 0}, {1, 1}};
+  json::Value vg = json::parse(result_to_json(good, true).dump());
+  EXPECT_TRUE(vg.at("ok").as_bool());
+  EXPECT_TRUE(vg.at("cache_hit").as_bool());
+  EXPECT_DOUBLE_EQ(vg.at("rotation_angle").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(vg.at("plan_seconds").as_number(), 0.25);
+  EXPECT_EQ(vg.at("robots").as_number(), 2.0);
+  // include_plan embeds the full persistable plan document.
+  EXPECT_EQ(vg.at("plan").at("format").as_string(), "anr-march-plan/1");
+  json::Value compact = json::parse(result_to_json(good, false).dump());
+  EXPECT_FALSE(compact.has("plan"));
+}
+
+}  // namespace
+}  // namespace anr
