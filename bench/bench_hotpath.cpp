@@ -1,0 +1,254 @@
+// Hot-path micro-benchmarks for the allocation-free planning pass
+// (google-benchmark). Tracks the structures the rotation search and the
+// connectivity-safe adjustment hammer per plan:
+//
+//   - GridIndex build + radius queries, against an in-file copy of the
+//     previous hash-map implementation (BM_*Legacy) so the CSR speedup
+//     stays measurable after the old code is gone;
+//   - OverlapInterpolator::map_all at a fixed theta (pure warm-start) and
+//     across a theta sweep (the rotation-search access pattern), with and
+//     without caller-owned buffers;
+//   - one full MarchPlanner::plan() with the connectivity-safe adjustment
+//     enabled.
+//
+// Baseline workflow: scripts/bench_check.sh runs this with
+// --benchmark_format=json and diffs against BENCH_hotpath.json (±25%).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "anr/anr.h"
+
+namespace {
+
+using namespace anr;
+
+std::vector<Vec2> random_points(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  }
+  return pts;
+}
+
+// --- legacy hash-map grid (the pre-CSR implementation), kept as the
+// comparison baseline for the speedup claims -------------------------------
+
+class LegacyGridIndex {
+ public:
+  LegacyGridIndex(std::vector<Vec2> pts, double cell)
+      : pts_(std::move(pts)), cell_(cell) {
+    for (std::size_t i = 0; i < pts_.size(); ++i) {
+      int cx = 0, cy = 0;
+      cell_of(pts_[i], cx, cy);
+      cells_[key(cx, cy)].push_back(static_cast<int>(i));
+    }
+  }
+
+  std::vector<int> query_radius(Vec2 q, double radius) const {
+    std::vector<int> out;
+    int cx0 = 0, cy0 = 0, cx1 = 0, cy1 = 0;
+    cell_of(q - Vec2{radius, radius}, cx0, cy0);
+    cell_of(q + Vec2{radius, radius}, cx1, cy1);
+    double r2 = radius * radius;
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      for (int cy = cy0; cy <= cy1; ++cy) {
+        auto it = cells_.find(key(cx, cy));
+        if (it == cells_.end()) continue;
+        for (int i : it->second) {
+          if (distance2(pts_[static_cast<std::size_t>(i)], q) <= r2 + 1e-12) {
+            out.push_back(i);
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  static std::int64_t key(int cx, int cy) {
+    return (static_cast<std::int64_t>(cx) << 32) ^
+           (static_cast<std::int64_t>(cy) & 0xffffffffLL);
+  }
+  void cell_of(Vec2 p, int& cx, int& cy) const {
+    cx = static_cast<int>(std::floor(p.x / cell_));
+    cy = static_cast<int>(std::floor(p.y / cell_));
+  }
+
+  std::vector<Vec2> pts_;
+  double cell_;
+  std::unordered_map<std::int64_t, std::vector<int>> cells_;
+};
+
+constexpr double kRadius = 40.0;
+
+void BM_GridIndexBuild(benchmark::State& state) {
+  auto pts = random_points(static_cast<int>(state.range(0)), 7);
+  GridIndex index;  // rebuilt in place: steady-state build cost
+  for (auto _ : state) {
+    index.rebuild(pts, kRadius);
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GridIndexBuild)->Arg(256)->Arg(1024)->Arg(4096)->Complexity();
+
+void BM_GridIndexBuildLegacy(benchmark::State& state) {
+  auto pts = random_points(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    LegacyGridIndex index(pts, kRadius);
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GridIndexBuildLegacy)->Arg(256)->Arg(1024)->Arg(4096)->Complexity();
+
+void BM_GridIndexRadiusQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto pts = random_points(n, 7);
+  GridIndex index(pts, kRadius);
+  std::vector<int> hits;
+  std::size_t total = 0, qi = 0;
+  for (auto _ : state) {
+    index.query_radius_into(pts[qi], kRadius, hits);
+    total += hits.size();
+    qi = (qi + 1) % pts.size();
+  }
+  state.counters["hits"] = static_cast<double>(total) /
+                           static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_GridIndexRadiusQuery)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_GridIndexRadiusQueryLegacy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto pts = random_points(n, 7);
+  LegacyGridIndex index(pts, kRadius);
+  std::size_t total = 0, qi = 0;
+  for (auto _ : state) {
+    auto hits = index.query_radius(pts[qi], kRadius);
+    total += hits.size();
+    qi = (qi + 1) % pts.size();
+  }
+  state.counters["hits"] = static_cast<double>(total) /
+                           static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_GridIndexRadiusQueryLegacy)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_UnitDiskAdjacency(benchmark::State& state) {
+  auto pts = random_points(static_cast<int>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::unit_disk_adjacency(pts, 80.0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UnitDiskAdjacency)->Arg(256)->Arg(1024)->Arg(4096)->Complexity();
+
+// --- interpolator ----------------------------------------------------------
+
+struct MapAllFixture {
+  FieldOfInterest m2;
+  HoleFillResult filled;
+  DiskMap disk;
+  OverlapInterpolator interp;
+  std::vector<Vec2> robot_disk;
+
+  static MapAllFixture make() {
+    Scenario sc = scenario(1);
+    MesherOptions mo;
+    mo.target_grid_points = 600;
+    FoiMesh mesh = mesh_foi(sc.m2_shape, mo);
+    HoleFillResult filled = fill_holes(mesh.mesh);
+    DiskMap disk = harmonic_disk_map(filled.mesh);
+    OverlapInterpolator interp(filled, disk);
+    // Robot disk positions: T's own harmonic image for a realistic spread.
+    auto deploy =
+        optimal_coverage_positions(sc.m1, 144, 1, uniform_density()).positions;
+    auto ext = extract_triangulation(deploy, sc.comm_range);
+    HoleFillResult t_filled = fill_holes(ext.mesh);
+    DiskMap t_disk = harmonic_disk_map(t_filled.mesh);
+    std::vector<Vec2> robot_disk;
+    for (std::size_t v = 0; v < ext.mesh.num_vertices(); ++v) {
+      robot_disk.push_back(t_disk.disk_pos[v]);
+    }
+    return MapAllFixture{sc.m2_shape, std::move(filled), std::move(disk),
+                         std::move(interp), std::move(robot_disk)};
+  }
+};
+
+MapAllFixture& map_fixture() {
+  static MapAllFixture f = MapAllFixture::make();
+  return f;
+}
+
+void BM_MapAllFixedTheta(benchmark::State& state) {
+  MapAllFixture& f = map_fixture();
+  std::vector<int> hints;
+  std::vector<MappedTarget> out;
+  for (auto _ : state) {
+    f.interp.map_all_into(f.robot_disk, 0.37, hints, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["robots"] = static_cast<double>(f.robot_disk.size());
+}
+BENCHMARK(BM_MapAllFixedTheta);
+
+void BM_MapAllVaryingTheta(benchmark::State& state) {
+  // The rotation-search pattern: consecutive probes at nearby angles,
+  // hint cache carried across probes.
+  MapAllFixture& f = map_fixture();
+  std::vector<int> hints;
+  std::vector<MappedTarget> out;
+  double theta = 0.0;
+  for (auto _ : state) {
+    theta += 0.02;
+    if (theta > 6.28) theta = 0.0;
+    f.interp.map_all_into(f.robot_disk, theta, hints, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MapAllVaryingTheta);
+
+void BM_MapAllColdNoHints(benchmark::State& state) {
+  // Reference: the pre-optimization pattern (fresh buffers, bucket scan
+  // for every robot on every probe).
+  MapAllFixture& f = map_fixture();
+  double theta = 0.0;
+  for (auto _ : state) {
+    theta += 0.02;
+    if (theta > 6.28) theta = 0.0;
+    std::vector<MappedTarget> out;
+    out.reserve(f.robot_disk.size());
+    for (Vec2 z : f.robot_disk) out.push_back(f.interp.map_point(z.rotated(theta)));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MapAllColdNoHints);
+
+// --- full plan -------------------------------------------------------------
+
+void BM_FullPlanWithAdjustment(benchmark::State& state) {
+  Scenario sc = scenario(1);
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 350;
+  opt.cvt_samples = 4000;
+  opt.max_adjust_steps = 5;
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, opt);
+  auto deploy =
+      optimal_coverage_positions(sc.m1, 100, 1, uniform_density()).positions;
+  Vec2 offset = sc.m1.centroid() + Vec2{12.0 * sc.comm_range, 0.0} -
+                sc.m2_shape.centroid();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(deploy, offset));
+  }
+}
+BENCHMARK(BM_FullPlanWithAdjustment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

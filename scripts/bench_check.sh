@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Guards the hot-path performance baseline.
+#
+# Builds Release, runs bench/bench_hotpath with JSON output, and compares
+# every benchmark's real_time against the committed BENCH_hotpath.json.
+# Fails if any benchmark regressed by more than the tolerance (default
+# +25%; improvements never fail). Refresh the baseline by copying the
+# printed current-run JSON over BENCH_hotpath.json on a quiet machine.
+#
+# Usage: scripts/bench_check.sh [build-dir] [tolerance-pct]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+TOL_PCT="${2:-25}"
+BASELINE="$REPO_ROOT/BENCH_hotpath.json"
+
+[ -f "$BASELINE" ] || { echo "missing baseline $BASELINE" >&2; exit 1; }
+
+cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target bench_hotpath -j "$(nproc)" >/dev/null
+
+CURRENT="$(mktemp /tmp/bench_hotpath.XXXXXX.json)"
+trap 'rm -f "$CURRENT"' EXIT
+"$BUILD_DIR/bench/bench_hotpath" \
+  --benchmark_format=json \
+  --benchmark_out="$CURRENT" \
+  --benchmark_min_time=0.2 >/dev/null
+
+python3 - "$BASELINE" "$CURRENT" "$TOL_PCT" <<'EOF'
+import json, sys
+
+baseline_path, current_path, tol_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data["benchmarks"]:
+        # Skip aggregate/complexity rows (BigO, RMS) — no real_time.
+        if "real_time" in b and b.get("run_type", "iteration") == "iteration":
+            out[b["name"]] = (b["real_time"], b["time_unit"])
+    return out
+
+base = load(baseline_path)
+cur = load(current_path)
+
+failed = []
+print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} {'delta':>8}")
+for name, (bt, unit) in sorted(base.items()):
+    if name not in cur:
+        failed.append(f"{name}: missing from current run")
+        continue
+    ct, _ = cur[name]
+    delta = (ct - bt) / bt * 100.0
+    mark = ""
+    if delta > tol_pct:
+        mark = "  REGRESSED"
+        failed.append(f"{name}: {bt:.1f} -> {ct:.1f} {unit} ({delta:+.1f}%)")
+    print(f"{name:<40} {bt:>10.1f}{unit:>2} {ct:>10.1f}{unit:>2} {delta:>+7.1f}%{mark}")
+
+if failed:
+    print(f"\nFAIL: {len(failed)} benchmark(s) regressed beyond +{tol_pct:.0f}%:",
+          file=sys.stderr)
+    for f in failed:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"\nOK: all {len(base)} benchmarks within +{tol_pct:.0f}% of baseline")
+EOF

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# ThreadSanitizer sweep over the concurrency-sensitive paths.
+#
+# The planner's warm-start hints, connectivity scratch, and CVT scratch
+# are caller-owned (stack-local per plan() call); the shared planner
+# objects must stay immutable after construction. This script builds with
+# -fsanitize=thread and runs the tests that hammer plan() from many
+# threads (runtime/mission service) plus the interpolator unit tests.
+#
+# Usage: scripts/tsan_check.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
+
+cmake -S "$REPO_ROOT" -B "$BUILD_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DANR_SANITIZE=thread >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target test_runtime test_composition test_network test_grid_index >/dev/null
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R '^(test_runtime|test_composition|test_network|test_grid_index)$'
+echo "OK: TSan sweep clean"

@@ -58,6 +58,7 @@
 #include "mesh/mesh_quality.h"
 #include "mesh/triangle_mesh.h"
 #include "net/connectivity.h"
+#include "net/incremental_connectivity.h"
 #include "net/network.h"
 #include "net/protocols/boundary_walk.h"
 #include "net/protocols/flood.h"

@@ -25,30 +25,37 @@ GridCvt::GridCvt(const FieldOfInterest& foi, DensityFn density,
 }
 
 std::vector<Vec2> GridCvt::centroids(const std::vector<Vec2>& sites) const {
+  Scratch scratch;
+  std::vector<Vec2> out;
+  centroids_into(sites, scratch, out);
+  return out;
+}
+
+void GridCvt::centroids_into(const std::vector<Vec2>& sites, Scratch& scratch,
+                             std::vector<Vec2>& out) const {
   ANR_CHECK(!sites.empty());
   // Nearest-site assignment via a site index: for each sample, query the
   // site index outward.
-  GridIndex site_index(sites, std::max(spacing_ * 4.0, 1e-9));
-  std::vector<Vec2> acc(sites.size(), Vec2{});
-  std::vector<double> mass(sites.size(), 0.0);
+  scratch.site_index.rebuild(sites, std::max(spacing_ * 4.0, 1e-9));
+  scratch.acc.assign(sites.size(), Vec2{});
+  scratch.mass.assign(sites.size(), 0.0);
   for (std::size_t s = 0; s < samples_.size(); ++s) {
-    int site = site_index.nearest(samples_[s]);
+    int site = scratch.site_index.nearest(samples_[s]);
     ANR_CHECK(site >= 0);
-    acc[static_cast<std::size_t>(site)] += samples_[s] * weight_[s];
-    mass[static_cast<std::size_t>(site)] += weight_[s];
+    scratch.acc[static_cast<std::size_t>(site)] += samples_[s] * weight_[s];
+    scratch.mass[static_cast<std::size_t>(site)] += weight_[s];
   }
-  std::vector<Vec2> out;
+  out.clear();
   out.reserve(sites.size());
   for (std::size_t i = 0; i < sites.size(); ++i) {
-    if (mass[i] <= 0.0) {
+    if (scratch.mass[i] <= 0.0) {
       out.push_back(sites[i]);
       continue;
     }
-    Vec2 c = acc[i] / mass[i];
+    Vec2 c = scratch.acc[i] / scratch.mass[i];
     if (!foi_.contains(c)) c = nearest_sample(c);
     out.push_back(c);
   }
-  return out;
 }
 
 Vec2 GridCvt::nearest_sample(Vec2 p) const {

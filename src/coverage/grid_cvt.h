@@ -26,11 +26,26 @@ class GridCvt {
   GridCvt(const FieldOfInterest& foi, DensityFn density,
           int target_samples = 30000);
 
+  /// Reusable workspace for centroids_into. The site index and the
+  /// accumulator arrays persist across Lloyd steps, so repeated calls at
+  /// steady state do not allocate. Each concurrent caller owns its own
+  /// Scratch (GridCvt itself stays immutable and shareable).
+  struct Scratch {
+    GridIndex site_index;
+    std::vector<Vec2> acc;
+    std::vector<double> mass;
+  };
+
   /// Density-weighted centroid of each site's discrete Voronoi region.
   /// A site whose region captures no sample keeps its position. Centroids
   /// landing outside the FoI (possible for concave regions/holes) are
   /// snapped to the nearest sample point.
   std::vector<Vec2> centroids(const std::vector<Vec2>& sites) const;
+
+  /// As centroids(), writing into `out` (cleared first) and reusing
+  /// `scratch` across calls.
+  void centroids_into(const std::vector<Vec2>& sites, Scratch& scratch,
+                      std::vector<Vec2>& out) const;
 
   /// Nearest sample point to p (the paper's "nearest grid point").
   Vec2 nearest_sample(Vec2 p) const;

@@ -12,13 +12,15 @@ LloydResult lloyd(const GridCvt& grid, std::vector<Vec2> sites,
   ANR_CHECK(!sites.empty());
   LloydResult out;
   out.positions = std::move(sites);
+  GridCvt::Scratch scratch;  // shared across iterations: no per-step allocs
+  std::vector<Vec2> next;
   for (out.iters = 0; out.iters < opt.max_iters; ++out.iters) {
-    auto next = grid.centroids(out.positions);
+    grid.centroids_into(out.positions, scratch, next);
     double max_move = 0.0;
     for (std::size_t i = 0; i < next.size(); ++i) {
       max_move = std::max(max_move, distance(next[i], out.positions[i]));
     }
-    out.positions = std::move(next);
+    std::swap(out.positions, next);
     out.final_move = max_move;
     if (max_move <= opt.tol) {
       out.converged = true;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "common/check.h"
 
@@ -10,28 +9,73 @@ namespace anr {
 
 GridIndex::GridIndex(std::vector<Vec2> pts, double cell_size)
     : pts_(std::move(pts)), cell_(cell_size) {
-  ANR_CHECK(cell_ > 0.0);
-  bool first = true;
-  for (std::size_t i = 0; i < pts_.size(); ++i) {
-    int cx = 0, cy = 0;
-    cell_of(pts_[i], cx, cy);
-    cells_[key(cx, cy)].push_back(static_cast<int>(i));
-    if (first) {
-      cx_lo_ = cx_hi_ = cx;
-      cy_lo_ = cy_hi_ = cy;
-      first = false;
-    } else {
-      cx_lo_ = std::min(cx_lo_, cx);
-      cx_hi_ = std::max(cx_hi_, cx);
-      cy_lo_ = std::min(cy_lo_, cy);
-      cy_hi_ = std::max(cy_hi_, cy);
-    }
-  }
+  build();
 }
 
-GridIndex::CellKey GridIndex::key(int cx, int cy) const {
-  return (static_cast<std::int64_t>(cx) << 32) ^
-         (static_cast<std::int64_t>(cy) & 0xffffffffLL);
+void GridIndex::rebuild(const std::vector<Vec2>& pts, double cell_size) {
+  pts_.assign(pts.begin(), pts.end());
+  cell_ = cell_size;
+  build();
+}
+
+void GridIndex::build() {
+  ANR_CHECK(cell_ > 0.0);
+  nx_ = ny_ = 0;
+  cx_lo_ = cy_lo_ = 0;
+  cx_hi_ = cy_hi_ = -1;
+  cell_start_.clear();
+  cell_pts_.clear();
+  if (pts_.empty()) return;
+
+  double min_x = pts_[0].x, max_x = pts_[0].x;
+  double min_y = pts_[0].y, max_y = pts_[0].y;
+  for (const Vec2& p : pts_) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+
+  // Dense cell range over the bbox. A pathologically small cell for a
+  // widely spread point set would make it huge; coarsen until the slot
+  // array stays linear in the point count (query results are independent
+  // of the cell size — it is only an acceleration parameter).
+  const std::int64_t cap =
+      std::max<std::int64_t>(1024, 16 * static_cast<std::int64_t>(pts_.size()));
+  for (;;) {
+    cx_lo_ = static_cast<int>(std::floor(min_x / cell_));
+    cx_hi_ = static_cast<int>(std::floor(max_x / cell_));
+    cy_lo_ = static_cast<int>(std::floor(min_y / cell_));
+    cy_hi_ = static_cast<int>(std::floor(max_y / cell_));
+    std::int64_t span = (static_cast<std::int64_t>(cx_hi_) - cx_lo_ + 1) *
+                        (static_cast<std::int64_t>(cy_hi_) - cy_lo_ + 1);
+    if (span <= cap) break;
+    cell_ *= 2.0;
+  }
+  nx_ = cx_hi_ - cx_lo_ + 1;
+  ny_ = cy_hi_ - cy_lo_ + 1;
+
+  // Counting sort of point ids into cells (stable: ids stay increasing
+  // within each cell).
+  const std::size_t num_cells =
+      static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+  cell_start_.assign(num_cells + 1, 0);
+  auto slot_of = [&](Vec2 p) {
+    int cx = 0, cy = 0;
+    cell_of(p, cx, cy);
+    return static_cast<std::size_t>(cx - cx_lo_) +
+           static_cast<std::size_t>(cy - cy_lo_) * static_cast<std::size_t>(nx_);
+  };
+  for (const Vec2& p : pts_) ++cell_start_[slot_of(p) + 1];
+  for (std::size_t s = 0; s < num_cells; ++s) {
+    cell_start_[s + 1] += cell_start_[s];
+  }
+  cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
+  cell_pts_.resize(pts_.size());
+  for (std::size_t i = 0; i < pts_.size(); ++i) {
+    cell_pts_[static_cast<std::size_t>(cursor_[slot_of(pts_[i])]++)] =
+        static_cast<int>(i);
+  }
 }
 
 void GridIndex::cell_of(Vec2 p, int& cx, int& cy) const {
@@ -39,23 +83,15 @@ void GridIndex::cell_of(Vec2 p, int& cx, int& cy) const {
   cy = static_cast<int>(std::floor(p.y / cell_));
 }
 
+void GridIndex::query_radius_into(Vec2 q, double radius,
+                                  std::vector<int>& out) const {
+  out.clear();
+  visit_radius(q, radius, [&](int i) { out.push_back(i); });
+}
+
 std::vector<int> GridIndex::query_radius(Vec2 q, double radius) const {
   std::vector<int> out;
-  int cx0 = 0, cy0 = 0, cx1 = 0, cy1 = 0;
-  cell_of(q - Vec2{radius, radius}, cx0, cy0);
-  cell_of(q + Vec2{radius, radius}, cx1, cy1);
-  double r2 = radius * radius;
-  for (int cx = cx0; cx <= cx1; ++cx) {
-    for (int cy = cy0; cy <= cy1; ++cy) {
-      auto it = cells_.find(key(cx, cy));
-      if (it == cells_.end()) continue;
-      for (int i : it->second) {
-        if (distance2(pts_[static_cast<std::size_t>(i)], q) <= r2 + 1e-12) {
-          out.push_back(i);
-        }
-      }
-    }
-  }
+  query_radius_into(q, radius, out);
   return out;
 }
 
@@ -85,9 +121,12 @@ int GridIndex::nearest(Vec2 q) const {
   int best = -1;
   double best_d2 = 1e300;
   auto scan_cell = [&](int x, int y) {
-    auto it = cells_.find(key(x, y));
-    if (it == cells_.end()) return;
-    for (int i : it->second) {
+    if (x < cx_lo_ || x > cx_hi_ || y < cy_lo_ || y > cy_hi_) return;
+    const std::size_t s =
+        static_cast<std::size_t>(x - cx_lo_) +
+        static_cast<std::size_t>(y - cy_lo_) * static_cast<std::size_t>(nx_);
+    for (int k = cell_start_[s]; k < cell_start_[s + 1]; ++k) {
+      int i = cell_pts_[static_cast<std::size_t>(k)];
       double d2 = distance2(pts_[static_cast<std::size_t>(i)], q);
       if (d2 < best_d2) {
         best_d2 = d2;
@@ -127,7 +166,7 @@ std::vector<int> GridIndex::k_nearest(Vec2 q, int k) const {
   double r = cell_;
   std::vector<int> hits;
   while (static_cast<int>(hits.size()) < k) {
-    hits = query_radius(q, r);
+    query_radius_into(q, r, hits);
     r *= 2.0;
     ANR_CHECK_MSG(r < 1e12, "k_nearest(): runaway radius expansion");
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <utility>
 
 #include "common/check.h"
 #include "geom/barycentric.h"
@@ -58,6 +60,37 @@ OverlapInterpolator::OverlapInterpolator(const HoleFillResult& filled,
   }
   ANR_CHECK(!real_pos.empty());
   real_vertex_index_ = std::make_unique<GridIndex>(std::move(real_pos), cell_);
+
+  // Triangle adjacency for the warm-start walk. The walk is only sound
+  // when the disk embedding has no folded triangles (then triangle
+  // interiors are disjoint and a strict-interior hit is unique); with any
+  // fold we keep the bucket scan exclusively so results never depend on
+  // the walk's path.
+  tri_adj_.assign(tris.size(), {-1, -1, -1});
+  walk_ok_ = true;
+  std::map<std::pair<int, int>, std::pair<int, int>> edge_owner;  // edge -> (tri, slot)
+  for (std::size_t ti = 0; ti < tris.size(); ++ti) {
+    const Tri& t = tris[ti];
+    if (signed_area2(disk_pos_[static_cast<std::size_t>(t[0])],
+                     disk_pos_[static_cast<std::size_t>(t[1])],
+                     disk_pos_[static_cast<std::size_t>(t[2])]) <= 0.0) {
+      walk_ok_ = false;
+    }
+    for (int e = 0; e < 3; ++e) {
+      int u = t[static_cast<std::size_t>(e)];
+      int v = t[static_cast<std::size_t>((e + 1) % 3)];
+      std::pair<int, int> key = u < v ? std::make_pair(u, v)
+                                      : std::make_pair(v, u);
+      auto [it, inserted] =
+          edge_owner.try_emplace(key, static_cast<int>(ti), e);
+      if (!inserted) {
+        tri_adj_[ti][static_cast<std::size_t>(e)] = it->second.first;
+        tri_adj_[static_cast<std::size_t>(it->second.first)]
+                [static_cast<std::size_t>(it->second.second)] =
+                    static_cast<int>(ti);
+      }
+    }
+  }
 }
 
 const OverlapInterpolator::Bucket& OverlapInterpolator::bucket_at(Vec2 p) const {
@@ -79,8 +112,40 @@ int OverlapInterpolator::locate_triangle(Vec2 p) const {
   return -1;
 }
 
-MappedTarget OverlapInterpolator::map_point(Vec2 disk_pt) const {
-  int ti = locate_triangle(disk_pt);
+int OverlapInterpolator::locate_walk(Vec2 p, int start) const {
+  const auto& tris = mesh_.triangles();
+  int ti = start;
+  // A probe between consecutive rotation angles rarely crosses more than a
+  // couple of triangles; a generous cap keeps degenerate cycles bounded.
+  for (int step = 0; step < 64; ++step) {
+    const Tri& t = tris[static_cast<std::size_t>(ti)];
+    Vec2 a = disk_pos_[static_cast<std::size_t>(t[0])];
+    Vec2 b = disk_pos_[static_cast<std::size_t>(t[1])];
+    Vec2 c = disk_pos_[static_cast<std::size_t>(t[2])];
+    double d0 = signed_area2(a, b, p);
+    double d1 = signed_area2(b, c, p);
+    double d2 = signed_area2(c, a, p);
+    if (d0 >= 0.0 && d1 >= 0.0 && d2 >= 0.0) {
+      // Containing triangle (CCW). Accept only a strict interior hit under
+      // the same epsilon-aware predicate the bucket scan uses: on or near
+      // an edge several triangles contain p and the scan's bucket order is
+      // the tie-breaker of record.
+      if (orientation(a, b, p) > 0 && orientation(b, c, p) > 0 &&
+          orientation(c, a, p) > 0) {
+        return ti;
+      }
+      return -1;
+    }
+    // Step across the most violated edge.
+    int e = d0 <= d1 ? (d0 <= d2 ? 0 : 2) : (d1 <= d2 ? 1 : 2);
+    int next = tri_adj_[static_cast<std::size_t>(ti)][static_cast<std::size_t>(e)];
+    if (next < 0) return -1;  // walked out of the mesh
+    ti = next;
+  }
+  return -1;
+}
+
+MappedTarget OverlapInterpolator::target_in(int ti, Vec2 disk_pt) const {
   if (ti >= 0 && !tri_virtual_[static_cast<std::size_t>(ti)]) {
     const Tri& t = mesh_.triangles()[static_cast<std::size_t>(ti)];
     Vec2 a = disk_pos_[static_cast<std::size_t>(t[0])];
@@ -98,14 +163,40 @@ MappedTarget OverlapInterpolator::map_point(Vec2 disk_pt) const {
   return MappedTarget{mesh_.position(v), true};
 }
 
+MappedTarget OverlapInterpolator::map_point(Vec2 disk_pt) const {
+  return target_in(locate_triangle(disk_pt), disk_pt);
+}
+
+MappedTarget OverlapInterpolator::map_point(Vec2 disk_pt, int& tri_hint) const {
+  int ti = -1;
+  if (walk_ok_ && tri_hint >= 0 &&
+      static_cast<std::size_t>(tri_hint) < mesh_.num_triangles()) {
+    ti = locate_walk(disk_pt, tri_hint);
+  }
+  if (ti < 0) ti = locate_triangle(disk_pt);
+  if (ti >= 0) tri_hint = ti;
+  return target_in(ti, disk_pt);
+}
+
 std::vector<MappedTarget> OverlapInterpolator::map_all(
     const std::vector<Vec2>& robot_disk, double theta) const {
   std::vector<MappedTarget> out;
-  out.reserve(robot_disk.size());
-  for (Vec2 z : robot_disk) {
-    out.push_back(map_point(z.rotated(theta)));
-  }
+  std::vector<int> hints;
+  map_all_into(robot_disk, theta, hints, out);
   return out;
+}
+
+void OverlapInterpolator::map_all_into(const std::vector<Vec2>& robot_disk,
+                                       double theta,
+                                       std::vector<int>& tri_hints,
+                                       std::vector<MappedTarget>& out) const {
+  if (tri_hints.size() != robot_disk.size()) {
+    tri_hints.assign(robot_disk.size(), -1);
+  }
+  out.resize(robot_disk.size());
+  for (std::size_t i = 0; i < robot_disk.size(); ++i) {
+    out[i] = map_point(robot_disk[i].rotated(theta), tri_hints[i]);
+  }
 }
 
 }  // namespace anr

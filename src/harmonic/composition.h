@@ -37,12 +37,35 @@ class OverlapInterpolator {
   /// Maps a disk point (already rotated into M2's disk frame).
   MappedTarget map_point(Vec2 disk_pt) const;
 
+  /// Warm-started variant: `tri_hint` carries the last-hit triangle for
+  /// this robot (-1 when unknown) and is updated with the new hit. Point
+  /// location first walks the triangle adjacency from the hint — across
+  /// rotation probes a robot rarely leaves its triangle's neighborhood —
+  /// and falls back to the bucket scan when the walk is inconclusive.
+  /// Results are identical to map_point(disk_pt) (near-edge hits always
+  /// defer to the bucket scan's ordering).
+  MappedTarget map_point(Vec2 disk_pt, int& tri_hint) const;
+
   /// Maps a batch of robot disk positions rotated by `theta`.
   std::vector<MappedTarget> map_all(const std::vector<Vec2>& robot_disk,
                                     double theta) const;
 
+  /// Allocation-free batch map into caller-owned buffers. `tri_hints` is
+  /// the per-robot warm-start cache (resized/reset when its size does not
+  /// match); pass the same vectors across probes to reuse both the cache
+  /// and the output storage.
+  void map_all_into(const std::vector<Vec2>& robot_disk, double theta,
+                    std::vector<int>& tri_hints,
+                    std::vector<MappedTarget>& out) const;
+
+  /// True when the disk embedding is fold-free and the adjacency walk is
+  /// active (exposed for tests/benches).
+  bool warm_start_enabled() const { return walk_ok_; }
+
  private:
   int locate_triangle(Vec2 p) const;
+  int locate_walk(Vec2 p, int start) const;
+  MappedTarget target_in(int ti, Vec2 disk_pt) const;
 
   TriangleMesh mesh_;                 // filled M2 mesh (world coords), owned
   std::vector<char> tri_virtual_;
@@ -56,6 +79,13 @@ class OverlapInterpolator {
   int grid_dim_ = 0;
   double cell_ = 0.0;
   std::vector<Bucket> buckets_;
+  // Triangle adjacency in disk space: tri_adj_[ti][e] is the triangle
+  // across edge e of ti (edges (0,1), (1,2), (2,0)), -1 on the boundary.
+  // Drives the warm-start walk; only used when the disk embedding is
+  // fold-free (walk_ok_), where containing triangles are unique up to
+  // shared edges.
+  std::vector<std::array<int, 3>> tri_adj_;
+  bool walk_ok_ = false;
   std::unique_ptr<GridIndex> real_vertex_index_;  // disk positions of real verts
   std::vector<int> real_vertex_ids_;              // index -> mesh vertex id
 

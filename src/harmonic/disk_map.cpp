@@ -111,10 +111,22 @@ DiskMap harmonic_disk_map(const TriangleMesh& mesh, const DiskMapOptions& opt) {
     out.on_boundary[static_cast<std::size_t>(ordered[i])] = 1;
   }
 
-  // Precompute neighbor weights.
-  std::vector<std::vector<std::pair<VertexId, double>>> wnbr(n);
+  // Precompute neighbor weights into flat CSR arrays: interior vertex v
+  // owns nbr_id/nbr_w[wstart[v] .. wstart[v+1]), in mesh.neighbors order.
+  // The Gauss–Seidel sweep then chases one contiguous array instead of a
+  // vector-of-vectors of pairs.
+  std::vector<int> wstart(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    wstart[v + 1] = wstart[v];
+    if (out.on_boundary[v]) continue;
+    wstart[v + 1] +=
+        static_cast<int>(mesh.neighbors(static_cast<VertexId>(v)).size());
+  }
+  std::vector<VertexId> nbr_id(static_cast<std::size_t>(wstart[n]));
+  std::vector<double> nbr_w(static_cast<std::size_t>(wstart[n]));
   for (std::size_t v = 0; v < n; ++v) {
     if (out.on_boundary[v]) continue;
+    int at = wstart[v];
     for (VertexId u : mesh.neighbors(static_cast<VertexId>(v))) {
       double w;
       if (opt.custom_weight) {
@@ -125,22 +137,26 @@ DiskMap harmonic_disk_map(const TriangleMesh& mesh, const DiskMapOptions& opt) {
                 ? 1.0
                 : mean_value_weight(mesh, static_cast<VertexId>(v), u);
       }
-      wnbr[v].emplace_back(u, w);
+      nbr_id[static_cast<std::size_t>(at)] = u;
+      nbr_w[static_cast<std::size_t>(at)] = w;
+      ++at;
     }
   }
 
   // Gauss–Seidel with over-relaxation.
   bool converged = false;
-  int sweep = 0;
-  for (; sweep < opt.max_sweeps; ++sweep) {
+  int executed = 0;
+  for (int sweep = 0; sweep < opt.max_sweeps; ++sweep) {
     double max_move = 0.0;
     for (std::size_t v = 0; v < n; ++v) {
       if (out.on_boundary[v]) continue;
       Vec2 acc{};
       double wsum = 0.0;
-      for (const auto& [u, w] : wnbr[v]) {
-        acc += out.disk_pos[static_cast<std::size_t>(u)] * w;
-        wsum += w;
+      for (int k = wstart[v]; k < wstart[v + 1]; ++k) {
+        acc += out.disk_pos[static_cast<std::size_t>(
+                   nbr_id[static_cast<std::size_t>(k)])] *
+               nbr_w[static_cast<std::size_t>(k)];
+        wsum += nbr_w[static_cast<std::size_t>(k)];
       }
       ANR_CHECK(wsum > 0.0);
       Vec2 target = acc / wsum;
@@ -148,12 +164,15 @@ DiskMap harmonic_disk_map(const TriangleMesh& mesh, const DiskMapOptions& opt) {
       max_move = std::max(max_move, distance(updated, out.disk_pos[v]));
       out.disk_pos[v] = updated;
     }
+    executed = sweep + 1;
     if (max_move <= opt.tol) {
       converged = true;
       break;
     }
   }
-  out.sweeps = sweep;
+  // `sweeps` counts sweeps actually executed: converging during sweep s
+  // (0-based) means s+1 sweeps ran, not s.
+  out.sweeps = executed;
   out.converged = converged;
   return out;
 }

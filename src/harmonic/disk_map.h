@@ -50,6 +50,9 @@ struct DiskMap {
   std::vector<Vec2> disk_pos;
   /// Per vertex: lies on the (single) boundary loop.
   std::vector<char> on_boundary;
+  /// Gauss–Seidel sweeps actually executed (the converging sweep counts;
+  /// equals max_sweeps when convergence was not reached). The distributed
+  /// solver reports its relaxation rounds here under the same semantics.
   int sweeps = 0;
   bool converged = false;
 

@@ -13,6 +13,7 @@
 #include "mesh/boundary.h"
 #include "mesh/hole_fill.h"
 #include "net/connectivity.h"
+#include "net/incremental_connectivity.h"
 #include "net/unit_disk_graph.h"
 
 namespace anr {
@@ -158,15 +159,24 @@ MarchPlan MarchPlanner::plan(const std::vector<Vec2>& positions,
   }
 
   // --- 3./4. Rotation search over the overlapped disks --------------------
-  auto map_targets = [&](double theta, int* snapped) {
-    std::vector<Vec2> q(n);
-    std::vector<char> done(n, 0);
+  // Probe-shared scratch: the target/done buffers are reused across every
+  // rotation probe, and tri_hints warm-starts the interpolator's point
+  // location (a robot's disk position moves only slightly between probes,
+  // so the previous hit triangle is almost always zero or one adjacency
+  // step away).
+  std::vector<Vec2> q_buf(n);
+  std::vector<char> done(n, 0);
+  std::vector<int> tri_hints(n, -1);
+  auto map_targets_into = [&](double theta, int* snapped,
+                              std::vector<Vec2>& q) {
+    q.resize(n);
+    std::fill(done.begin(), done.end(), 0);
     int snaps = 0;
     for (std::size_t r = 0; r < n; ++r) {
       int cv = robot_to_compact[r];
       if (cv < 0) continue;
       Vec2 z = t_disk.disk_pos[static_cast<std::size_t>(cv)].rotated(theta);
-      MappedTarget t = interpolator_->map_point(z);
+      MappedTarget t = interpolator_->map_point(z, tri_hints[r]);
       q[r] = t.world + m2_offset;
       done[r] = 1;
       if (t.snapped) ++snaps;
@@ -179,6 +189,10 @@ MarchPlan MarchPlanner::plan(const std::vector<Vec2>& positions,
                              positions[static_cast<std::size_t>(a)]);
     }
     if (snapped != nullptr) *snapped = snaps;
+  };
+  auto map_targets = [&](double theta, int* snapped) {
+    std::vector<Vec2> q;
+    map_targets_into(theta, snapped, q);
     return q;
   };
 
@@ -190,7 +204,8 @@ MarchPlan MarchPlanner::plan(const std::vector<Vec2>& positions,
                 static_cast<double>(n) * 1e4;
 
   auto objective = [&](double theta) {
-    std::vector<Vec2> q = map_targets(theta, nullptr);
+    map_targets_into(theta, nullptr, q_buf);
+    const std::vector<Vec2>& q = q_buf;
     if (opt_.objective == MarchObjective::kMaxStableLinks) {
       // The link ratio is quantized (k / |links|), so plateaus are common
       // and the interval search would pick among ties arbitrarily. Break
@@ -226,7 +241,8 @@ MarchPlan MarchPlanner::plan(const std::vector<Vec2>& positions,
   plan.rotation_evaluations = rot.evaluations;
 
   // --- 5. Targets at the chosen rotation ----------------------------------
-  std::vector<Vec2> targets = map_targets(rot.angle, &plan.snapped_targets);
+  std::vector<Vec2> targets;
+  map_targets_into(rot.angle, &plan.snapped_targets, targets);
 
   // Boundary-ring check-and-require (Sec. III-D-1): consecutive boundary
   // robots must stay within range at their destinations for the rim to
@@ -308,28 +324,34 @@ MarchPlan MarchPlanner::plan(const std::vector<Vec2>& positions,
   for (const Polygon& h : m2_.holes()) {
     m2_obstacles.push_back(h.translated(m2_offset));
   }
+  // Loop-persistent scratch: one incremental connectivity checker serves
+  // every trial probe (halved retries reuse its spatial index — their
+  // bounded displacement rarely changes any link state, and an unchanged
+  // edge set skips the BFS outright); the CVT scratch keeps the site index
+  // and accumulators alive across Lloyd steps.
+  net::IncrementalConnectivity connectivity(r_c_);
+  GridCvt::Scratch cvt_scratch;
+  std::vector<Vec2> local(n), cents, cand(n), trial(n);
   for (int step = 0; step < opt_.max_adjust_steps; ++step) {
     // Centroids in the origin frame of the precomputed engine.
-    std::vector<Vec2> local(n);
     for (std::size_t r = 0; r < n; ++r) local[r] = cur[r] - m2_offset;
-    std::vector<Vec2> cents =
-        opt_.adjustment == AdjustmentEngine::kLocalVoronoi
-            ? local_lloyd_->step(local).centroids
-            : cvt_->centroids(local);
-    std::vector<Vec2> cand(n);
+    if (opt_.adjustment == AdjustmentEngine::kLocalVoronoi) {
+      cents = local_lloyd_->step(local).centroids;
+    } else {
+      cvt_->centroids_into(local, cvt_scratch, cents);
+    }
     for (std::size_t r = 0; r < n; ++r) cand[r] = cents[r] + m2_offset;
 
     // Connectivity-safe step: try the full move; halve collectively while
     // the trial configuration would split the network (Sec. III-D-1).
     double factor = 1.0;
-    std::vector<Vec2> trial(n);
     bool ok = false;
     int max_halvings = opt_.safe_adjustment ? 7 : 1;
     for (int halving = 0; halving < max_halvings; ++halving) {
       for (std::size_t r = 0; r < n; ++r) {
         trial[r] = lerp(cur[r], cand[r], factor);
       }
-      if (!opt_.safe_adjustment || net::is_connected(trial, r_c_)) {
+      if (!opt_.safe_adjustment || connectivity.check(trial)) {
         ok = true;
         break;
       }

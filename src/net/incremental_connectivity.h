@@ -1,0 +1,61 @@
+// Incremental unit-disk connectivity for trial-and-retry loops.
+//
+// The planner's connectivity-safe adjustment (Sec. III-D-1) probes many
+// slightly-different configurations per Lloyd step: the full move, then
+// collectively halved retries while the trial would split the network.
+// Building a fresh spatial index + adjacency + BFS per probe dominated the
+// step. This checker keeps the spatial index, CSR adjacency, and BFS
+// scratch alive across probes:
+//
+//   - the GridIndex is rebuilt only when positions have drifted more than
+//     half a communication range from the indexed snapshot; in between,
+//     candidate pairs are enumerated from the stale index with the query
+//     radius widened by the per-endpoint displacement bound (a pair whose
+//     base distance exceeds r + d_i + d_max cannot be linked now);
+//   - the exact link test (inclusive epsilon, identical to
+//     unit_disk_adjacency) runs on the current positions, so the edge set
+//     is exactly the unit-disk graph's;
+//   - when the edge set is unchanged from the previous probe the cached
+//     verdict is returned without re-running BFS.
+//
+// Verdicts are bit-for-bit the same booleans net::is_connected(pts, r)
+// returns, just without the per-call allocations.
+#pragma once
+
+#include <vector>
+
+#include "geom/grid_index.h"
+#include "geom/vec2.h"
+
+namespace anr::net {
+
+class IncrementalConnectivity {
+ public:
+  explicit IncrementalConnectivity(double r);
+
+  /// Connectivity of the unit-disk graph over `pts` with range r.
+  /// Equivalent to net::is_connected(pts, r); amortized allocation-free.
+  bool check(const std::vector<Vec2>& pts);
+
+ private:
+  bool bfs_connected(std::size_t n);
+
+  double r_;
+  GridIndex index_;          // over base_
+  std::vector<Vec2> base_;   // positions at the last index rebuild
+  std::vector<double> drift_;
+
+  // CSR adjacency of the latest probe and the one before it (swapped).
+  std::vector<int> deg_;
+  std::vector<int> adj_start_, adj_;
+  std::vector<int> prev_adj_start_, prev_adj_;
+
+  std::vector<int> queue_;
+  std::vector<char> visited_;
+
+  bool have_prev_ = false;
+  bool prev_connected_ = false;
+  std::size_t prev_n_ = 0;
+};
+
+}  // namespace anr::net

@@ -1,7 +1,5 @@
 #include "net/unit_disk_graph.h"
 
-#include <algorithm>
-
 #include "common/check.h"
 #include "geom/grid_index.h"
 
@@ -10,16 +8,30 @@ namespace anr::net {
 std::vector<std::vector<int>> unit_disk_adjacency(
     const std::vector<Vec2>& positions, double r) {
   ANR_CHECK(r > 0.0);
-  std::vector<std::vector<int>> adj(positions.size());
+  const std::size_t n = positions.size();
+  std::vector<std::vector<int>> adj(n);
   if (positions.empty()) return adj;
   GridIndex index(positions, r);
-  for (std::size_t i = 0; i < positions.size(); ++i) {
-    for (int j : index.query_radius(positions[i], r)) {
-      if (static_cast<std::size_t>(j) != i) {
-        adj[i].push_back(j);
+
+  // Pass 1: exact degrees, so every row is a single allocation.
+  std::vector<int> deg(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    index.visit_radius(positions[i], r, [&](int j) {
+      if (static_cast<std::size_t>(j) != i) ++deg[static_cast<std::size_t>(j)];
+    });
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    adj[i].reserve(static_cast<std::size_t>(deg[i]));
+  }
+
+  // Pass 2: transpose fill. Scanning j in increasing order and appending j
+  // to each neighbor's row leaves every row sorted — no per-row sort.
+  for (std::size_t j = 0; j < n; ++j) {
+    index.visit_radius(positions[j], r, [&](int i) {
+      if (static_cast<std::size_t>(i) != j) {
+        adj[static_cast<std::size_t>(i)].push_back(static_cast<int>(j));
       }
-    }
-    std::sort(adj[i].begin(), adj[i].end());
+    });
   }
   return adj;
 }
@@ -27,7 +39,10 @@ std::vector<std::vector<int>> unit_disk_adjacency(
 std::vector<std::pair<int, int>> unit_disk_edges(
     const std::vector<Vec2>& positions, double r) {
   auto adj = unit_disk_adjacency(positions, r);
+  std::size_t degree_sum = 0;
+  for (const auto& row : adj) degree_sum += row.size();
   std::vector<std::pair<int, int>> edges;
+  edges.reserve(degree_sum / 2);
   for (std::size_t i = 0; i < adj.size(); ++i) {
     for (int j : adj[i]) {
       if (static_cast<int>(i) < j) edges.emplace_back(static_cast<int>(i), j);

@@ -109,5 +109,48 @@ TEST(Composition, PointsOutsideDiskSnap) {
   EXPECT_TRUE(sq.contains(t.world));
 }
 
+TEST(Composition, WarmStartMatchesColdLookupBitwise) {
+  // The triangle-walk warm start must be invisible: for every query the
+  // hinted overload returns the exact same bytes as the cold bucket scan.
+  FieldOfInterest foi = testutil::square_with_hole(100.0, 30.0);
+  CompoCtx s = make_setup(foi);
+  OverlapInterpolator interp(s.filled, s.disk);
+  Rng rng(91);
+  int hint = -1;  // persistent across queries, as the planner keeps it
+  for (int i = 0; i < 1000; ++i) {
+    double r = std::sqrt(rng.uniform(0.0, 1.0)) * 1.02;  // some outside
+    double a = rng.uniform(0.0, 2.0 * M_PI);
+    Vec2 z{r * std::cos(a), r * std::sin(a)};
+    MappedTarget cold = interp.map_point(z);
+    MappedTarget warm = interp.map_point(z, hint);
+    ASSERT_EQ(cold.world.x, warm.world.x) << "query " << i;
+    ASSERT_EQ(cold.world.y, warm.world.y) << "query " << i;
+    ASSERT_EQ(cold.snapped, warm.snapped) << "query " << i;
+  }
+}
+
+TEST(Composition, WarmStartNearbyQueriesWalk) {
+  // The rotation-search pattern: the same disk point probed at slowly
+  // varying angles, one persistent hint per robot.
+  FieldOfInterest sq = testutil::square_foi(100.0);
+  CompoCtx s = make_setup(sq);
+  OverlapInterpolator interp(s.filled, s.disk);
+  EXPECT_TRUE(interp.warm_start_enabled());
+  Rng rng(5);
+  for (int robot = 0; robot < 50; ++robot) {
+    double r = std::sqrt(rng.uniform(0.0, 0.95));
+    double a = rng.uniform(0.0, 2.0 * M_PI);
+    Vec2 z{r * std::cos(a), r * std::sin(a)};
+    int hint = -1;
+    for (double theta = 0.0; theta < 0.5; theta += 0.01) {
+      Vec2 zr = z.rotated(theta);
+      MappedTarget cold = interp.map_point(zr);
+      MappedTarget warm = interp.map_point(zr, hint);
+      ASSERT_EQ(cold.world.x, warm.world.x);
+      ASSERT_EQ(cold.world.y, warm.world.y);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace anr

@@ -1,0 +1,91 @@
+// Golden determinism: serialized plan bytes for fixed scenarios are pinned
+// to files generated before the hot-path optimization pass (flat CSR
+// GridIndex, warm-start point location, reusable solver scratch). The
+// optimizations must be byte-identical through save_plan; any numeric
+// drift in the geometry or solver hot paths shows up here as a diff.
+//
+// Regenerate (only when an intentional numeric change lands) with
+//   ANR_REGEN_GOLDEN=1 ./test_golden_plan
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "coverage/lloyd.h"
+#include "foi/scenario.h"
+#include "io/plan_io.h"
+#include "march/planner.h"
+
+namespace anr {
+namespace {
+
+#ifndef ANR_GOLDEN_DIR
+#define ANR_GOLDEN_DIR "golden"
+#endif
+
+PlannerOptions golden_options() {
+  // Small-but-real settings: the plan still runs triangulation extraction,
+  // both harmonic maps, the rotation search, repair, and several
+  // connectivity-safe adjustment steps.
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 350;
+  opt.cvt_samples = 4000;
+  opt.max_adjust_steps = 5;
+  return opt;
+}
+
+MarchPlan make_plan(int scenario_id) {
+  Scenario sc = scenario(scenario_id);
+  auto deploy =
+      optimal_coverage_positions(sc.m1, 72, /*seed=*/1, uniform_density())
+          .positions;
+  Vec2 offset = sc.m1.centroid() + Vec2{12.0 * sc.comm_range, 0.0} -
+                sc.m2_shape.centroid();
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, golden_options());
+  return planner.plan(deploy, offset);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void check_scenario(int id) {
+  std::string golden_path = std::string(ANR_GOLDEN_DIR) + "/scenario" +
+                            std::to_string(id) + "_plan.json";
+  MarchPlan plan = make_plan(id);
+
+  if (std::getenv("ANR_REGEN_GOLDEN") != nullptr) {
+    std::string err;
+    ASSERT_TRUE(save_plan(plan, golden_path, &err)) << err;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  std::string golden = slurp(golden_path);
+  ASSERT_FALSE(golden.empty()) << "missing golden file " << golden_path
+                               << " (run with ANR_REGEN_GOLDEN=1)";
+
+  std::string tmp_path =
+      "golden_tmp_scenario" + std::to_string(id) + "_plan.json";
+  std::string err;
+  ASSERT_TRUE(save_plan(plan, tmp_path, &err)) << err;
+  std::string got = slurp(tmp_path);
+  std::remove(tmp_path.c_str());
+
+  ASSERT_FALSE(got.empty());
+  EXPECT_EQ(got, golden) << "plan bytes diverged from the golden snapshot "
+                         << golden_path;
+}
+
+TEST(GoldenPlan, Scenario1ByteIdentical) { check_scenario(1); }
+
+TEST(GoldenPlan, Scenario5ByteIdentical) { check_scenario(5); }
+
+}  // namespace
+}  // namespace anr

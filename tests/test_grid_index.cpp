@@ -83,5 +83,68 @@ TEST(GridIndex, FarQueryStillFindsNearest) {
   EXPECT_GE(idx.nearest({1000.0, -500.0}), 0);
 }
 
+TEST(GridIndex, RadiusBoundaryIsInclusive) {
+  // Points exactly at distance r must be reported (<= r semantics), even
+  // when they sit on a cell border.
+  std::vector<Vec2> pts = {{0.0, 0.0}, {5.0, 0.0}, {0.0, 5.0}, {3.0, 4.0},
+                           {5.0 + 1e-6, 0.0}};
+  GridIndex idx(pts, 5.0);
+  auto got = idx.query_radius({0.0, 0.0}, 5.0);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(GridIndex, EmptyIndexAndEmptyCells) {
+  GridIndex empty;
+  EXPECT_EQ(empty.nearest({0.0, 0.0}), -1);
+  EXPECT_TRUE(empty.query_radius({0.0, 0.0}, 10.0).empty());
+  EXPECT_TRUE(empty.k_nearest({0.0, 0.0}, 3).empty());
+
+  // Sparse data: most cells in the bounding box are empty; queries landing
+  // in them must scan cleanly and still find out-of-cell neighbors.
+  std::vector<Vec2> pts = {{0.0, 0.0}, {100.0, 100.0}};
+  GridIndex idx(pts, 1.0);
+  EXPECT_TRUE(idx.query_radius({50.0, 50.0}, 5.0).empty());
+  EXPECT_EQ(idx.nearest({49.0, 49.0}), 0);
+  EXPECT_EQ(idx.nearest({51.0, 51.0}), 1);
+}
+
+TEST(GridIndex, VisitorMatchesVectorOverloads) {
+  auto pts = testutil::random_points(300, 0.0, 50.0, 17);
+  GridIndex idx(pts, 4.0);
+  Rng rng(23);
+  std::vector<int> buf;
+  for (int trial = 0; trial < 40; ++trial) {
+    Vec2 q{rng.uniform(-5.0, 55.0), rng.uniform(-5.0, 55.0)};
+    double r = rng.uniform(0.5, 20.0);
+    auto vec = idx.query_radius(q, r);
+    idx.query_radius_into(q, r, buf);
+    std::vector<int> visited;
+    idx.visit_radius(q, r, [&](int i) { visited.push_back(i); });
+    // Same ids in the same order across all three access paths.
+    EXPECT_EQ(vec, visited) << "trial " << trial;
+    EXPECT_EQ(vec, buf) << "trial " << trial;
+  }
+}
+
+TEST(GridIndex, RebuildMatchesFreshIndex) {
+  Rng rng(31);
+  GridIndex reused;
+  for (int round = 0; round < 5; ++round) {
+    auto pts = testutil::random_points(200 + 30 * round, -20.0, 20.0,
+                                       100 + round);
+    double cell = rng.uniform(1.0, 8.0);
+    reused.rebuild(pts, cell);
+    GridIndex fresh(pts, cell);
+    EXPECT_EQ(reused.size(), fresh.size());
+    for (int trial = 0; trial < 20; ++trial) {
+      Vec2 q{rng.uniform(-25.0, 25.0), rng.uniform(-25.0, 25.0)};
+      double r = rng.uniform(1.0, 15.0);
+      EXPECT_EQ(reused.query_radius(q, r), fresh.query_radius(q, r));
+      EXPECT_EQ(reused.nearest(q), fresh.nearest(q));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace anr

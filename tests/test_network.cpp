@@ -2,8 +2,11 @@
 // unit-disk graph and connectivity.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "net/connectivity.h"
+#include "net/incremental_connectivity.h"
 #include "net/network.h"
 #include "net/unit_disk_graph.h"
 #include "test_util.h"
@@ -36,6 +39,46 @@ TEST(UnitDiskGraph, EdgesMatchBruteForce) {
     }
   }
   EXPECT_EQ(edges.size(), brute);
+}
+
+TEST(UnitDiskGraph, AdjacencyRowsAreSorted) {
+  auto pos = testutil::random_points(200, 0.0, 100.0, 33);
+  auto adj = unit_disk_adjacency(pos, 20.0);
+  for (const auto& row : adj) {
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+  }
+}
+
+TEST(IncrementalConnectivity, MatchesBatchCheckerUnderDrift) {
+  // Random walks of the swarm, including radius regimes where the verdict
+  // flips: the incremental checker must agree with net::is_connected at
+  // every step.
+  Rng rng(77);
+  for (double r : {8.0, 14.0, 25.0}) {
+    auto pos = testutil::random_points(60, 0.0, 100.0, 13);
+    net::IncrementalConnectivity inc(r);
+    for (int step = 0; step < 40; ++step) {
+      for (Vec2& p : pos) {
+        p.x += rng.uniform(-1.5, 1.5);
+        p.y += rng.uniform(-1.5, 1.5);
+      }
+      EXPECT_EQ(inc.check(pos), net::is_connected(pos, r))
+          << "r=" << r << " step=" << step;
+    }
+  }
+}
+
+TEST(IncrementalConnectivity, HandlesResizeAndDegenerate) {
+  net::IncrementalConnectivity inc(5.0);
+  EXPECT_TRUE(inc.check({}));            // empty swarm is trivially connected
+  EXPECT_TRUE(inc.check({{1.0, 1.0}}));  // single robot
+  std::vector<Vec2> two = {{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_FALSE(inc.check(two));
+  two[1] = {4.0, 0.0};
+  EXPECT_TRUE(inc.check(two));
+  // Grow the swarm mid-stream: checker must re-anchor, not crash.
+  std::vector<Vec2> three = {{0.0, 0.0}, {4.0, 0.0}, {8.0, 0.0}};
+  EXPECT_TRUE(inc.check(three));
 }
 
 TEST(Connectivity, ComponentsAndBfs) {
