@@ -21,12 +21,15 @@
 #include "baselines/direct_translation.h"
 #include "baselines/hungarian_march.h"
 #include "baselines/virtual_force.h"
+#include "common/status.h"
 #include "coverage/coverage_eval.h"
 #include "coverage/density.h"
 #include "coverage/grid_cvt.h"
 #include "coverage/lloyd.h"
 #include "coverage/local_voronoi.h"
 #include "coverage/voronoi.h"
+#include "fault/fault_model.h"
+#include "fault/fault_schedule.h"
 #include "foi/foi.h"
 #include "foi/foi_mesher.h"
 #include "foi/indoor.h"
@@ -36,12 +39,14 @@
 #include "geom/polygon.h"
 #include "geom/vec2.h"
 #include "harmonic/composition.h"
+#include "io/event_io.h"
 #include "io/job_io.h"
 #include "io/json.h"
 #include "io/plan_io.h"
 #include "harmonic/disk_map.h"
 #include "harmonic/distributed_disk_map.h"
 #include "harmonic/rotation_search.h"
+#include "march/execution_engine.h"
 #include "march/metrics.h"
 #include "march/mission.h"
 #include "march/planner.h"
@@ -58,6 +63,7 @@
 #include "mesh/mesh_quality.h"
 #include "mesh/triangle_mesh.h"
 #include "net/connectivity.h"
+#include "net/connectivity_monitor.h"
 #include "net/incremental_connectivity.h"
 #include "net/network.h"
 #include "net/protocols/boundary_walk.h"

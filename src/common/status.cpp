@@ -1,0 +1,30 @@
+#include "common/status.h"
+
+namespace anr {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  return std::string(status_code_name(code_)) + ": " + message_;
+}
+
+}  // namespace anr

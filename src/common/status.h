@@ -1,0 +1,67 @@
+// Typed error propagation for recoverable failures.
+//
+// ANR_CHECK / ContractViolation stay the right tool for programmer errors
+// deep inside the geometry code — those should fail fast. But layers that
+// face operators (the mission service, the fault-injection executor, the
+// degraded-mode planner) must report *expected* failures — bad input, a
+// hostile deployment, an exhausted retry budget — as values the caller can
+// branch on, not as exceptions tunneled out of the solver stack.
+#pragma once
+
+#include <string>
+
+namespace anr {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     ///< caller-supplied input is malformed
+  kFailedPrecondition,  ///< input well-formed but violates a precondition
+  kDeadlineExceeded,    ///< job missed its deadline
+  kUnavailable,         ///< transient condition; retrying may succeed
+  kResourceExhausted,   ///< queue/retry/backoff budget spent
+  kInternal,            ///< unexpected failure escaping a lower layer
+};
+
+/// Stable lowercase name ("ok", "invalid_argument", ...).
+const char* status_code_name(StatusCode code);
+
+/// A status code plus a human-readable message. Default-constructed is OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>".
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace anr

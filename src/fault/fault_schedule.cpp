@@ -1,0 +1,165 @@
+#include "fault/fault_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anr::fault {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kStuck:
+      return "stuck";
+    case FaultKind::kSlowdown:
+      return "slowdown";
+    case FaultKind::kPositionNoise:
+      return "position_noise";
+    case FaultKind::kLinkDropout:
+      return "link_dropout";
+    case FaultKind::kRangeDegradation:
+      return "range_degradation";
+  }
+  return "unknown";
+}
+
+void FaultSchedule::normalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.t_start < b.t_start;
+                   });
+}
+
+namespace {
+
+bool finite(double v) { return std::isfinite(v); }
+
+Status bad(const FaultEvent& e, const std::string& why) {
+  return Status::InvalidArgument(std::string(fault_kind_name(e.kind)) +
+                                 " event at t=" + std::to_string(e.t_start) +
+                                 ": " + why);
+}
+
+}  // namespace
+
+Status FaultSchedule::validate(int num_robots) const {
+  for (const FaultEvent& e : events) {
+    if (!finite(e.t_start) || e.t_start < 0.0) {
+      return bad(e, "t_start must be finite and >= 0");
+    }
+    if (!finite(e.duration) || e.duration < 0.0) {
+      return bad(e, "duration must be finite and >= 0");
+    }
+    if (!finite(e.severity)) return bad(e, "severity must be finite");
+    switch (e.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kStuck:
+        if (e.robot < 0 || e.robot >= num_robots) {
+          return bad(e, "robot index out of range");
+        }
+        break;
+      case FaultKind::kSlowdown:
+        if (e.robot < 0 || e.robot >= num_robots) {
+          return bad(e, "robot index out of range");
+        }
+        if (e.severity < 0.0 || e.severity >= 1.0) {
+          return bad(e, "slowdown severity must be in [0, 1)");
+        }
+        break;
+      case FaultKind::kPositionNoise:
+        if (e.robot < 0 || e.robot >= num_robots) {
+          return bad(e, "robot index out of range");
+        }
+        if (e.severity < 0.0) return bad(e, "noise sigma must be >= 0");
+        break;
+      case FaultKind::kLinkDropout:
+        if (e.link_a < 0 || e.link_a >= num_robots || e.link_b < 0 ||
+            e.link_b >= num_robots || e.link_a == e.link_b) {
+          return bad(e, "link endpoints must be two distinct robots");
+        }
+        break;
+      case FaultKind::kRangeDegradation:
+        if (e.severity <= 0.0 || e.severity > 1.0) {
+          return bad(e, "range factor must be in (0, 1]");
+        }
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+FaultSchedule random_campaign(Rng& rng, int num_robots, double t0, double t1,
+                              const CampaignOptions& opt) {
+  FaultSchedule sched;
+  const double span = t1 - t0;
+  auto draw_start = [&] {
+    return t0 + span * rng.uniform(opt.start_frac_min, opt.start_frac_max);
+  };
+  auto draw_duration = [&] {
+    return span * rng.uniform(opt.duration_frac_min, opt.duration_frac_max);
+  };
+
+  // Crash subjects without replacement: a robot that crash-stops twice
+  // would make "every crash absorbed" unverifiable.
+  std::vector<int> pool(static_cast<std::size_t>(num_robots));
+  for (int i = 0; i < num_robots; ++i) pool[static_cast<std::size_t>(i)] = i;
+  int crashes = std::min(opt.crashes, num_robots > 1 ? num_robots - 1 : 0);
+  for (int c = 0; c < crashes; ++c) {
+    int pick = rng.uniform_int(0, static_cast<int>(pool.size()) - 1);
+    FaultEvent e;
+    e.kind = FaultKind::kCrash;
+    e.robot = pool[static_cast<std::size_t>(pick)];
+    pool.erase(pool.begin() + pick);
+    e.t_start = draw_start();
+    sched.add(e);
+  }
+  for (int i = 0; i < opt.stuck; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kStuck;
+    e.robot = rng.uniform_int(0, num_robots - 1);
+    e.t_start = draw_start();
+    e.duration = draw_duration();
+    sched.add(e);
+  }
+  for (int i = 0; i < opt.slowdowns; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kSlowdown;
+    e.robot = rng.uniform_int(0, num_robots - 1);
+    e.t_start = draw_start();
+    e.duration = draw_duration();
+    e.severity = rng.uniform(opt.slowdown_min, opt.slowdown_max);
+    sched.add(e);
+  }
+  for (int i = 0; i < opt.noise_bursts; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kPositionNoise;
+    e.robot = rng.uniform_int(0, num_robots - 1);
+    e.t_start = draw_start();
+    e.duration = draw_duration();
+    e.severity = rng.uniform(opt.noise_sigma_min, opt.noise_sigma_max);
+    sched.add(e);
+  }
+  for (int i = 0; i < opt.link_dropouts; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kLinkDropout;
+    e.link_a = rng.uniform_int(0, num_robots - 1);
+    do {
+      e.link_b = rng.uniform_int(0, num_robots - 1);
+    } while (e.link_b == e.link_a);
+    e.t_start = draw_start();
+    e.duration = draw_duration();
+    sched.add(e);
+  }
+  for (int i = 0; i < opt.range_degradations; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kRangeDegradation;
+    e.t_start = draw_start();
+    e.duration = draw_duration();
+    e.severity = rng.uniform(opt.range_factor_min, opt.range_factor_max);
+    sched.add(e);
+  }
+  sched.normalize();
+  return sched;
+}
+
+}  // namespace anr::fault

@@ -1,0 +1,100 @@
+// Fault campaigns: what goes wrong, to whom, and when.
+//
+// The paper's marching guarantee (global connectivity C = 1 at every
+// instant, Def. 2) is exactly what makes a swarm recoverable — "the
+// failure of an individual robot can be recovered by its peers" (Sec. I).
+// Exercising that claim needs a reproducible way to break things. A
+// FaultSchedule is a time-ordered list of fault events, either scripted
+// by hand or drawn from a seeded Rng (common/rng), so a campaign replays
+// bit-for-bit from its seed. The ExecutionEngine consumes schedules
+// through FaultModel (fault_model.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace anr::fault {
+
+/// Taxonomy of injectable faults.
+enum class FaultKind {
+  kCrash,            ///< crash-stop: robot dies (actuation + radio), permanent
+  kStuck,            ///< actuation frozen for a window; radio alive
+  kSlowdown,         ///< actuation at `severity` (< 1) of nominal speed
+  kPositionNoise,    ///< GPS noise: position jittered with sigma `severity` m
+  kLinkDropout,      ///< one link (link_a, link_b) down for a window
+  kRangeDegradation, ///< effective r_c scaled by `severity` (< 1) for a window
+};
+
+/// Stable lowercase name ("crash", "stuck", ...).
+const char* fault_kind_name(FaultKind kind);
+
+/// One fault: a kind, a subject (robot or link), a time window, a severity.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  int robot = -1;               ///< subject robot; unused for link/range kinds
+  int link_a = -1, link_b = -1; ///< subject link for kLinkDropout
+  double t_start = 0.0;
+  double duration = 0.0;        ///< window length; ignored for kCrash
+  /// Kind-dependent magnitude: speed factor in [0,1) for kSlowdown, noise
+  /// sigma in meters for kPositionNoise, range factor in (0,1] for
+  /// kRangeDegradation; unused otherwise.
+  double severity = 0.0;
+
+  double t_end() const {
+    return kind == FaultKind::kCrash ? 1e300 : t_start + duration;
+  }
+};
+
+/// A campaign: fault events sorted by (t_start, stable order).
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  /// Appends an event (resort with normalize() before executing).
+  void add(FaultEvent e) { events.push_back(e); }
+
+  /// Stable-sorts events by start time.
+  void normalize();
+
+  /// Checks every event against a swarm of `num_robots`: subject indices
+  /// in range, windows non-negative, severities in their legal ranges.
+  Status validate(int num_robots) const;
+
+  bool empty() const { return events.empty(); }
+};
+
+/// Knobs for the seeded random campaign generator. Counts are events per
+/// kind; windows/severities are drawn uniformly from the given ranges.
+struct CampaignOptions {
+  int crashes = 1;
+  int stuck = 1;
+  int slowdowns = 1;
+  int noise_bursts = 1;
+  int link_dropouts = 2;
+  int range_degradations = 0;
+
+  /// Fault start times are drawn from [t0 + start_frac_min * (t1 - t0),
+  /// t0 + start_frac_max * (t1 - t0)].
+  double start_frac_min = 0.05;
+  double start_frac_max = 0.6;
+  /// Transient windows last [duration_frac_min, duration_frac_max] of
+  /// (t1 - t0).
+  double duration_frac_min = 0.1;
+  double duration_frac_max = 0.3;
+
+  double slowdown_min = 0.2, slowdown_max = 0.6;   ///< speed factors
+  double noise_sigma_min = 1.0, noise_sigma_max = 6.0;  ///< meters
+  double range_factor_min = 0.7, range_factor_max = 0.95;
+};
+
+/// Draws a campaign over robots [0, num_robots) and the horizon [t0, t1]
+/// from `rng`. Same seed, same options, same swarm size -> identical
+/// schedule. Crash subjects are drawn without replacement so no robot
+/// crashes twice.
+FaultSchedule random_campaign(Rng& rng, int num_robots, double t0, double t1,
+                              const CampaignOptions& opt = {});
+
+}  // namespace anr::fault

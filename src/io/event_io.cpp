@@ -1,0 +1,121 @@
+#include "io/event_io.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace anr {
+
+namespace {
+
+fault::FaultKind fault_kind_from_name(const std::string& name) {
+  using fault::FaultKind;
+  for (FaultKind k :
+       {FaultKind::kCrash, FaultKind::kStuck, FaultKind::kSlowdown,
+        FaultKind::kPositionNoise, FaultKind::kLinkDropout,
+        FaultKind::kRangeDegradation}) {
+    if (name == fault_kind_name(k)) return k;
+  }
+  throw std::runtime_error("unknown fault kind: " + name);
+}
+
+}  // namespace
+
+json::Value fault_event_to_json(const fault::FaultEvent& e) {
+  json::Object o;
+  o.emplace("kind", fault_kind_name(e.kind));
+  o.emplace("robot", e.robot);
+  o.emplace("link_a", e.link_a);
+  o.emplace("link_b", e.link_b);
+  o.emplace("t_start", e.t_start);
+  o.emplace("duration", e.duration);
+  o.emplace("severity", e.severity);
+  return json::Value(std::move(o));
+}
+
+fault::FaultEvent fault_event_from_json(const json::Value& v) {
+  fault::FaultEvent e;
+  e.kind = fault_kind_from_name(v.at("kind").as_string());
+  e.robot = static_cast<int>(v.at("robot").as_number());
+  e.link_a = static_cast<int>(v.at("link_a").as_number());
+  e.link_b = static_cast<int>(v.at("link_b").as_number());
+  e.t_start = v.at("t_start").as_number();
+  e.duration = v.at("duration").as_number();
+  e.severity = v.at("severity").as_number();
+  return e;
+}
+
+json::Value fault_schedule_to_json(const fault::FaultSchedule& s) {
+  json::Array events;
+  events.reserve(s.events.size());
+  for (const fault::FaultEvent& e : s.events) {
+    events.push_back(fault_event_to_json(e));
+  }
+  json::Object o;
+  o.emplace("events", std::move(events));
+  return json::Value(std::move(o));
+}
+
+fault::FaultSchedule fault_schedule_from_json(const json::Value& v) {
+  fault::FaultSchedule s;
+  for (const json::Value& e : v.at("events").as_array()) {
+    s.events.push_back(fault_event_from_json(e));
+  }
+  return s;
+}
+
+json::Value execution_event_to_json(const ExecutionEvent& e) {
+  json::Object o;
+  o.emplace("t", e.t);
+  o.emplace("type", exec_event_name(e.type));
+  if (e.has_fault) o.emplace("fault", fault_kind_name(e.fault));
+  o.emplace("robot", e.robot);
+  o.emplace("detail", e.detail);
+  return json::Value(std::move(o));
+}
+
+json::Value events_to_json(const std::vector<ExecutionEvent>& events) {
+  json::Array a;
+  a.reserve(events.size());
+  for (const ExecutionEvent& e : events) {
+    a.push_back(execution_event_to_json(e));
+  }
+  return json::Value(std::move(a));
+}
+
+json::Value execution_report_to_json(const ExecutionReport& r) {
+  json::Object o;
+  o.emplace("num_robots", r.num_robots);
+  json::Array crashed;
+  for (int id : r.crashed) crashed.push_back(id);
+  o.emplace("crashed", std::move(crashed));
+  json::Array survivors;
+  for (int id : r.survivors) survivors.push_back(id);
+  o.emplace("survivors", std::move(survivors));
+  o.emplace("survival_rate", r.survival_rate);
+  o.emplace("connected_throughout", r.connected_throughout);
+  o.emplace("first_disconnect_time", r.first_disconnect_time);
+  o.emplace("final_connected", r.final_connected);
+  o.emplace("stable_link_ratio", r.stable_link_ratio);
+  o.emplace("planned_distance", r.planned_distance);
+  o.emplace("executed_distance", r.executed_distance);
+  o.emplace("extra_distance", r.extra_distance);
+  o.emplace("pauses", r.pauses);
+  o.emplace("retries", r.retries);
+  o.emplace("recoveries", r.recoveries);
+  o.emplace("retargets", r.retargets);
+  o.emplace("degraded", r.degraded);
+  o.emplace("end_time", r.end_time);
+  json::Array finals;
+  for (std::size_t i = 0; i < r.final_positions.size(); ++i) {
+    json::Object p;
+    p.emplace("id", r.final_ids[i]);
+    p.emplace("x", r.final_positions[i].x);
+    p.emplace("y", r.final_positions[i].y);
+    finals.push_back(json::Value(std::move(p)));
+  }
+  o.emplace("final_positions", std::move(finals));
+  o.emplace("events", events_to_json(r.events));
+  return json::Value(std::move(o));
+}
+
+}  // namespace anr

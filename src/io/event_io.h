@@ -1,0 +1,29 @@
+// Fault-campaign and execution-log persistence.
+//
+// Fault schedules round-trip through JSON so a campaign can be archived
+// and replayed bit-for-bit; execution event logs serialize
+// deterministically (same plan + schedule + seed -> byte-identical dump),
+// which is what the determinism tests assert on.
+#pragma once
+
+#include "fault/fault_schedule.h"
+#include "io/json.h"
+#include "march/execution_engine.h"
+
+namespace anr {
+
+json::Value fault_event_to_json(const fault::FaultEvent& e);
+fault::FaultEvent fault_event_from_json(const json::Value& v);
+
+json::Value fault_schedule_to_json(const fault::FaultSchedule& s);
+fault::FaultSchedule fault_schedule_from_json(const json::Value& v);
+
+json::Value execution_event_to_json(const ExecutionEvent& e);
+
+/// The whole typed event log as a JSON array.
+json::Value events_to_json(const std::vector<ExecutionEvent>& events);
+
+/// Full report: scalars, id lists, and the event log.
+json::Value execution_report_to_json(const ExecutionReport& r);
+
+}  // namespace anr

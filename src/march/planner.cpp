@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "baselines/hungarian_march.h"
 #include "common/check.h"
 #include "harmonic/disk_map.h"
 #include "harmonic/distributed_disk_map.h"
@@ -66,8 +67,25 @@ MarchPlanner::MarchPlanner(FieldOfInterest m1, FieldOfInterest m2_shape,
   }
 }
 
+const char* plan_mode_name(PlanMode mode) {
+  switch (mode) {
+    case PlanMode::kPrimary:
+      return "primary";
+    case PlanMode::kRelaxedExtraction:
+      return "relaxed_extraction";
+    case PlanMode::kBaselineFallback:
+      return "baseline_fallback";
+  }
+  return "unknown";
+}
+
 MarchPlan MarchPlanner::plan(const std::vector<Vec2>& positions,
                              Vec2 m2_offset) const {
+  return plan_impl(positions, m2_offset, opt_.alpha_scale);
+}
+
+MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
+                                  Vec2 m2_offset, double alpha_scale) const {
   const std::size_t n = positions.size();
   ANR_CHECK_MSG(n >= 4, "need at least 4 robots");
 
@@ -82,12 +100,13 @@ MarchPlan MarchPlanner::plan(const std::vector<Vec2>& positions,
   auto links = communication_links(positions, r_c_);
 
   // --- 1. Triangulation T -------------------------------------------------
+  const double r_ext = r_c_ * alpha_scale;
   ExtractionResult ext =
       opt_.extraction == ExtractionMode::kGabriel
-          ? extract_triangulation_gabriel(positions, r_c_)
+          ? extract_triangulation_gabriel(positions, r_ext)
           : (opt_.distributed
-                 ? extract_triangulation_distributed(positions, r_c_)
-                 : extract_triangulation(positions, r_c_));
+                 ? extract_triangulation_distributed(positions, r_ext)
+                 : extract_triangulation(positions, r_ext));
   plan.protocol_messages += ext.messages;
   plan.unmeshed_robots = static_cast<int>(ext.unmeshed.size());
   plan.t_stats = mesh_stats(ext.mesh);
@@ -385,6 +404,77 @@ MarchPlan MarchPlanner::plan(const std::vector<Vec2>& positions,
   plan.final_positions = cur;
   plan.total_time = t;
   return plan;
+}
+
+PlanOutcome MarchPlanner::plan_robust(const std::vector<Vec2>& positions,
+                                      Vec2 m2_offset) const {
+  PlanOutcome out;
+  if (positions.empty()) {
+    out.status = Status::InvalidArgument("no robots to plan for");
+    return out;
+  }
+  for (std::size_t r = 0; r < positions.size(); ++r) {
+    if (!std::isfinite(positions[r].x) || !std::isfinite(positions[r].y)) {
+      out.status = Status::InvalidArgument(
+          "non-finite position for robot " + std::to_string(r));
+      return out;
+    }
+  }
+  if (!std::isfinite(m2_offset.x) || !std::isfinite(m2_offset.y)) {
+    out.status = Status::InvalidArgument("non-finite m2 offset");
+    return out;
+  }
+
+  // Widening the extraction radius keeps more Delaunay edges, so sparse
+  // but connected deployments that the paper's alpha cut refuses to mesh
+  // get a second chance before we give up on the pipeline entirely.
+  constexpr double kRelaxedBoost = 1.25;
+  auto attempt = [&](PlanMode mode, auto&& make_plan) {
+    PlanAttempt a;
+    a.mode = mode;
+    try {
+      MarchPlan plan = make_plan();
+      a.succeeded = true;
+      out.degradation.attempts.push_back(std::move(a));
+      out.degradation.mode = mode;
+      out.degradation.degraded = mode != PlanMode::kPrimary;
+      out.plan = std::move(plan);
+      return true;
+    } catch (const std::exception& e) {
+      a.error = e.what();
+      out.degradation.attempts.push_back(std::move(a));
+      return false;
+    }
+  };
+
+  if (attempt(PlanMode::kPrimary, [&] {
+        return plan_impl(positions, m2_offset, opt_.alpha_scale);
+      })) {
+    return out;
+  }
+  if (attempt(PlanMode::kRelaxedExtraction, [&] {
+        return plan_impl(positions, m2_offset,
+                         opt_.alpha_scale * kRelaxedBoost);
+      })) {
+    return out;
+  }
+  if (attempt(PlanMode::kBaselineFallback, [&] {
+        BaselineOptions base;
+        base.transition_time = opt_.transition_time;
+        HungarianMarchPlanner hungarian(
+            m1_, m2_, r_c_, static_cast<int>(positions.size()), base);
+        return hungarian.plan(positions, m2_offset);
+      })) {
+    return out;
+  }
+
+  std::string why = "all planning modes failed:";
+  for (const PlanAttempt& a : out.degradation.attempts) {
+    why += std::string(" [") + plan_mode_name(a.mode) + ": " + a.error + "]";
+  }
+  out.degradation.degraded = true;
+  out.status = Status::Internal(why);
+  return out;
 }
 
 }  // namespace anr

@@ -20,8 +20,10 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "coverage/density.h"
 #include "coverage/grid_cvt.h"
 #include "coverage/lloyd.h"
@@ -78,6 +80,10 @@ struct PlannerOptions {
   /// Exhaustive rotation sweep instead of the depth-limited search
   /// (ablation oracle).
   bool exhaustive_rotation = false;
+  /// Scale on the triangulation-extraction radius. 1.0 is the paper's
+  /// extraction at r_c; plan_robust() retries with a relaxed (larger)
+  /// scale when extraction is too sparse to mesh the deployment.
+  double alpha_scale = 1.0;
   /// Density for the adjustment CVT (defaults to uniform).
   DensityFn density;
 };
@@ -114,6 +120,40 @@ struct MarchPlan {
   std::size_t protocol_messages = 0;  ///< distributed-mode message total
 };
 
+/// Which attempt of the fallback chain produced a plan.
+enum class PlanMode {
+  kPrimary,            ///< the paper pipeline at the configured alpha scale
+  kRelaxedExtraction,  ///< paper pipeline with a widened extraction radius
+  kBaselineFallback,   ///< Hungarian baseline (no triangulation needed)
+};
+
+/// Stable lowercase name ("primary", ...).
+const char* plan_mode_name(PlanMode mode);
+
+/// One attempt of plan_robust()'s fallback chain.
+struct PlanAttempt {
+  PlanMode mode = PlanMode::kPrimary;
+  bool succeeded = false;
+  std::string error;  ///< empty when succeeded
+};
+
+/// Why and how a plan was degraded. `degraded` is false iff the primary
+/// pipeline succeeded on the first attempt.
+struct DegradationRecord {
+  bool degraded = false;
+  PlanMode mode = PlanMode::kPrimary;  ///< mode that produced the plan
+  std::vector<PlanAttempt> attempts;   ///< in execution order
+};
+
+/// Typed result of plan_robust(): a status instead of an exception.
+struct PlanOutcome {
+  Status status;
+  MarchPlan plan;  ///< valid iff status.ok()
+  DegradationRecord degradation;
+
+  bool ok() const { return status.ok(); }
+};
+
 /// Plans marches from M1 into (rigid translates of) the M2 shape.
 class MarchPlanner {
  public:
@@ -126,12 +166,24 @@ class MarchPlanner {
   /// translated by `m2_offset`.
   MarchPlan plan(const std::vector<Vec2>& positions, Vec2 m2_offset) const;
 
+  /// Degraded-mode planning: primary pipeline, then relaxed alpha
+  /// extraction, then the Hungarian baseline. Never throws — every
+  /// failure (including input validation) comes back as a typed Status,
+  /// and the degradation record lists each attempt.
+  PlanOutcome plan_robust(const std::vector<Vec2>& positions,
+                          Vec2 m2_offset) const;
+
   const FieldOfInterest& m1() const { return m1_; }
   const FieldOfInterest& m2_shape() const { return m2_; }
   double comm_range() const { return r_c_; }
   const PlannerOptions& options() const { return opt_; }
 
  private:
+  /// The full pipeline with the extraction radius scaled by
+  /// `alpha_scale`; plan() delegates here with opt_.alpha_scale.
+  MarchPlan plan_impl(const std::vector<Vec2>& positions, Vec2 m2_offset,
+                      double alpha_scale) const;
+
   FieldOfInterest m1_;
   FieldOfInterest m2_;
   double r_c_;

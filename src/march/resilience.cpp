@@ -15,6 +15,10 @@ FailureRecovery recover_from_failure(const std::vector<Trajectory>& planned,
                                      double r_c, const DensityFn& density,
                                      int max_lloyd_steps, int cvt_samples) {
   ANR_CHECK(!planned.empty());
+  for (int f : failed) {
+    ANR_CHECK_MSG(f >= 0 && f < static_cast<int>(planned.size()),
+                  "failed index out of range");
+  }
   std::set<int> dead(failed.begin(), failed.end());
   ANR_CHECK_MSG(dead.size() < planned.size(), "all robots failed");
 
@@ -92,6 +96,7 @@ RetargetResult retarget_mid_march(const std::vector<Trajectory>& current,
                                   const MarchPlanner& new_planner,
                                   Vec2 new_offset) {
   ANR_CHECK(!current.empty());
+  ANR_CHECK_MSG(t_event >= 0.0, "retarget time must be non-negative");
   RetargetResult out;
   out.event_time = t_event;
   out.positions_at_event.reserve(current.size());

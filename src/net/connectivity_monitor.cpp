@@ -1,0 +1,62 @@
+#include "net/connectivity_monitor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "net/connectivity.h"
+#include "net/unit_disk_graph.h"
+
+namespace anr::net {
+
+ConnectivityMonitor::ConnectivityMonitor(double r_c, double guard_factor)
+    : r_c_(r_c), guard_factor_(guard_factor) {
+  ANR_CHECK(r_c_ > 0.0);
+  ANR_CHECK_MSG(guard_factor_ > 0.0 && guard_factor_ <= 1.0,
+                "guard factor must be in (0, 1]");
+}
+
+bool ConnectivityMonitor::connected_at(
+    const std::vector<Vec2>& pts, double radius,
+    const std::vector<std::pair<int, int>>& dropped) {
+  if (dropped.empty()) {
+    auto it = checkers_.find(radius);
+    if (it == checkers_.end()) {
+      it = checkers_.emplace(radius, IncrementalConnectivity(radius)).first;
+    }
+    return it->second.check(pts);
+  }
+  // Exact slow path: erase the dropped edges from the unit-disk graph.
+  auto adj = unit_disk_adjacency(pts, radius);
+  const int n = static_cast<int>(pts.size());
+  for (const auto& [a, b] : dropped) {
+    if (a < 0 || b < 0 || a >= n || b >= n) continue;
+    auto& na = adj[static_cast<std::size_t>(a)];
+    auto& nb = adj[static_cast<std::size_t>(b)];
+    na.erase(std::remove(na.begin(), na.end(), b), na.end());
+    nb.erase(std::remove(nb.begin(), nb.end(), a), nb.end());
+  }
+  return is_connected(adj);
+}
+
+ConnectivityMonitor::Verdict ConnectivityMonitor::assess(
+    const std::vector<Vec2>& pts, double range_factor,
+    const std::vector<std::pair<int, int>>& dropped_links) {
+  return assess(pts, range_factor, dropped_links, guard_factor_);
+}
+
+ConnectivityMonitor::Verdict ConnectivityMonitor::assess(
+    const std::vector<Vec2>& pts, double range_factor,
+    const std::vector<std::pair<int, int>>& dropped_links,
+    double guard_factor) {
+  ANR_CHECK_MSG(guard_factor > 0.0 && guard_factor <= 1.0,
+                "guard factor must be in (0, 1]");
+  Verdict v;
+  if (pts.size() <= 1) return v;
+  const double r_eff = r_c_ * range_factor;
+  v.connected = connected_at(pts, r_eff, dropped_links);
+  v.guard_ok =
+      v.connected && connected_at(pts, r_eff * guard_factor, dropped_links);
+  return v;
+}
+
+}  // namespace anr::net

@@ -1,0 +1,61 @@
+// Online connectivity guard for march execution.
+//
+// The execution engine needs two verdicts per tick: is the alive network
+// connected *right now* (Def. 2, the hard guarantee), and is it still
+// connected under a shrunk guard radius (the early warning that triggers
+// pause-and-wait before the hard guarantee is lost — gaps grow by at most
+// one tick's travel, so a guard margin below 1.0 always fires first).
+//
+// Fast path: no dropped links -> the amortized allocation-free
+// net::IncrementalConnectivity, one checker per distinct effective radius
+// (radii change only when a range-degradation window opens or closes, so
+// the set stays tiny). Link-dropout windows force the exact slow path:
+// build the unit-disk adjacency, erase the dropped edges, BFS.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "net/incremental_connectivity.h"
+
+namespace anr::net {
+
+class ConnectivityMonitor {
+ public:
+  /// `guard_factor` scales the radius of the early-warning check; must be
+  /// in (0, 1].
+  explicit ConnectivityMonitor(double r_c, double guard_factor = 0.85);
+
+  struct Verdict {
+    bool connected = true;  ///< one component at the effective radius
+    bool guard_ok = true;   ///< one component at guard_factor * radius
+  };
+
+  /// Assesses `pts` (the alive robots) with the communication range
+  /// scaled by `range_factor` and the given links (index pairs into
+  /// `pts`) forced down.
+  Verdict assess(const std::vector<Vec2>& pts, double range_factor,
+                 const std::vector<std::pair<int, int>>& dropped_links);
+
+  /// As above, but with a one-off guard factor for this call (callers that
+  /// recalibrate the guard per tick should quantize it so the per-radius
+  /// checker set stays small).
+  Verdict assess(const std::vector<Vec2>& pts, double range_factor,
+                 const std::vector<std::pair<int, int>>& dropped_links,
+                 double guard_factor);
+
+  double comm_range() const { return r_c_; }
+  double guard_factor() const { return guard_factor_; }
+
+ private:
+  bool connected_at(const std::vector<Vec2>& pts, double radius,
+                    const std::vector<std::pair<int, int>>& dropped);
+
+  double r_c_;
+  double guard_factor_;
+  /// Incremental checkers keyed by radius (fast path only).
+  std::map<double, IncrementalConnectivity> checkers_;
+};
+
+}  // namespace anr::net

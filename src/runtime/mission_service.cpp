@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "common/check.h"
@@ -23,12 +24,37 @@ json::Value stage_to_json(const StageStats& s) {
 
 }  // namespace
 
+const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk:
+      return "ok";
+    case JobStatus::kDegraded:
+      return "degraded";
+    case JobStatus::kRejectedQueueFull:
+      return "rejected_queue_full";
+    case JobStatus::kRejectedInvalid:
+      return "rejected_invalid";
+    case JobStatus::kRejectedShutdown:
+      return "rejected_shutdown";
+    case JobStatus::kDeadlineExpired:
+      return "deadline_expired";
+    case JobStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
 json::Value stats_to_json(const ServiceStats& s) {
   json::Object o;
   o.emplace("submitted", s.submitted);
   o.emplace("completed", s.completed);
-  o.emplace("failed", s.failed);
-  o.emplace("rejected", s.rejected);
+  o.emplace("degraded", s.degraded);
+  o.emplace("errored", s.errored);
+  o.emplace("rejected_queue_full", s.rejected_queue_full);
+  o.emplace("rejected_invalid", s.rejected_invalid);
+  o.emplace("rejected_shutdown", s.rejected_shutdown);
+  o.emplace("deadline_expired", s.deadline_expired);
+  o.emplace("retried", s.retried);
   o.emplace("queue_depth", s.queue_depth);
   o.emplace("queue_high_water", s.queue_high_water);
   o.emplace("workers", s.workers);
@@ -92,10 +118,13 @@ MissionService::MissionService(ServiceOptions options)
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
   }
+  ANR_CHECK(opt_.max_retries >= 0);
+  ANR_CHECK(opt_.watchdog_period_seconds > 0.0);
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 MissionService::~MissionService() { shutdown(); }
@@ -107,13 +136,35 @@ void MissionService::shutdown() {
       accepting_ = false;
     }
     // Wake everyone: blocked submitters give up, workers drain the queue
-    // and exit once it is empty.
+    // and exit once it is empty, the watchdog stops sweeping.
     queue_push_cv_.notify_all();
     queue_pop_cv_.notify_all();
+    watchdog_cv_.notify_all();
     for (std::thread& w : workers_) {
       if (w.joinable()) w.join();
     }
+    if (watchdog_.joinable()) watchdog_.join();
   });
+}
+
+std::optional<std::string> MissionService::validate(const PlanJob& job) {
+  if (job.positions.empty()) return "job has no robots";
+  for (std::size_t r = 0; r < job.positions.size(); ++r) {
+    if (!std::isfinite(job.positions[r].x) ||
+        !std::isfinite(job.positions[r].y)) {
+      return "non-finite position for robot " + std::to_string(r);
+    }
+  }
+  if (!std::isfinite(job.r_c) || job.r_c <= 0.0) {
+    return "communication range must be positive";
+  }
+  if (!std::isfinite(job.m2_offset.x) || !std::isfinite(job.m2_offset.y)) {
+    return "non-finite m2 offset";
+  }
+  if (!std::isfinite(job.deadline_seconds) || job.deadline_seconds < 0.0) {
+    return "deadline must be non-negative";
+  }
+  return std::nullopt;
 }
 
 std::future<JobResult> MissionService::submit(PlanJob job) {
@@ -121,27 +172,41 @@ std::future<JobResult> MissionService::submit(PlanJob job) {
   std::promise<JobResult> promise;
   std::future<JobResult> future = promise.get_future();
 
-  auto reject = [&](const std::string& why) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+  auto reject = [&](JobStatus status, const std::string& why,
+                    std::atomic<std::uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
     JobResult r;
     r.id = job.id;
     r.ok = false;
+    r.status = status;
     r.error = why;
     promise.set_value(std::move(r));
     return std::move(future);
   };
 
+  if (auto why = validate(job)) {
+    return reject(JobStatus::kRejectedInvalid, *why, rejected_invalid_);
+  }
+
   std::unique_lock<std::mutex> lock(queue_mutex_);
-  if (!accepting_) return reject("service is shut down");
+  if (!accepting_) {
+    return reject(JobStatus::kRejectedShutdown, "service is shut down",
+                  rejected_shutdown_);
+  }
   if (queue_.size() >= opt_.queue_capacity) {
     if (opt_.overflow == OverflowPolicy::kReject) {
-      return reject("queue full (capacity " +
-                    std::to_string(opt_.queue_capacity) + ")");
+      return reject(JobStatus::kRejectedQueueFull,
+                    "queue full (capacity " +
+                        std::to_string(opt_.queue_capacity) + ")",
+                    rejected_queue_full_);
     }
     queue_push_cv_.wait(lock, [this] {
       return !accepting_ || queue_.size() < opt_.queue_capacity;
     });
-    if (!accepting_) return reject("service is shut down");
+    if (!accepting_) {
+      return reject(JobStatus::kRejectedShutdown, "service is shut down",
+                    rejected_shutdown_);
+    }
   }
   queue_.push_back(QueuedJob{std::move(job), std::move(promise),
                              std::chrono::steady_clock::now()});
@@ -176,14 +241,72 @@ void MissionService::worker_loop() {
     double waited = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - item.enqueued)
                         .count();
+    // Deadline check at pickup backstops the watchdog's sweep period.
+    if (item.job.deadline_seconds > 0.0 &&
+        waited > item.job.deadline_seconds) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      JobResult r;
+      r.id = item.job.id;
+      r.status = JobStatus::kDeadlineExpired;
+      r.error = "deadline expired after " + std::to_string(waited) +
+                "s in queue";
+      r.queue_seconds = waited;
+      item.promise.set_value(std::move(r));
+      continue;
+    }
     queue_wait_.record(waited, opt_.latency_reservoir);
     JobResult result = execute(std::move(item.job), waited);
-    if (result.ok) {
-      completed_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      failed_.fetch_add(1, std::memory_order_relaxed);
+    switch (result.status) {
+      case JobStatus::kOk:
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case JobStatus::kDegraded:
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        errored_.fetch_add(1, std::memory_order_relaxed);
+        break;
     }
     item.promise.set_value(std::move(result));
+  }
+}
+
+void MissionService::watchdog_loop() {
+  const auto period =
+      std::chrono::duration<double>(opt_.watchdog_period_seconds);
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  for (;;) {
+    if (watchdog_cv_.wait_for(lock, period, [this] { return !accepting_; })) {
+      return;  // shutdown: workers drain whatever is left
+    }
+    std::vector<QueuedJob> expired;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      double waited = std::chrono::duration<double>(now - it->enqueued).count();
+      if (it->job.deadline_seconds > 0.0 &&
+          waited > it->job.deadline_seconds) {
+        expired.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (expired.empty()) continue;
+    lock.unlock();
+    queue_push_cv_.notify_all();  // slots freed
+    for (QueuedJob& q : expired) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      double waited =
+          std::chrono::duration<double>(now - q.enqueued).count();
+      JobResult r;
+      r.id = q.job.id;
+      r.status = JobStatus::kDeadlineExpired;
+      r.error = "deadline expired after " + std::to_string(waited) +
+                "s in queue";
+      r.queue_seconds = waited;
+      q.promise.set_value(std::move(r));
+    }
+    lock.lock();
   }
 }
 
@@ -203,13 +326,45 @@ JobResult MissionService::execute(PlanJob&& job, double queue_seconds) {
       planner_build_.record(result.build_seconds, opt_.latency_reservoir);
     }
 
-    Stopwatch plan_sw;
-    result.plan = planner->plan(job.positions, job.m2_offset);
-    result.plan_seconds = plan_sw.seconds();
+    for (int attempt = 0;; ++attempt) {
+      Stopwatch plan_sw;
+      if (opt_.degraded_fallback) {
+        PlanOutcome outcome =
+            planner->plan_robust(job.positions, job.m2_offset);
+        result.plan_seconds += plan_sw.seconds();
+        result.degradation = std::move(outcome.degradation);
+        if (outcome.ok()) {
+          result.plan = std::move(outcome.plan);
+          result.ok = true;
+          result.status = result.degradation.degraded ? JobStatus::kDegraded
+                                                      : JobStatus::kOk;
+          break;
+        }
+        result.error = outcome.status.to_string();
+      } else {
+        try {
+          result.plan = planner->plan(job.positions, job.m2_offset);
+          result.plan_seconds += plan_sw.seconds();
+          result.ok = true;
+          result.status = JobStatus::kOk;
+          break;
+        } catch (const std::exception& e) {
+          result.plan_seconds += plan_sw.seconds();
+          result.error = e.what();
+        }
+      }
+      if (attempt >= opt_.max_retries) {
+        result.status = JobStatus::kError;
+        break;
+      }
+      ++result.retries;
+      retried_.fetch_add(1, std::memory_order_relaxed);
+    }
     plan_exec_.record(result.plan_seconds, opt_.latency_reservoir);
-    result.ok = true;
   } catch (const std::exception& e) {
+    // Planner construction failures land here; planning errors are typed.
     result.ok = false;
+    result.status = JobStatus::kError;
     result.error = e.what();
   }
   return result;
@@ -219,8 +374,13 @@ ServiceStats MissionService::stats() const {
   ServiceStats s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
-  s.failed = failed_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.errored = errored_.load(std::memory_order_relaxed);
+  s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.retried = retried_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     s.queue_depth = queue_.size();

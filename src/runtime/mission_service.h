@@ -30,6 +30,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,7 +56,29 @@ struct ServiceOptions {
   std::size_t cache_capacity = 64;
   /// Per-stage latency samples kept for the p95 estimate.
   std::size_t latency_reservoir = 4096;
+  /// Additional planning attempts after a planner error (bounded retry).
+  int max_retries = 1;
+  /// Plan through MarchPlanner::plan_robust() — degraded fallback chain
+  /// and typed errors instead of exceptions. Disable to reproduce the
+  /// strict throw-on-anything planner behavior.
+  bool degraded_fallback = true;
+  /// How often the deadline watchdog sweeps the queue.
+  double watchdog_period_seconds = 0.01;
 };
+
+/// Typed outcome of one job.
+enum class JobStatus {
+  kOk,                ///< planned by the primary pipeline
+  kDegraded,          ///< planned, but by a fallback mode
+  kRejectedQueueFull, ///< shed by kReject backpressure
+  kRejectedInvalid,   ///< failed input validation at submit()
+  kRejectedShutdown,  ///< submitted after shutdown()
+  kDeadlineExpired,   ///< spent longer than its deadline in the queue
+  kError,             ///< every planning attempt failed
+};
+
+/// Stable lowercase name ("ok", "rejected_invalid", ...).
+const char* job_status_name(JobStatus status);
 
 /// One planning job: the full planner configuration plus the swarm state.
 struct PlanJob {
@@ -68,13 +91,20 @@ struct PlanJob {
   PlannerOptions options;
   /// Names any closures in `options` for cache keying (see PlannerCache).
   std::string closure_tag;
+  /// Queue-wait deadline in seconds; 0 disables. A job still queued this
+  /// long after submit() resolves as kDeadlineExpired without planning.
+  double deadline_seconds = 0.0;
 };
 
 struct JobResult {
   std::string id;
-  bool ok = false;
+  bool ok = false;               ///< a plan was produced (kOk or kDegraded)
+  JobStatus status = JobStatus::kError;
   std::string error;             ///< set when !ok
   MarchPlan plan;                ///< valid when ok
+  /// Fallback-chain record when the service planned via plan_robust().
+  DegradationRecord degradation;
+  int retries = 0;               ///< extra planning attempts consumed
   bool cache_hit = false;        ///< planner came from the cache
   double queue_seconds = 0.0;    ///< time spent waiting in the queue
   /// Time inside the cache lookup: the construction itself for the job
@@ -95,9 +125,14 @@ struct StageStats {
 
 struct ServiceStats {
   std::uint64_t submitted = 0;
-  std::uint64_t completed = 0;   ///< finished ok
-  std::uint64_t failed = 0;      ///< finished with an error
-  std::uint64_t rejected = 0;    ///< shed by kReject backpressure
+  std::uint64_t completed = 0;          ///< planned by the primary pipeline
+  std::uint64_t degraded = 0;           ///< planned by a fallback mode
+  std::uint64_t errored = 0;            ///< every planning attempt failed
+  std::uint64_t rejected_queue_full = 0;///< shed by kReject backpressure
+  std::uint64_t rejected_invalid = 0;   ///< failed submit() validation
+  std::uint64_t rejected_shutdown = 0;  ///< submitted after shutdown()
+  std::uint64_t deadline_expired = 0;   ///< reaped by the queue watchdog
+  std::uint64_t retried = 0;            ///< extra planning attempts
   std::size_t queue_depth = 0;
   std::size_t queue_high_water = 0;
   int workers = 0;
@@ -118,9 +153,13 @@ class MissionService {
   MissionService(const MissionService&) = delete;
   MissionService& operator=(const MissionService&) = delete;
 
-  /// Enqueues a job. The future always resolves (never broken): with the
-  /// plan, with a planner/plan error, or with a rejection under kReject
-  /// backpressure. Jobs submitted after shutdown() resolve as rejected.
+  /// Enqueues a job. The future always resolves (never broken), and
+  /// JobResult::status says how: planned (kOk/kDegraded), typed rejection
+  /// (invalid input, queue full under kReject, post-shutdown submit),
+  /// deadline expiry, or kError after the bounded retries ran out.
+  /// Input validation happens here, synchronously: malformed jobs
+  /// (empty swarm, non-finite positions/offset, r_c <= 0, negative
+  /// deadline) never reach a worker.
   std::future<JobResult> submit(PlanJob job);
 
   /// Submits every job, waits for all, returns results in input order.
@@ -156,7 +195,10 @@ class MissionService {
   };
 
   void worker_loop();
+  void watchdog_loop();
   JobResult execute(PlanJob&& job, double queue_seconds);
+  /// nullopt when the job is valid; otherwise the rejection message.
+  static std::optional<std::string> validate(const PlanJob& job);
 
   ServiceOptions opt_;
   PlannerCache cache_;
@@ -164,17 +206,24 @@ class MissionService {
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_push_cv_;  ///< waits for space (kBlock)
   std::condition_variable queue_pop_cv_;   ///< workers wait for jobs
+  std::condition_variable watchdog_cv_;    ///< wakes the watchdog early
   std::deque<QueuedJob> queue_;
   bool accepting_ = true;
   std::size_t queue_high_water_ = 0;
 
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
   std::once_flag shutdown_once_;
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> failed_{0};
-  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> errored_{0};
+  std::atomic<std::uint64_t> rejected_queue_full_{0};
+  std::atomic<std::uint64_t> rejected_invalid_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> retried_{0};
   StageRecorder queue_wait_;
   StageRecorder planner_build_;
   StageRecorder plan_exec_;

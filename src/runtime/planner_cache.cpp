@@ -105,6 +105,7 @@ CacheKey CacheKey::of(const FieldOfInterest& m1,
   fp.f64(options.transition_time);
   fp.b(options.distributed);
   fp.b(options.exhaustive_rotation);
+  fp.f64(options.alpha_scale);
   fp.b(static_cast<bool>(options.density));
   fp.str(closure_tag);
 

@@ -1,0 +1,97 @@
+// Degraded-mode planning: the typed fallback chain engages only when the
+// primary pipeline fails, and reports what it did.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "coverage/lloyd.h"
+#include "foi/scenario.h"
+#include "io/plan_io.h"
+#include "march/planner.h"
+#include "test_util.h"
+
+namespace anr {
+namespace {
+
+PlannerOptions fast_options() {
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 350;
+  opt.cvt_samples = 4000;
+  opt.max_adjust_steps = 5;
+  return opt;
+}
+
+TEST(DegradedPlanning, ScatteredDeploymentFallsBackToBaseline) {
+  // A deployment whose every pairwise gap exceeds even the relaxed
+  // extraction radius leaves the alpha cut with no triangle to keep, so
+  // both triangulation attempts fail; the Hungarian baseline plans from
+  // scratch and does not care.
+  FieldOfInterest m1 = testutil::square_foi(400.0);
+  const double r_c = 80.0;
+  std::vector<Vec2> deploy;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      deploy.push_back({72.0 + 128.0 * static_cast<double>(i),
+                        72.0 + 128.0 * static_cast<double>(j)});
+    }
+  }
+  MarchPlanner planner(m1, m1, r_c, fast_options());
+  PlanOutcome out = planner.plan_robust(deploy, Vec2{12.0 * r_c, 0.0});
+
+  ASSERT_TRUE(out.status.ok()) << out.status.to_string();
+  EXPECT_TRUE(out.degradation.degraded);
+  EXPECT_EQ(out.degradation.mode, PlanMode::kBaselineFallback);
+  ASSERT_EQ(out.degradation.attempts.size(), 3u);
+  EXPECT_EQ(out.degradation.attempts[0].mode, PlanMode::kPrimary);
+  EXPECT_FALSE(out.degradation.attempts[0].succeeded);
+  EXPECT_FALSE(out.degradation.attempts[0].error.empty());
+  EXPECT_EQ(out.degradation.attempts[1].mode, PlanMode::kRelaxedExtraction);
+  EXPECT_FALSE(out.degradation.attempts[1].succeeded);
+  EXPECT_EQ(out.degradation.attempts[2].mode, PlanMode::kBaselineFallback);
+  EXPECT_TRUE(out.degradation.attempts[2].succeeded);
+  EXPECT_EQ(out.plan.trajectories.size(), 9u);
+}
+
+TEST(DegradedPlanning, PrimarySuccessIsByteIdenticalToPlan) {
+  Scenario sc = scenario(1);
+  auto deploy = optimal_coverage_positions(sc.m1, 72, /*seed=*/1,
+                                           uniform_density())
+                    .positions;
+  Vec2 offset = sc.m1.centroid() + Vec2{12.0 * sc.comm_range, 0.0} -
+                sc.m2_shape.centroid();
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, fast_options());
+
+  MarchPlan direct = planner.plan(deploy, offset);
+  PlanOutcome out = planner.plan_robust(deploy, offset);
+
+  ASSERT_TRUE(out.status.ok()) << out.status.to_string();
+  EXPECT_FALSE(out.degradation.degraded);
+  EXPECT_EQ(out.degradation.mode, PlanMode::kPrimary);
+  ASSERT_EQ(out.degradation.attempts.size(), 1u);
+  EXPECT_TRUE(out.degradation.attempts[0].succeeded);
+  EXPECT_EQ(plan_to_json(out.plan).dump(), plan_to_json(direct).dump());
+}
+
+TEST(DegradedPlanning, RejectsNonFiniteInputsWithoutAttempting) {
+  FieldOfInterest m1 = testutil::square_foi(300.0);
+  MarchPlanner planner(m1, m1, 80.0, fast_options());
+
+  std::vector<Vec2> deploy = testutil::random_points(9, 50.0, 250.0, 3);
+  deploy[4].x = std::numeric_limits<double>::quiet_NaN();
+  PlanOutcome out = planner.plan_robust(deploy, Vec2{100.0, 0.0});
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(out.degradation.attempts.empty());
+
+  PlanOutcome empty = planner.plan_robust({}, Vec2{100.0, 0.0});
+  EXPECT_EQ(empty.status.code(), StatusCode::kInvalidArgument);
+
+  std::vector<Vec2> good = testutil::random_points(9, 50.0, 250.0, 3);
+  PlanOutcome bad_offset = planner.plan_robust(
+      good, Vec2{std::numeric_limits<double>::infinity(), 0.0});
+  EXPECT_EQ(bad_offset.status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace anr

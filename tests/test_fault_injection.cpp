@@ -1,0 +1,204 @@
+// Fault schedule, campaign generation, fault model semantics, and the
+// JSON round-trip of campaigns.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "fault/fault_model.h"
+#include "fault/fault_schedule.h"
+#include "io/event_io.h"
+
+namespace anr::fault {
+namespace {
+
+FaultEvent make(FaultKind kind, int robot, double t_start, double duration,
+                double severity = 0.0) {
+  FaultEvent e;
+  e.kind = kind;
+  e.robot = robot;
+  e.t_start = t_start;
+  e.duration = duration;
+  e.severity = severity;
+  return e;
+}
+
+TEST(FaultSchedule, ValidateAcceptsWellFormedCampaign) {
+  FaultSchedule s;
+  s.add(make(FaultKind::kCrash, 0, 1.0, 0.0));
+  s.add(make(FaultKind::kStuck, 1, 1.0, 2.0));
+  s.add(make(FaultKind::kSlowdown, 2, 1.0, 2.0, 0.5));
+  s.add(make(FaultKind::kPositionNoise, 3, 1.0, 2.0, 4.0));
+  FaultEvent drop = make(FaultKind::kLinkDropout, -1, 1.0, 2.0);
+  drop.link_a = 4;
+  drop.link_b = 5;
+  s.add(drop);
+  s.add(make(FaultKind::kRangeDegradation, -1, 1.0, 2.0, 0.8));
+  EXPECT_TRUE(s.validate(6).ok());
+}
+
+TEST(FaultSchedule, ValidateRejectsMalformedEvents) {
+  {
+    FaultSchedule s;
+    s.add(make(FaultKind::kCrash, 7, 1.0, 0.0));
+    Status st = s.validate(7);  // robot 7 out of range for 7 robots
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(st.message().find("out of range"), std::string::npos);
+  }
+  {
+    FaultSchedule s;
+    s.add(make(FaultKind::kStuck, 0, 1.0, -0.5));
+    EXPECT_EQ(s.validate(4).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    FaultSchedule s;
+    s.add(make(FaultKind::kSlowdown, 0, 1.0, 1.0, 1.0));  // must be < 1
+    EXPECT_EQ(s.validate(4).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    FaultSchedule s;
+    s.add(make(FaultKind::kRangeDegradation, -1, 1.0, 1.0, 0.0));
+    EXPECT_EQ(s.validate(4).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    FaultSchedule s;
+    FaultEvent drop = make(FaultKind::kLinkDropout, -1, 1.0, 1.0);
+    drop.link_a = 2;
+    drop.link_b = 2;  // self-link
+    s.add(drop);
+    EXPECT_EQ(s.validate(4).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    FaultSchedule s;
+    s.add(make(FaultKind::kCrash, 0, -1.0, 0.0));
+    EXPECT_EQ(s.validate(4).code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(FaultSchedule, RandomCampaignIsSeedDeterministic) {
+  CampaignOptions opt;
+  opt.crashes = 3;
+  Rng a(99), b(99), c(100);
+  FaultSchedule sa = random_campaign(a, 40, 0.0, 10.0, opt);
+  FaultSchedule sb = random_campaign(b, 40, 0.0, 10.0, opt);
+  FaultSchedule sc = random_campaign(c, 40, 0.0, 10.0, opt);
+  EXPECT_EQ(fault_schedule_to_json(sa).dump(),
+            fault_schedule_to_json(sb).dump());
+  EXPECT_NE(fault_schedule_to_json(sa).dump(),
+            fault_schedule_to_json(sc).dump());
+  EXPECT_TRUE(sa.validate(40).ok());
+}
+
+TEST(FaultSchedule, RandomCampaignCrashSubjectsAreUnique) {
+  CampaignOptions opt;
+  opt.crashes = 10;
+  Rng rng(7);
+  FaultSchedule s = random_campaign(rng, 12, 0.0, 5.0, opt);
+  std::set<int> subjects;
+  int crashes = 0;
+  for (const FaultEvent& e : s.events) {
+    if (e.kind != FaultKind::kCrash) continue;
+    ++crashes;
+    subjects.insert(e.robot);
+  }
+  EXPECT_EQ(crashes, 10);
+  EXPECT_EQ(static_cast<int>(subjects.size()), crashes);
+}
+
+TEST(FaultModel, WindowSemantics) {
+  FaultSchedule s;
+  s.add(make(FaultKind::kCrash, 0, 1.0, 0.0));
+  s.add(make(FaultKind::kStuck, 1, 1.0, 2.0));
+  s.add(make(FaultKind::kSlowdown, 2, 1.0, 2.0, 0.5));
+  s.add(make(FaultKind::kPositionNoise, 3, 1.0, 2.0, 4.0));
+  FaultEvent drop = make(FaultKind::kLinkDropout, -1, 1.0, 2.0);
+  drop.link_a = 4;
+  drop.link_b = 5;
+  s.add(drop);
+  s.add(make(FaultKind::kRangeDegradation, -1, 1.0, 2.0, 0.8));
+  FaultModel model(s, /*noise_seed=*/1);
+
+  // Crash: permanent from t_start on.
+  EXPECT_FALSE(model.robot_state(0, 0.5).crashed);
+  EXPECT_TRUE(model.robot_state(0, 1.0).crashed);
+  EXPECT_TRUE(model.robot_state(0, 100.0).crashed);
+  EXPECT_DOUBLE_EQ(model.robot_state(0, 100.0).crash_time, 1.0);
+
+  // Transients: active on [t_start, t_end), cleared after.
+  EXPECT_FALSE(model.robot_state(1, 0.5).stuck);
+  EXPECT_TRUE(model.robot_state(1, 1.5).stuck);
+  EXPECT_FALSE(model.robot_state(1, 3.0).stuck);
+  EXPECT_DOUBLE_EQ(model.robot_state(2, 1.5).speed_factor, 0.5);
+  EXPECT_DOUBLE_EQ(model.robot_state(2, 3.5).speed_factor, 1.0);
+  EXPECT_DOUBLE_EQ(model.robot_state(3, 1.5).noise_sigma, 4.0);
+  EXPECT_DOUBLE_EQ(model.robot_state(3, 0.5).noise_sigma, 0.0);
+  EXPECT_DOUBLE_EQ(model.range_factor(1.5), 0.8);
+  EXPECT_DOUBLE_EQ(model.range_factor(3.5), 1.0);
+  EXPECT_TRUE(model.link_dropped(4, 5, 1.5));
+  EXPECT_TRUE(model.link_dropped(5, 4, 1.5));
+  EXPECT_FALSE(model.link_dropped(4, 5, 3.5));
+  ASSERT_EQ(model.dropped_links(1.5).size(), 1u);
+  EXPECT_TRUE(model.dropped_links(3.5).empty());
+
+  // A healthy robot reports a clean state.
+  RobotFaultState clean = model.robot_state(9, 1.5);
+  EXPECT_FALSE(clean.crashed);
+  EXPECT_FALSE(clean.stuck);
+  EXPECT_DOUBLE_EQ(clean.speed_factor, 1.0);
+  EXPECT_DOUBLE_EQ(clean.noise_sigma, 0.0);
+}
+
+TEST(FaultModel, ActivatedAndClearedScanWindows) {
+  FaultSchedule s;
+  s.add(make(FaultKind::kStuck, 0, 1.0, 2.0));
+  s.add(make(FaultKind::kCrash, 1, 2.0, 0.0));
+  FaultModel model(s, 1);
+  EXPECT_EQ(model.activated(0.0, 0.5).size(), 0u);
+  EXPECT_EQ(model.activated(0.5, 1.0).size(), 1u);
+  EXPECT_EQ(model.activated(1.0, 2.5).size(), 1u);
+  // Crashes never clear; the stuck window ends at t = 3.
+  EXPECT_EQ(model.cleared(2.5, 3.0).size(), 1u);
+  EXPECT_EQ(model.cleared(3.0, 1000.0).size(), 0u);
+}
+
+TEST(FaultModel, NoiseIsDeterministicPerSeedRobotAndTick) {
+  FaultSchedule empty;
+  FaultModel a(empty, 42), b(empty, 42), c(empty, 43);
+  Vec2 o1 = a.noise_offset(3, 17, 2.0);
+  Vec2 o2 = b.noise_offset(3, 17, 2.0);
+  EXPECT_EQ(o1.x, o2.x);
+  EXPECT_EQ(o1.y, o2.y);
+  // Different tick, robot, or seed decorrelates the draw.
+  Vec2 o3 = a.noise_offset(3, 18, 2.0);
+  Vec2 o4 = a.noise_offset(4, 17, 2.0);
+  Vec2 o5 = c.noise_offset(3, 17, 2.0);
+  EXPECT_TRUE(o1.x != o3.x || o1.y != o3.y);
+  EXPECT_TRUE(o1.x != o4.x || o1.y != o4.y);
+  EXPECT_TRUE(o1.x != o5.x || o1.y != o5.y);
+  // Zero sigma is exactly zero offset.
+  Vec2 zero = a.noise_offset(3, 17, 0.0);
+  EXPECT_EQ(zero.x, 0.0);
+  EXPECT_EQ(zero.y, 0.0);
+}
+
+TEST(EventIo, FaultScheduleRoundTripsByteIdentical) {
+  CampaignOptions opt;
+  opt.crashes = 2;
+  opt.range_degradations = 1;
+  Rng rng(5);
+  FaultSchedule s = random_campaign(rng, 20, 0.0, 8.0, opt);
+  std::string once = fault_schedule_to_json(s).dump();
+  FaultSchedule back = fault_schedule_from_json(fault_schedule_to_json(s));
+  EXPECT_EQ(fault_schedule_to_json(back).dump(), once);
+  EXPECT_EQ(back.events.size(), s.events.size());
+}
+
+TEST(EventIo, RejectsUnknownFaultKind) {
+  json::Value v = fault_event_to_json(make(FaultKind::kCrash, 0, 1.0, 0.0));
+  v.as_object()["kind"] = json::Value("meteor_strike");
+  EXPECT_THROW(fault_event_from_json(v), std::exception);
+}
+
+}  // namespace
+}  // namespace anr::fault

@@ -139,6 +139,90 @@ TEST(Resilience, RetargetMidMarchKeepsConnectivity) {
   EXPECT_TRUE(metrics.global_connectivity);
 }
 
+// The edge-case tests below share one plan; building it dominates runtime.
+struct SharedPlan {
+  Fixture f;
+  MarchPlanner planner;
+  MarchPlan plan;
+  FieldOfInterest m2;
+  SharedPlan()
+      : planner(f.sc.m1, f.sc.m2_shape, f.sc.comm_range, f.opt),
+        plan(planner.plan(f.deploy, f.offset)),
+        m2(f.sc.m2_shape.translated(f.offset)) {}
+};
+
+const SharedPlan& shared() {
+  static SharedPlan s;
+  return s;
+}
+
+TEST(Resilience, RecoveryWithNoFailuresKeepsEveryRobot) {
+  const SharedPlan& s = shared();
+  FailureRecovery rec = recover_from_failure(s.plan.trajectories, 0.5, {},
+                                             s.m2, s.f.sc.comm_range);
+  ASSERT_EQ(rec.survivors.size(), s.plan.trajectories.size());
+  EXPECT_EQ(rec.trajectories.size(), rec.survivors.size());
+  for (std::size_t i = 0; i < rec.survivors.size(); ++i) {
+    EXPECT_EQ(rec.survivors[i], static_cast<int>(i));
+  }
+}
+
+TEST(Resilience, RecoveryToLoneSurvivor) {
+  const SharedPlan& s = shared();
+  std::vector<int> failed;
+  for (std::size_t i = 0; i < s.plan.trajectories.size(); ++i) {
+    if (i != 17) failed.push_back(static_cast<int>(i));
+  }
+  FailureRecovery rec = recover_from_failure(s.plan.trajectories, 0.5, failed,
+                                             s.m2, s.f.sc.comm_range);
+  ASSERT_EQ(rec.survivors.size(), 1u);
+  EXPECT_EQ(rec.survivors[0], 17);
+  ASSERT_EQ(rec.final_positions.size(), 1u);
+  EXPECT_TRUE(s.m2.contains(rec.final_positions[0]));
+}
+
+TEST(Resilience, RecoveryRejectsOutOfRangeIndices) {
+  const SharedPlan& s = shared();
+  const int n = static_cast<int>(s.plan.trajectories.size());
+  EXPECT_THROW(recover_from_failure(s.plan.trajectories, 0.5, {n}, s.m2,
+                                    s.f.sc.comm_range),
+               ContractViolation);
+  EXPECT_THROW(recover_from_failure(s.plan.trajectories, 0.5, {-1}, s.m2,
+                                    s.f.sc.comm_range),
+               ContractViolation);
+}
+
+TEST(Resilience, RetargetPastEndReplansFromFinalPositions) {
+  const SharedPlan& s = shared();
+  const double t_late = s.plan.total_time + 5.0;
+  RetargetResult rr = retarget_mid_march(s.plan.trajectories, t_late,
+                                         s.planner, s.f.offset);
+  ASSERT_EQ(rr.positions_at_event.size(), s.plan.trajectories.size());
+  for (std::size_t i = 0; i < rr.positions_at_event.size(); i += 13) {
+    EXPECT_LT(distance(rr.positions_at_event[i],
+                       s.plan.trajectories[i].end()),
+              1e-9);
+    EXPECT_LT(distance(rr.trajectories[i].position(t_late),
+                       rr.positions_at_event[i]),
+              1e-9);
+  }
+}
+
+TEST(Resilience, RetargetRejectsNegativeEventTime) {
+  const SharedPlan& s = shared();
+  EXPECT_THROW(retarget_mid_march(s.plan.trajectories, -1.0, s.planner,
+                                  s.f.offset),
+               ContractViolation);
+}
+
+TEST(Resilience, RetargetSingleRobotCannotReplan) {
+  const SharedPlan& s = shared();
+  std::vector<Trajectory> lone{s.plan.trajectories[0]};
+  // One robot spans no field: the planner's extraction has nothing to
+  // triangulate, and the failure must surface as an exception, not UB.
+  EXPECT_ANY_THROW(retarget_mid_march(lone, 0.5, s.planner, s.f.offset));
+}
+
 TEST(Resilience, RetargetAtStartEqualsFreshPlan) {
   Fixture f;
   MarchPlanner planner(f.sc.m1, f.sc.m2_shape, f.sc.comm_range, f.opt);

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -21,6 +22,7 @@ namespace {
 
 using runtime::CacheKey;
 using runtime::JobResult;
+using runtime::JobStatus;
 using runtime::MissionService;
 using runtime::OverflowPolicy;
 using runtime::PlanJob;
@@ -256,36 +258,130 @@ TEST(MissionService, BatchCompletesAndCountsCacheHits) {
   int hits = 0;
   for (const JobResult& r : results) {
     EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.status, JobStatus::kOk);
     EXPECT_FALSE(r.plan.trajectories.empty());
+    EXPECT_FALSE(r.degradation.degraded);
     if (r.cache_hit) ++hits;
   }
   EXPECT_EQ(hits, 5);  // one construction, five shared
   auto stats = service.stats();
   EXPECT_EQ(stats.completed, 6u);
-  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.errored, 0u);
+  EXPECT_EQ(stats.degraded, 0u);
   EXPECT_EQ(stats.cache.constructions, 1u);
   EXPECT_EQ(stats.plan_exec.count, 6u);
   EXPECT_GT(stats.plan_exec.mean, 0.0);
 }
 
-TEST(MissionService, BadJobFailsCleanlyWithoutPoisoningTheService) {
+TEST(MissionService, InvalidJobsAreRejectedTypedAtSubmit) {
+  const Fixture& f = fixture();
+  ServiceOptions so;
+  so.threads = 1;
+  MissionService service(so);
+
+  PlanJob empty = f.job("empty");
+  empty.positions.clear();
+  JobResult r_empty = service.submit(std::move(empty)).get();
+  EXPECT_FALSE(r_empty.ok);
+  EXPECT_EQ(r_empty.status, JobStatus::kRejectedInvalid);
+  EXPECT_NE(r_empty.error.find("no robots"), std::string::npos);
+
+  PlanJob nan = f.job("nan");
+  nan.positions[3].x = std::numeric_limits<double>::quiet_NaN();
+  JobResult r_nan = service.submit(std::move(nan)).get();
+  EXPECT_EQ(r_nan.status, JobStatus::kRejectedInvalid);
+  EXPECT_NE(r_nan.error.find("robot 3"), std::string::npos);
+
+  PlanJob inf = f.job("inf");
+  inf.m2_offset.y = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(service.submit(std::move(inf)).get().status,
+            JobStatus::kRejectedInvalid);
+
+  PlanJob bad_rc = f.job("bad_rc");
+  bad_rc.r_c = 0.0;
+  EXPECT_EQ(service.submit(std::move(bad_rc)).get().status,
+            JobStatus::kRejectedInvalid);
+
+  PlanJob bad_deadline = f.job("bad_deadline");
+  bad_deadline.deadline_seconds = -1.0;
+  EXPECT_EQ(service.submit(std::move(bad_deadline)).get().status,
+            JobStatus::kRejectedInvalid);
+
+  // The service is not poisoned: a good job still completes.
+  JobResult rg = service.submit(f.job("good")).get();
+  EXPECT_TRUE(rg.ok) << rg.error;
+  auto stats = service.stats();
+  EXPECT_EQ(stats.rejected_invalid, 5u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.errored, 0u);
+}
+
+TEST(MissionService, UnplannableJobDegradesToBaselineWithoutPoisoning) {
   const Fixture& f = fixture();
   ServiceOptions so;
   so.threads = 2;
   MissionService service(so);
-  PlanJob bad = f.job("bad");
-  bad.positions.resize(2);  // planner requires >= 4 robots
-  std::future<JobResult> fb = service.submit(std::move(bad));
-  JobResult rb = fb.get();
-  EXPECT_FALSE(rb.ok);
-  EXPECT_FALSE(rb.error.empty());
+  // Two robots: the paper pipeline needs >= 4, so the fallback chain must
+  // end at the Hungarian baseline instead of failing the job.
+  PlanJob tiny = f.job("tiny");
+  tiny.positions.resize(2);
+  JobResult rt = service.submit(std::move(tiny)).get();
+  EXPECT_TRUE(rt.ok) << rt.error;
+  EXPECT_EQ(rt.status, JobStatus::kDegraded);
+  EXPECT_TRUE(rt.degradation.degraded);
+  EXPECT_EQ(rt.degradation.mode, PlanMode::kBaselineFallback);
+  ASSERT_EQ(rt.degradation.attempts.size(), 3u);
+  EXPECT_FALSE(rt.degradation.attempts[0].succeeded);
+  EXPECT_FALSE(rt.degradation.attempts[1].succeeded);
+  EXPECT_TRUE(rt.degradation.attempts[2].succeeded);
+  EXPECT_EQ(rt.plan.trajectories.size(), 2u);
 
   std::future<JobResult> fg = service.submit(f.job("good"));
   JobResult rg = fg.get();
   EXPECT_TRUE(rg.ok) << rg.error;
+  EXPECT_EQ(rg.status, JobStatus::kOk);
   auto stats = service.stats();
-  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.degraded, 1u);
   EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.errored, 0u);
+}
+
+TEST(MissionService, StrictModeStillFailsUnplannableJobs) {
+  const Fixture& f = fixture();
+  ServiceOptions so;
+  so.threads = 1;
+  so.degraded_fallback = false;
+  so.max_retries = 2;
+  MissionService service(so);
+  PlanJob tiny = f.job("tiny");
+  tiny.positions.resize(2);
+  JobResult r = service.submit(std::move(tiny)).get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.status, JobStatus::kError);
+  EXPECT_EQ(r.retries, 2);  // bounded retry budget fully consumed
+  auto stats = service.stats();
+  EXPECT_EQ(stats.errored, 1u);
+  EXPECT_EQ(stats.retried, 2u);
+}
+
+TEST(MissionService, DeadlineWatchdogReapsQueuedJobs) {
+  const Fixture& f = fixture();
+  ServiceOptions so;
+  so.threads = 1;
+  so.watchdog_period_seconds = 0.002;
+  MissionService service(so);
+  // Occupy the single worker, then queue a job whose deadline expires
+  // long before the worker frees up.
+  std::future<JobResult> busy = service.submit(f.job("busy"));
+  PlanJob doomed = f.job("doomed");
+  doomed.deadline_seconds = 1e-4;
+  std::future<JobResult> reaped = service.submit(std::move(doomed));
+  JobResult rr = reaped.get();
+  EXPECT_FALSE(rr.ok);
+  EXPECT_EQ(rr.status, JobStatus::kDeadlineExpired);
+  EXPECT_NE(rr.error.find("deadline"), std::string::npos);
+  EXPECT_TRUE(busy.get().ok);
+  EXPECT_EQ(service.stats().deadline_expired, 1u);
 }
 
 TEST(MissionService, RejectPolicyShedsLoadWhenQueueFull) {
@@ -308,6 +404,7 @@ TEST(MissionService, RejectPolicyShedsLoadWhenQueueFull) {
     if (r.ok) {
       ++ok;
     } else {
+      EXPECT_EQ(r.status, JobStatus::kRejectedQueueFull);
       EXPECT_NE(r.error.find("queue full"), std::string::npos) << r.error;
       ++rejected;
     }
@@ -315,7 +412,7 @@ TEST(MissionService, RejectPolicyShedsLoadWhenQueueFull) {
   EXPECT_GE(rejected, 1);
   EXPECT_GE(ok, 1);
   auto stats = service.stats();
-  EXPECT_EQ(stats.rejected, static_cast<std::uint64_t>(rejected));
+  EXPECT_EQ(stats.rejected_queue_full, static_cast<std::uint64_t>(rejected));
   EXPECT_LE(stats.queue_high_water, so.queue_capacity);
 }
 
@@ -332,7 +429,7 @@ TEST(MissionService, BlockPolicyCompletesEverythingWithinCapacity) {
   for (const JobResult& r : results) EXPECT_TRUE(r.ok) << r.error;
   auto stats = service.stats();
   EXPECT_EQ(stats.completed, 5u);
-  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.rejected_queue_full, 0u);
   EXPECT_LE(stats.queue_high_water, so.queue_capacity);
 }
 
@@ -355,7 +452,9 @@ TEST(MissionService, GracefulShutdownDrainsAcceptedJobs) {
   // Intake is closed now.
   JobResult late = service.submit(f.job("late")).get();
   EXPECT_FALSE(late.ok);
+  EXPECT_EQ(late.status, JobStatus::kRejectedShutdown);
   EXPECT_NE(late.error.find("shut down"), std::string::npos);
+  EXPECT_EQ(service.stats().rejected_shutdown, 1u);
 }
 
 // --- plan() thread-safety + determinism ------------------------------------
