@@ -249,6 +249,84 @@ void BM_FullPlanWithAdjustment(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPlanWithAdjustment)->Unit(benchmark::kMillisecond);
 
+// --- observability overhead -------------------------------------------------
+// The "<2% overhead" contract of src/obs: the same full plan against a
+// live Registry (spans + histograms + counters recording) and against a
+// NullRegistry (every handle nullptr, one untaken branch per site) must
+// track BM_FullPlanWithAdjustment within noise.
+
+void BM_FullPlanLiveRegistry(benchmark::State& state) {
+  Scenario sc = scenario(1);
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 350;
+  opt.cvt_samples = 4000;
+  opt.max_adjust_steps = 5;
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, opt);
+  obs::Registry registry;
+  planner.set_observer(&registry);
+  auto deploy =
+      optimal_coverage_positions(sc.m1, 100, 1, uniform_density()).positions;
+  Vec2 offset = sc.m1.centroid() + Vec2{12.0 * sc.comm_range, 0.0} -
+                sc.m2_shape.centroid();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(deploy, offset));
+  }
+  state.counters["spans"] =
+      static_cast<double>(registry.spans()->total_recorded());
+}
+BENCHMARK(BM_FullPlanLiveRegistry)->Unit(benchmark::kMillisecond);
+
+void BM_FullPlanNullRegistry(benchmark::State& state) {
+  Scenario sc = scenario(1);
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 350;
+  opt.cvt_samples = 4000;
+  opt.max_adjust_steps = 5;
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, opt);
+  obs::NullRegistry null_registry;
+  planner.set_observer(&null_registry);
+  auto deploy =
+      optimal_coverage_positions(sc.m1, 100, 1, uniform_density()).positions;
+  Vec2 offset = sc.m1.centroid() + Vec2{12.0 * sc.comm_range, 0.0} -
+                sc.m2_shape.centroid();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(deploy, offset));
+  }
+}
+BENCHMARK(BM_FullPlanNullRegistry)->Unit(benchmark::kMillisecond);
+
+void BM_CounterInc(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Counter* c = registry.counter("bench_counter");
+  for (auto _ : state) {
+    obs::inc(c);
+  }
+  benchmark::DoNotOptimize(c->value());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_CounterIncNull(benchmark::State& state) {
+  obs::NullRegistry registry;
+  obs::Counter* c = registry.counter("bench_counter");  // nullptr
+  for (auto _ : state) {
+    obs::inc(c);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CounterIncNull);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Histogram* h = registry.histogram("bench_hist");
+  double v = 1e-6;
+  for (auto _ : state) {
+    v = v > 1.0 ? 1e-6 : v * 1.01;
+    obs::observe(h, v);
+  }
+  benchmark::DoNotOptimize(h->count());
+}
+BENCHMARK(BM_HistogramObserve);
+
 }  // namespace
 
 BENCHMARK_MAIN();

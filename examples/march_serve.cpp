@@ -7,14 +7,17 @@
 //
 // Usage:
 //   march_serve [--threads N] [--queue N] [--reject] [--cache N]
-//               [--input FILE] [--stats]
+//               [--input FILE] [--stats] [--metrics FILE]
 //
-//   --threads N   worker threads (default: hardware concurrency)
-//   --queue N     bounded queue capacity (default 256)
-//   --reject      shed load when the queue is full instead of blocking
-//   --cache N     planner cache capacity (default 64)
-//   --input FILE  read requests from FILE instead of stdin
-//   --stats       print a service-stats JSON snapshot to stderr at exit
+//   --threads N    worker threads (default: hardware concurrency)
+//   --queue N      bounded queue capacity (default 256)
+//   --reject       shed load when the queue is full instead of blocking
+//   --cache N      planner cache capacity (default 64)
+//   --input FILE   read requests from FILE instead of stdin
+//   --stats        print a service-stats JSON snapshot to stderr at exit
+//   --metrics FILE write a Prometheus text exposition of the run's metrics
+//                  (job/cache/planner families, see src/obs/) to FILE at
+//                  exit; "-" writes to stderr
 //
 // Example:
 //   printf '%s\n%s\n' \
@@ -37,13 +40,14 @@ using namespace anr;
 struct ServeOptions {
   runtime::ServiceOptions service;
   std::string input;
+  std::string metrics;
   bool stats = false;
 };
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--threads N] [--queue N] [--reject] [--cache N]"
-               " [--input FILE] [--stats]\n";
+               " [--input FILE] [--stats] [--metrics FILE]\n";
   std::exit(2);
 }
 
@@ -69,6 +73,8 @@ ServeOptions parse(int argc, char** argv) {
       opt.input = need_value();
     } else if (arg == "--stats") {
       opt.stats = true;
+    } else if (arg == "--metrics") {
+      opt.metrics = need_value();
     } else {
       usage_and_exit(argv[0]);
     }
@@ -91,6 +97,8 @@ int main(int argc, char** argv) {
   }
   std::istream& in = opt.input.empty() ? std::cin : file;
 
+  obs::Registry registry;
+  if (!opt.metrics.empty()) opt.service.registry = &registry;
   runtime::MissionService service(opt.service);
   std::map<std::string, std::vector<Vec2>> deployments;
 
@@ -143,6 +151,22 @@ int main(int argc, char** argv) {
   service.shutdown();
   if (opt.stats) {
     std::cerr << stats_to_json(service.stats()).dump(2) << "\n";
+  }
+  if (!opt.metrics.empty()) {
+    // Same text a /metricsz HTTP endpoint would serve, written at exit.
+    std::string text = metrics_text_exposition(registry);
+    if (opt.metrics == "-") {
+      std::cerr << "/metricsz\n" << text;
+    } else {
+      std::ofstream mf(opt.metrics);
+      if (!mf) {
+        std::cerr << "march_serve: cannot write " << opt.metrics << "\n";
+        return 1;
+      }
+      mf << text;
+      std::cerr << "/metricsz -> " << opt.metrics << " ("
+                << registry.snapshot().size() << " series)\n";
+    }
   }
   return failures == 0 ? 0 : 1;
 }

@@ -45,6 +45,18 @@ def load(path):
 base = load(baseline_path)
 cur = load(current_path)
 
+# An empty baseline would make the comparison loop below vacuously pass
+# ("all 0 benchmarks within tolerance") — treat it as a broken guard, the
+# same as a missing file.
+if not base:
+    print(f"FAIL: baseline {baseline_path} contains no iteration benchmarks",
+          file=sys.stderr)
+    sys.exit(1)
+if not cur:
+    print(f"FAIL: current run produced no iteration benchmarks",
+          file=sys.stderr)
+    sys.exit(1)
+
 failed = []
 print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} {'delta':>8}")
 for name, (bt, unit) in sorted(base.items()):

@@ -16,9 +16,10 @@ BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DANR_SANITIZE=thread >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target test_runtime test_composition test_network test_grid_index >/dev/null
+  --target test_runtime test_composition test_network test_grid_index \
+  test_obs >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R '^(test_runtime|test_composition|test_network|test_grid_index)$'
+  -R '^(test_runtime|test_composition|test_network|test_grid_index|test_obs)$'
 echo "OK: TSan sweep clean"

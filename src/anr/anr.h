@@ -42,6 +42,7 @@
 #include "io/event_io.h"
 #include "io/job_io.h"
 #include "io/json.h"
+#include "io/metrics_io.h"
 #include "io/plan_io.h"
 #include "harmonic/disk_map.h"
 #include "harmonic/distributed_disk_map.h"
@@ -72,6 +73,8 @@
 #include "net/protocols/relax.h"
 #include "net/protocols/subgroup.h"
 #include "net/unit_disk_graph.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "runtime/mission_service.h"
 #include "runtime/planner_cache.h"
 #include "terrain/height_field.h"

@@ -1,0 +1,156 @@
+#include "io/metrics_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace anr {
+
+namespace {
+
+using obs::Labels;
+using obs::MetricSnapshot;
+using obs::MetricType;
+
+/// Shortest round-trippable decimal for a metric value.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[64];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+    std::sscanf(probe, "%lf", &back);
+    if (back == v) return probe;
+  }
+  return buf;
+}
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Renders {a="x",b="y"}; `extra` appends one more pair (the `le` label).
+std::string label_block(const Labels& labels, const char* extra_key = nullptr,
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k + "=\"" + escape_label_value(v) + "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) out.push_back(',');
+    out += std::string(extra_key) + "=\"" + extra_value + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+void expose_one(std::ostringstream& out, const MetricSnapshot& s) {
+  if (s.type != MetricType::kHistogram) {
+    out << s.name << label_block(s.labels) << ' ' << fmt_double(s.value)
+        << '\n';
+    return;
+  }
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+    cumulative += s.buckets[i];
+    out << s.name << "_bucket"
+        << label_block(s.labels, "le", fmt_double(s.bounds[i])) << ' '
+        << cumulative << '\n';
+  }
+  out << s.name << "_bucket" << label_block(s.labels, "le", "+Inf") << ' '
+      << s.count << '\n';
+  out << s.name << "_sum" << label_block(s.labels) << ' ' << fmt_double(s.sum)
+      << '\n';
+  out << s.name << "_count" << label_block(s.labels) << ' ' << s.count << '\n';
+}
+
+}  // namespace
+
+std::string metrics_text_exposition(const obs::Registry& reg) {
+  std::ostringstream out;
+  std::string open_family;
+  for (const MetricSnapshot& s : reg.snapshot()) {
+    if (s.name != open_family) {
+      open_family = s.name;
+      if (!s.help.empty()) out << "# HELP " << s.name << ' ' << s.help << '\n';
+      out << "# TYPE " << s.name << ' ' << metric_type_name(s.type) << '\n';
+    }
+    expose_one(out, s);
+  }
+  return out.str();
+}
+
+json::Value metric_to_json(const MetricSnapshot& snap) {
+  json::Object o;
+  o.emplace("name", snap.name);
+  o.emplace("type", metric_type_name(snap.type));
+  if (!snap.labels.empty()) {
+    json::Object labels;
+    for (const auto& [k, v] : snap.labels) labels.emplace(k, v);
+    o.emplace("labels", std::move(labels));
+  }
+  if (snap.type == MetricType::kHistogram) {
+    json::Array buckets;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+      cumulative += snap.buckets[i];
+      json::Object b;
+      b.emplace("le", snap.bounds[i]);
+      b.emplace("count", cumulative);
+      buckets.push_back(json::Value(std::move(b)));
+    }
+    // The overflow bucket ("le" as the string "+Inf": JSON numbers cannot
+    // carry infinity); its cumulative count equals the observation total.
+    if (snap.buckets.size() > snap.bounds.size()) {
+      cumulative += snap.buckets.back();
+    }
+    json::Object inf;
+    inf.emplace("le", "+Inf");
+    inf.emplace("count", cumulative);
+    buckets.push_back(json::Value(std::move(inf)));
+    o.emplace("buckets", std::move(buckets));
+    o.emplace("sum", snap.sum);
+    o.emplace("count", snap.count);
+  } else {
+    o.emplace("value", snap.value);
+  }
+  return json::Value(std::move(o));
+}
+
+void write_metrics_ndjson(const obs::Registry& reg, std::ostream& out) {
+  for (const MetricSnapshot& s : reg.snapshot()) {
+    out << metric_to_json(s).dump() << '\n';
+  }
+}
+
+json::Value spans_to_json(const obs::Registry& reg) {
+  json::Array arr;
+  for (const obs::SpanRecord& r : reg.span_snapshot()) {
+    json::Object o;
+    o.emplace("name", r.name);
+    o.emplace("start_s", r.start_s);
+    o.emplace("dur_s", r.dur_s);
+    o.emplace("depth", r.depth);
+    o.emplace("seq", r.seq);
+    arr.push_back(json::Value(std::move(o)));
+  }
+  return json::Value(std::move(arr));
+}
+
+}  // namespace anr

@@ -1,0 +1,38 @@
+// Metrics exposition: Prometheus-style text and NDJSON snapshots.
+//
+// src/obs owns the primitives (Registry, Counter/Gauge/Histogram, spans);
+// this module turns Registry::snapshot() into wire formats:
+//
+//   - metrics_text_exposition(): the Prometheus text format — # HELP and
+//     # TYPE per family, cumulative `le` buckets plus _sum/_count for
+//     histograms — scrapeable by anything that speaks /metrics;
+//   - write_metrics_ndjson(): one JSON object per metric per line, for
+//     log shipping and offline diffing (examples/march_serve --metrics);
+//   - spans_to_json(): the bounded span-ring trace as a JSON array.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "io/json.h"
+#include "obs/metrics.h"
+
+namespace anr {
+
+/// Prometheus text exposition of every metric in `reg`, families grouped,
+/// in registration order.
+std::string metrics_text_exposition(const obs::Registry& reg);
+
+/// One metric as a JSON object ({"name","type","labels","value"} for
+/// counters/gauges; histograms carry "buckets" [{le,count} cumulative],
+/// "sum", and "count").
+json::Value metric_to_json(const obs::MetricSnapshot& snap);
+
+/// NDJSON snapshot: metric_to_json() per line, registration order.
+void write_metrics_ndjson(const obs::Registry& reg, std::ostream& out);
+
+/// The registry's span ring as a JSON array of {name, start_s, dur_s,
+/// depth, seq}, oldest first.
+json::Value spans_to_json(const obs::Registry& reg);
+
+}  // namespace anr

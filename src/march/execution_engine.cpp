@@ -99,6 +99,28 @@ ExecutionEngine::ExecutionEngine(double r_c, ExecutionOptions options)
   ANR_CHECK(r_c_ > 0.0);
   ANR_CHECK(opt_.guard_factor > 0.0 && opt_.guard_factor <= 1.0);
   ANR_CHECK(opt_.catch_up_factor >= 1.0);
+  if (opt_.registry != nullptr && opt_.registry->enabled()) {
+    obs::Registry& reg = *opt_.registry;
+    ins_.runs = reg.counter("anr_exec_runs_total", {}, "executions finished");
+    ins_.ticks = reg.counter("anr_exec_ticks_total", {}, "simulation ticks");
+    ins_.pauses = reg.counter("anr_exec_pauses_total", {},
+                              "pause-and-wait engagements");
+    ins_.retries = reg.counter("anr_exec_retries_total", {},
+                               "backoff windows consumed across pauses");
+    ins_.crashes = reg.counter("anr_exec_crashes_total", {},
+                               "crash-stops detected and absorbed");
+    ins_.recoveries = reg.counter("anr_exec_recoveries_total", {},
+                                  "peer-absorb operations dispatched");
+    ins_.guard_trips = reg.counter(
+        "anr_exec_guard_trips_total", {},
+        "clean-to-tripped transitions of the connectivity guard");
+    ins_.disconnects = reg.counter("anr_exec_disconnects_total", {},
+                                   "hard connectivity losses (Def. 2)");
+    ins_.retargets = reg.counter("anr_exec_retargets_total", {},
+                                 "mission changes spliced mid-march");
+    ins_.degraded = reg.counter("anr_exec_degraded_runs_total", {},
+                                "runs that exhausted a budget");
+  }
 }
 
 ExecutionReport ExecutionEngine::run(const MarchPlan& plan,
@@ -177,6 +199,9 @@ ExecutionReport ExecutionEngine::run(const MarchPlan& plan,
   double pause_deadline = 0.0;
   int retry_count = 0;
   bool was_connected = true;
+  bool was_guard_ok = true;
+  int guard_trips = 0;
+  int disconnects = 0;
   net::ConnectivityMonitor::Verdict verdict;
 
   // Reused per-tick scratch.
@@ -185,7 +210,9 @@ ExecutionReport ExecutionEngine::run(const MarchPlan& plan,
   std::vector<int> orig_to_alive(n0);
   std::vector<std::pair<int, int>> dropped_alive;
 
-  for (std::int64_t tick = 1;; ++tick) {
+  std::int64_t tick = 0;
+  for (;;) {
+    ++tick;
     const double t_prev = t;
     t = static_cast<double>(tick) * dt;
 
@@ -259,7 +286,10 @@ ExecutionReport ExecutionEngine::run(const MarchPlan& plan,
       gf = std::min(1.0, std::ceil(1.02 * bp / r_c_ * 50.0) / 50.0);
     }
     verdict = monitor.assess(actual, model.range_factor(t), dropped_alive, gf);
+    if (!verdict.guard_ok && was_guard_ok) ++guard_trips;
+    was_guard_ok = verdict.guard_ok;
     if (!verdict.connected && was_connected) {
+      ++disconnects;
       log(t, ExecEventType::kDisconnected, -1,
           "alive network split into components");
       report.connected_throughout = false;
@@ -463,6 +493,19 @@ ExecutionReport ExecutionEngine::run(const MarchPlan& plan,
       link_count == 0 ? 1.0
                       : static_cast<double>(preserved) /
                             static_cast<double>(link_count);
+
+  // Batched instrumentation: counts come from the finished report, so the
+  // tick loop runs identically with or without a registry attached.
+  obs::inc(ins_.runs);
+  obs::inc(ins_.ticks, static_cast<std::uint64_t>(tick));
+  obs::inc(ins_.pauses, static_cast<std::uint64_t>(report.pauses));
+  obs::inc(ins_.retries, static_cast<std::uint64_t>(report.retries));
+  obs::inc(ins_.crashes, report.crashed.size());
+  obs::inc(ins_.recoveries, static_cast<std::uint64_t>(report.recoveries));
+  obs::inc(ins_.guard_trips, static_cast<std::uint64_t>(guard_trips));
+  obs::inc(ins_.disconnects, static_cast<std::uint64_t>(disconnects));
+  obs::inc(ins_.retargets, static_cast<std::uint64_t>(report.retargets));
+  if (report.degraded) obs::inc(ins_.degraded);
   return report;
 }
 

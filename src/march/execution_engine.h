@@ -32,6 +32,7 @@
 #include "foi/foi.h"
 #include "march/planner.h"
 #include "march/trajectory.h"
+#include "obs/metrics.h"
 
 namespace anr {
 
@@ -102,6 +103,11 @@ struct ExecutionOptions {
   std::uint64_t noise_seed = 0x5eedULL;
   /// Scripted mission changes, applied in time order.
   std::vector<MissionChange> mission_changes;
+  /// Metrics sink (anr_exec_* counters: runs, ticks, pauses, retries,
+  /// crashes absorbed, guard trips, ...). Counters are batched from the
+  /// finished report, so instrumentation cannot perturb the tick loop or
+  /// the deterministic event log. Must outlive the engine.
+  obs::Registry* registry = nullptr;
 };
 
 struct ExecutionReport {
@@ -155,8 +161,23 @@ class ExecutionEngine {
   const ExecutionOptions& options() const { return opt_; }
 
  private:
+  /// Metric handles (all null when ExecutionOptions::registry is unset).
+  struct Instruments {
+    obs::Counter* runs = nullptr;
+    obs::Counter* ticks = nullptr;
+    obs::Counter* pauses = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* crashes = nullptr;
+    obs::Counter* recoveries = nullptr;
+    obs::Counter* guard_trips = nullptr;
+    obs::Counter* disconnects = nullptr;
+    obs::Counter* retargets = nullptr;
+    obs::Counter* degraded = nullptr;
+  };
+
   double r_c_;
   ExecutionOptions opt_;
+  Instruments ins_;
 };
 
 }  // namespace anr

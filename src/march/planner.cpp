@@ -67,6 +67,40 @@ MarchPlanner::MarchPlanner(FieldOfInterest m1, FieldOfInterest m2_shape,
   }
 }
 
+void MarchPlanner::set_observer(obs::Registry* registry) {
+  ins_ = Instruments{};
+  if (registry == nullptr || !registry->enabled()) return;
+  ins_.spans = registry->spans();
+  auto stage = [&](const char* name) {
+    return registry->histogram("anr_plan_stage_seconds", {{"stage", name}},
+                               "per-stage planning latency");
+  };
+  ins_.stage_extraction = stage("extraction");
+  ins_.stage_harmonic = stage("harmonic_map");
+  ins_.stage_rotation = stage("rotation_search");
+  ins_.stage_interpolation = stage("interpolation");
+  ins_.stage_adjustment = stage("adjustment");
+  ins_.plan_seconds =
+      registry->histogram("anr_plan_seconds", {}, "end-to-end plan() latency");
+  ins_.plans = registry->counter("anr_plans_total", {}, "plans produced");
+  ins_.rotation_probes = registry->counter(
+      "anr_rotation_probes_total", {}, "rotation-search objective probes");
+  ins_.snapped_targets = registry->counter(
+      "anr_plan_snapped_targets_total", {},
+      "targets snapped off holes / off-mesh landings");
+  ins_.repaired_robots = registry->counter(
+      "anr_plan_repaired_robots_total", {},
+      "robots rerouted by global-connectivity repair");
+  ins_.fallback_relaxed = registry->counter(
+      "anr_plan_fallbacks_total", {{"mode", "relaxed_extraction"}},
+      "plan_robust fallback attempts that produced the plan");
+  ins_.fallback_baseline = registry->counter(
+      "anr_plan_fallbacks_total", {{"mode", "baseline_fallback"}},
+      "plan_robust fallback attempts that produced the plan");
+  ins_.plans_degraded = registry->counter(
+      "anr_plans_degraded_total", {}, "plans produced by a fallback mode");
+}
+
 const char* plan_mode_name(PlanMode mode) {
   switch (mode) {
     case PlanMode::kPrimary:
@@ -89,6 +123,11 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
   const std::size_t n = positions.size();
   ANR_CHECK_MSG(n >= 4, "need at least 4 robots");
 
+  // Whole-pipeline span; the stage spans below nest inside it. Recording
+  // only reads clocks and bumps atomics — the plan bytes stay identical
+  // with or without an observer.
+  obs::Span plan_span(ins_.spans, "plan", ins_.plan_seconds);
+
   MarchPlan plan;
   plan.start = positions;
   plan.m2_stats = m2_stats_;
@@ -100,6 +139,7 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
   auto links = communication_links(positions, r_c_);
 
   // --- 1. Triangulation T -------------------------------------------------
+  obs::Span ext_span(ins_.spans, "extraction", ins_.stage_extraction);
   const double r_ext = r_c_ * alpha_scale;
   ExtractionResult ext =
       opt_.extraction == ExtractionMode::kGabriel
@@ -113,8 +153,10 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
 
   std::vector<int> robot_to_compact;
   TriangleMesh t_compact = compact_for_mapping(ext.mesh, robot_to_compact);
+  ext_span.finish();
 
   // --- 2. Harmonic map of T (holes filled when M1 had holes) --------------
+  obs::Span harm_span(ins_.spans, "harmonic_map", ins_.stage_harmonic);
   HoleFillResult t_filled = fill_holes(t_compact);
   DiskMap t_disk;
   if (opt_.distributed) {
@@ -126,6 +168,7 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
   }
   ANR_CHECK_MSG(t_disk.converged || !opt_.distributed,
                 "distributed relaxation did not converge");
+  harm_span.finish();
 
   // Boundary robots: vertices of T's *outer* loop — they land on M2's rim.
   std::vector<char> is_boundary(n, 0);
@@ -236,6 +279,7 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
     return -total_displacement(positions, q);
   };
 
+  obs::Span rot_span(ins_.spans, "rotation_search", ins_.stage_rotation);
   RotationSearchResult rot;
   if (opt_.exhaustive_rotation) {
     rot = sweep_rotation(objective);
@@ -258,8 +302,13 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
   plan.rotation_angle = rot.angle;
   plan.rotation_objective = rot.value;
   plan.rotation_evaluations = rot.evaluations;
+  rot_span.finish();
+  if (rot.evaluations > 0) {
+    obs::inc(ins_.rotation_probes, static_cast<std::uint64_t>(rot.evaluations));
+  }
 
   // --- 5. Targets at the chosen rotation ----------------------------------
+  obs::Span interp_span(ins_.spans, "interpolation", ins_.stage_interpolation);
   std::vector<Vec2> targets;
   map_targets_into(rot.angle, &plan.snapped_targets, targets);
 
@@ -327,8 +376,14 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
     plan.trajectories.push_back(make_timed_path(
         positions[r], targets[r], 0.0, opt_.transition_time, obstacles));
   }
+  interp_span.finish();
+  obs::inc(ins_.snapped_targets,
+           static_cast<std::uint64_t>(plan.snapped_targets));
+  obs::inc(ins_.repaired_robots,
+           static_cast<std::uint64_t>(plan.repaired_robots));
 
   // --- 8. Minor local adjustment: connectivity-safe Lloyd -----------------
+  obs::Span adjust_span(ins_.spans, "adjustment", ins_.stage_adjustment);
   // Reference speed: fastest robot during the transition; adjustment steps
   // take time proportional to their largest move at that speed.
   double max_disp = 1e-9;
@@ -401,8 +456,11 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
     ++plan.adjust_steps;
   }
 
+  adjust_span.finish();
+
   plan.final_positions = cur;
   plan.total_time = t;
+  obs::inc(ins_.plans);
   return plan;
 }
 
@@ -438,6 +496,11 @@ PlanOutcome MarchPlanner::plan_robust(const std::vector<Vec2>& positions,
       out.degradation.attempts.push_back(std::move(a));
       out.degradation.mode = mode;
       out.degradation.degraded = mode != PlanMode::kPrimary;
+      if (out.degradation.degraded) {
+        obs::inc(ins_.plans_degraded);
+        obs::inc(mode == PlanMode::kRelaxedExtraction ? ins_.fallback_relaxed
+                                                      : ins_.fallback_baseline);
+      }
       out.plan = std::move(plan);
       return true;
     } catch (const std::exception& e) {

@@ -36,6 +36,7 @@
 #include "march/repair.h"
 #include "march/trajectory.h"
 #include "mesh/mesh_quality.h"
+#include "obs/metrics.h"
 
 namespace anr {
 
@@ -178,7 +179,35 @@ class MarchPlanner {
   double comm_range() const { return r_c_; }
   const PlannerOptions& options() const { return opt_; }
 
+  /// Attaches a metrics registry: per-stage spans + latency histograms
+  /// (anr_plan_stage_seconds{stage=...}), whole-plan latency, rotation
+  /// probe / snapped-target / repair counters, and fallback-mode counters
+  /// for plan_robust(). Pass nullptr (or an obs::NullRegistry) to detach.
+  /// Not part of the cache fingerprint — observation never changes plan
+  /// output. Call before sharing the planner across threads; plan() only
+  /// reads the resolved handles.
+  void set_observer(obs::Registry* registry);
+
  private:
+  /// Metric handles resolved once by set_observer(); all null when
+  /// unobserved, so each record site is one untaken branch.
+  struct Instruments {
+    obs::SpanRing* spans = nullptr;
+    obs::Histogram* stage_extraction = nullptr;
+    obs::Histogram* stage_harmonic = nullptr;
+    obs::Histogram* stage_rotation = nullptr;
+    obs::Histogram* stage_interpolation = nullptr;
+    obs::Histogram* stage_adjustment = nullptr;
+    obs::Histogram* plan_seconds = nullptr;
+    obs::Counter* plans = nullptr;
+    obs::Counter* rotation_probes = nullptr;
+    obs::Counter* snapped_targets = nullptr;
+    obs::Counter* repaired_robots = nullptr;
+    obs::Counter* fallback_relaxed = nullptr;
+    obs::Counter* fallback_baseline = nullptr;
+    obs::Counter* plans_degraded = nullptr;
+  };
+
   /// The full pipeline with the extraction radius scaled by
   /// `alpha_scale`; plan() delegates here with opt_.alpha_scale.
   MarchPlan plan_impl(const std::vector<Vec2>& positions, Vec2 m2_offset,
@@ -188,6 +217,7 @@ class MarchPlanner {
   FieldOfInterest m2_;
   double r_c_;
   PlannerOptions opt_;
+  Instruments ins_;
 
   // M2-side precomputation (origin frame).
   FoiMesh m2_mesh_;

@@ -1,0 +1,82 @@
+#include "obs/span.h"
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace anr::obs {
+
+namespace {
+thread_local int t_span_depth = 0;
+}  // namespace
+
+SpanRing::SpanRing(std::size_t capacity)
+    : capacity_(capacity), epoch_(clock::now()) {
+  ANR_CHECK(capacity_ >= 1);
+  ring_.reserve(capacity_);
+}
+
+void SpanRing::push(const char* name, double start_s, double dur_s,
+                    int depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord r;
+  r.name = name;
+  r.start_s = start_s;
+  r.dur_s = dur_s;
+  r.depth = depth;
+  r.seq = seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(r);
+  } else {
+    ring_[static_cast<std::size_t>(r.seq % capacity_)] = r;
+  }
+}
+
+std::vector<SpanRecord> SpanRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Oldest live record sits right after the most recently written slot.
+    std::size_t head = static_cast<std::size_t>(seq_ % capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(head + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t SpanRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+Span::Span(SpanRing* ring, const char* name, Histogram* hist)
+    : ring_(ring), hist_(hist), name_(name), open_(ring != nullptr ||
+                                                  hist != nullptr) {
+  if (!open_) return;
+  depth_ = t_span_depth++;
+  if (ring_ != nullptr) {
+    start_s_ = ring_->now_seconds();
+  } else {
+    t0_ = std::chrono::steady_clock::now();
+  }
+}
+
+void Span::finish() {
+  if (!open_) return;
+  open_ = false;
+  --t_span_depth;
+  double dur;
+  if (ring_ != nullptr) {
+    dur = ring_->now_seconds() - start_s_;
+    ring_->push(name_, start_s_, dur, depth_);
+  } else {
+    dur = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+              .count();
+  }
+  observe(hist_, dur);
+}
+
+}  // namespace anr::obs

@@ -1,0 +1,88 @@
+// Scoped span tracing (the timing side of src/obs).
+//
+// A Span is an RAII stopwatch over one pipeline stage. On destruction it
+// pushes a SpanRecord into a bounded SpanRing (fixed-capacity, oldest
+// overwritten) and optionally feeds the duration into a Histogram, so the
+// same guard powers both the recent-trace view and the aggregate latency
+// distribution. Nesting is tracked with a thread-local depth counter;
+// records carry the depth at which they ran, and completion order (inner
+// spans finish first) is preserved by a monotone sequence number.
+//
+// Both the ring and the histogram target are nullable: a Span constructed
+// against nullptrs reads no clock and records nothing, which is what a
+// disabled registry (obs::NullRegistry) hands out.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace anr::obs {
+
+class Histogram;
+
+/// One completed span. `name` must point at static-lifetime storage (the
+/// instrumentation sites use string literals).
+struct SpanRecord {
+  const char* name = "";
+  double start_s = 0.0;  ///< seconds since the ring's epoch
+  double dur_s = 0.0;
+  int depth = 0;         ///< 0 = outermost
+  std::uint64_t seq = 0; ///< completion order, monotone per ring
+};
+
+/// Bounded ring of completed spans. push() takes a mutex (spans close at
+/// stage granularity — a handful per plan — so this is off the per-event
+/// hot path); snapshot() copies out oldest-first.
+class SpanRing {
+ public:
+  explicit SpanRing(std::size_t capacity = 1024);
+
+  void push(const char* name, double start_s, double dur_s, int depth);
+
+  std::vector<SpanRecord> snapshot() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Total spans ever pushed (>= snapshot().size()).
+  std::uint64_t total_recorded() const;
+
+  /// Seconds since this ring was created (span start timestamps).
+  double now_seconds() const {
+    return std::chrono::duration<double>(clock::now() - epoch_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+
+  std::size_t capacity_;
+  clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;  // ring_[seq % capacity_]
+  std::uint64_t seq_ = 0;
+};
+
+/// RAII stage timer. Records into `ring` and/or `hist` when non-null;
+/// fully inert (no clock read) when both are null.
+class Span {
+ public:
+  Span(SpanRing* ring, const char* name, Histogram* hist = nullptr);
+  ~Span() { finish(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Stops and records early; the destructor becomes a no-op. Idempotent.
+  void finish();
+
+ private:
+  SpanRing* ring_;
+  Histogram* hist_;
+  const char* name_;
+  bool open_;
+  int depth_ = 0;
+  double start_s_ = 0.0;  ///< ring-epoch start (ring mode)
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace anr::obs

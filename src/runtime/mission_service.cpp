@@ -61,6 +61,7 @@ json::Value stats_to_json(const ServiceStats& s) {
   json::Object cache;
   cache.emplace("hits", s.cache.hits);
   cache.emplace("misses", s.cache.misses);
+  cache.emplace("coalesced", s.cache.coalesced);
   cache.emplace("constructions", s.cache.constructions);
   cache.emplace("evictions", s.cache.evictions);
   cache.emplace("entries", s.cache.entries);
@@ -113,6 +114,28 @@ MissionService::MissionService(ServiceOptions options)
     : opt_(options),
       cache_(options.cache_capacity) {
   ANR_CHECK(opt_.queue_capacity >= 1);
+  if (opt_.registry != nullptr && opt_.registry->enabled()) {
+    obs::Registry& reg = *opt_.registry;
+    ins_.queue_depth =
+        reg.gauge("anr_service_queue_depth", {}, "jobs waiting in the queue");
+    ins_.submitted =
+        reg.counter("anr_jobs_submitted_total", {}, "jobs handed to submit()");
+    ins_.retried = reg.counter("anr_job_retries_total", {},
+                               "extra planning attempts after an error");
+    for (int s = 0; s <= static_cast<int>(JobStatus::kError); ++s) {
+      ins_.by_status[s] =
+          reg.counter("anr_jobs_total",
+                      {{"status", job_status_name(static_cast<JobStatus>(s))}},
+                      "jobs resolved, by final status");
+    }
+    ins_.e2e_seconds = reg.histogram("anr_job_e2e_seconds", {},
+                                     "submit-to-resolution latency");
+    ins_.queue_seconds =
+        reg.histogram("anr_job_queue_seconds", {}, "queue-wait latency");
+    ins_.build_seconds = reg.histogram(
+        "anr_planner_build_seconds", {}, "cache-miss planner constructions");
+    cache_.set_observer(opt_.registry);
+  }
   int threads = opt_.threads;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -167,14 +190,20 @@ std::optional<std::string> MissionService::validate(const PlanJob& job) {
   return std::nullopt;
 }
 
+void MissionService::count_job(JobStatus status) const {
+  obs::inc(ins_.by_status[static_cast<int>(status)]);
+}
+
 std::future<JobResult> MissionService::submit(PlanJob job) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  obs::inc(ins_.submitted);
   std::promise<JobResult> promise;
   std::future<JobResult> future = promise.get_future();
 
   auto reject = [&](JobStatus status, const std::string& why,
                     std::atomic<std::uint64_t>& counter) {
     counter.fetch_add(1, std::memory_order_relaxed);
+    count_job(status);
     JobResult r;
     r.id = job.id;
     r.ok = false;
@@ -211,6 +240,7 @@ std::future<JobResult> MissionService::submit(PlanJob job) {
   queue_.push_back(QueuedJob{std::move(job), std::move(promise),
                              std::chrono::steady_clock::now()});
   queue_high_water_ = std::max(queue_high_water_, queue_.size());
+  obs::set(ins_.queue_depth, static_cast<double>(queue_.size()));
   lock.unlock();
   queue_pop_cv_.notify_one();
   return future;
@@ -235,6 +265,7 @@ void MissionService::worker_loop() {
       if (queue_.empty()) return;  // draining done and intake closed
       item = std::move(queue_.front());
       queue_.pop_front();
+      obs::set(ins_.queue_depth, static_cast<double>(queue_.size()));
     }
     queue_push_cv_.notify_one();
 
@@ -245,6 +276,8 @@ void MissionService::worker_loop() {
     if (item.job.deadline_seconds > 0.0 &&
         waited > item.job.deadline_seconds) {
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      count_job(JobStatus::kDeadlineExpired);
+      obs::observe(ins_.e2e_seconds, waited);
       JobResult r;
       r.id = item.job.id;
       r.status = JobStatus::kDeadlineExpired;
@@ -255,6 +288,7 @@ void MissionService::worker_loop() {
       continue;
     }
     queue_wait_.record(waited, opt_.latency_reservoir);
+    obs::observe(ins_.queue_seconds, waited);
     JobResult result = execute(std::move(item.job), waited);
     switch (result.status) {
       case JobStatus::kOk:
@@ -267,6 +301,11 @@ void MissionService::worker_loop() {
         errored_.fetch_add(1, std::memory_order_relaxed);
         break;
     }
+    count_job(result.status);
+    obs::observe(ins_.e2e_seconds,
+                 std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - item.enqueued)
+                     .count());
     item.promise.set_value(std::move(result));
   }
 }
@@ -296,8 +335,10 @@ void MissionService::watchdog_loop() {
     queue_push_cv_.notify_all();  // slots freed
     for (QueuedJob& q : expired) {
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      count_job(JobStatus::kDeadlineExpired);
       double waited =
           std::chrono::duration<double>(now - q.enqueued).count();
+      obs::observe(ins_.e2e_seconds, waited);
       JobResult r;
       r.id = q.job.id;
       r.status = JobStatus::kDeadlineExpired;
@@ -317,13 +358,25 @@ JobResult MissionService::execute(PlanJob&& job, double queue_seconds) {
   try {
     bool constructed = false;
     Stopwatch build_sw;
+    CacheKey key =
+        CacheKey::of(job.m1, job.m2_shape, job.r_c, job.options,
+                     job.closure_tag);
     std::shared_ptr<const MarchPlanner> planner = cache_.get_or_build(
-        job.m1, job.m2_shape, job.r_c, job.options, job.closure_tag,
+        key,
+        [&] {
+          auto built = std::make_unique<MarchPlanner>(job.m1, job.m2_shape,
+                                                      job.r_c, job.options);
+          // Attach before the planner is published to other workers: only
+          // the single-flight builder runs this, so the write is safe.
+          built->set_observer(opt_.registry);
+          return built;
+        },
         &constructed);
     result.build_seconds = build_sw.seconds();
     result.cache_hit = !constructed;
     if (constructed) {
       planner_build_.record(result.build_seconds, opt_.latency_reservoir);
+      obs::observe(ins_.build_seconds, result.build_seconds);
     }
 
     for (int attempt = 0;; ++attempt) {
@@ -359,6 +412,7 @@ JobResult MissionService::execute(PlanJob&& job, double queue_seconds) {
       }
       ++result.retries;
       retried_.fetch_add(1, std::memory_order_relaxed);
+      obs::inc(ins_.retried);
     }
     plan_exec_.record(result.plan_seconds, opt_.latency_reservoir);
   } catch (const std::exception& e) {

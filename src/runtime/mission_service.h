@@ -37,6 +37,7 @@
 
 #include "io/json.h"
 #include "march/planner.h"
+#include "obs/metrics.h"
 #include "runtime/planner_cache.h"
 
 namespace anr::runtime {
@@ -64,6 +65,13 @@ struct ServiceOptions {
   bool degraded_fallback = true;
   /// How often the deadline watchdog sweeps the queue.
   double watchdog_period_seconds = 0.01;
+  /// Metrics sink. When set, the service exports job counters by final
+  /// status (anr_jobs_total{status=...}), a queue-depth gauge, submit-to-
+  /// resolution and queue-wait latency histograms, the planner-cache
+  /// counters, and every planner the cache builds is attached to the same
+  /// registry (per-stage spans, probe counters). Must outlive the
+  /// service. nullptr (or an obs::NullRegistry) disables exporting.
+  obs::Registry* registry = nullptr;
 };
 
 /// Typed outcome of one job.
@@ -200,6 +208,18 @@ class MissionService {
   /// nullopt when the job is valid; otherwise the rejection message.
   static std::optional<std::string> validate(const PlanJob& job);
 
+  /// Metric handles (all null when ServiceOptions::registry is unset).
+  struct Instruments {
+    obs::Gauge* queue_depth = nullptr;
+    obs::Counter* submitted = nullptr;
+    obs::Counter* retried = nullptr;
+    obs::Counter* by_status[7] = {};  ///< indexed by JobStatus
+    obs::Histogram* e2e_seconds = nullptr;
+    obs::Histogram* queue_seconds = nullptr;
+    obs::Histogram* build_seconds = nullptr;
+  };
+  void count_job(JobStatus status) const;
+
   ServiceOptions opt_;
   PlannerCache cache_;
 
@@ -227,6 +247,7 @@ class MissionService {
   StageRecorder queue_wait_;
   StageRecorder planner_build_;
   StageRecorder plan_exec_;
+  Instruments ins_;
 };
 
 }  // namespace anr::runtime

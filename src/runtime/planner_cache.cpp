@@ -119,6 +119,24 @@ PlannerCache::PlannerCache(std::size_t capacity) : capacity_(capacity) {
   ANR_CHECK(capacity_ >= 1);
 }
 
+void PlannerCache::set_observer(obs::Registry* registry) {
+  ins_ = Instruments{};
+  if (registry == nullptr || !registry->enabled()) return;
+  ins_.hits = registry->counter("anr_cache_hits_total", {},
+                                "planner-cache lookups served by an entry");
+  ins_.misses = registry->counter("anr_cache_misses_total", {},
+                                  "planner-cache lookups that had to build");
+  ins_.coalesced =
+      registry->counter("anr_cache_coalesced_total", {},
+                        "lookups that waited on an in-flight build");
+  ins_.constructions = registry->counter("anr_cache_constructions_total", {},
+                                         "planners actually constructed");
+  ins_.evictions = registry->counter("anr_cache_evictions_total", {},
+                                     "LRU evictions of ready planners");
+  ins_.entries =
+      registry->gauge("anr_cache_entries", {}, "resident cached planners");
+}
+
 std::shared_ptr<const MarchPlanner> PlannerCache::get_or_build(
     const CacheKey& key,
     const std::function<std::unique_ptr<MarchPlanner>()>& build,
@@ -141,6 +159,7 @@ std::shared_ptr<const MarchPlanner> PlannerCache::get_or_build(
       if (map_.size() >= capacity_) evict_lru_locked();
       entry = std::make_shared<Entry>();
       map_.emplace(key, entry);
+      obs::set(ins_.entries, static_cast<double>(map_.size()));
       builder = true;
     }
   }
@@ -149,6 +168,7 @@ std::shared_ptr<const MarchPlanner> PlannerCache::get_or_build(
 
   if (builder) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::inc(ins_.misses);
     std::shared_ptr<const MarchPlanner> planner;
     std::exception_ptr error;
     try {
@@ -164,6 +184,7 @@ std::shared_ptr<const MarchPlanner> PlannerCache::get_or_build(
         std::unique_lock<std::shared_mutex> write(map_mutex_);
         auto it = map_.find(key);
         if (it != map_.end() && it->second == entry) map_.erase(it);
+        obs::set(ins_.entries, static_cast<double>(map_.size()));
       }
       {
         std::lock_guard<std::mutex> lock(entry->m);
@@ -174,6 +195,7 @@ std::shared_ptr<const MarchPlanner> PlannerCache::get_or_build(
       std::rethrow_exception(error);
     }
     constructions_.fetch_add(1, std::memory_order_relaxed);
+    obs::inc(ins_.constructions);
     if (constructed != nullptr) *constructed = true;
     {
       std::lock_guard<std::mutex> lock(entry->m);
@@ -185,8 +207,14 @@ std::shared_ptr<const MarchPlanner> PlannerCache::get_or_build(
   }
 
   hits_.fetch_add(1, std::memory_order_relaxed);
+  obs::inc(ins_.hits);
   std::unique_lock<std::mutex> lock(entry->m);
-  entry->cv.wait(lock, [&] { return entry->done; });
+  if (!entry->done) {
+    // Single-flight follower: another caller is building this entry.
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    obs::inc(ins_.coalesced);
+    entry->cv.wait(lock, [&] { return entry->done; });
+  }
   if (entry->error) std::rethrow_exception(entry->error);
   return entry->planner;
 }
@@ -222,6 +250,8 @@ void PlannerCache::evict_lru_locked() {
   if (victim != map_.end()) {
     map_.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs::inc(ins_.evictions);
+    obs::set(ins_.entries, static_cast<double>(map_.size()));
   }
 }
 
@@ -229,6 +259,7 @@ PlannerCacheStats PlannerCache::stats() const {
   PlannerCacheStats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
   s.constructions = constructions_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   {
@@ -246,6 +277,7 @@ std::size_t PlannerCache::size() const {
 void PlannerCache::clear() {
   std::unique_lock<std::shared_mutex> write(map_mutex_);
   map_.clear();
+  obs::set(ins_.entries, 0.0);
 }
 
 }  // namespace anr::runtime

@@ -33,6 +33,7 @@
 #include <unordered_map>
 
 #include "march/planner.h"
+#include "obs/metrics.h"
 
 namespace anr::runtime {
 
@@ -69,6 +70,8 @@ struct PlannerCacheStats {
   std::uint64_t hits = 0;    ///< lookups served by an existing entry
                              ///< (ready or single-flight in progress)
   std::uint64_t misses = 0;  ///< lookups that had to create the entry
+  std::uint64_t coalesced = 0;  ///< hits that waited on an in-flight build
+                                ///< (single-flight followers)
   std::uint64_t constructions = 0;  ///< planners actually built
   std::uint64_t evictions = 0;
   std::size_t entries = 0;   ///< current resident planners
@@ -100,7 +103,21 @@ class PlannerCache {
   std::size_t size() const;
   void clear();
 
+  /// Mirrors the cache counters into `registry` (anr_cache_*_total, the
+  /// anr_cache_entries gauge). nullptr detaches. Call before concurrent
+  /// use; lookups only read the resolved handles.
+  void set_observer(obs::Registry* registry);
+
  private:
+  struct Instruments {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* coalesced = nullptr;
+    obs::Counter* constructions = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Gauge* entries = nullptr;
+  };
+
   struct Entry {
     std::mutex m;
     std::condition_variable cv;
@@ -118,8 +135,10 @@ class PlannerCache {
   std::atomic<std::uint64_t> tick_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> constructions_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  Instruments ins_;
 };
 
 }  // namespace anr::runtime

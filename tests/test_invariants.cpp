@@ -1,0 +1,124 @@
+// Property sweep: the paper's guarantees, asserted as invariants over a
+// grid of seeded scenario configurations rather than hand-picked cases.
+//
+// For every (scenario, robots, seed, separation) in the sweep the planned
+// march must satisfy:
+//   - C = 1 (Def. 2): one connected component at every sampled instant;
+//   - L in [0, 1]: the stable link ratio is a well-formed fraction;
+//   - D finite and bounded below by the straight-line displacement — no
+//     trajectory can beat the triangle inequality;
+//   - barycentric targets inside M2, up to the robots the planner itself
+//     reports as snapped / repaired / unmeshed (repair parallel-marches
+//     may legally hold a subgroup outside the mesh);
+//   - the boundary ring chain gap stays <= r_c (the premise of the
+//     paper's global-connectivity argument).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <ostream>
+#include <vector>
+
+#include "coverage/lloyd.h"
+#include "foi/scenario.h"
+#include "march/planner.h"
+#include "march/transition_sim.h"
+
+namespace anr {
+namespace {
+
+struct SweepCase {
+  int scenario_id;
+  int robots;
+  std::uint64_t seed;
+  double separation_cr;
+};
+
+std::ostream& operator<<(std::ostream& os, const SweepCase& c) {
+  return os << "scenario" << c.scenario_id << "_n" << c.robots << "_seed"
+            << c.seed << "_sep" << c.separation_cr;
+}
+
+// Small-but-real settings so the sweep stays within test-suite budget.
+PlannerOptions sweep_options() {
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 350;
+  opt.cvt_samples = 4000;
+  opt.max_adjust_steps = 5;
+  return opt;
+}
+
+class PlanInvariants : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PlanInvariants, HoldAcrossTheSweep) {
+  const SweepCase c = GetParam();
+  Scenario sc = scenario(c.scenario_id);
+  std::vector<Vec2> deploy =
+      optimal_coverage_positions(sc.m1, c.robots, c.seed, uniform_density())
+          .positions;
+  Vec2 offset = sc.m1.centroid() +
+                Vec2{c.separation_cr * sc.comm_range, 0.0} -
+                sc.m2_shape.centroid();
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, sweep_options());
+  MarchPlan plan = planner.plan(deploy, offset);
+
+  ASSERT_EQ(plan.trajectories.size(), deploy.size());
+  ASSERT_GT(plan.total_time, 0.0);
+  EXPECT_LE(plan.transition_end, plan.total_time + 1e-9);
+
+  // --- C = 1 at every sampled instant of the whole timeline ---------------
+  TransitionMetrics m = simulate_transition(plan.trajectories, sc.comm_range,
+                                            plan.transition_end, 120);
+  EXPECT_TRUE(m.global_connectivity) << c;
+  EXPECT_LT(m.first_disconnect_time, 0.0) << c;
+
+  // --- L is a well-formed fraction ----------------------------------------
+  EXPECT_GE(m.stable_link_ratio, 0.0) << c;
+  EXPECT_LE(m.stable_link_ratio, 1.0 + 1e-12) << c;
+  EXPECT_GE(m.stable_link_ratio_transition, 0.0) << c;
+  EXPECT_LE(m.stable_link_ratio_transition, 1.0 + 1e-12) << c;
+  EXPECT_GT(m.initial_links, 0) << c;
+
+  // --- D finite and >= the straight-line lower bound ----------------------
+  EXPECT_TRUE(std::isfinite(m.total_distance)) << c;
+  double straight_line = 0.0;
+  for (const Trajectory& t : plan.trajectories) {
+    ASSERT_FALSE(t.empty());
+    double chord = distance(t.start(), t.end());
+    EXPECT_GE(t.length(), chord - 1e-9) << c;
+    straight_line += chord;
+  }
+  EXPECT_GE(m.total_distance, straight_line - 1e-6) << c;
+
+  // --- barycentric targets inside M2 (up to reported exceptions) ----------
+  FieldOfInterest m2_world = sc.m2_shape.translated(offset);
+  ASSERT_EQ(plan.mapped_targets.size(), deploy.size());
+  int outside = 0;
+  for (Vec2 p : plan.mapped_targets) {
+    EXPECT_TRUE(std::isfinite(p.x) && std::isfinite(p.y)) << c;
+    if (!m2_world.contains(p)) ++outside;
+  }
+  EXPECT_LE(outside, plan.repaired_robots + plan.snapped_targets +
+                         plan.unmeshed_robots)
+      << c;
+
+  // --- boundary ring chain gap (global-connectivity premise) --------------
+  EXPECT_LE(plan.max_boundary_gap, sc.comm_range) << c;
+
+  // --- endpoints are clean -------------------------------------------------
+  for (Vec2 p : plan.final_positions) {
+    EXPECT_TRUE(std::isfinite(p.x) && std::isfinite(p.y)) << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeededSweep, PlanInvariants,
+    ::testing::Values(SweepCase{1, 72, 7, 10.0}, SweepCase{1, 100, 1, 16.0},
+                      SweepCase{5, 72, 3, 12.0}, SweepCase{2, 100, 2, 20.0}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      const SweepCase& c = info.param;
+      return "scenario" + std::to_string(c.scenario_id) + "_n" +
+             std::to_string(c.robots) + "_seed" + std::to_string(c.seed);
+    });
+
+}  // namespace
+}  // namespace anr
