@@ -230,6 +230,89 @@ void BM_MapAllColdNoHints(benchmark::State& state) {
 }
 BENCHMARK(BM_MapAllColdNoHints);
 
+// --- intra-plan parallelism -------------------------------------------------
+// The serial-vs-parallel hot paths behind common/task_arena. Arg = arena
+// thread count; results are byte-identical across Args (asserted by
+// tests/test_parallel_determinism) so these benches track only latency.
+// On a single-core host the >1-thread Args measure scheduling overhead,
+// not speedup.
+
+void BM_HarmonicSweepThreads(benchmark::State& state) {
+  MapAllFixture& f = map_fixture();
+  set_arena_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harmonic_disk_map(f.filled.mesh));
+  }
+  set_arena_threads(0);
+  state.counters["vertices"] =
+      static_cast<double>(f.filled.mesh.num_vertices());
+}
+BENCHMARK(BM_HarmonicSweepThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MapAllThreads(benchmark::State& state) {
+  MapAllFixture& f = map_fixture();
+  set_arena_threads(static_cast<int>(state.range(0)));
+  std::vector<int> hints;
+  std::vector<MappedTarget> out;
+  double theta = 0.0;
+  for (auto _ : state) {
+    theta += 0.02;
+    if (theta > 6.28) theta = 0.0;
+    f.interp.map_all_into(f.robot_disk, theta, hints, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_arena_threads(0);
+}
+BENCHMARK(BM_MapAllThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_RotationSearchThreads(benchmark::State& state) {
+  // The planner's candidate-evaluation pattern: one batch objective call
+  // per probe round, candidates partitioned across workers with
+  // per-worker interpolation scratch.
+  MapAllFixture& f = map_fixture();
+  set_arena_threads(static_cast<int>(state.range(0)));
+  struct Slot {
+    std::vector<int> hints;
+    std::vector<MappedTarget> out;
+  };
+  RotationBatchObjective batch = [&](const std::vector<double>& thetas,
+                                     std::vector<double>& values) {
+    values.resize(thetas.size());
+    const std::size_t threads =
+        static_cast<std::size_t>(std::max(1, arena_threads()));
+    const std::size_t grain = (thetas.size() + threads - 1) / threads;
+    std::vector<Slot> slots((thetas.size() + grain - 1) / grain);
+    parallel_chunks(thetas.size(), grain,
+                    [&](std::size_t c, std::size_t b, std::size_t e) {
+                      Slot& s = slots[c];
+                      for (std::size_t i = b; i < e; ++i) {
+                        f.interp.map_all_into(f.robot_disk, thetas[i],
+                                              s.hints, s.out);
+                        double sum = 0.0;
+                        for (const MappedTarget& t : s.out) {
+                          sum -= t.world.x * t.world.x +
+                                 t.world.y * t.world.y;
+                        }
+                        values[i] = sum;
+                      }
+                    });
+  };
+  RotationSearchOptions opt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search_rotation(batch, opt));
+  }
+  set_arena_threads(0);
+}
+BENCHMARK(BM_RotationSearchThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 // --- full plan -------------------------------------------------------------
 
 void BM_FullPlanWithAdjustment(benchmark::State& state) {

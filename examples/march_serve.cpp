@@ -6,10 +6,17 @@
 // See src/io/job_io.h for the request/response schema.
 //
 // Usage:
-//   march_serve [--threads N] [--queue N] [--reject] [--cache N]
-//               [--input FILE] [--stats] [--metrics FILE]
+//   march_serve [--threads N] [--intra-threads N] [--queue N] [--reject]
+//               [--cache N] [--input FILE] [--stats] [--metrics FILE]
 //
 //   --threads N    worker threads (default: hardware concurrency)
+//   --intra-threads N
+//                  arena threads *inside* each plan (parallel rotation
+//                  search / harmonic sweep / interpolation / centroids;
+//                  default 1). Plans are byte-identical at every value —
+//                  this trades job-level for plan-level parallelism.
+//                  The ANR_THREADS environment variable sets the library
+//                  default for standalone (non-service) planner use.
 //   --queue N      bounded queue capacity (default 256)
 //   --reject       shed load when the queue is full instead of blocking
 //   --cache N      planner cache capacity (default 64)
@@ -46,8 +53,8 @@ struct ServeOptions {
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--threads N] [--queue N] [--reject] [--cache N]"
-               " [--input FILE] [--stats] [--metrics FILE]\n";
+            << " [--threads N] [--intra-threads N] [--queue N] [--reject]"
+               " [--cache N] [--input FILE] [--stats] [--metrics FILE]\n";
   std::exit(2);
 }
 
@@ -61,6 +68,8 @@ ServeOptions parse(int argc, char** argv) {
     };
     if (arg == "--threads") {
       opt.service.threads = std::stoi(need_value());
+    } else if (arg == "--intra-threads") {
+      opt.service.intra_threads = std::stoi(need_value());
     } else if (arg == "--queue") {
       opt.service.queue_capacity =
           static_cast<std::size_t>(std::stoul(need_value()));

@@ -22,6 +22,7 @@
 #include "baselines/hungarian_march.h"
 #include "baselines/virtual_force.h"
 #include "common/status.h"
+#include "common/task_arena.h"
 #include "coverage/coverage_eval.h"
 #include "coverage/density.h"
 #include "coverage/grid_cvt.h"

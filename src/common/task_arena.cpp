@@ -1,0 +1,207 @@
+#include "common/task_arena.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace anr {
+
+namespace {
+
+constexpr int kMaxThreads = 256;
+
+int clamp_threads(long n) {
+  if (n < 1) return 1;
+  if (n > kMaxThreads) return kMaxThreads;
+  return static_cast<int>(n);
+}
+
+int resolve_default() {
+  if (const char* env = std::getenv("ANR_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return clamp_threads(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return clamp_threads(hw == 0 ? 1 : static_cast<long>(hw));
+}
+
+std::atomic<int>& effective_threads() {
+  static std::atomic<int> threads{resolve_default()};
+  return threads;
+}
+
+thread_local bool tl_in_region = false;
+
+// One fork-join invocation. Participants (the caller plus any helping
+// workers) claim chunk indices from `next`; completion and the winning
+// exception are tracked under `mu`.
+struct Job {
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* body;
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::size_t num_chunks = 0;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t done = 0;
+  std::exception_ptr err;
+  std::size_t err_chunk = 0;
+};
+
+// Runs chunks of `job` on the calling thread until none remain. Both
+// workers and the dispatching caller execute this.
+void process(Job& job) {
+  bool prev = tl_in_region;
+  tl_in_region = true;
+  for (;;) {
+    std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.num_chunks) break;
+    std::size_t begin = c * job.grain;
+    std::size_t end = begin + job.grain;
+    if (end > job.n) end = job.n;
+    std::exception_ptr err;
+    try {
+      (*job.body)(c, begin, end);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(job.mu);
+    if (err && (!job.err || c < job.err_chunk)) {
+      job.err = err;
+      job.err_chunk = c;
+    }
+    if (++job.done == job.num_chunks) job.done_cv.notify_all();
+  }
+  tl_in_region = prev;
+}
+
+// The process-wide pool. Dispatch pushes one "help ticket" (a shared_ptr
+// to the job) per desired helper; a worker consumes a ticket, drains the
+// job, and goes back to sleep. Tickets for already-finished jobs are
+// harmless — process() finds no chunk and returns. Workers are spawned
+// lazily, only as dispatches ask for them, and joined at process exit.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(const std::shared_ptr<Job>& job, int helpers) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      while (static_cast<int>(workers_.size()) < helpers &&
+             static_cast<int>(workers_.size()) < kMaxThreads - 1) {
+        workers_.emplace_back([this] { worker_loop(); });
+      }
+      for (int h = 0; h < helpers; ++h) tickets_.push_back(job);
+    }
+    wake_cv_.notify_all();
+
+    process(*job);
+    {
+      std::unique_lock<std::mutex> lock(job->mu);
+      job->done_cv.wait(lock, [&] { return job->done == job->num_chunks; });
+    }
+    if (job->err) std::rethrow_exception(job->err);
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_cv_.wait(lock, [&] { return stop_ || !tickets_.empty(); });
+        if (stop_) return;
+        job = std::move(tickets_.front());
+        tickets_.pop_front();
+      }
+      process(*job);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  std::deque<std::shared_ptr<Job>> tickets_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int arena_threads() {
+  return effective_threads().load(std::memory_order_relaxed);
+}
+
+void set_arena_threads(int n) {
+  effective_threads().store(n <= 0 ? resolve_default() : clamp_threads(n),
+                            std::memory_order_relaxed);
+}
+
+bool in_parallel_region() { return tl_in_region; }
+
+void parallel_chunks(std::size_t n, std::size_t grain,
+                     const std::function<void(std::size_t, std::size_t,
+                                              std::size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  const int threads = arena_threads();
+
+  if (threads <= 1 || num_chunks <= 1 || tl_in_region) {
+    // Serial inline: chunk-index order, so the first exception thrown is
+    // the lowest-index one — the same one the parallel path rethrows.
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      std::size_t begin = c * grain;
+      std::size_t end = begin + grain;
+      if (end > n) end = n;
+      body(c, begin, end);
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->n = n;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  int helpers = threads - 1;
+  if (static_cast<std::size_t>(helpers) > num_chunks - 1) {
+    helpers = static_cast<int>(num_chunks - 1);
+  }
+  Pool::instance().run(job, helpers);
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t threads = static_cast<std::size_t>(arena_threads());
+  // ~4 chunks per thread for load balance; boundaries are irrelevant to
+  // the output because iterations are independent by contract.
+  std::size_t grain = n / (threads * 4);
+  if (grain == 0) grain = 1;
+  parallel_chunks(n, grain,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) body(i);
+                  });
+}
+
+}  // namespace anr

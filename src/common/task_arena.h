@@ -1,0 +1,60 @@
+// Intra-plan fork-join parallelism: a process-wide lazily-started worker
+// pool behind two loop primitives.
+//
+// Design constraints (they shape every signature here):
+//
+//   * Determinism. Plans must be byte-identical at every thread count, so
+//     parallel_chunks() fixes its chunk boundaries from (n, grain) alone
+//     — never from the worker count — and callers merge per-chunk
+//     partials in chunk-index order. Chunks may *execute* in any order on
+//     any worker; nothing observable depends on that order.
+//   * Nesting safety. A parallel region entered from inside another
+//     parallel region runs serially inline (chunk 0, 1, 2, ... on the
+//     calling thread). The planner's stages compose freely: a parallel
+//     rotation search whose candidates call the (itself parallel)
+//     interpolator just runs the inner loops serially per candidate.
+//   * Exceptions. The pending exception with the lowest chunk index is
+//     rethrown in the caller — the same exception the serial execution
+//     would have thrown first.
+//
+// Thread count resolution: set_arena_threads(n) overrides; otherwise the
+// ANR_THREADS environment variable; otherwise hardware concurrency.
+// One effective thread means every region runs serially inline and no
+// pool is ever started.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace anr {
+
+/// Effective intra-op thread count (>= 1).
+int arena_threads();
+
+/// Sets the intra-op thread count; n <= 0 re-resolves the default
+/// (ANR_THREADS, else hardware concurrency). Process-wide: services that
+/// trade job-level for plan-level parallelism set this once at startup.
+/// Changing it never changes plan bytes — only how many workers help.
+void set_arena_threads(int n);
+
+/// True while the calling thread is executing a parallel region's body
+/// (the condition under which nested calls fall back to serial).
+bool in_parallel_region();
+
+/// Runs body(chunk, begin, end) for every grain-sized chunk of [0, n):
+/// chunk c covers [c*grain, min((c+1)*grain, n)). Boundaries depend only
+/// on (n, grain); see the determinism note above. Blocks until every
+/// chunk finished (or rethrows the lowest-index pending exception).
+void parallel_chunks(std::size_t n, std::size_t grain,
+                     const std::function<void(std::size_t chunk,
+                                              std::size_t begin,
+                                              std::size_t end)>& body);
+
+/// Convenience wrapper: body(i) for every i in [0, n), with a grain
+/// picked for load balance. Only for bodies whose iterations touch
+/// disjoint state — per-index writes, no cross-iteration reductions
+/// (reductions need parallel_chunks' fixed boundaries to merge
+/// deterministically).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace anr

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/task_arena.h"
 
 namespace anr {
 
@@ -35,15 +36,37 @@ void GridCvt::centroids_into(const std::vector<Vec2>& sites, Scratch& scratch,
                              std::vector<Vec2>& out) const {
   ANR_CHECK(!sites.empty());
   // Nearest-site assignment via a site index: for each sample, query the
-  // site index outward.
+  // site index outward. The sample loop accumulates into per-chunk
+  // partial sums with a grain fixed from the sample count alone (never
+  // the thread count), merged in chunk-index order below — the floating-
+  // point sums are therefore byte-identical at any parallelism level,
+  // serial included.
   scratch.site_index.rebuild(sites, std::max(spacing_ * 4.0, 1e-9));
-  scratch.acc.assign(sites.size(), Vec2{});
-  scratch.mass.assign(sites.size(), 0.0);
-  for (std::size_t s = 0; s < samples_.size(); ++s) {
-    int site = scratch.site_index.nearest(samples_[s]);
-    ANR_CHECK(site >= 0);
-    scratch.acc[static_cast<std::size_t>(site)] += samples_[s] * weight_[s];
-    scratch.mass[static_cast<std::size_t>(site)] += weight_[s];
+  const std::size_t kGrain = 2048;
+  const std::size_t nsites = sites.size();
+  const std::size_t nchunks = (samples_.size() + kGrain - 1) / kGrain;
+  scratch.part_acc.assign(nchunks * nsites, Vec2{});
+  scratch.part_mass.assign(nchunks * nsites, 0.0);
+  parallel_chunks(samples_.size(), kGrain,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    Vec2* acc = scratch.part_acc.data() + chunk * nsites;
+    double* mass = scratch.part_mass.data() + chunk * nsites;
+    for (std::size_t s = begin; s < end; ++s) {
+      int site = scratch.site_index.nearest(samples_[s]);
+      ANR_CHECK(site >= 0);
+      acc[static_cast<std::size_t>(site)] += samples_[s] * weight_[s];
+      mass[static_cast<std::size_t>(site)] += weight_[s];
+    }
+  });
+  scratch.acc.assign(nsites, Vec2{});
+  scratch.mass.assign(nsites, 0.0);
+  for (std::size_t chunk = 0; chunk < nchunks; ++chunk) {
+    const Vec2* acc = scratch.part_acc.data() + chunk * nsites;
+    const double* mass = scratch.part_mass.data() + chunk * nsites;
+    for (std::size_t i = 0; i < nsites; ++i) {
+      scratch.acc[i] += acc[i];
+      scratch.mass[i] += mass[i];
+    }
   }
   out.clear();
   out.reserve(sites.size());

@@ -34,6 +34,10 @@ class GridCvt {
     GridIndex site_index;
     std::vector<Vec2> acc;
     std::vector<double> mass;
+    /// Per-chunk partial sums for the parallel sample accumulation
+    /// (chunk-major layout, merged in fixed chunk order).
+    std::vector<Vec2> part_acc;
+    std::vector<double> part_mass;
   };
 
   /// Density-weighted centroid of each site's discrete Voronoi region.

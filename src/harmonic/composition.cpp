@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/task_arena.h"
 #include "geom/barycentric.h"
 #include "geom/predicates.h"
 
@@ -194,9 +195,18 @@ void OverlapInterpolator::map_all_into(const std::vector<Vec2>& robot_disk,
     tri_hints.assign(robot_disk.size(), -1);
   }
   out.resize(robot_disk.size());
-  for (std::size_t i = 0; i < robot_disk.size(); ++i) {
-    out[i] = map_point(robot_disk[i].rotated(theta), tri_hints[i]);
-  }
+  // Robots partition across workers; every slot (result and hint) is
+  // owned by exactly one chunk, and map_point's result is independent of
+  // the hint (near-edge hits defer to the bucket scan), so the batch is
+  // byte-identical at any thread count. Grain keeps small batches inline
+  // and gives each worker a cache-friendly run of consecutive robots.
+  parallel_chunks(robot_disk.size(), 64,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      out[i] = map_point(robot_disk[i].rotated(theta),
+                                         tri_hints[i]);
+                    }
+                  });
 }
 
 }  // namespace anr

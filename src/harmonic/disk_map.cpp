@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/task_arena.h"
 #include "geom/predicates.h"
 #include "mesh/boundary.h"
 
@@ -143,26 +144,83 @@ DiskMap harmonic_disk_map(const TriangleMesh& mesh, const DiskMapOptions& opt) {
     }
   }
 
-  // Gauss–Seidel with over-relaxation.
+  // Red-black-style schedule: greedy-color the interior vertices (id
+  // order, smallest available color — triangle meshes need a few colors,
+  // not two) so no two same-color vertices are adjacent. The sweep then
+  // updates color classes in color-major, id-minor order; within a class
+  // every update reads only other-class (or boundary) positions, so the
+  // class can relax under parallel_for with bit-identical results to the
+  // serial color-major order at any thread count.
+  std::vector<int> color(n, -1);
+  int num_colors = 0;
+  std::vector<char> used;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (out.on_boundary[v]) continue;
+    used.assign(static_cast<std::size_t>(num_colors) + 1, 0);
+    for (int k = wstart[v]; k < wstart[v + 1]; ++k) {
+      int cu = color[static_cast<std::size_t>(nbr_id[static_cast<std::size_t>(k)])];
+      if (cu >= 0) used[static_cast<std::size_t>(cu)] = 1;
+    }
+    int c = 0;
+    while (used[static_cast<std::size_t>(c)]) ++c;
+    color[v] = c;
+    if (c + 1 > num_colors) num_colors = c + 1;
+  }
+  std::vector<int> class_start(static_cast<std::size_t>(num_colors) + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (color[v] >= 0) ++class_start[static_cast<std::size_t>(color[v]) + 1];
+  }
+  for (int c = 0; c < num_colors; ++c) class_start[c + 1] += class_start[c];
+  std::vector<int> class_verts(static_cast<std::size_t>(class_start[num_colors]));
+  {
+    std::vector<int> cursor(class_start.begin(), class_start.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (color[v] < 0) continue;
+      class_verts[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(color[v])]++)] = static_cast<int>(v);
+    }
+  }
+
+  // Gauss–Seidel with over-relaxation, color-major. Small classes fall
+  // into a single chunk and run inline; the per-chunk maxima merge in
+  // fixed chunk order (exact for max, but the fixed order is the habit
+  // every parallel reduction here follows).
+  const std::size_t kGrain = 512;
+  std::vector<double> chunk_max;
   bool converged = false;
   int executed = 0;
   for (int sweep = 0; sweep < opt.max_sweeps; ++sweep) {
     double max_move = 0.0;
-    for (std::size_t v = 0; v < n; ++v) {
-      if (out.on_boundary[v]) continue;
-      Vec2 acc{};
-      double wsum = 0.0;
-      for (int k = wstart[v]; k < wstart[v + 1]; ++k) {
-        acc += out.disk_pos[static_cast<std::size_t>(
-                   nbr_id[static_cast<std::size_t>(k)])] *
-               nbr_w[static_cast<std::size_t>(k)];
-        wsum += nbr_w[static_cast<std::size_t>(k)];
-      }
-      ANR_CHECK(wsum > 0.0);
-      Vec2 target = acc / wsum;
-      Vec2 updated = out.disk_pos[v] + (target - out.disk_pos[v]) * opt.over_relax;
-      max_move = std::max(max_move, distance(updated, out.disk_pos[v]));
-      out.disk_pos[v] = updated;
+    for (int c = 0; c < num_colors; ++c) {
+      const int cb = class_start[c];
+      const std::size_t count =
+          static_cast<std::size_t>(class_start[c + 1] - cb);
+      chunk_max.assign((count + kGrain - 1) / kGrain, 0.0);
+      parallel_chunks(count, kGrain,
+                      [&](std::size_t chunk, std::size_t begin,
+                          std::size_t end) {
+        double local = 0.0;
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const std::size_t v = static_cast<std::size_t>(
+              class_verts[static_cast<std::size_t>(cb) + idx]);
+          Vec2 acc{};
+          double wsum = 0.0;
+          for (int k = wstart[v]; k < wstart[v + 1]; ++k) {
+            acc += out.disk_pos[static_cast<std::size_t>(
+                       nbr_id[static_cast<std::size_t>(k)])] *
+                   nbr_w[static_cast<std::size_t>(k)];
+            wsum += nbr_w[static_cast<std::size_t>(k)];
+          }
+          ANR_CHECK(wsum > 0.0);
+          Vec2 target = acc / wsum;
+          Vec2 updated =
+              out.disk_pos[v] + (target - out.disk_pos[v]) * opt.over_relax;
+          local = std::max(local, distance(updated, out.disk_pos[v]));
+          out.disk_pos[v] = updated;
+        }
+        chunk_max[chunk] = local;
+      });
+      for (double m : chunk_max) max_move = std::max(max_move, m);
     }
     executed = sweep + 1;
     if (max_move <= opt.tol) {

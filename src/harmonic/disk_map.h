@@ -8,7 +8,10 @@
 // positive weights this is Tutte/Floater: the result is a guaranteed
 // embedding (Kneser / Choquet for the smooth case the paper cites).
 //
-// This is the centralized solver (Gauss–Seidel with over-relaxation); the
+// This is the centralized solver (Gauss–Seidel with over-relaxation on a
+// red-black-style multicolor schedule: interior vertices are greedily
+// colored so each color class relaxes in parallel, with results
+// bit-identical to the serial color-major sweep at any thread count); the
 // message-passing equivalent lives in distributed_disk_map and is verified
 // against this one in tests.
 #pragma once

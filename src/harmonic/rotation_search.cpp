@@ -6,44 +6,69 @@
 
 namespace anr {
 
-RotationSearchResult search_rotation(
-    const std::function<double(double)>& objective,
-    const RotationSearchOptions& opt) {
+namespace {
+
+// Wraps the single-theta form so both public entry points share one
+// search implementation (and therefore one probe sequence).
+RotationBatchObjective serial_batch(
+    const std::function<double(double)>& objective) {
+  return [&objective](const std::vector<double>& thetas,
+                      std::vector<double>& values) {
+    values.resize(thetas.size());
+    for (std::size_t i = 0; i < thetas.size(); ++i) {
+      values[i] = objective(thetas[i]);
+    }
+  };
+}
+
+}  // namespace
+
+RotationSearchResult search_rotation(const RotationBatchObjective& objective,
+                                     const RotationSearchOptions& opt) {
   ANR_CHECK(opt.initial_partitions >= 1 && opt.depth >= 0);
   RotationSearchResult out;
   out.value = -1e300;
 
-  auto probe = [&](double theta) {
-    double v = objective(theta);
-    ++out.evaluations;
-    if (v > out.value) {
-      out.value = v;
-      out.angle = theta;
+  std::vector<double> thetas, values;
+  // Evaluates the pending thetas and folds them into `out` in index
+  // order — the order the serial search would have probed them, so ties
+  // resolve identically at any evaluator parallelism.
+  auto probe_round = [&]() {
+    objective(thetas, values);
+    ANR_CHECK(values.size() == thetas.size());
+    out.evaluations += static_cast<int>(thetas.size());
+    for (std::size_t i = 0; i < thetas.size(); ++i) {
+      if (values[i] > out.value) {
+        out.value = values[i];
+        out.angle = thetas[i];
+      }
     }
-    return v;
   };
 
-  // Initial scan: midpoint of each segment.
+  // Initial scan: midpoint of each segment, one concurrent round.
   double seg = 2.0 * M_PI / opt.initial_partitions;
   double lo = 0.0, hi = seg;
+  thetas.clear();
+  for (int i = 0; i < opt.initial_partitions; ++i) {
+    thetas.push_back((i * seg + (i + 1) * seg) / 2.0);
+  }
+  probe_round();
   double best_seg_value = -1e300;
   for (int i = 0; i < opt.initial_partitions; ++i) {
-    double a = i * seg, b = (i + 1) * seg;
-    double v = probe((a + b) / 2.0);
-    if (v > best_seg_value) {
-      best_seg_value = v;
-      lo = a;
-      hi = b;
+    if (values[static_cast<std::size_t>(i)] > best_seg_value) {
+      best_seg_value = values[static_cast<std::size_t>(i)];
+      lo = i * seg;
+      hi = (i + 1) * seg;
     }
   }
 
   // Interval halving around the best segment: probe the midpoint of each
-  // half, recurse into the better one.
+  // half (one round of two), recurse into the better one.
   for (int d = 0; d < opt.depth; ++d) {
     double mid = (lo + hi) / 2.0;
-    double vl = probe((lo + mid) / 2.0);
-    double vr = probe((mid + hi) / 2.0);
-    if (vl >= vr) {
+    thetas = {(lo + mid) / 2.0, (mid + hi) / 2.0};
+    probe_round();
+    if (values[0] >= values[1]) {
       hi = mid;
     } else {
       lo = mid;
@@ -52,21 +77,37 @@ RotationSearchResult search_rotation(
   return out;
 }
 
-RotationSearchResult sweep_rotation(
-    const std::function<double(double)>& objective, int samples) {
+RotationSearchResult search_rotation(
+    const std::function<double(double)>& objective,
+    const RotationSearchOptions& opt) {
+  return search_rotation(serial_batch(objective), opt);
+}
+
+RotationSearchResult sweep_rotation(const RotationBatchObjective& objective,
+                                    int samples) {
   ANR_CHECK(samples >= 1);
   RotationSearchResult out;
   out.value = -1e300;
+  std::vector<double> thetas, values;
+  thetas.reserve(static_cast<std::size_t>(samples));
   for (int i = 0; i < samples; ++i) {
-    double theta = 2.0 * M_PI * i / samples;
-    double v = objective(theta);
-    ++out.evaluations;
-    if (v > out.value) {
-      out.value = v;
-      out.angle = theta;
+    thetas.push_back(2.0 * M_PI * i / samples);
+  }
+  objective(thetas, values);
+  ANR_CHECK(values.size() == thetas.size());
+  out.evaluations = samples;
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    if (values[i] > out.value) {
+      out.value = values[i];
+      out.angle = thetas[i];
     }
   }
   return out;
+}
+
+RotationSearchResult sweep_rotation(
+    const std::function<double(double)>& objective, int samples) {
+  return sweep_rotation(serial_batch(objective), samples);
 }
 
 }  // namespace anr

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 namespace anr {
 
@@ -28,14 +29,33 @@ struct RotationSearchResult {
   int evaluations = 0;
 };
 
+/// Batch form of the objective: fill values[i] with the objective at
+/// thetas[i]. The search hands whole probe rounds (the initial scan, each
+/// halving level's pair) to one call, so the evaluator may compute the
+/// candidates concurrently — each theta must be a pure function of theta
+/// alone. The search reduces the returned values in index order, exactly
+/// as the serial single-theta form probes them, so both forms pick the
+/// same angle.
+using RotationBatchObjective = std::function<void(
+    const std::vector<double>& thetas, std::vector<double>& values)>;
+
 /// Maximizes `objective` over theta in [0, 2*pi) with the paper's scheme.
 /// To minimize, pass the negated objective.
 RotationSearchResult search_rotation(
     const std::function<double(double)>& objective,
     const RotationSearchOptions& opt = {});
 
+/// As above, probing a whole round of candidates per evaluator call
+/// (concurrency-friendly form; identical probe sequence and result).
+RotationSearchResult search_rotation(const RotationBatchObjective& objective,
+                                     const RotationSearchOptions& opt = {});
+
 /// Exhaustive sweep at `samples` uniform angles (ablation oracle).
 RotationSearchResult sweep_rotation(
     const std::function<double(double)>& objective, int samples = 360);
+
+/// Batch-evaluated exhaustive sweep (one evaluator call for all angles).
+RotationSearchResult sweep_rotation(const RotationBatchObjective& objective,
+                                    int samples = 360);
 
 }  // namespace anr

@@ -6,6 +6,7 @@
 
 #include "baselines/hungarian_march.h"
 #include "common/check.h"
+#include "common/task_arena.h"
 #include "harmonic/disk_map.h"
 #include "harmonic/distributed_disk_map.h"
 #include "march/distributed_rotation.h"
@@ -221,41 +222,52 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
   }
 
   // --- 3./4. Rotation search over the overlapped disks --------------------
-  // Probe-shared scratch: the target/done buffers are reused across every
-  // rotation probe, and tri_hints warm-starts the interpolator's point
+  // Meshed-robot gather: robot r participates in the disk overlay iff it
+  // survived extraction; the rest copy their anchor's march afterward.
+  std::vector<int> meshed;
+  std::vector<Vec2> meshed_disk;
+  meshed.reserve(n);
+  meshed_disk.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    int cv = robot_to_compact[r];
+    if (cv < 0) continue;
+    meshed.push_back(static_cast<int>(r));
+    meshed_disk.push_back(t_disk.disk_pos[static_cast<std::size_t>(cv)]);
+  }
+
+  // Per-evaluation scratch: the mapped/target buffers are reused across
+  // rotation probes, and `hints` warm-starts the interpolator's point
   // location (a robot's disk position moves only slightly between probes,
   // so the previous hit triangle is almost always zero or one adjacency
-  // step away).
-  std::vector<Vec2> q_buf(n);
-  std::vector<char> done(n, 0);
-  std::vector<int> tri_hints(n, -1);
-  auto map_targets_into = [&](double theta, int* snapped,
-                              std::vector<Vec2>& q) {
-    q.resize(n);
-    std::fill(done.begin(), done.end(), 0);
+  // step away). Hints affect lookup speed only, never results, so every
+  // probe is a pure function of theta.
+  struct MapScratch {
+    std::vector<int> hints;
+    std::vector<MappedTarget> mapped;
+    std::vector<Vec2> q;
+  };
+  auto map_targets_into = [&](double theta, int* snapped, MapScratch& s) {
+    interpolator_->map_all_into(meshed_disk, theta, s.hints, s.mapped);
+    s.q.resize(n);
     int snaps = 0;
-    for (std::size_t r = 0; r < n; ++r) {
-      int cv = robot_to_compact[r];
-      if (cv < 0) continue;
-      Vec2 z = t_disk.disk_pos[static_cast<std::size_t>(cv)].rotated(theta);
-      MappedTarget t = interpolator_->map_point(z, tri_hints[r]);
-      q[r] = t.world + m2_offset;
-      done[r] = 1;
-      if (t.snapped) ++snaps;
+    for (std::size_t k = 0; k < meshed.size(); ++k) {
+      std::size_t r = static_cast<std::size_t>(meshed[k]);
+      s.q[r] = s.mapped[k].world + m2_offset;
+      if (s.mapped[k].snapped) ++snaps;
     }
     for (std::size_t r = 0; r < n; ++r) {
-      if (done[r]) continue;
+      if (robot_to_compact[r] >= 0) continue;
       int a = anchor[r];
-      ANR_CHECK(a >= 0 && done[static_cast<std::size_t>(a)]);
-      q[r] = positions[r] + (q[static_cast<std::size_t>(a)] -
-                             positions[static_cast<std::size_t>(a)]);
+      ANR_CHECK(a >= 0 && robot_to_compact[static_cast<std::size_t>(a)] >= 0);
+      s.q[r] = positions[r] + (s.q[static_cast<std::size_t>(a)] -
+                               positions[static_cast<std::size_t>(a)]);
     }
     if (snapped != nullptr) *snapped = snaps;
   };
-  auto map_targets = [&](double theta, int* snapped) {
-    std::vector<Vec2> q;
-    map_targets_into(theta, snapped, q);
-    return q;
+  auto map_targets = [&](double theta) {
+    MapScratch s;
+    map_targets_into(theta, nullptr, s);
+    return std::move(s.q);
   };
 
   // Distance-normalization scale for the stable-links tie-breaker below.
@@ -265,9 +277,7 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
   double diag = std::max(m1_.bbox().width() + m1_.bbox().height(), 1.0) *
                 static_cast<double>(n) * 1e4;
 
-  auto objective = [&](double theta) {
-    map_targets_into(theta, nullptr, q_buf);
-    const std::vector<Vec2>& q = q_buf;
+  auto objective_value = [&](const std::vector<Vec2>& q) {
     if (opt_.objective == MarchObjective::kMaxStableLinks) {
       // The link ratio is quantized (k / |links|), so plateaus are common
       // and the interval search would pick among ties arbitrarily. Break
@@ -279,14 +289,39 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
     return -total_displacement(positions, q);
   };
 
+  // Candidate angles of a probe round evaluate concurrently, each chunk
+  // on its own scratch slot. Chunk boundaries here *may* follow the
+  // thread count (unlike reduction merges) because values[k] is written
+  // independently per candidate and probes are theta-pure — the round's
+  // results are byte-identical at any parallelism. The interpolator's own
+  // parallel batch nests inside this region and falls back to serial.
+  std::vector<MapScratch> slots;
+  auto batch_objective = [&](const std::vector<double>& thetas,
+                             std::vector<double>& values) {
+    values.resize(thetas.size());
+    const std::size_t threads = static_cast<std::size_t>(arena_threads());
+    const std::size_t grain = (thetas.size() + threads - 1) / threads;
+    const std::size_t nchunks = (thetas.size() + grain - 1) / grain;
+    if (slots.size() < nchunks) slots.resize(nchunks);
+    parallel_chunks(thetas.size(), grain,
+                    [&](std::size_t chunk, std::size_t begin,
+                        std::size_t end) {
+                      MapScratch& s = slots[chunk];
+                      for (std::size_t k = begin; k < end; ++k) {
+                        map_targets_into(thetas[k], nullptr, s);
+                        values[k] = objective_value(s.q);
+                      }
+                    });
+  };
+
   obs::Span rot_span(ins_.spans, "rotation_search", ins_.stage_rotation);
   RotationSearchResult rot;
   if (opt_.exhaustive_rotation) {
-    rot = sweep_rotation(objective);
+    rot = sweep_rotation(RotationBatchObjective(batch_objective));
   } else if (opt_.distributed) {
     // Faithful protocol: per-probe 1-hop exchange + network flood.
     DistributedRotationResult dr = distributed_rotation_search(
-        [&](double theta) { return map_targets(theta, nullptr); }, positions,
+        map_targets, positions,
         r_c_, opt_.objective, opt_.rotation);
     plan.protocol_messages += dr.messages;
     rot.angle = dr.angle;
@@ -297,7 +332,8 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
                     ? dr.value / static_cast<double>(links.size())
                     : dr.value;
   } else {
-    rot = search_rotation(objective, opt_.rotation);
+    rot = search_rotation(RotationBatchObjective(batch_objective),
+                          opt_.rotation);
   }
   plan.rotation_angle = rot.angle;
   plan.rotation_objective = rot.value;
@@ -309,8 +345,9 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
 
   // --- 5. Targets at the chosen rotation ----------------------------------
   obs::Span interp_span(ins_.spans, "interpolation", ins_.stage_interpolation);
-  std::vector<Vec2> targets;
-  map_targets_into(rot.angle, &plan.snapped_targets, targets);
+  MapScratch final_map;
+  map_targets_into(rot.angle, &plan.snapped_targets, final_map);
+  std::vector<Vec2> targets = std::move(final_map.q);
 
   // Boundary-ring check-and-require (Sec. III-D-1): consecutive boundary
   // robots must stay within range at their destinations for the rim to

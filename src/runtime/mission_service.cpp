@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "common/task_arena.h"
 
 namespace anr::runtime {
 
@@ -141,6 +142,7 @@ MissionService::MissionService(ServiceOptions options)
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
   }
+  if (opt_.intra_threads >= 1) set_arena_threads(opt_.intra_threads);
   ANR_CHECK(opt_.max_retries >= 0);
   ANR_CHECK(opt_.watchdog_period_seconds > 0.0);
   workers_.reserve(static_cast<std::size_t>(threads));

@@ -51,6 +51,15 @@ enum class OverflowPolicy {
 struct ServiceOptions {
   /// Worker threads; 0 picks std::thread::hardware_concurrency().
   int threads = 0;
+  /// Intra-plan threads: how many arena workers each plan() may fan out
+  /// to (rotation candidates, harmonic color classes, interpolation and
+  /// centroid batches — see common/task_arena.h). The default 1 spends
+  /// all parallelism at the job level; raise it to trade job throughput
+  /// for single-plan latency. Applied process-wide at construction
+  /// (set_arena_threads); 0 leaves the process setting untouched. Plan
+  /// bytes are identical at every value — this is a latency knob, never
+  /// a result knob — so it is not part of the planner-cache fingerprint.
+  int intra_threads = 1;
   std::size_t queue_capacity = 256;
   OverflowPolicy overflow = OverflowPolicy::kBlock;
   /// Planner cache capacity (distinct configurations held).

@@ -87,5 +87,10 @@ TEST(GoldenPlan, Scenario1ByteIdentical) { check_scenario(1); }
 
 TEST(GoldenPlan, Scenario5ByteIdentical) { check_scenario(5); }
 
+// Holed source region (M1 with an interior hole): pins the multicolor
+// harmonic sweep ordering on hole-filled meshes, where the coloring sees
+// the patched interior triangles.
+TEST(GoldenPlan, Scenario6ByteIdentical) { check_scenario(6); }
+
 }  // namespace
 }  // namespace anr

@@ -18,6 +18,7 @@
 #include <ostream>
 #include <vector>
 
+#include "common/task_arena.h"
 #include "coverage/lloyd.h"
 #include "foi/scenario.h"
 #include "march/planner.h"
@@ -31,11 +32,14 @@ struct SweepCase {
   int robots;
   std::uint64_t seed;
   double separation_cr;
+  // Arena threads inside the plan (1 = serial). Parallel cases re-assert
+  // the same invariants through the multithreaded hot paths.
+  int intra_threads = 1;
 };
 
 std::ostream& operator<<(std::ostream& os, const SweepCase& c) {
   return os << "scenario" << c.scenario_id << "_n" << c.robots << "_seed"
-            << c.seed << "_sep" << c.separation_cr;
+            << c.seed << "_sep" << c.separation_cr << "_t" << c.intra_threads;
 }
 
 // Small-but-real settings so the sweep stays within test-suite budget.
@@ -47,10 +51,14 @@ PlannerOptions sweep_options() {
   return opt;
 }
 
-class PlanInvariants : public ::testing::TestWithParam<SweepCase> {};
+class PlanInvariants : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  void TearDown() override { set_arena_threads(0); }
+};
 
 TEST_P(PlanInvariants, HoldAcrossTheSweep) {
   const SweepCase c = GetParam();
+  set_arena_threads(c.intra_threads);
   Scenario sc = scenario(c.scenario_id);
   std::vector<Vec2> deploy =
       optimal_coverage_positions(sc.m1, c.robots, c.seed, uniform_density())
@@ -113,11 +121,14 @@ TEST_P(PlanInvariants, HoldAcrossTheSweep) {
 INSTANTIATE_TEST_SUITE_P(
     SeededSweep, PlanInvariants,
     ::testing::Values(SweepCase{1, 72, 7, 10.0}, SweepCase{1, 100, 1, 16.0},
-                      SweepCase{5, 72, 3, 12.0}, SweepCase{2, 100, 2, 20.0}),
+                      SweepCase{5, 72, 3, 12.0}, SweepCase{2, 100, 2, 20.0},
+                      SweepCase{1, 72, 7, 10.0, 4},
+                      SweepCase{5, 72, 3, 12.0, 4}),
     [](const ::testing::TestParamInfo<SweepCase>& info) {
       const SweepCase& c = info.param;
       return "scenario" + std::to_string(c.scenario_id) + "_n" +
-             std::to_string(c.robots) + "_seed" + std::to_string(c.seed);
+             std::to_string(c.robots) + "_seed" + std::to_string(c.seed) +
+             "_t" + std::to_string(c.intra_threads);
     });
 
 }  // namespace

@@ -1,0 +1,95 @@
+// Differential determinism: the headline guarantee of the intra-plan
+// parallelism layer is that plans are byte-identical through save_plan at
+// every thread count. For each golden-set scenario this suite plans once
+// serially, then re-plans at 2/4/8 arena threads and diffs the serialized
+// bytes — and re-plans at the same thread count to catch scheduling
+// nondeterminism (racy accumulation would make even same-count runs
+// diverge). Runs under TSan in CI alongside test_task_arena.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/task_arena.h"
+#include "coverage/lloyd.h"
+#include "foi/scenario.h"
+#include "io/plan_io.h"
+#include "march/planner.h"
+
+namespace anr {
+namespace {
+
+// Same fixture as test_golden_plan: small-but-real settings that still
+// exercise triangulation extraction, both harmonic maps, the rotation
+// search, repair, and adjustment. Scenarios 1 (convex -> disjoint), 5
+// (concave) and 6 (holed -> holed) cover the mesh shapes the multicolor
+// sweep has to order consistently.
+constexpr int kScenarios[] = {1, 5, 6};
+
+PlannerOptions plan_options() {
+  PlannerOptions opt;
+  opt.mesher.target_grid_points = 350;
+  opt.cvt_samples = 4000;
+  opt.max_adjust_steps = 5;
+  return opt;
+}
+
+std::string plan_bytes(int scenario_id) {
+  Scenario sc = scenario(scenario_id);
+  auto deploy =
+      optimal_coverage_positions(sc.m1, 72, /*seed=*/1, uniform_density())
+          .positions;
+  Vec2 offset = sc.m1.centroid() + Vec2{12.0 * sc.comm_range, 0.0} -
+                sc.m2_shape.centroid();
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, plan_options());
+  MarchPlan plan = planner.plan(deploy, offset);
+
+  std::string path = "det_tmp_scenario" + std::to_string(scenario_id) +
+                     "_t" + std::to_string(arena_threads()) + ".json";
+  std::string err;
+  EXPECT_TRUE(save_plan(plan, path, &err)) << err;
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::remove(path.c_str());
+  return ss.str();
+}
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override { set_arena_threads(0); }
+};
+
+TEST_P(ParallelDeterminismTest, ByteIdenticalAcrossThreadCounts) {
+  const int scenario_id = GetParam();
+  set_arena_threads(1);
+  const std::string serial = plan_bytes(scenario_id);
+  ASSERT_FALSE(serial.empty());
+  for (int threads : {2, 4, 8}) {
+    set_arena_threads(threads);
+    EXPECT_EQ(plan_bytes(scenario_id), serial)
+        << "scenario " << scenario_id << " diverged at " << threads
+        << " arena threads";
+  }
+}
+
+TEST_P(ParallelDeterminismTest, RepeatRunsSelfIdentical) {
+  const int scenario_id = GetParam();
+  set_arena_threads(4);
+  const std::string first = plan_bytes(scenario_id);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(plan_bytes(scenario_id), first)
+      << "scenario " << scenario_id
+      << " not reproducible at a fixed thread count";
+}
+
+INSTANTIATE_TEST_SUITE_P(GoldenSet, ParallelDeterminismTest,
+                         ::testing::ValuesIn(kScenarios),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Scenario" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace anr

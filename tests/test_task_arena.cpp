@@ -1,0 +1,232 @@
+// Unit tests for the intra-plan fork-join layer (common/task_arena.h):
+// chunk-boundary arithmetic, exception propagation, nested-call serial
+// fallback, and the thread-count resolution chain (set_arena_threads
+// override, ANR_THREADS default). Runs under TSan in CI alongside the
+// differential determinism suite.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/task_arena.h"
+
+namespace anr {
+namespace {
+
+// Restores the arena default after each test so the process-wide knob
+// never leaks between cases.
+class TaskArenaTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("ANR_THREADS");
+    set_arena_threads(0);
+  }
+};
+
+std::vector<std::array<std::size_t, 3>> record_chunks(std::size_t n,
+                                                      std::size_t grain) {
+  // Slots indexed by chunk: each chunk writes only its own entry, so the
+  // recording itself is race-free at any thread count.
+  std::size_t num_chunks = grain == 0 ? n : (n + grain - 1) / grain;
+  std::vector<std::array<std::size_t, 3>> got(num_chunks, {0, 0, 0});
+  parallel_chunks(n, grain,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                    got[chunk] = {chunk, begin, end};
+                  });
+  return got;
+}
+
+TEST_F(TaskArenaTest, EmptyRangeNeverCallsBody) {
+  for (int threads : {1, 4}) {
+    set_arena_threads(threads);
+    bool called = false;
+    parallel_chunks(0, 8, [&](std::size_t, std::size_t, std::size_t) {
+      called = true;
+    });
+    parallel_for(0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+  }
+}
+
+TEST_F(TaskArenaTest, ChunkBoundariesDependOnlyOnRangeAndGrain) {
+  // n = 10, grain = 4 -> chunks [0,4) [4,8) [8,10), ragged tail included,
+  // identically at every thread count.
+  const std::vector<std::array<std::size_t, 3>> want = {
+      {0, 0, 4}, {1, 4, 8}, {2, 8, 10}};
+  for (int threads : {1, 2, 8}) {
+    set_arena_threads(threads);
+    EXPECT_EQ(record_chunks(10, 4), want) << "threads=" << threads;
+  }
+}
+
+TEST_F(TaskArenaTest, SingleElementRangeIsOneChunk) {
+  set_arena_threads(8);
+  const std::vector<std::array<std::size_t, 3>> want = {{0, 0, 1}};
+  EXPECT_EQ(record_chunks(1, 4), want);
+  EXPECT_EQ(record_chunks(1, 1), want);
+}
+
+TEST_F(TaskArenaTest, FewerElementsThanWorkersStillCoversEverything) {
+  set_arena_threads(8);
+  // 3 single-element chunks across 8 configured threads.
+  const std::vector<std::array<std::size_t, 3>> want = {
+      {0, 0, 1}, {1, 1, 2}, {2, 2, 3}};
+  EXPECT_EQ(record_chunks(3, 1), want);
+}
+
+TEST_F(TaskArenaTest, ZeroGrainIsTreatedAsOne) {
+  set_arena_threads(2);
+  const std::vector<std::array<std::size_t, 3>> want = {{0, 0, 1}, {1, 1, 2}};
+  EXPECT_EQ(record_chunks(2, 0), want);
+}
+
+TEST_F(TaskArenaTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 3, 8}) {
+    set_arena_threads(threads);
+    const std::size_t n = 1000;
+    std::vector<int> visits(n, 0);
+    parallel_for(n, [&](std::size_t i) { ++visits[i]; });
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0),
+              static_cast<int>(n))
+        << "threads=" << threads;
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(visits[i], 1) << i;
+  }
+}
+
+TEST_F(TaskArenaTest, ExceptionPropagatesToCaller) {
+  for (int threads : {1, 4}) {
+    set_arena_threads(threads);
+    EXPECT_THROW(
+        parallel_chunks(100, 10,
+                        [&](std::size_t chunk, std::size_t, std::size_t) {
+                          if (chunk == 3) throw std::runtime_error("boom");
+                        }),
+        std::runtime_error);
+  }
+}
+
+TEST_F(TaskArenaTest, LowestChunkExceptionWins) {
+  // Every chunk throws its own index; the caller must see chunk 0's
+  // exception — the one serial execution would have thrown first —
+  // regardless of which worker finished when.
+  for (int threads : {1, 4}) {
+    set_arena_threads(threads);
+    try {
+      parallel_chunks(64, 8,
+                      [&](std::size_t chunk, std::size_t, std::size_t) {
+                        throw std::runtime_error("chunk " +
+                                                 std::to_string(chunk));
+                      });
+      FAIL() << "expected a throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk 0") << "threads=" << threads;
+    }
+  }
+}
+
+TEST_F(TaskArenaTest, ArenaKeepsWorkingAfterAnException) {
+  set_arena_threads(4);
+  EXPECT_THROW(parallel_for(100, [](std::size_t) {
+                 throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  parallel_for(100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST_F(TaskArenaTest, NestedCallsFallBackToSerial) {
+  set_arena_threads(4);
+  // Force a genuinely parallel outer region (many chunks); inner regions
+  // must report in_parallel_region() and run inline.
+  std::vector<char> inner_was_nested(8, 0);
+  std::vector<char> inner_covered(8, 0);
+  parallel_chunks(8, 1, [&](std::size_t chunk, std::size_t, std::size_t) {
+    inner_was_nested[chunk] = in_parallel_region() ? 1 : 0;
+    std::vector<int> seen(10, 0);
+    parallel_chunks(10, 2, [&](std::size_t, std::size_t b, std::size_t e) {
+      EXPECT_TRUE(in_parallel_region());
+      for (std::size_t i = b; i < e; ++i) ++seen[i];
+    });
+    inner_covered[chunk] =
+        std::accumulate(seen.begin(), seen.end(), 0) == 10 ? 1 : 0;
+  });
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(inner_was_nested[c], 1) << c;
+    EXPECT_EQ(inner_covered[c], 1) << c;
+  }
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST_F(TaskArenaTest, OneThreadForcesSerialInline) {
+  set_arena_threads(1);
+  EXPECT_EQ(arena_threads(), 1);
+  // Serial execution is observable through strict chunk ordering: each
+  // chunk sees every lower-indexed chunk already finished.
+  std::vector<int> order;
+  parallel_chunks(6, 1, [&](std::size_t chunk, std::size_t, std::size_t) {
+    order.push_back(static_cast<int>(chunk));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST_F(TaskArenaTest, AnrThreadsEnvironmentSetsTheDefault) {
+  setenv("ANR_THREADS", "1", 1);
+  set_arena_threads(0);  // re-resolve the default from the environment
+  EXPECT_EQ(arena_threads(), 1);
+
+  setenv("ANR_THREADS", "3", 1);
+  set_arena_threads(0);
+  EXPECT_EQ(arena_threads(), 3);
+
+  // Garbage is ignored in favor of hardware concurrency (>= 1).
+  setenv("ANR_THREADS", "not-a-number", 1);
+  set_arena_threads(0);
+  EXPECT_GE(arena_threads(), 1);
+}
+
+TEST_F(TaskArenaTest, SetThreadsClampsToAtLeastOne) {
+  set_arena_threads(2);
+  EXPECT_EQ(arena_threads(), 2);
+  set_arena_threads(-5);  // <= 0 resets to the default
+  EXPECT_GE(arena_threads(), 1);
+}
+
+TEST_F(TaskArenaTest, ParallelSumMatchesSerialWithFixedChunkMerge) {
+  // The reduction recipe every parallel caller follows: per-chunk
+  // partials merged in chunk order must be bit-identical at any thread
+  // count (and to the serial inline execution).
+  const std::size_t n = 10000, grain = 512;
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  auto chunked_sum = [&]() {
+    std::size_t chunks = (n + grain - 1) / grain;
+    std::vector<double> partial(chunks, 0.0);
+    parallel_chunks(n, grain,
+                    [&](std::size_t c, std::size_t b, std::size_t e) {
+                      double s = 0.0;
+                      for (std::size_t i = b; i < e; ++i) s += xs[i];
+                      partial[c] = s;
+                    });
+    double total = 0.0;
+    for (double p : partial) total += p;
+    return total;
+  };
+  set_arena_threads(1);
+  const double serial = chunked_sum();
+  for (int threads : {2, 4, 8}) {
+    set_arena_threads(threads);
+    for (int rep = 0; rep < 3; ++rep) {
+      EXPECT_EQ(chunked_sum(), serial) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anr
