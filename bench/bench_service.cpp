@@ -11,9 +11,20 @@
 //     container every thread count collapses to the same rate; the
 //     "threads" column is then a scheduling-overhead measurement.
 //
-// Output: a table plus one machine-readable JSON summary line
-// (jobs/sec per thread count, speedup, cache + stage stats) — see
-// EXPERIMENTS.md for how to read it.
+// `--sharded` instead sweeps the consistent-hash router over
+// N ∈ {1, 2, 4, 8} shards (1 worker per shard, same 64-job mix):
+//   - Affinity routing keeps each of the 4 planner keys on one shard, so
+//     the fleet builds exactly 4 planners at every N and the aggregate
+//     cache hit rate stays at 60/64 regardless of shard count.
+//   - The random-routing control at N=4 scatters keys across shards;
+//     each shard rebuilds whatever lands on it, so constructions rise
+//     toward keys x shards and the hit rate drops — the gap between the
+//     two rows is what placement buys.
+//
+// Output: a table plus one machine-readable JSON summary line — see
+// EXPERIMENTS.md for how to read it. The no-argument mode's summary
+// (bench "bench_service") is the BENCH_service.json baseline guarded by
+// scripts/bench_check.sh; --sharded emits bench "bench_service_sharded".
 #include <iostream>
 #include <string>
 #include <thread>
@@ -23,49 +34,43 @@
 #include "common/stopwatch.h"
 #include "common/table.h"
 
-int main() {
-  using namespace anr;
+namespace {
 
-  // 4 distinct target geometries, shared M1 (scenarios 1-4 reuse the
-  // paper's base M1 where possible; each m2_shape is distinct).
-  std::vector<Scenario> scenarios;
-  for (int id = 1; id <= 4; ++id) scenarios.push_back(scenario(id));
+using namespace anr;
 
+PlannerOptions bench_options() {
   PlannerOptions opt;
   opt.mesher.target_grid_points = 450;
   opt.cvt_samples = 5000;
   opt.max_adjust_steps = 6;
+  return opt;
+}
 
-  // One deployment per distinct M1.
-  std::cout << "preparing deployments...\n";
-  std::vector<std::vector<Vec2>> deployments;
-  for (const Scenario& sc : scenarios) {
-    deployments.push_back(
-        optimal_coverage_positions(sc.m1, 100, /*seed=*/1, uniform_density())
-            .positions);
+constexpr int kJobs = 64;
+
+std::vector<runtime::PlanJob> make_jobs(
+    const std::vector<Scenario>& scenarios,
+    const std::vector<std::vector<Vec2>>& deployments) {
+  std::vector<runtime::PlanJob> jobs;
+  jobs.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    const Scenario& sc = scenarios[static_cast<std::size_t>(i % 4)];
+    runtime::PlanJob job;
+    job.id = "job-" + std::to_string(i);
+    job.m1 = sc.m1;
+    job.m2_shape = sc.m2_shape;
+    job.r_c = sc.comm_range;
+    job.m2_offset = sc.m1.centroid() + Vec2{15.0 * sc.comm_range, 0.0} -
+                    sc.m2_shape.centroid();
+    job.positions = deployments[static_cast<std::size_t>(i % 4)];
+    job.options = bench_options();
+    jobs.push_back(std::move(job));
   }
+  return jobs;
+}
 
-  constexpr int kJobs = 64;
-  auto make_jobs = [&] {
-    std::vector<runtime::PlanJob> jobs;
-    jobs.reserve(kJobs);
-    for (int i = 0; i < kJobs; ++i) {
-      const Scenario& sc = scenarios[static_cast<std::size_t>(i % 4)];
-      runtime::PlanJob job;
-      job.id = "job-" + std::to_string(i);
-      job.m1 = sc.m1;
-      job.m2_shape = sc.m2_shape;
-      job.r_c = sc.comm_range;
-      job.m2_offset = sc.m1.centroid() +
-                      Vec2{15.0 * sc.comm_range, 0.0} -
-                      sc.m2_shape.centroid();
-      job.positions = deployments[static_cast<std::size_t>(i % 4)];
-      job.options = opt;
-      jobs.push_back(std::move(job));
-    }
-    return jobs;
-  };
-
+int run_threads_sweep(const std::vector<Scenario>& scenarios,
+                      const std::vector<std::vector<Vec2>>& deployments) {
   unsigned hw = std::thread::hardware_concurrency();
   std::cout << "hardware threads: " << hw << ", jobs: " << kJobs
             << ", distinct planner keys: 4\n\n";
@@ -84,7 +89,8 @@ int main() {
     runtime::MissionService service(so);
 
     Stopwatch sw;
-    std::vector<runtime::JobResult> results = service.run_batch(make_jobs());
+    std::vector<runtime::JobResult> results =
+        service.run_batch(make_jobs(scenarios, deployments));
     double wall = sw.seconds();
 
     int ok = 0;
@@ -127,4 +133,144 @@ int main() {
   summary.emplace("cache", std::move(last_cache));
   std::cout << json::Value(std::move(summary)).dump() << "\n";
   return 0;
+}
+
+struct ShardedRow {
+  int shards = 0;
+  bool random = false;
+  double wall = 0.0;
+  double rate = 0.0;
+  double hit_rate = 0.0;
+  std::uint64_t built = 0;
+  std::uint64_t forwarded = 0;
+};
+
+ShardedRow run_sharded_once(int shards, shard::RoutingPolicy policy,
+                            const std::vector<Scenario>& scenarios,
+                            const std::vector<std::vector<Vec2>>& deployments) {
+  shard::ShardedServiceOptions so;
+  so.shards = shards;
+  so.shard.threads = 1;  // 1 worker per shard: N shards = N workers total
+  so.shard.queue_capacity = kJobs;
+  so.routing = policy;
+  shard::ShardedMissionService service(so);
+
+  Stopwatch sw;
+  std::vector<runtime::JobResult> results =
+      service.run_batch(make_jobs(scenarios, deployments));
+  double wall = sw.seconds();
+
+  int ok = 0;
+  for (const runtime::JobResult& r : results) {
+    if (r.ok) {
+      ++ok;
+    } else {
+      std::cerr << r.id << " failed: " << r.error << "\n";
+    }
+  }
+  shard::ShardedServiceStats stats = service.stats();
+  std::uint64_t hits = 0, misses = 0, built = 0;
+  for (const runtime::ServiceStats& sh : stats.shards) {
+    hits += sh.cache.hits;
+    misses += sh.cache.misses;
+    built += sh.cache.constructions;
+  }
+  ShardedRow row;
+  row.shards = shards;
+  row.random = policy == shard::RoutingPolicy::kRandom;
+  row.wall = wall;
+  row.rate = static_cast<double>(ok) / wall;
+  row.hit_rate = hits + misses > 0
+                     ? static_cast<double>(hits) /
+                           static_cast<double>(hits + misses)
+                     : 0.0;
+  row.built = built;
+  row.forwarded = stats.forwarded;
+  return row;
+}
+
+int run_sharded_sweep(const std::vector<Scenario>& scenarios,
+                      const std::vector<std::vector<Vec2>>& deployments) {
+  unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "hardware threads: " << hw << ", jobs: " << kJobs
+            << ", distinct planner keys: 4, 1 worker/shard\n\n";
+
+  std::vector<ShardedRow> rows;
+  for (int shards : {1, 2, 4, 8}) {
+    rows.push_back(run_sharded_once(shards, shard::RoutingPolicy::kAffinity,
+                                    scenarios, deployments));
+  }
+  // Control: the same mix through health-respecting random routing at
+  // N=4 — what the cache pays when placement ignores content.
+  rows.push_back(run_sharded_once(4, shard::RoutingPolicy::kRandom,
+                                  scenarios, deployments));
+
+  TextTable table;
+  table.header({"shards", "routing", "wall (s)", "jobs/sec", "hit rate",
+                "built", "forwarded"});
+  json::Array shards_arr, rate_arr, hit_arr, built_arr;
+  double affinity_hit_4 = 0.0, random_hit_4 = 0.0;
+  for (const ShardedRow& r : rows) {
+    table.row({std::to_string(r.shards), r.random ? "random" : "affinity",
+               fmt(r.wall, 2), fmt(r.rate, 2), fmt(r.hit_rate, 3),
+               std::to_string(r.built), std::to_string(r.forwarded)});
+    if (!r.random) {
+      shards_arr.emplace_back(r.shards);
+      rate_arr.emplace_back(r.rate);
+      hit_arr.emplace_back(r.hit_rate);
+      built_arr.emplace_back(r.built);
+      if (r.shards == 4) affinity_hit_4 = r.hit_rate;
+    } else if (r.shards == 4) {
+      random_hit_4 = r.hit_rate;
+    }
+  }
+
+  std::cout << "== sharded mission-service (64 jobs, 4 M2 shapes)\n"
+            << table.str() << "\n";
+
+  json::Object summary;
+  summary.emplace("bench", "bench_service_sharded");
+  summary.emplace("jobs", kJobs);
+  summary.emplace("distinct_keys", 4);
+  summary.emplace("hardware_threads", static_cast<std::size_t>(hw));
+  summary.emplace("shards", std::move(shards_arr));
+  summary.emplace("jobs_per_sec", std::move(rate_arr));
+  summary.emplace("affinity_hit_rate", std::move(hit_arr));
+  summary.emplace("planners_built", std::move(built_arr));
+  summary.emplace("affinity_hit_rate_4", affinity_hit_4);
+  summary.emplace("random_hit_rate_4", random_hit_4);
+  std::cout << json::Value(std::move(summary)).dump() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool sharded = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--sharded") {
+      sharded = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--sharded]\n";
+      return 2;
+    }
+  }
+
+  // 4 distinct target geometries, shared M1 (scenarios 1-4 reuse the
+  // paper's base M1 where possible; each m2_shape is distinct).
+  std::vector<Scenario> scenarios;
+  for (int id = 1; id <= 4; ++id) scenarios.push_back(scenario(id));
+
+  // One deployment per distinct M1.
+  std::cout << "preparing deployments...\n";
+  std::vector<std::vector<Vec2>> deployments;
+  for (const Scenario& sc : scenarios) {
+    deployments.push_back(
+        optimal_coverage_positions(sc.m1, 100, /*seed=*/1, uniform_density())
+            .positions);
+  }
+
+  return sharded ? run_sharded_sweep(scenarios, deployments)
+                 : run_threads_sweep(scenarios, deployments);
 }

@@ -7,9 +7,12 @@
 //
 // Usage:
 //   march_serve [--threads N] [--intra-threads N] [--queue N] [--reject]
-//               [--cache N] [--input FILE] [--stats] [--metrics FILE]
+//               [--cache N] [--shards N] [--random-routing]
+//               [--kill-shard K@J] [--drain-shard K@J] [--revive-shard K@J]
+//               [--input FILE] [--stats] [--metrics FILE]
 //
-//   --threads N    worker threads (default: hardware concurrency)
+//   --threads N    worker threads (default: hardware concurrency).
+//                  With --shards this is PER SHARD (default then 2).
 //   --intra-threads N
 //                  arena threads *inside* each plan (parallel rotation
 //                  search / harmonic sweep / interpolation / centroids;
@@ -20,17 +23,27 @@
 //   --queue N      bounded queue capacity (default 256)
 //   --reject       shed load when the queue is full instead of blocking
 //   --cache N      planner cache capacity (default 64)
+//   --shards N     run N independent service shards behind the
+//                  consistent-hash router (src/shard/). N <= 1 keeps the
+//                  single-service path.
+//   --random-routing
+//                  route uniformly at random instead of by cache affinity
+//                  (the control baseline; requires --shards)
+//   --kill-shard K@J / --drain-shard K@J / --revive-shard K@J
+//                  fault drills: after the J-th request has been
+//                  submitted, kill / drain / revive shard K. Repeatable;
+//                  drills fire in submission order. Requires --shards.
 //   --input FILE   read requests from FILE instead of stdin
 //   --stats        print a service-stats JSON snapshot to stderr at exit
+//                  (with --shards: router + per-shard breakdown)
 //   --metrics FILE write a Prometheus text exposition of the run's metrics
-//                  (job/cache/planner families, see src/obs/) to FILE at
-//                  exit; "-" writes to stderr
+//                  (job/cache/planner families; per-shard series are
+//                  labeled {shard="i"}) to FILE at exit; "-" writes to
+//                  stderr
 //
-// Example:
-//   printf '%s\n%s\n' \
-//     '{"id":"a","scenario":1,"separation":15,"robots":64,"options":{"grid_points":400,"cvt_samples":5000,"max_adjust_steps":6}}' \
-//     '{"id":"b","scenario":1,"separation":25,"robots":64,"options":{"grid_points":400,"cvt_samples":5000,"max_adjust_steps":6}}' \
-//   | ./build/examples/march_serve --threads 4 --stats
+// Example (sharded, with a mid-batch kill drill):
+//   ./build/examples/march_serve --shards 4 --threads 1 --kill-shard 2@5
+//       --revive-shard 2@9 --stats --input jobs.ndjson
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -44,18 +57,46 @@ namespace {
 
 using namespace anr;
 
+struct Drill {
+  enum class Action { kKill, kDrain, kRevive } action;
+  int shard = 0;
+  std::size_t after_jobs = 0;  ///< fires once this many requests submitted
+};
+
 struct ServeOptions {
   runtime::ServiceOptions service;
+  int shards = 1;
+  bool random_routing = false;
+  std::vector<Drill> drills;
   std::string input;
   std::string metrics;
   bool stats = false;
+  bool threads_set = false;
 };
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--threads N] [--intra-threads N] [--queue N] [--reject]"
-               " [--cache N] [--input FILE] [--stats] [--metrics FILE]\n";
+               " [--cache N] [--shards N] [--random-routing]"
+               " [--kill-shard K@J] [--drain-shard K@J] [--revive-shard K@J]"
+               " [--input FILE] [--stats] [--metrics FILE]\n";
   std::exit(2);
+}
+
+Drill parse_drill(Drill::Action action, const std::string& spec,
+                  const char* argv0) {
+  // "K@J": shard K, after J submissions.
+  Drill d;
+  d.action = action;
+  std::size_t at = spec.find('@');
+  try {
+    if (at == std::string::npos) usage_and_exit(argv0);
+    d.shard = std::stoi(spec.substr(0, at));
+    d.after_jobs = std::stoul(spec.substr(at + 1));
+  } catch (const std::exception&) {
+    usage_and_exit(argv0);
+  }
+  return d;
 }
 
 ServeOptions parse(int argc, char** argv) {
@@ -68,6 +109,7 @@ ServeOptions parse(int argc, char** argv) {
     };
     if (arg == "--threads") {
       opt.service.threads = std::stoi(need_value());
+      opt.threads_set = true;
     } else if (arg == "--intra-threads") {
       opt.service.intra_threads = std::stoi(need_value());
     } else if (arg == "--queue") {
@@ -78,6 +120,19 @@ ServeOptions parse(int argc, char** argv) {
     } else if (arg == "--cache") {
       opt.service.cache_capacity =
           static_cast<std::size_t>(std::stoul(need_value()));
+    } else if (arg == "--shards") {
+      opt.shards = std::stoi(need_value());
+    } else if (arg == "--random-routing") {
+      opt.random_routing = true;
+    } else if (arg == "--kill-shard") {
+      opt.drills.push_back(
+          parse_drill(Drill::Action::kKill, need_value(), argv[0]));
+    } else if (arg == "--drain-shard") {
+      opt.drills.push_back(
+          parse_drill(Drill::Action::kDrain, need_value(), argv[0]));
+    } else if (arg == "--revive-shard") {
+      opt.drills.push_back(
+          parse_drill(Drill::Action::kRevive, need_value(), argv[0]));
     } else if (arg == "--input") {
       opt.input = need_value();
     } else if (arg == "--stats") {
@@ -88,7 +143,28 @@ ServeOptions parse(int argc, char** argv) {
       usage_and_exit(argv[0]);
     }
   }
+  if (opt.shards <= 1 && (!opt.drills.empty() || opt.random_routing)) {
+    std::cerr << "march_serve: --kill/--drain/--revive-shard and"
+                 " --random-routing require --shards N (N > 1)\n";
+    std::exit(2);
+  }
+  for (const Drill& d : opt.drills) {
+    if (d.shard < 0 || d.shard >= opt.shards) {
+      std::cerr << "march_serve: drill shard " << d.shard
+                << " out of range for --shards " << opt.shards << "\n";
+      std::exit(2);
+    }
+  }
   return opt;
+}
+
+const char* drill_name(Drill::Action a) {
+  switch (a) {
+    case Drill::Action::kKill: return "kill";
+    case Drill::Action::kDrain: return "drain";
+    case Drill::Action::kRevive: return "revive";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -108,15 +184,56 @@ int main(int argc, char** argv) {
 
   obs::Registry registry;
   if (!opt.metrics.empty()) opt.service.registry = &registry;
-  runtime::MissionService service(opt.service);
+
+  // Single-service path (the default) is untouched by sharding; the
+  // sharded path routes every submission through the consistent-hash
+  // router. Both expose the same submit-one-job surface here.
+  std::unique_ptr<runtime::MissionService> single;
+  std::unique_ptr<shard::ShardedMissionService> sharded;
+  if (opt.shards > 1) {
+    shard::ShardedServiceOptions so;
+    so.shards = opt.shards;
+    so.shard = opt.service;
+    // Hardware-concurrency-per-shard multiplies by N; default to a
+    // deliberate 2 per shard unless the user chose.
+    if (!opt.threads_set) so.shard.threads = 2;
+    if (opt.random_routing) so.routing = shard::RoutingPolicy::kRandom;
+    if (!opt.metrics.empty()) so.registry = &registry;
+    sharded = std::make_unique<shard::ShardedMissionService>(so);
+  } else {
+    single = std::make_unique<runtime::MissionService>(opt.service);
+  }
+  auto submit_one = [&](runtime::PlanJob job) {
+    return sharded ? sharded->submit(std::move(job))
+                   : single->submit(std::move(job));
+  };
+
   std::map<std::string, std::vector<Vec2>> deployments;
 
   // Submit as we read — with kBlock backpressure the reader naturally
   // throttles to the pool; results are printed in input order afterward.
+  // Fault drills fire between submissions once their trigger count is
+  // reached, in submission order.
   std::vector<std::future<runtime::JobResult>> futures;
   std::vector<bool> include_plan;
   std::string line;
   std::size_t lineno = 0;
+  std::size_t submitted = 0;
+  std::size_t next_drill = 0;
+  auto fire_due_drills = [&] {
+    while (next_drill < opt.drills.size() &&
+           opt.drills[next_drill].after_jobs <= submitted) {
+      const Drill& d = opt.drills[next_drill++];
+      std::cerr << "drill: " << drill_name(d.action) << " shard " << d.shard
+                << " after " << submitted << " submissions\n";
+      switch (d.action) {
+        case Drill::Action::kKill: sharded->kill(d.shard); break;
+        case Drill::Action::kDrain: sharded->drain(d.shard); break;
+        case Drill::Action::kRevive: sharded->revive(d.shard); break;
+      }
+    }
+  };
+  if (sharded) fire_due_drills();  // "@0" drills precede the first job
   while (std::getline(in, line)) {
     ++lineno;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
@@ -124,7 +241,9 @@ int main(int argc, char** argv) {
       JobRequest req = job_from_json(json::parse(line), &deployments);
       if (req.job.id.empty()) req.job.id = "line-" + std::to_string(lineno);
       include_plan.push_back(req.include_plan);
-      futures.push_back(service.submit(std::move(req.job)));
+      futures.push_back(submit_one(std::move(req.job)));
+      ++submitted;
+      if (sharded) fire_due_drills();
     } catch (const std::exception& e) {
       // Malformed request: emit an error result for this line without
       // losing position or stopping the batch. Echo the caller's id when
@@ -157,9 +276,17 @@ int main(int argc, char** argv) {
   }
   std::cout.flush();
 
-  service.shutdown();
-  if (opt.stats) {
-    std::cerr << stats_to_json(service.stats()).dump(2) << "\n";
+  if (sharded) {
+    sharded->shutdown();
+    if (opt.stats) {
+      std::cerr << shard::sharded_stats_to_json(sharded->stats()).dump(2)
+                << "\n";
+    }
+  } else {
+    single->shutdown();
+    if (opt.stats) {
+      std::cerr << stats_to_json(single->stats()).dump(2) << "\n";
+    }
   }
   if (!opt.metrics.empty()) {
     // Same text a /metricsz HTTP endpoint would serve, written at exit.

@@ -1,33 +1,78 @@
 #!/usr/bin/env bash
-# Guards the hot-path performance baseline.
+# Guards the performance baselines.
 #
-# Builds Release, runs bench/bench_hotpath with JSON output, and compares
-# every benchmark's real_time against the committed BENCH_hotpath.json.
-# Fails if any benchmark regressed by more than the tolerance (default
-# +25%; improvements never fail). Refresh the baseline by copying the
-# printed current-run JSON over BENCH_hotpath.json on a quiet machine.
+# Two baseline files:
+#   BENCH_hotpath.json — google-benchmark timings of the planner hot
+#     path. Timing-gated: any benchmark more than the tolerance slower
+#     than baseline fails (improvements never fail).
+#   BENCH_service.json — mission-service summaries (threads sweep +
+#     sharded sweep). Throughput depends on the machine, so only the
+#     *deterministic* fields are gated: distinct keys, planners built
+#     per shard count, affinity hit rates, and affinity strictly beating
+#     the random-routing control. jobs/sec is reported, never gated.
 #
-# Usage: scripts/bench_check.sh [build-dir] [tolerance-pct]
+# --update regenerates both baseline files in place (run on a quiet
+# machine, then commit the diff).
+#
+# Usage: scripts/bench_check.sh [--update] [build-dir] [tolerance-pct]
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+UPDATE=0
+if [ "${1:-}" = "--update" ]; then
+  UPDATE=1
+  shift
+fi
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 TOL_PCT="${2:-25}"
-BASELINE="$REPO_ROOT/BENCH_hotpath.json"
-
-[ -f "$BASELINE" ] || { echo "missing baseline $BASELINE" >&2; exit 1; }
+HOTPATH_BASELINE="$REPO_ROOT/BENCH_hotpath.json"
+SERVICE_BASELINE="$REPO_ROOT/BENCH_service.json"
 
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target bench_hotpath -j "$(nproc)" >/dev/null
+cmake --build "$BUILD_DIR" --target bench_hotpath bench_service \
+  -j "$(nproc)" >/dev/null
+
+run_service_suite() {
+  # Captures the one-line JSON summaries of both bench_service modes
+  # into a single {"service":..., "sharded":...} document at $1.
+  local out="$1"
+  local plain sharded
+  plain="$("$BUILD_DIR/bench/bench_service" | grep '^{' | tail -1)"
+  sharded="$("$BUILD_DIR/bench/bench_service" --sharded | grep '^{' | tail -1)"
+  python3 - "$out" <<EOF
+import json, sys
+doc = {"service": json.loads('''$plain'''),
+       "sharded": json.loads('''$sharded''')}
+with open(sys.argv[1], "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+EOF
+}
+
+if [ "$UPDATE" -eq 1 ]; then
+  echo "regenerating $HOTPATH_BASELINE"
+  "$BUILD_DIR/bench/bench_hotpath" \
+    --benchmark_format=json \
+    --benchmark_out="$HOTPATH_BASELINE" \
+    --benchmark_min_time=0.2 >/dev/null
+  echo "regenerating $SERVICE_BASELINE"
+  run_service_suite "$SERVICE_BASELINE"
+  echo "OK: baselines updated in place — review and commit the diff"
+  exit 0
+fi
+
+[ -f "$HOTPATH_BASELINE" ] || { echo "missing baseline $HOTPATH_BASELINE" >&2; exit 1; }
+[ -f "$SERVICE_BASELINE" ] || { echo "missing baseline $SERVICE_BASELINE" >&2; exit 1; }
 
 CURRENT="$(mktemp /tmp/bench_hotpath.XXXXXX.json)"
-trap 'rm -f "$CURRENT"' EXIT
+CURRENT_SERVICE="$(mktemp /tmp/bench_service.XXXXXX.json)"
+trap 'rm -f "$CURRENT" "$CURRENT_SERVICE"' EXIT
 "$BUILD_DIR/bench/bench_hotpath" \
   --benchmark_format=json \
   --benchmark_out="$CURRENT" \
   --benchmark_min_time=0.2 >/dev/null
 
-python3 - "$BASELINE" "$CURRENT" "$TOL_PCT" <<'EOF'
+python3 - "$HOTPATH_BASELINE" "$CURRENT" "$TOL_PCT" <<'EOF'
 import json, sys
 
 baseline_path, current_path, tol_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
@@ -78,4 +123,47 @@ if failed:
         print(f"  {f}", file=sys.stderr)
     sys.exit(1)
 print(f"\nOK: all {len(base)} benchmarks within +{tol_pct:.0f}% of baseline")
+EOF
+
+run_service_suite "$CURRENT_SERVICE"
+
+python3 - "$SERVICE_BASELINE" "$CURRENT_SERVICE" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    cur = json.load(f)
+
+failed = []
+
+def check(label, got, want):
+    if got != want:
+        failed.append(f"{label}: expected {want!r}, got {got!r}")
+
+# Deterministic cache behavior of the threads sweep: same key count, a
+# fully warm cache at the end of the 8-thread run.
+check("service.distinct_keys", cur["service"]["distinct_keys"],
+      base["service"]["distinct_keys"])
+check("service.cache.constructions", cur["service"]["cache"]["constructions"],
+      base["service"]["cache"]["constructions"])
+
+# Sharded sweep: placement is pure, so builds and hit rates are exact.
+for field in ("shards", "planners_built", "affinity_hit_rate",
+              "distinct_keys", "affinity_hit_rate_4", "random_hit_rate_4"):
+    check(f"sharded.{field}", cur["sharded"][field], base["sharded"][field])
+
+if cur["sharded"]["affinity_hit_rate_4"] <= cur["sharded"]["random_hit_rate_4"]:
+    failed.append("affinity hit rate must strictly beat the random control")
+
+rates = ", ".join(f"{r:.1f}" for r in cur["sharded"]["jobs_per_sec"])
+print(f"sharded jobs/sec at N={cur['sharded']['shards']}: [{rates}] "
+      "(reported, not gated)")
+
+if failed:
+    print(f"\nFAIL: service baseline mismatch:", file=sys.stderr)
+    for f in failed:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("OK: service baselines match (deterministic fields)")
 EOF

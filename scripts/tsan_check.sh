@@ -6,8 +6,9 @@
 # objects must stay immutable after construction. This script builds with
 # -fsanitize=thread and runs the tests that hammer plan() from many
 # threads (runtime/mission service) plus the interpolator unit tests,
-# the task-arena unit tests, and the parallel-plan determinism suite
-# (full plans at 2/4/8 arena threads).
+# the task-arena unit tests, the parallel-plan determinism suite
+# (full plans at 2/4/8 arena threads), and the sharded-router suite
+# (concurrent submit against kill/drain/revive transitions).
 #
 # Usage: scripts/tsan_check.sh [build-dir]
 set -euo pipefail
@@ -19,9 +20,9 @@ cmake -S "$REPO_ROOT" -B "$BUILD_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DANR_SANITIZE=thread >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target test_runtime test_composition test_network test_grid_index \
-  test_obs test_task_arena test_parallel_determinism >/dev/null
+  test_obs test_task_arena test_parallel_determinism test_shard >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R '^(test_runtime|test_composition|test_network|test_grid_index|test_obs|test_task_arena|test_parallel_determinism)$'
+  -R '^(test_runtime|test_composition|test_network|test_grid_index|test_obs|test_task_arena|test_parallel_determinism|test_shard)$'
 echo "OK: TSan sweep clean"

@@ -21,6 +21,7 @@
 #include "baselines/direct_translation.h"
 #include "baselines/hungarian_march.h"
 #include "baselines/virtual_force.h"
+#include "common/hash.h"
 #include "common/status.h"
 #include "common/task_arena.h"
 #include "coverage/coverage_eval.h"
@@ -78,6 +79,9 @@
 #include "obs/span.h"
 #include "runtime/mission_service.h"
 #include "runtime/planner_cache.h"
+#include "shard/placement.h"
+#include "shard/router.h"
+#include "shard/shard_map.h"
 #include "terrain/height_field.h"
 #include "terrain/surface_metrics.h"
 #include "terrain/surface_planner.h"

@@ -1,0 +1,68 @@
+// Shared non-cryptographic hashing primitives.
+//
+// Three small building blocks used across the runtime and shard layers:
+//
+//   - fnv1a64: byte-string hashing (planner-cache fingerprints). Stable
+//     across platforms and process runs — cache keys and shard placement
+//     both depend on that stability.
+//   - splitmix64: a finalizing 64-bit mixer. Used to decorrelate
+//     structured inputs (FNV output, sequence counters) before feeding
+//     them to bucket-mapping functions.
+//   - jump_consistent_hash: Lamping & Veach's jump consistent hash,
+//     mapping a 64-bit key to one of n buckets such that growing n to
+//     n+1 moves only ~1/(n+1) of keys (and shrinking is the inverse).
+//     This is the placement primitive of src/shard/ — the same idea the
+//     DAOS placement layer uses to lay objects out across fault domains.
+//
+// Everything here is pure, allocation-free, and header-only; values are
+// pinned by tests/test_hash.cpp so an accidental change to any constant
+// shows up as a test failure, not as a silently reshuffled cache/shard
+// assignment.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace anr {
+
+/// FNV-1a over a byte string. Deterministic across platforms; the empty
+/// string hashes to the FNV offset basis 0xcbf29ce484222325.
+constexpr std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ull;  // offset basis
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+/// SplitMix64 finalizer (Steele, Lea, Flood). Bijective on uint64, with
+/// strong avalanche — every input bit flips ~half the output bits.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Jump consistent hash (Lamping & Veach, "A Fast, Minimal Memory,
+/// Consistent Hash Algorithm"): key -> bucket in [0, num_buckets).
+/// Growing num_buckets by one relocates only ~1/(num_buckets+1) of the
+/// key space; all other keys keep their bucket. Feed structured keys
+/// through splitmix64 first — the internal LCG walk assumes the key is
+/// already well mixed. num_buckets must be >= 1.
+constexpr int jump_consistent_hash(std::uint64_t key, int num_buckets) {
+  std::int64_t b = -1;
+  std::int64_t j = 0;
+  while (j < num_buckets) {
+    b = j;
+    key = key * 2862933555777941757ull + 1;
+    j = static_cast<std::int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(1ll << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<int>(b);
+}
+
+}  // namespace anr

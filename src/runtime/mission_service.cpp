@@ -23,6 +23,11 @@ json::Value stage_to_json(const StageStats& s) {
   return json::Value(std::move(o));
 }
 
+obs::Labels with_label(obs::Labels base, const char* key, const char* value) {
+  base.emplace_back(key, value);
+  return base;
+}
+
 }  // namespace
 
 const char* job_status_name(JobStatus status) {
@@ -56,8 +61,10 @@ json::Value stats_to_json(const ServiceStats& s) {
   o.emplace("rejected_shutdown", s.rejected_shutdown);
   o.emplace("deadline_expired", s.deadline_expired);
   o.emplace("retried", s.retried);
+  o.emplace("handoffs", s.handoffs);
   o.emplace("queue_depth", s.queue_depth);
   o.emplace("queue_high_water", s.queue_high_water);
+  o.emplace("active", s.active);
   o.emplace("workers", s.workers);
   json::Object cache;
   cache.emplace("hits", s.cache.hits);
@@ -66,6 +73,12 @@ json::Value stats_to_json(const ServiceStats& s) {
   cache.emplace("constructions", s.cache.constructions);
   cache.emplace("evictions", s.cache.evictions);
   cache.emplace("entries", s.cache.entries);
+  const std::uint64_t lookups = s.cache.hits + s.cache.misses;
+  cache.emplace("hit_rate",
+                lookups > 0
+                    ? static_cast<double>(s.cache.hits) /
+                          static_cast<double>(lookups)
+                    : 0.0);
   o.emplace("cache", std::move(cache));
   json::Object stages;
   stages.emplace("queue_wait", stage_to_json(s.queue_wait));
@@ -117,25 +130,27 @@ MissionService::MissionService(ServiceOptions options)
   ANR_CHECK(opt_.queue_capacity >= 1);
   if (opt_.registry != nullptr && opt_.registry->enabled()) {
     obs::Registry& reg = *opt_.registry;
+    const obs::Labels& base = opt_.metric_labels;
     ins_.queue_depth =
-        reg.gauge("anr_service_queue_depth", {}, "jobs waiting in the queue");
-    ins_.submitted =
-        reg.counter("anr_jobs_submitted_total", {}, "jobs handed to submit()");
-    ins_.retried = reg.counter("anr_job_retries_total", {},
+        reg.gauge("anr_service_queue_depth", base, "jobs waiting in the queue");
+    ins_.submitted = reg.counter("anr_jobs_submitted_total", base,
+                                 "jobs handed to submit()");
+    ins_.retried = reg.counter("anr_job_retries_total", base,
                                "extra planning attempts after an error");
     for (int s = 0; s <= static_cast<int>(JobStatus::kError); ++s) {
       ins_.by_status[s] =
           reg.counter("anr_jobs_total",
-                      {{"status", job_status_name(static_cast<JobStatus>(s))}},
+                      with_label(base, "status",
+                                 job_status_name(static_cast<JobStatus>(s))),
                       "jobs resolved, by final status");
     }
-    ins_.e2e_seconds = reg.histogram("anr_job_e2e_seconds", {},
+    ins_.e2e_seconds = reg.histogram("anr_job_e2e_seconds", base,
                                      "submit-to-resolution latency");
     ins_.queue_seconds =
-        reg.histogram("anr_job_queue_seconds", {}, "queue-wait latency");
+        reg.histogram("anr_job_queue_seconds", base, "queue-wait latency");
     ins_.build_seconds = reg.histogram(
-        "anr_planner_build_seconds", {}, "cache-miss planner constructions");
-    cache_.set_observer(opt_.registry);
+        "anr_planner_build_seconds", base, "cache-miss planner constructions");
+    cache_.set_observer(opt_.registry, base);
   }
   int threads = opt_.threads;
   if (threads <= 0) {
@@ -267,6 +282,7 @@ void MissionService::worker_loop() {
       if (queue_.empty()) return;  // draining done and intake closed
       item = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
       obs::set(ins_.queue_depth, static_cast<double>(queue_.size()));
     }
     queue_push_cv_.notify_one();
@@ -287,6 +303,7 @@ void MissionService::worker_loop() {
                 "s in queue";
       r.queue_seconds = waited;
       item.promise.set_value(std::move(r));
+      finish_active();
       continue;
     }
     queue_wait_.record(waited, opt_.latency_reservoir);
@@ -309,7 +326,69 @@ void MissionService::worker_loop() {
                      std::chrono::steady_clock::now() - item.enqueued)
                      .count());
     item.promise.set_value(std::move(result));
+    finish_active();
   }
+}
+
+void MissionService::finish_active() {
+  bool idle;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    --active_;
+    idle = queue_.empty() && active_ == 0;
+  }
+  if (idle) idle_cv_.notify_all();
+}
+
+std::vector<PendingJob> MissionService::take_queued() {
+  std::vector<PendingJob> taken;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    taken.reserve(queue_.size());
+    while (!queue_.empty()) {
+      taken.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    obs::set(ins_.queue_depth, 0.0);
+  }
+  queue_push_cv_.notify_all();  // slots freed for blocked submitters
+  if (!taken.empty()) idle_cv_.notify_all();
+  return taken;
+}
+
+void MissionService::submit_pending(PendingJob&& pending) {
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (accepting_) {
+      handoffs_.fetch_add(1, std::memory_order_relaxed);
+      queue_.push_back(std::move(pending));
+      queue_high_water_ = std::max(queue_high_water_, queue_.size());
+      obs::set(ins_.queue_depth, static_cast<double>(queue_.size()));
+      lock.unlock();
+      queue_pop_cv_.notify_one();
+      return;
+    }
+  }
+  // Shut down: the promise must still resolve — the original submitter
+  // holds the future.
+  rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+  count_job(JobStatus::kRejectedShutdown);
+  JobResult r;
+  r.id = pending.job.id;
+  r.ok = false;
+  r.status = JobStatus::kRejectedShutdown;
+  r.error = "service is shut down";
+  pending.promise.set_value(std::move(r));
+}
+
+std::size_t MissionService::active_jobs() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return active_;
+}
+
+void MissionService::wait_idle() const {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
 void MissionService::watchdog_loop() {
@@ -335,6 +414,7 @@ void MissionService::watchdog_loop() {
     if (expired.empty()) continue;
     lock.unlock();
     queue_push_cv_.notify_all();  // slots freed
+    idle_cv_.notify_all();        // the sweep may have emptied the queue
     for (QueuedJob& q : expired) {
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);
       count_job(JobStatus::kDeadlineExpired);
@@ -437,10 +517,12 @@ ServiceStats MissionService::stats() const {
   s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
   s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
   s.retried = retried_.load(std::memory_order_relaxed);
+  s.handoffs = handoffs_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     s.queue_depth = queue_.size();
     s.queue_high_water = queue_high_water_;
+    s.active = active_;
   }
   s.workers = worker_count();
   s.cache = cache_.stats();

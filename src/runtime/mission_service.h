@@ -81,6 +81,11 @@ struct ServiceOptions {
   /// registry (per-stage spans, probe counters). Must outlive the
   /// service. nullptr (or an obs::NullRegistry) disables exporting.
   obs::Registry* registry = nullptr;
+  /// Labels attached to every metric series this service (and its cache)
+  /// registers. A sharded router gives each member service a distinct
+  /// {{"shard", "<i>"}} label so per-shard series stay separable in the
+  /// shared registry rather than all shards incrementing one aggregate.
+  obs::Labels metric_labels;
 };
 
 /// Typed outcome of one job.
@@ -150,8 +155,10 @@ struct ServiceStats {
   std::uint64_t rejected_shutdown = 0;  ///< submitted after shutdown()
   std::uint64_t deadline_expired = 0;   ///< reaped by the queue watchdog
   std::uint64_t retried = 0;            ///< extra planning attempts
+  std::uint64_t handoffs = 0;           ///< jobs accepted via submit_pending
   std::size_t queue_depth = 0;
   std::size_t queue_high_water = 0;
+  std::size_t active = 0;               ///< jobs currently inside a worker
   int workers = 0;
   PlannerCacheStats cache;
   StageStats queue_wait;     ///< submit -> worker pickup
@@ -160,7 +167,19 @@ struct ServiceStats {
 };
 
 /// Serializes a stats snapshot (bench output, service introspection).
+/// The cache object carries a derived "hit_rate" = hits / (hits + misses)
+/// (0 when the cache was never consulted).
 json::Value stats_to_json(const ServiceStats& s);
+
+/// A job still waiting in the queue, extracted together with its promise
+/// and original enqueue time so it can be re-queued elsewhere without the
+/// submitter noticing (the future they hold resolves wherever the job
+/// finally runs, and queue-deadline accounting keeps the original clock).
+struct PendingJob {
+  PlanJob job;
+  std::promise<JobResult> promise;
+  std::chrono::steady_clock::time_point enqueued;
+};
 
 class MissionService {
  public:
@@ -186,15 +205,32 @@ class MissionService {
   /// Idempotent.
   void shutdown();
 
+  /// Removes and returns every job still waiting in the queue, promises
+  /// included, so a router can hand them to another service (shard drain /
+  /// failover). Jobs a worker already picked up are not affected — they
+  /// finish here. Wakes blocked submitters (their slots freed).
+  std::vector<PendingJob> take_queued();
+
+  /// Re-queues a job taken from a peer service, preserving its promise
+  /// and original enqueue time (queue deadlines keep the original clock).
+  /// Handed-off jobs were already accepted upstream, so they bypass the
+  /// capacity check — backpressure applies at first submission only — and
+  /// are never shed; after shutdown() the promise resolves
+  /// kRejectedShutdown. Counted in ServiceStats::handoffs.
+  void submit_pending(PendingJob&& pending);
+
+  /// Jobs currently being executed by a worker.
+  std::size_t active_jobs() const;
+
+  /// Blocks until the queue is empty and no worker is executing a job.
+  /// Only guaranteed to terminate once new submissions stop arriving.
+  void wait_idle() const;
+
   ServiceStats stats() const;
   int worker_count() const { return static_cast<int>(workers_.size()); }
 
  private:
-  struct QueuedJob {
-    PlanJob job;
-    std::promise<JobResult> promise;
-    std::chrono::steady_clock::time_point enqueued;
-  };
+  using QueuedJob = PendingJob;
 
   /// Bounded latency reservoir: exact count/min/max/mean, deterministic
   /// ring replacement for the p95 sample set.
@@ -213,6 +249,8 @@ class MissionService {
 
   void worker_loop();
   void watchdog_loop();
+  /// Decrements the active-job count and signals idle waiters.
+  void finish_active();
   JobResult execute(PlanJob&& job, double queue_seconds);
   /// nullopt when the job is valid; otherwise the rejection message.
   static std::optional<std::string> validate(const PlanJob& job);
@@ -236,9 +274,11 @@ class MissionService {
   std::condition_variable queue_push_cv_;  ///< waits for space (kBlock)
   std::condition_variable queue_pop_cv_;   ///< workers wait for jobs
   std::condition_variable watchdog_cv_;    ///< wakes the watchdog early
+  mutable std::condition_variable idle_cv_;  ///< queue empty + no active job
   std::deque<QueuedJob> queue_;
   bool accepting_ = true;
   std::size_t queue_high_water_ = 0;
+  std::size_t active_ = 0;  ///< jobs inside a worker (guarded by queue_mutex_)
 
   std::vector<std::thread> workers_;
   std::thread watchdog_;
@@ -253,6 +293,7 @@ class MissionService {
   std::atomic<std::uint64_t> rejected_shutdown_{0};
   std::atomic<std::uint64_t> deadline_expired_{0};
   std::atomic<std::uint64_t> retried_{0};
+  std::atomic<std::uint64_t> handoffs_{0};
   StageRecorder queue_wait_;
   StageRecorder planner_build_;
   StageRecorder plan_exec_;

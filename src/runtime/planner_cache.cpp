@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/hash.h"
 
 namespace anr::runtime {
 
@@ -58,15 +59,6 @@ class Fingerprint {
   std::string bytes_;
 };
 
-std::uint64_t fnv1a(const std::string& bytes) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (unsigned char c : bytes) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
 }  // namespace
 
 CacheKey CacheKey::of(const FieldOfInterest& m1,
@@ -111,7 +103,7 @@ CacheKey CacheKey::of(const FieldOfInterest& m1,
 
   CacheKey key;
   key.bytes_ = fp.take();
-  key.hash_ = fnv1a(key.bytes_);
+  key.hash_ = fnv1a64(key.bytes_);
   return key;
 }
 
@@ -119,22 +111,24 @@ PlannerCache::PlannerCache(std::size_t capacity) : capacity_(capacity) {
   ANR_CHECK(capacity_ >= 1);
 }
 
-void PlannerCache::set_observer(obs::Registry* registry) {
+void PlannerCache::set_observer(obs::Registry* registry,
+                                const obs::Labels& labels) {
   ins_ = Instruments{};
   if (registry == nullptr || !registry->enabled()) return;
-  ins_.hits = registry->counter("anr_cache_hits_total", {},
+  ins_.hits = registry->counter("anr_cache_hits_total", labels,
                                 "planner-cache lookups served by an entry");
-  ins_.misses = registry->counter("anr_cache_misses_total", {},
+  ins_.misses = registry->counter("anr_cache_misses_total", labels,
                                   "planner-cache lookups that had to build");
   ins_.coalesced =
-      registry->counter("anr_cache_coalesced_total", {},
+      registry->counter("anr_cache_coalesced_total", labels,
                         "lookups that waited on an in-flight build");
-  ins_.constructions = registry->counter("anr_cache_constructions_total", {},
+  ins_.constructions = registry->counter("anr_cache_constructions_total",
+                                         labels,
                                          "planners actually constructed");
-  ins_.evictions = registry->counter("anr_cache_evictions_total", {},
+  ins_.evictions = registry->counter("anr_cache_evictions_total", labels,
                                      "LRU evictions of ready planners");
   ins_.entries =
-      registry->gauge("anr_cache_entries", {}, "resident cached planners");
+      registry->gauge("anr_cache_entries", labels, "resident cached planners");
 }
 
 std::shared_ptr<const MarchPlanner> PlannerCache::get_or_build(

@@ -105,8 +105,11 @@ class PlannerCache {
 
   /// Mirrors the cache counters into `registry` (anr_cache_*_total, the
   /// anr_cache_entries gauge). nullptr detaches. Call before concurrent
-  /// use; lookups only read the resolved handles.
-  void set_observer(obs::Registry* registry);
+  /// use; lookups only read the resolved handles. `labels` is attached to
+  /// every series — a sharded deployment labels each shard's cache (e.g.
+  /// {{"shard", "2"}}) so per-shard counters stay distinguishable in one
+  /// registry instead of silently aggregating.
+  void set_observer(obs::Registry* registry, const obs::Labels& labels = {});
 
  private:
   struct Instruments {

@@ -1,0 +1,31 @@
+#include "shard/placement.h"
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace anr::shard {
+
+int home_shard(std::uint64_t fingerprint, int num_shards) {
+  ANR_CHECK_MSG(num_shards >= 1, "placement needs at least one shard");
+  return jump_consistent_hash(splitmix64(fingerprint), num_shards);
+}
+
+PlacementDecision place(std::uint64_t fingerprint, const ShardMapView& map) {
+  const int n = map.size();
+  PlacementDecision d;
+  d.map_version = map.version;
+  d.home = home_shard(fingerprint, n);
+  for (int hop = 0; hop < n; ++hop) {
+    int candidate = (d.home + hop) % n;
+    if (map.routable(candidate)) {
+      d.shard = candidate;
+      d.hops = hop;
+      return d;
+    }
+  }
+  d.shard = kNoShard;
+  d.hops = n;
+  return d;
+}
+
+}  // namespace anr::shard

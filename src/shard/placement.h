@@ -1,0 +1,47 @@
+// Placement: fingerprint -> shard, as a pure function of the shard map.
+//
+// The home shard of a job is the jump consistent hash of its planner-
+// cache fingerprint (splitmix64-mixed first; the raw FNV fingerprint is
+// structured enough to bias jump's internal LCG walk). Identical planner
+// configurations therefore always hash to the same home shard, which is
+// exactly the shard whose PlannerCache already holds — or will hold —
+// the planner: cache affinity falls out of placement, no coordination
+// needed.
+//
+// When the home shard is not routable (kDraining / kDown), placement
+// falls back along a deterministic walk: home+1, home+2, ... mod N,
+// stopping at the first kUp shard. The walk is a function of the map
+// snapshot alone, so every router instance — and every replay of a
+// recorded map version — picks the same fallback. When no shard is up,
+// placement reports failure (shard == kNoShard) and the caller decides
+// (the router rejects new work and parks handed-off work on its origin).
+#pragma once
+
+#include <cstdint>
+
+#include "shard/shard_map.h"
+
+namespace anr::shard {
+
+/// place() result when no shard in the map is kUp.
+inline constexpr int kNoShard = -1;
+
+struct PlacementDecision {
+  int home = kNoShard;   ///< jump-hash target, ignoring health
+  int shard = kNoShard;  ///< routable target after the fallback walk
+  int hops = 0;          ///< fallback steps taken (0: home was routable)
+  std::uint64_t map_version = 0;  ///< snapshot the decision was made under
+
+  bool ok() const { return shard != kNoShard; }
+  bool forwarded() const { return ok() && shard != home; }
+};
+
+/// Home shard for a fingerprint over `num_shards` shards, health ignored.
+/// Pure; pinned across processes by tests/test_shard.cpp.
+int home_shard(std::uint64_t fingerprint, int num_shards);
+
+/// Full placement against a map snapshot: home + deterministic fallback
+/// walk to the first kUp shard. Pure function of (fingerprint, map).
+PlacementDecision place(std::uint64_t fingerprint, const ShardMapView& map);
+
+}  // namespace anr::shard

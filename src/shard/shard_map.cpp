@@ -1,0 +1,61 @@
+#include "shard/shard_map.h"
+
+#include "common/check.h"
+
+namespace anr::shard {
+
+const char* shard_state_name(ShardState state) {
+  switch (state) {
+    case ShardState::kUp:
+      return "up";
+    case ShardState::kDraining:
+      return "draining";
+    case ShardState::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+int ShardMapView::up_count() const {
+  int n = 0;
+  for (ShardState s : states) {
+    if (s == ShardState::kUp) ++n;
+  }
+  return n;
+}
+
+ShardMap::ShardMap(int num_shards) {
+  ANR_CHECK_MSG(num_shards >= 1, "shard map needs at least one shard");
+  states_.assign(static_cast<std::size_t>(num_shards), ShardState::kUp);
+}
+
+bool ShardMap::set_state(int shard, ShardState state) {
+  ANR_CHECK(shard >= 0 && shard < size());
+  std::lock_guard<std::mutex> lock(m_);
+  ShardState& cur = states_[static_cast<std::size_t>(shard)];
+  if (cur == state) return false;
+  cur = state;
+  ++version_;
+  return true;
+}
+
+ShardState ShardMap::state(int shard) const {
+  ANR_CHECK(shard >= 0 && shard < size());
+  std::lock_guard<std::mutex> lock(m_);
+  return states_[static_cast<std::size_t>(shard)];
+}
+
+std::uint64_t ShardMap::version() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return version_;
+}
+
+ShardMapView ShardMap::view() const {
+  std::lock_guard<std::mutex> lock(m_);
+  ShardMapView v;
+  v.version = version_;
+  v.states = states_;
+  return v;
+}
+
+}  // namespace anr::shard

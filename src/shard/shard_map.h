@@ -1,0 +1,76 @@
+// ShardMap: a versioned, pool-map-style view of shard health.
+//
+// Placement (src/shard/placement.h) must be a *pure* function of
+// (fingerprint, map state), so routing decisions are reproducible and
+// auditable: the same job against the same map version always lands on
+// the same shard, in this process or any other. To make that possible
+// the map is epoch-versioned — every health transition bumps a
+// monotonically increasing version — and readers take an atomic
+// ShardMapView snapshot (version + per-shard states) rather than reading
+// live state field by field. This mirrors the DAOS pool-map discipline:
+// the placement algorithm is stateless, the map carries all the state,
+// and a version number names each distinct cluster configuration.
+//
+// Health states:
+//   kUp       — accepts new placements.
+//   kDraining — administratively retiring: no new placements, queued
+//               work is handed off, in-flight work finishes.
+//   kDown     — failed (or fully drained): not routable; revive() brings
+//               it back as kUp.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace anr::shard {
+
+enum class ShardState {
+  kUp = 0,
+  kDraining = 1,
+  kDown = 2,
+};
+
+/// Stable lowercase name ("up", "draining", "down").
+const char* shard_state_name(ShardState state);
+
+/// Immutable snapshot of the map at one version: the input placement
+/// actually consumes. Copy is cheap (one small vector).
+struct ShardMapView {
+  std::uint64_t version = 0;
+  std::vector<ShardState> states;
+
+  int size() const { return static_cast<int>(states.size()); }
+  bool routable(int shard) const {
+    return states[static_cast<std::size_t>(shard)] == ShardState::kUp;
+  }
+  int up_count() const;
+};
+
+/// Thread-safe versioned health map over a fixed shard count. Transitions
+/// bump the version; reads hand out consistent snapshots.
+class ShardMap {
+ public:
+  /// All shards start kUp at version 0. num_shards >= 1.
+  explicit ShardMap(int num_shards);
+
+  int size() const { return static_cast<int>(states_.size()); }
+
+  /// Sets one shard's state. Returns true (and bumps the version) when
+  /// the state actually changed; a no-op transition leaves the version
+  /// untouched so placement stays stable.
+  bool set_state(int shard, ShardState state);
+
+  ShardState state(int shard) const;
+  std::uint64_t version() const;
+
+  /// Consistent (version, states) snapshot.
+  ShardMapView view() const;
+
+ private:
+  mutable std::mutex m_;
+  std::vector<ShardState> states_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace anr::shard

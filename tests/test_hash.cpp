@@ -1,0 +1,107 @@
+// Shared hashing primitives: pinned values (cache keys and shard
+// placement must be stable across platforms and process runs), the jump
+// consistent hash range/distribution contract, and the minimal-movement
+// property that makes jump hashing the right placement primitive.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace anr {
+namespace {
+
+TEST(Fnv1a64, MatchesPublishedTestVectors) {
+  // Canonical FNV-1a 64-bit vectors (Fowler/Noll/Vo).
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);   // offset basis
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("anr"), 0xe6f7a9190520111cull);
+}
+
+TEST(Fnv1a64, SensitiveToEveryByte) {
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+  EXPECT_NE(fnv1a64("a"), fnv1a64(std::string_view("a\0", 2)));
+  EXPECT_NE(fnv1a64(std::string_view("\0", 1)),
+            fnv1a64(std::string_view("\0\0", 2)));
+}
+
+TEST(Splitmix64, PinnedValues) {
+  EXPECT_EQ(splitmix64(0), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(splitmix64(1), 0x910a2dec89025cc1ull);
+  EXPECT_EQ(splitmix64(0x123456789abcdefull), 0x157a3807a48faa9dull);
+}
+
+TEST(Splitmix64, AdjacentInputsDecorrelate) {
+  // Sequential counters must land far apart — the kRandom routing policy
+  // and placement both rely on this.
+  std::uint64_t prev = splitmix64(0);
+  for (std::uint64_t i = 1; i < 64; ++i) {
+    std::uint64_t cur = splitmix64(i);
+    int diff = __builtin_popcountll(cur ^ prev);
+    EXPECT_GT(diff, 8) << "inputs " << i - 1 << " and " << i;
+    prev = cur;
+  }
+}
+
+TEST(JumpConsistentHash, PinnedValues) {
+  // Placement golden values: a change here silently reshuffles every
+  // shard assignment, so it must be deliberate.
+  EXPECT_EQ(jump_consistent_hash(0, 1), 0);
+  EXPECT_EQ(jump_consistent_hash(0, 100), 0);
+  EXPECT_EQ(jump_consistent_hash(1, 8), 6);
+  EXPECT_EQ(jump_consistent_hash(1, 100), 55);
+  EXPECT_EQ(jump_consistent_hash(0xdeadbeefull, 2), 1);
+  EXPECT_EQ(jump_consistent_hash(0xdeadbeefull, 4), 3);
+  EXPECT_EQ(jump_consistent_hash(0xdeadbeefull, 8), 5);
+  EXPECT_EQ(jump_consistent_hash(0xdeadbeefull, 100), 87);
+}
+
+TEST(JumpConsistentHash, AlwaysInRange) {
+  for (int n : {1, 2, 3, 7, 8, 64}) {
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      int b = jump_consistent_hash(splitmix64(i), n);
+      ASSERT_GE(b, 0);
+      ASSERT_LT(b, n);
+    }
+  }
+}
+
+TEST(JumpConsistentHash, RoughlyUniformOverMixedKeys) {
+  constexpr int kBuckets = 8;
+  constexpr int kKeys = 8000;
+  std::vector<int> counts(kBuckets, 0);
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    ++counts[static_cast<std::size_t>(
+        jump_consistent_hash(splitmix64(i), kBuckets))];
+  }
+  // Expect ~1000 per bucket; allow a generous ±30%.
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(counts[static_cast<std::size_t>(b)], 700) << "bucket " << b;
+    EXPECT_LT(counts[static_cast<std::size_t>(b)], 1300) << "bucket " << b;
+  }
+}
+
+TEST(JumpConsistentHash, MinimalMovementOnBucketAdd) {
+  // Growing n -> n+1 must (a) only move keys INTO the new bucket, never
+  // between old buckets, and (b) move ~1/(n+1) of keys.
+  constexpr int kKeys = 10000;
+  for (int n : {1, 2, 4, 8}) {
+    int moved = 0;
+    for (std::uint64_t i = 0; i < kKeys; ++i) {
+      std::uint64_t key = splitmix64(i);
+      int before = jump_consistent_hash(key, n);
+      int after = jump_consistent_hash(key, n + 1);
+      if (after != before) {
+        EXPECT_EQ(after, n) << "key moved between pre-existing buckets";
+        ++moved;
+      }
+    }
+    double expect = static_cast<double>(kKeys) / (n + 1);
+    EXPECT_GT(moved, expect * 0.7) << "n=" << n;
+    EXPECT_LT(moved, expect * 1.3) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace anr
