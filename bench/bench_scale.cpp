@@ -1,0 +1,226 @@
+// Scaling curve: full-pipeline plan latency vs swarm size at fixed
+// density (ROADMAP item 2; n far beyond the paper's fixed 144).
+//
+// Geometry: scenario 1's M1/M2 shapes scaled about their centroids by
+// sqrt(n/144), so robot density (and therefore lattice spacing and the
+// unit-disk degree at r_c) is constant across the sweep — growth in plan
+// time is algorithmic, not densification. The deployment is the
+// triangular lattice over the scaled M1 (connected at r_c by
+// construction: spacing ~50 m vs r_c = 80 m), and M2 sits a fixed
+// 15 x r_c beyond the two bounding boxes.
+//
+// Output is machine-readable JSON (the committed BENCH_scale.json
+// baseline): one row per n with the end-to-end plan latency and the
+// per-stage span breakdown read back from the obs registry
+// (anr_plan_stage_seconds sums). scripts/bench_check.sh gates the
+// structure and the sub-quadratic growth of the curve; absolute times
+// are reported, never gated (CI hardware varies).
+//
+// Flags:
+//   --max-n N            largest swarm size to run (default 100000)
+//   --out FILE           also write the JSON document to FILE
+//   --budget-seconds S   exit nonzero if any plan exceeds S seconds
+//                        (the CI scale-smoke job's wall-clock guard)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace anr;
+
+FieldOfInterest scaled_foi(const FieldOfInterest& foi, double s) {
+  Vec2 c = foi.centroid();
+  auto scale_poly = [&](const Polygon& p) {
+    std::vector<Vec2> pts;
+    pts.reserve(p.size());
+    for (Vec2 q : p.points()) pts.push_back(c + (q - c) * s);
+    return Polygon(std::move(pts));
+  };
+  std::vector<Polygon> holes;
+  holes.reserve(foi.holes().size());
+  for (const Polygon& h : foi.holes()) holes.push_back(scale_poly(h));
+  return FieldOfInterest(scale_poly(foi.outer()), std::move(holes));
+}
+
+// Triangular-lattice deployment of exactly n robots (spacing tightened
+// until the lattice holds n points; truncation keeps the row-major prefix,
+// which stays connected at r_c since consecutive rows are adjacent).
+std::vector<Vec2> lattice_deployment(const FieldOfInterest& m1, int n) {
+  double h = std::sqrt(2.0 * m1.area() /
+                       (std::sqrt(3.0) * static_cast<double>(n)));
+  std::vector<Vec2> pts = m1.lattice_points(h);
+  for (int guard = 0; static_cast<int>(pts.size()) < n && guard < 64; ++guard) {
+    h *= 0.97;
+    pts = m1.lattice_points(h);
+  }
+  if (static_cast<int>(pts.size()) > n) pts.resize(static_cast<std::size_t>(n));
+  return pts;
+}
+
+struct Row {
+  int n = 0;
+  int robots = 0;
+  int grid_points = 0;
+  int cvt_samples = 0;
+  bool deploy_connected = false;
+  bool harmonic_multigrid = false;
+  double build_seconds = 0.0;
+  double plan_seconds = 0.0;
+  double stage_extraction = 0.0;
+  double stage_harmonic = 0.0;
+  double stage_rotation = 0.0;
+  double stage_interpolation = 0.0;
+  double stage_adjustment = 0.0;
+};
+
+std::string row_json(const Row& r) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"n\": %d, \"robots\": %d, \"grid_points\": %d, "
+      "\"cvt_samples\": %d, \"deploy_connected\": %s, "
+      "\"harmonic_multigrid\": %s, \"planner_build_seconds\": %.6f, "
+      "\"plan_seconds\": %.6f, \"stages\": {\"extraction\": %.6f, "
+      "\"harmonic_map\": %.6f, \"rotation_search\": %.6f, "
+      "\"interpolation\": %.6f, \"adjustment\": %.6f}}",
+      r.n, r.robots, r.grid_points, r.cvt_samples,
+      r.deploy_connected ? "true" : "false",
+      r.harmonic_multigrid ? "true" : "false", r.build_seconds, r.plan_seconds,
+      r.stage_extraction, r.stage_harmonic, r.stage_rotation,
+      r.stage_interpolation, r.stage_adjustment);
+  return buf;
+}
+
+double stage_sum(obs::Registry& reg, const char* stage) {
+  return reg.histogram("anr_plan_stage_seconds", {{"stage", stage}})->sum();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace anr;
+  using namespace anr::bench;
+
+  int max_n = 100000;
+  double budget_seconds = -1.0;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-n") == 0 && i + 1 < argc) {
+      max_n = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--budget-seconds") == 0 && i + 1 < argc) {
+      budget_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_scale [--max-n N] [--out FILE] "
+                   "[--budget-seconds S]\n");
+      return 2;
+    }
+  }
+
+  Scenario sc = scenario(1);
+  const double r_c = sc.comm_range;
+  const double base_n = static_cast<double>(sc.num_robots);
+  const double density = base_n / sc.m1.area();
+
+  std::vector<int> sizes;
+  for (int n : {144, 1000, 2048, 10000, 100000}) {
+    if (n <= max_n) sizes.push_back(n);
+  }
+
+  std::vector<Row> rows;
+  bool over_budget = false;
+  for (int n : sizes) {
+    const double s = std::sqrt(static_cast<double>(n) / base_n);
+    FieldOfInterest m1 = scaled_foi(sc.m1, s);
+    FieldOfInterest m2 = scaled_foi(sc.m2_shape, s);
+    std::vector<Vec2> deploy = lattice_deployment(m1, n);
+
+    Row row;
+    row.n = n;
+    row.robots = static_cast<int>(deploy.size());
+    row.deploy_connected = net::is_connected(deploy, r_c);
+
+    PlannerOptions opt;
+    opt.mesher.target_grid_points = std::max(350, n);
+    opt.cvt_samples = std::max(4000, 2 * n);
+    opt.max_adjust_steps = 3;
+    row.grid_points = opt.mesher.target_grid_points;
+    row.cvt_samples = opt.cvt_samples;
+
+    // Clear separation at every scale: 15 x r_c of gap beyond the two
+    // bounding boxes (a fixed multiple of the shapes themselves would
+    // change straight-line distance relative to r_c as n grows).
+    double gap = (m1.bbox().width() + m2.bbox().width()) / 2.0 + 15.0 * r_c;
+    Vec2 off = m1.centroid() + Vec2{gap, 0.0} - m2.centroid();
+
+    obs::Registry reg;
+    Stopwatch build_sw;
+    MarchPlanner planner(m1, m2, r_c, opt);
+    row.build_seconds = build_sw.seconds();
+    planner.set_observer(&reg);
+
+    Stopwatch plan_sw;
+    MarchPlan plan = planner.plan(deploy, off);
+    row.plan_seconds = plan_sw.seconds();
+    ANR_CHECK(plan.final_positions.size() == deploy.size());
+
+    row.stage_extraction = stage_sum(reg, "extraction");
+    row.stage_harmonic = stage_sum(reg, "harmonic_map");
+    row.stage_rotation = stage_sum(reg, "rotation_search");
+    row.stage_interpolation = stage_sum(reg, "interpolation");
+    row.stage_adjustment = stage_sum(reg, "adjustment");
+    row.harmonic_multigrid =
+        reg.counter("anr_harmonic_multigrid_total")->value() > 0;
+    rows.push_back(row);
+
+    std::fprintf(stderr,
+                 "n=%-7d robots=%-7d build=%.3fs plan=%.3fs "
+                 "(extract %.3f, harmonic %.3f, rotation %.3f, "
+                 "interp %.3f, adjust %.3f) mg=%d connected=%d\n",
+                 row.n, row.robots, row.build_seconds, row.plan_seconds,
+                 row.stage_extraction, row.stage_harmonic, row.stage_rotation,
+                 row.stage_interpolation, row.stage_adjustment,
+                 row.harmonic_multigrid ? 1 : 0, row.deploy_connected ? 1 : 0);
+    if (budget_seconds > 0.0 && row.plan_seconds > budget_seconds) {
+      over_budget = true;
+    }
+  }
+
+  std::ostringstream doc;
+  doc << "{\n"
+      << "  \"bench\": \"scale\",\n"
+      << "  \"comm_range\": " << r_c << ",\n"
+      << "  \"density_robots_per_m2\": " << density << ",\n"
+      << "  \"separation_gap_cr\": 15.0,\n"
+      << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    doc << row_json(rows[i]) << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  doc << "  ]\n}\n";
+
+  std::fputs(doc.str().c_str(), stdout);
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    f << doc.str();
+  }
+
+  if (over_budget) {
+    std::fprintf(stderr, "FAIL: a plan exceeded the %.1fs budget\n",
+                 budget_seconds);
+    return 1;
+  }
+  return 0;
+}

@@ -6,6 +6,14 @@
 // resolution-independent), D ratio stays near 1, protocol message counts
 // grow superlinearly (flooding is O(n*E)), planning time is dominated by
 // the adjustment-phase CVT.
+//
+// Besides the human-readable table, each sweep row is also emitted as a
+// one-line JSON object ("scaling_row ...") so scripts can scrape the
+// series without parsing the table layout. (The big-n latency curve
+// lives in bench_scale; this sweep measures solution quality and
+// protocol costs at paper-adjacent sizes.)
+#include <cstdio>
+
 #include "bench_common.h"
 #include "foi/indoor.h"
 
@@ -51,6 +59,14 @@ int main() {
                fmt(m.total_distance / mh.total_distance),
                m.global_connectivity ? "Y" : "N", fmt(plan_seconds, 2),
                std::to_string(plan.protocol_messages)});
+    std::printf(
+        "scaling_row {\"n\": %d, \"links\": %d, \"stable_link_ratio\": %.4f, "
+        "\"distance_ratio\": %.4f, \"connected\": %s, \"plan_seconds\": %.3f, "
+        "\"protocol_messages\": %zu}\n",
+        n, m.initial_links, m.stable_link_ratio,
+        m.total_distance / mh.total_distance,
+        m.global_connectivity ? "true" : "false", plan_seconds,
+        plan.protocol_messages);
   }
   std::cout << "== swarm-size scaling (scenario 1, 20x r_c, distributed "
                "protocols)\n"

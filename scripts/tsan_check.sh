@@ -7,8 +7,11 @@
 # -fsanitize=thread and runs the tests that hammer plan() from many
 # threads (runtime/mission service) plus the interpolator unit tests,
 # the task-arena unit tests, the parallel-plan determinism suite
-# (full plans at 2/4/8 arena threads), and the sharded-router suite
-# (concurrent submit against kill/drain/revive transitions).
+# (full plans at 2/4/8 arena threads), the sharded-router suite
+# (concurrent submit against kill/drain/revive transitions), the
+# harmonic solver suite (multigrid smoothing through parallel_chunks at
+# several arena widths), and the Delaunay suite (hinted construction
+# feeding the parallel consumers).
 #
 # Usage: scripts/tsan_check.sh [build-dir]
 set -euo pipefail
@@ -20,9 +23,10 @@ cmake -S "$REPO_ROOT" -B "$BUILD_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DANR_SANITIZE=thread >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target test_runtime test_composition test_network test_grid_index \
-  test_obs test_task_arena test_parallel_determinism test_shard >/dev/null
+  test_obs test_task_arena test_parallel_determinism test_shard \
+  test_harmonic test_delaunay >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R '^(test_runtime|test_composition|test_network|test_grid_index|test_obs|test_task_arena|test_parallel_determinism|test_shard)$'
+  -R '^(test_runtime|test_composition|test_network|test_grid_index|test_obs|test_task_arena|test_parallel_determinism|test_shard|test_harmonic|test_delaunay)$'
 echo "OK: TSan sweep clean"

@@ -36,37 +36,31 @@ void GridCvt::centroids_into(const std::vector<Vec2>& sites, Scratch& scratch,
                              std::vector<Vec2>& out) const {
   ANR_CHECK(!sites.empty());
   // Nearest-site assignment via a site index: for each sample, query the
-  // site index outward. The sample loop accumulates into per-chunk
-  // partial sums with a grain fixed from the sample count alone (never
-  // the thread count), merged in chunk-index order below — the floating-
-  // point sums are therefore byte-identical at any parallelism level,
-  // serial included.
+  // site index outward. The parallel phase only writes each sample's own
+  // `site_of` slot (no shared accumulators), so it is trivially
+  // deterministic at any parallelism level; the floating-point centroid
+  // sums then accumulate serially in fixed sample order. This keeps the
+  // workspace O(samples + sites) — the previous per-chunk partial-sum
+  // layout was O(chunks x sites), quadratic-ish when sites scale with
+  // samples (10k+ robots).
   scratch.site_index.rebuild(sites, std::max(spacing_ * 4.0, 1e-9));
   const std::size_t kGrain = 2048;
   const std::size_t nsites = sites.size();
-  const std::size_t nchunks = (samples_.size() + kGrain - 1) / kGrain;
-  scratch.part_acc.assign(nchunks * nsites, Vec2{});
-  scratch.part_mass.assign(nchunks * nsites, 0.0);
+  scratch.site_of.resize(samples_.size());
   parallel_chunks(samples_.size(), kGrain,
-                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-    Vec2* acc = scratch.part_acc.data() + chunk * nsites;
-    double* mass = scratch.part_mass.data() + chunk * nsites;
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
     for (std::size_t s = begin; s < end; ++s) {
       int site = scratch.site_index.nearest(samples_[s]);
       ANR_CHECK(site >= 0);
-      acc[static_cast<std::size_t>(site)] += samples_[s] * weight_[s];
-      mass[static_cast<std::size_t>(site)] += weight_[s];
+      scratch.site_of[s] = site;
     }
   });
   scratch.acc.assign(nsites, Vec2{});
   scratch.mass.assign(nsites, 0.0);
-  for (std::size_t chunk = 0; chunk < nchunks; ++chunk) {
-    const Vec2* acc = scratch.part_acc.data() + chunk * nsites;
-    const double* mass = scratch.part_mass.data() + chunk * nsites;
-    for (std::size_t i = 0; i < nsites; ++i) {
-      scratch.acc[i] += acc[i];
-      scratch.mass[i] += mass[i];
-    }
+  for (std::size_t s = 0; s < samples_.size(); ++s) {
+    const std::size_t site = static_cast<std::size_t>(scratch.site_of[s]);
+    scratch.acc[site] += samples_[s] * weight_[s];
+    scratch.mass[site] += weight_[s];
   }
   out.clear();
   out.reserve(sites.size());

@@ -34,10 +34,12 @@ class GridCvt {
     GridIndex site_index;
     std::vector<Vec2> acc;
     std::vector<double> mass;
-    /// Per-chunk partial sums for the parallel sample accumulation
-    /// (chunk-major layout, merged in fixed chunk order).
-    std::vector<Vec2> part_acc;
-    std::vector<double> part_mass;
+    /// Per-sample nearest-site assignment, filled in parallel (pure
+    /// element-wise writes), then accumulated serially in sample order.
+    /// O(samples) — independent of the site count, unlike the per-chunk
+    /// partial-sum layout it replaced (O(chunks x sites), which blew up
+    /// exactly when both were large).
+    std::vector<int> site_of;
   };
 
   /// Density-weighted centroid of each site's discrete Voronoi region.

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 
 #include "common/check.h"
 #include "geom/polygon_clip.h"
@@ -54,31 +53,56 @@ Vec2 LocalVoronoiLloyd::cell_centroid(const Polygon& cell, Vec2 fallback) const 
 }
 
 LocalLloydStep LocalVoronoiLloyd::step(const std::vector<Vec2>& robots) const {
+  Scratch scratch;
+  LocalLloydStep out;
+  step_into(robots, scratch, out);
+  return out;
+}
+
+void LocalVoronoiLloyd::step_into(const std::vector<Vec2>& robots,
+                                  Scratch& scratch, LocalLloydStep& out) const {
   const std::size_t n = robots.size();
   ANR_CHECK(n >= 1);
 
   // Robots outside the region compute their cell from the nearest
   // placeable point (they are marching in, Sec. III-D-1).
-  std::vector<Vec2> inside(n);
-  for (std::size_t i = 0; i < n; ++i) inside[i] = foi_.clamp_inside(robots[i]);
+  scratch.inside.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.inside[i] = foi_.clamp_inside(robots[i]);
+  }
+  const std::vector<Vec2>& inside = scratch.inside;
 
   auto adj = net::unit_disk_adjacency(inside, r_c_);
-  LocalLloydStep out;
+  out.messages = 0;
   out.centroids.resize(n);
   // Two beacon rounds: 1-hop positions, then forwarded neighbor lists.
   for (const auto& nb : adj) out.messages += 2 * nb.size();
 
+  // Stamp-marked two-hop gather: sorted afterwards so the clipping order
+  // matches the std::set iteration it replaced (ascending robot id),
+  // keeping results byte-identical while dropping the per-robot node
+  // allocations.
+  scratch.mark.assign(n, 0);
+  scratch.stamp = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    // Two-hop neighborhood.
-    std::set<int> two_hop;
+    const int stamp = ++scratch.stamp;
+    scratch.two_hop.clear();
     for (int u : adj[i]) {
-      two_hop.insert(u);
+      if (scratch.mark[static_cast<std::size_t>(u)] != stamp) {
+        scratch.mark[static_cast<std::size_t>(u)] = stamp;
+        scratch.two_hop.push_back(u);
+      }
       for (int w : adj[static_cast<std::size_t>(u)]) {
-        if (w != static_cast<int>(i)) two_hop.insert(w);
+        if (w == static_cast<int>(i)) continue;
+        if (scratch.mark[static_cast<std::size_t>(w)] != stamp) {
+          scratch.mark[static_cast<std::size_t>(w)] = stamp;
+          scratch.two_hop.push_back(w);
+        }
       }
     }
+    std::sort(scratch.two_hop.begin(), scratch.two_hop.end());
     Polygon cell = foi_.outer();
-    for (int u : two_hop) {
+    for (int u : scratch.two_hop) {
       if (cell.size() < 3) break;
       Vec2 other = inside[static_cast<std::size_t>(u)];
       if (distance2(inside[i], other) == 0.0) continue;
@@ -86,7 +110,6 @@ LocalLloydStep LocalVoronoiLloyd::step(const std::vector<Vec2>& robots) const {
     }
     out.centroids[i] = cell_centroid(cell, inside[i]);
   }
-  return out;
 }
 
 LocalVoronoiLloyd::RunResult LocalVoronoiLloyd::run(std::vector<Vec2> robots,
@@ -94,8 +117,10 @@ LocalVoronoiLloyd::RunResult LocalVoronoiLloyd::run(std::vector<Vec2> robots,
                                                     int max_steps) const {
   RunResult out;
   out.positions = std::move(robots);
+  Scratch scratch;
+  LocalLloydStep s;
   for (out.steps = 0; out.steps < max_steps; ++out.steps) {
-    LocalLloydStep s = step(out.positions);
+    step_into(out.positions, scratch, s);
     out.messages += s.messages;
     double max_move = 0.0;
     for (std::size_t i = 0; i < out.positions.size(); ++i) {

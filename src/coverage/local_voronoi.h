@@ -36,9 +36,24 @@ class LocalVoronoiLloyd {
   LocalVoronoiLloyd(FieldOfInterest foi, DensityFn density, double comm_range,
                     int samples_per_cell = 300);
 
+  /// Reusable workspace for step_into: the two-hop gather buffers persist
+  /// across Lloyd steps so steady-state iterations stop allocating per
+  /// robot (the previous implementation built a std::set per robot per
+  /// step). Each concurrent caller owns its own Scratch.
+  struct Scratch {
+    std::vector<Vec2> inside;
+    std::vector<int> mark;     ///< per-robot visit stamp
+    std::vector<int> two_hop;  ///< gathered neighborhood, sorted per robot
+    int stamp = 0;
+  };
+
   /// One step. Robots outside the FoI are first pulled to the nearest
   /// placeable point (their cell is computed from there).
   LocalLloydStep step(const std::vector<Vec2>& robots) const;
+
+  /// As step(), reusing `scratch` across calls.
+  void step_into(const std::vector<Vec2>& robots, Scratch& scratch,
+                 LocalLloydStep& out) const;
 
   /// Runs steps until the largest move is below `tol` or `max_steps`.
   struct RunResult {

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "common/check.h"
 #include "common/task_arena.h"
 #include "geom/predicates.h"
+#include "harmonic/multigrid.h"
 #include "mesh/boundary.h"
 
 namespace anr {
@@ -181,57 +184,136 @@ DiskMap harmonic_disk_map(const TriangleMesh& mesh, const DiskMapOptions& opt) {
     }
   }
 
+  const int interior_count = class_start[num_colors];
+  const bool use_multigrid =
+      opt.solver == HarmonicSolver::kMultigrid ||
+      (opt.solver == HarmonicSolver::kAuto &&
+       interior_count >= opt.multigrid_threshold);
+
+  bool converged = false;
+  int executed = 0;
+
+  if (use_multigrid && interior_count > 0) {
+    // Compact the interior system (A = diag(W_v) - [w_vu], b from pinned
+    // boundary values) and run V-cycles. The hierarchy's smoother is the
+    // same multicolor parallel_chunks sweep as below, so thread-count
+    // invariance carries over.
+    std::vector<int> iidx(n, -1);
+    std::vector<int> ivert;
+    ivert.reserve(static_cast<std::size_t>(interior_count));
+    for (std::size_t v = 0; v < n; ++v) {
+      if (out.on_boundary[v]) continue;
+      iidx[v] = static_cast<int>(ivert.size());
+      ivert.push_back(static_cast<int>(v));
+    }
+    std::vector<int> astart(static_cast<std::size_t>(interior_count) + 1, 0);
+    for (int i = 0; i < interior_count; ++i) {
+      const std::size_t v = static_cast<std::size_t>(ivert[static_cast<std::size_t>(i)]);
+      int cnt = 0;
+      for (int k = wstart[v]; k < wstart[v + 1]; ++k) {
+        if (iidx[static_cast<std::size_t>(nbr_id[static_cast<std::size_t>(k)])] >= 0) ++cnt;
+      }
+      astart[static_cast<std::size_t>(i) + 1] = astart[static_cast<std::size_t>(i)] + cnt;
+    }
+    std::vector<int> acol(static_cast<std::size_t>(astart[static_cast<std::size_t>(interior_count)]));
+    std::vector<double> aoff(acol.size());
+    std::vector<double> adiag(static_cast<std::size_t>(interior_count), 0.0);
+    std::vector<Vec2> rhs(static_cast<std::size_t>(interior_count), Vec2{0.0, 0.0});
+    std::vector<Vec2> x(static_cast<std::size_t>(interior_count), Vec2{0.0, 0.0});
+    for (int i = 0; i < interior_count; ++i) {
+      const std::size_t v = static_cast<std::size_t>(ivert[static_cast<std::size_t>(i)]);
+      int at = astart[static_cast<std::size_t>(i)];
+      double wsum = 0.0;
+      for (int k = wstart[v]; k < wstart[v + 1]; ++k) {
+        const std::size_t u = static_cast<std::size_t>(nbr_id[static_cast<std::size_t>(k)]);
+        const double w = nbr_w[static_cast<std::size_t>(k)];
+        wsum += w;
+        if (iidx[u] >= 0) {
+          acol[static_cast<std::size_t>(at)] = iidx[u];
+          aoff[static_cast<std::size_t>(at)] = -w;
+          ++at;
+        } else {
+          rhs[static_cast<std::size_t>(i)] += out.disk_pos[u] * w;
+        }
+      }
+      ANR_CHECK(wsum > 0.0);
+      adiag[static_cast<std::size_t>(i)] = wsum;
+    }
+    MultigridOptions mg_opt;
+    mg_opt.tol = opt.tol;
+    mg_opt.over_relax = opt.over_relax;
+    MultigridSolver mg(std::move(astart), std::move(acol), std::move(aoff),
+                       std::move(adiag), mg_opt);
+    MultigridResult mg_res = mg.solve(x, rhs);
+    for (int i = 0; i < interior_count; ++i) {
+      out.disk_pos[static_cast<std::size_t>(ivert[static_cast<std::size_t>(i)])] =
+          x[static_cast<std::size_t>(i)];
+    }
+    out.used_multigrid = true;
+    out.cycles = mg_res.cycles;
+    executed = std::min(mg_res.fine_sweeps, opt.max_sweeps);
+    converged = mg_res.converged;
+  }
+
   // Gauss–Seidel with over-relaxation, color-major. Small classes fall
   // into a single chunk and run inline; the per-chunk maxima merge in
   // fixed chunk order (exact for max, but the fixed order is the habit
-  // every parallel reduction here follows).
-  const std::size_t kGrain = 512;
-  std::vector<double> chunk_max;
-  bool converged = false;
-  int executed = 0;
-  for (int sweep = 0; sweep < opt.max_sweeps; ++sweep) {
-    double max_move = 0.0;
-    for (int c = 0; c < num_colors; ++c) {
-      const int cb = class_start[c];
-      const std::size_t count =
-          static_cast<std::size_t>(class_start[c + 1] - cb);
-      chunk_max.assign((count + kGrain - 1) / kGrain, 0.0);
-      parallel_chunks(count, kGrain,
-                      [&](std::size_t chunk, std::size_t begin,
-                          std::size_t end) {
-        double local = 0.0;
-        for (std::size_t idx = begin; idx < end; ++idx) {
-          const std::size_t v = static_cast<std::size_t>(
-              class_verts[static_cast<std::size_t>(cb) + idx]);
-          Vec2 acc{};
-          double wsum = 0.0;
-          for (int k = wstart[v]; k < wstart[v + 1]; ++k) {
-            acc += out.disk_pos[static_cast<std::size_t>(
-                       nbr_id[static_cast<std::size_t>(k)])] *
-                   nbr_w[static_cast<std::size_t>(k)];
-            wsum += nbr_w[static_cast<std::size_t>(k)];
+  // every parallel reduction here follows). Runs the whole budget on the
+  // flat path; after a stalled multigrid solve it spends whatever budget
+  // remains, so multigrid never converges worse than the flat sweep.
+  if (!converged) {
+    const std::size_t kGrain = 512;
+    std::vector<double> chunk_max;
+    for (int sweep = executed; sweep < opt.max_sweeps; ++sweep) {
+      double max_move = 0.0;
+      for (int c = 0; c < num_colors; ++c) {
+        const int cb = class_start[c];
+        const std::size_t count =
+            static_cast<std::size_t>(class_start[c + 1] - cb);
+        chunk_max.assign((count + kGrain - 1) / kGrain, 0.0);
+        parallel_chunks(count, kGrain,
+                        [&](std::size_t chunk, std::size_t begin,
+                            std::size_t end) {
+          double local = 0.0;
+          for (std::size_t idx = begin; idx < end; ++idx) {
+            const std::size_t v = static_cast<std::size_t>(
+                class_verts[static_cast<std::size_t>(cb) + idx]);
+            Vec2 acc{};
+            double wsum = 0.0;
+            for (int k = wstart[v]; k < wstart[v + 1]; ++k) {
+              acc += out.disk_pos[static_cast<std::size_t>(
+                         nbr_id[static_cast<std::size_t>(k)])] *
+                     nbr_w[static_cast<std::size_t>(k)];
+              wsum += nbr_w[static_cast<std::size_t>(k)];
+            }
+            ANR_CHECK(wsum > 0.0);
+            Vec2 target = acc / wsum;
+            Vec2 updated =
+                out.disk_pos[v] + (target - out.disk_pos[v]) * opt.over_relax;
+            local = std::max(local, distance(updated, out.disk_pos[v]));
+            out.disk_pos[v] = updated;
           }
-          ANR_CHECK(wsum > 0.0);
-          Vec2 target = acc / wsum;
-          Vec2 updated =
-              out.disk_pos[v] + (target - out.disk_pos[v]) * opt.over_relax;
-          local = std::max(local, distance(updated, out.disk_pos[v]));
-          out.disk_pos[v] = updated;
-        }
-        chunk_max[chunk] = local;
-      });
-      for (double m : chunk_max) max_move = std::max(max_move, m);
-    }
-    executed = sweep + 1;
-    if (max_move <= opt.tol) {
-      converged = true;
-      break;
+          chunk_max[chunk] = local;
+        });
+        for (double m : chunk_max) max_move = std::max(max_move, m);
+      }
+      executed = sweep + 1;
+      if (max_move <= opt.tol) {
+        converged = true;
+        break;
+      }
     }
   }
   // `sweeps` counts sweeps actually executed: converging during sweep s
   // (0-based) means s+1 sweeps ran, not s.
   out.sweeps = executed;
   out.converged = converged;
+  out.status = converged
+                   ? Status::Ok()
+                   : Status::FailedPrecondition(
+                         "harmonic relaxation did not converge within " +
+                         std::to_string(opt.max_sweeps) +
+                         " sweeps (tol=" + std::to_string(opt.tol) + ")");
   return out;
 }
 

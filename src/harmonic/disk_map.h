@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/status.h"
 #include "mesh/triangle_mesh.h"
 
 namespace anr {
@@ -35,12 +36,29 @@ enum class BoundarySpacing {
   kChordLength,  ///< angles proportional to boundary edge lengths
 };
 
+/// Interior relaxation engine.
+enum class HarmonicSolver {
+  kAuto,         ///< multigrid above `multigrid_threshold`, flat SOR below
+  kGaussSeidel,  ///< always the flat multicolor SOR sweep
+  kMultigrid,    ///< always the V-cycle solver (harmonic/multigrid.h)
+};
+
 struct DiskMapOptions {
   HarmonicWeights weights = HarmonicWeights::kUniform;
   BoundarySpacing spacing = BoundarySpacing::kUniformHops;
   double tol = 1e-10;        ///< max vertex move per sweep to declare converged
   int max_sweeps = 200000;
   double over_relax = 1.7;   ///< SOR factor in (0, 2)
+
+  /// Solver selection. kAuto keeps the historical flat sweep (and its exact
+  /// bytes) on small meshes and switches to multigrid only where the flat
+  /// sweep's O(n) iteration count starts to dominate. If multigrid stalls
+  /// (non-symmetric custom weights can defeat the Galerkin hierarchy), the
+  /// remaining `max_sweeps` budget falls back to the flat sweep, so
+  /// convergence is never worse than the historical solver's.
+  HarmonicSolver solver = HarmonicSolver::kAuto;
+  /// Interior-vertex count at which kAuto switches to multigrid.
+  int multigrid_threshold = 3000;
 
   /// When set, overrides `weights`: returns the positive weight of the
   /// directed edge (v, u). Used by the terrain layer to feed 3D
@@ -55,9 +73,19 @@ struct DiskMap {
   std::vector<char> on_boundary;
   /// Gauss–Seidel sweeps actually executed (the converging sweep counts;
   /// equals max_sweeps when convergence was not reached). The distributed
-  /// solver reports its relaxation rounds here under the same semantics.
+  /// solver reports its relaxation rounds here under the same semantics;
+  /// the multigrid solver counts finest-level smoothing sweeps.
   int sweeps = 0;
   bool converged = false;
+  /// True when the multigrid engine produced the result (possibly with a
+  /// flat-sweep tail); false for the pure flat sweep.
+  bool used_multigrid = false;
+  /// V-cycles executed (0 for the flat sweep).
+  int cycles = 0;
+  /// kOk when converged; FailedPrecondition (with the sweep budget and
+  /// tolerance in the message) when the sweep budget ran out. Callers that
+  /// used to poll `converged` can now propagate a typed error instead.
+  Status status;
 
   /// Fraction of triangles that kept positive orientation in the disk —
   /// 1.0 for a valid embedding.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/check.h"
 #include "mesh/boundary.h"
@@ -61,6 +62,12 @@ DistributedDiskMap distributed_harmonic_disk_map(const TriangleMesh& mesh,
   out.map.on_boundary = std::move(fixed);
   out.map.converged = relax.converged;
   out.map.sweeps = static_cast<int>(relax.rounds);
+  out.map.status =
+      relax.converged
+          ? Status::Ok()
+          : Status::FailedPrecondition(
+                "distributed harmonic relaxation did not converge within " +
+                std::to_string(relax.rounds) + " rounds");
   return out;
 }
 

@@ -1,0 +1,370 @@
+#include "harmonic/multigrid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/task_arena.h"
+
+namespace anr {
+
+namespace {
+constexpr std::size_t kGrain = 512;
+}  // namespace
+
+MultigridSolver::MultigridSolver(std::vector<int> astart, std::vector<int> acol,
+                                 std::vector<double> aoff,
+                                 std::vector<double> adiag,
+                                 const MultigridOptions& opt)
+    : opt_(opt) {
+  Level fine;
+  fine.n = static_cast<int>(adiag.size());
+  fine.astart = std::move(astart);
+  fine.acol = std::move(acol);
+  fine.aoff = std::move(aoff);
+  fine.adiag = std::move(adiag);
+  ANR_CHECK(fine.astart.size() == static_cast<std::size_t>(fine.n) + 1);
+  build_coloring(fine);
+  levels_.push_back(std::move(fine));
+  build_hierarchy(opt);
+}
+
+void MultigridSolver::build_coloring(Level& lv) {
+  const std::size_t n = static_cast<std::size_t>(lv.n);
+  std::vector<int> color(n, -1);
+  int num_colors = 0;
+  std::vector<char> used;
+  for (std::size_t v = 0; v < n; ++v) {
+    used.assign(static_cast<std::size_t>(num_colors) + 1, 0);
+    for (int k = lv.astart[v]; k < lv.astart[v + 1]; ++k) {
+      int cu = color[static_cast<std::size_t>(lv.acol[static_cast<std::size_t>(k)])];
+      if (cu >= 0) used[static_cast<std::size_t>(cu)] = 1;
+    }
+    int c = 0;
+    while (used[static_cast<std::size_t>(c)]) ++c;
+    color[v] = c;
+    if (c + 1 > num_colors) num_colors = c + 1;
+  }
+  lv.num_colors = num_colors;
+  lv.class_start.assign(static_cast<std::size_t>(num_colors) + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    ++lv.class_start[static_cast<std::size_t>(color[v]) + 1];
+  }
+  for (int c = 0; c < num_colors; ++c) {
+    lv.class_start[static_cast<std::size_t>(c) + 1] +=
+        lv.class_start[static_cast<std::size_t>(c)];
+  }
+  lv.class_verts.assign(n, 0);
+  std::vector<int> cursor(lv.class_start.begin(), lv.class_start.end() - 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    lv.class_verts[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(color[v])]++)] = static_cast<int>(v);
+  }
+}
+
+void MultigridSolver::build_hierarchy(const MultigridOptions& opt) {
+  while (levels_.back().n > opt.coarse_size) {
+    Level& fine = levels_.back();
+    const std::size_t n = static_cast<std::size_t>(fine.n);
+
+    // C-points: greedy maximal independent set in index order. Every
+    // F-point then has at least one C neighbor in the adjacency graph
+    // (maximality), except pattern-isolated unknowns which simply get no
+    // coarse correction.
+    std::vector<char> is_coarse(n, 0), blocked(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (blocked[v]) continue;
+      is_coarse[v] = 1;
+      for (int k = fine.astart[v]; k < fine.astart[v + 1]; ++k) {
+        blocked[static_cast<std::size_t>(fine.acol[static_cast<std::size_t>(k)])] = 1;
+      }
+    }
+    std::vector<int> cidx(n, -1);
+    int nc = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (is_coarse[v]) cidx[v] = nc++;
+    }
+    // A hierarchy that stops shrinking can't help; hand the rest to the
+    // coarsest-level smoother.
+    if (nc == 0 || nc >= fine.n * 9 / 10) break;
+
+    // Prolongation: C-points inject; F-points take the weighted average of
+    // their C neighbors (weights |a_fc|, normalized). Off-diagonal entries
+    // of the harmonic operator are negative weights, so |a_fc| recovers
+    // the mesh weight.
+    fine.pstart.assign(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      int cnt = 0;
+      if (is_coarse[v]) {
+        cnt = 1;
+      } else {
+        for (int k = fine.astart[v]; k < fine.astart[v + 1]; ++k) {
+          if (is_coarse[static_cast<std::size_t>(
+                  fine.acol[static_cast<std::size_t>(k)])]) {
+            ++cnt;
+          }
+        }
+      }
+      fine.pstart[v + 1] = fine.pstart[v] + cnt;
+    }
+    fine.pcol.assign(static_cast<std::size_t>(fine.pstart[n]), 0);
+    fine.pw.assign(static_cast<std::size_t>(fine.pstart[n]), 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      int at = fine.pstart[v];
+      if (is_coarse[v]) {
+        fine.pcol[static_cast<std::size_t>(at)] = cidx[v];
+        fine.pw[static_cast<std::size_t>(at)] = 1.0;
+        continue;
+      }
+      double wsum = 0.0;
+      for (int k = fine.astart[v]; k < fine.astart[v + 1]; ++k) {
+        std::size_t u = static_cast<std::size_t>(fine.acol[static_cast<std::size_t>(k)]);
+        if (!is_coarse[u]) continue;
+        double w = std::abs(fine.aoff[static_cast<std::size_t>(k)]);
+        fine.pcol[static_cast<std::size_t>(at)] = cidx[u];
+        fine.pw[static_cast<std::size_t>(at)] = w;
+        wsum += w;
+        ++at;
+      }
+      if (wsum > 0.0) {
+        for (int k = fine.pstart[v]; k < at; ++k) {
+          fine.pw[static_cast<std::size_t>(k)] /= wsum;
+        }
+      }
+    }
+
+    // Galerkin coarse operator A_c = P^T A P via ordered row maps: index
+    // iteration order is fixed, so the assembled CSR is deterministic.
+    std::vector<std::map<int, double>> rows(static_cast<std::size_t>(nc));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int pi = fine.pstart[i]; pi < fine.pstart[i + 1]; ++pi) {
+        const int ci = fine.pcol[static_cast<std::size_t>(pi)];
+        const double wi = fine.pw[static_cast<std::size_t>(pi)];
+        auto& row = rows[static_cast<std::size_t>(ci)];
+        for (int pj = fine.pstart[i]; pj < fine.pstart[i + 1]; ++pj) {
+          row[fine.pcol[static_cast<std::size_t>(pj)]] +=
+              wi * fine.adiag[i] * fine.pw[static_cast<std::size_t>(pj)];
+        }
+        for (int k = fine.astart[i]; k < fine.astart[i + 1]; ++k) {
+          const std::size_t j =
+              static_cast<std::size_t>(fine.acol[static_cast<std::size_t>(k)]);
+          const double aij = fine.aoff[static_cast<std::size_t>(k)];
+          for (int pj = fine.pstart[j]; pj < fine.pstart[j + 1]; ++pj) {
+            row[fine.pcol[static_cast<std::size_t>(pj)]] +=
+                wi * aij * fine.pw[static_cast<std::size_t>(pj)];
+          }
+        }
+      }
+    }
+
+    Level coarse;
+    coarse.n = nc;
+    coarse.adiag.assign(static_cast<std::size_t>(nc), 0.0);
+    coarse.astart.assign(static_cast<std::size_t>(nc) + 1, 0);
+    for (int ci = 0; ci < nc; ++ci) {
+      int offdiag = 0;
+      for (const auto& [cj, val] : rows[static_cast<std::size_t>(ci)]) {
+        if (cj != ci) ++offdiag;
+      }
+      coarse.astart[static_cast<std::size_t>(ci) + 1] =
+          coarse.astart[static_cast<std::size_t>(ci)] + offdiag;
+    }
+    coarse.acol.assign(static_cast<std::size_t>(coarse.astart[static_cast<std::size_t>(nc)]), 0);
+    coarse.aoff.assign(static_cast<std::size_t>(coarse.astart[static_cast<std::size_t>(nc)]), 0.0);
+    for (int ci = 0; ci < nc; ++ci) {
+      int at = coarse.astart[static_cast<std::size_t>(ci)];
+      for (const auto& [cj, val] : rows[static_cast<std::size_t>(ci)]) {
+        if (cj == ci) {
+          coarse.adiag[static_cast<std::size_t>(ci)] = val;
+        } else {
+          coarse.acol[static_cast<std::size_t>(at)] = cj;
+          coarse.aoff[static_cast<std::size_t>(at)] = val;
+          ++at;
+        }
+      }
+      ANR_CHECK_MSG(coarse.adiag[static_cast<std::size_t>(ci)] > 0.0,
+                    "Galerkin coarse operator lost positive diagonal");
+    }
+    build_coloring(coarse);
+    levels_.push_back(std::move(coarse));
+    if (levels_.size() > 32) break;
+  }
+  for (Level& lv : levels_) {
+    lv.x.assign(static_cast<std::size_t>(lv.n), Vec2{0.0, 0.0});
+    lv.b.assign(static_cast<std::size_t>(lv.n), Vec2{0.0, 0.0});
+    lv.r.assign(static_cast<std::size_t>(lv.n), Vec2{0.0, 0.0});
+  }
+}
+
+double MultigridSolver::smooth(Level& lv, std::vector<Vec2>& x,
+                               const std::vector<Vec2>& b) const {
+  double max_move = 0.0;
+  std::vector<double> chunk_max;
+  for (int c = 0; c < lv.num_colors; ++c) {
+    const int cb = lv.class_start[static_cast<std::size_t>(c)];
+    const std::size_t count = static_cast<std::size_t>(
+        lv.class_start[static_cast<std::size_t>(c) + 1] - cb);
+    chunk_max.assign((count + kGrain - 1) / kGrain, 0.0);
+    parallel_chunks(count, kGrain,
+                    [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+      double local = 0.0;
+      for (std::size_t idx = begin; idx < end; ++idx) {
+        const std::size_t v = static_cast<std::size_t>(
+            lv.class_verts[static_cast<std::size_t>(cb) + idx]);
+        Vec2 acc = b[v];
+        for (int k = lv.astart[v]; k < lv.astart[v + 1]; ++k) {
+          acc -= x[static_cast<std::size_t>(lv.acol[static_cast<std::size_t>(k)])] *
+                 lv.aoff[static_cast<std::size_t>(k)];
+        }
+        Vec2 target = acc / lv.adiag[v];
+        Vec2 updated = x[v] + (target - x[v]) * opt_.over_relax;
+        local = std::max(local, distance(updated, x[v]));
+        x[v] = updated;
+      }
+      chunk_max[chunk] = local;
+    });
+    for (double m : chunk_max) max_move = std::max(max_move, m);
+  }
+  return max_move;
+}
+
+void MultigridSolver::vcycle(std::size_t l) {
+  Level& lv = levels_[l];
+  if (l + 1 == levels_.size()) {
+    // Coarsest level: smooth to (near) exactness — a few hundred unknowns.
+    for (int s = 0; s < 500; ++s) {
+      if (smooth(lv, lv.x, lv.b) <= opt_.tol * 0.1) break;
+    }
+    return;
+  }
+  for (int s = 0; s < opt_.pre_sweeps; ++s) smooth(lv, lv.x, lv.b);
+
+  // Residual r = b - A x (element-wise, deterministic under any schedule).
+  const std::size_t n = static_cast<std::size_t>(lv.n);
+  parallel_chunks(n, 4 * kGrain,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Vec2 acc = lv.x[i] * lv.adiag[i];
+      for (int k = lv.astart[i]; k < lv.astart[i + 1]; ++k) {
+        acc += lv.x[static_cast<std::size_t>(lv.acol[static_cast<std::size_t>(k)])] *
+               lv.aoff[static_cast<std::size_t>(k)];
+      }
+      lv.r[i] = lv.b[i] - acc;
+    }
+  });
+
+  // Restrict: b_c = P^T r (serial, index order — deterministic).
+  Level& cl = levels_[l + 1];
+  std::fill(cl.b.begin(), cl.b.end(), Vec2{0.0, 0.0});
+  std::fill(cl.x.begin(), cl.x.end(), Vec2{0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int k = lv.pstart[i]; k < lv.pstart[i + 1]; ++k) {
+      cl.b[static_cast<std::size_t>(lv.pcol[static_cast<std::size_t>(k)])] +=
+          lv.r[i] * lv.pw[static_cast<std::size_t>(k)];
+    }
+  }
+
+  vcycle(l + 1);
+
+  // Prolongate and correct: x += P x_c (element-wise).
+  parallel_chunks(n, 4 * kGrain,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Vec2 acc{};
+      for (int k = lv.pstart[i]; k < lv.pstart[i + 1]; ++k) {
+        acc += cl.x[static_cast<std::size_t>(lv.pcol[static_cast<std::size_t>(k)])] *
+               lv.pw[static_cast<std::size_t>(k)];
+      }
+      lv.x[i] += acc;
+    }
+  });
+
+  for (int s = 0; s < opt_.post_sweeps; ++s) smooth(lv, lv.x, lv.b);
+}
+
+MultigridResult MultigridSolver::solve(std::vector<Vec2>& x,
+                                       const std::vector<Vec2>& b) {
+  MultigridResult res;
+  Level& fine = levels_.front();
+  ANR_CHECK(x.size() == static_cast<std::size_t>(fine.n));
+  ANR_CHECK(b.size() == static_cast<std::size_t>(fine.n));
+  if (fine.n == 0) {
+    res.converged = true;
+    return res;
+  }
+  if (levels_.size() == 1) {
+    // Degenerate hierarchy: plain SOR on the single level.
+    for (int s = 0; s < opt_.max_cycles * (opt_.pre_sweeps + opt_.post_sweeps);
+         ++s) {
+      double mv = smooth(fine, x, b);
+      ++res.fine_sweeps;
+      if (mv <= opt_.tol) {
+        res.converged = true;
+        break;
+      }
+    }
+    return res;
+  }
+
+  fine.x = x;
+  fine.b = b;
+  for (int cycle = 0; cycle < opt_.max_cycles; ++cycle) {
+    for (int s = 0; s < opt_.pre_sweeps; ++s) {
+      smooth(fine, fine.x, fine.b);
+      ++res.fine_sweeps;
+    }
+    // Re-run the fine part of the cycle by hand so fine sweeps are counted;
+    // vcycle() handles coarse correction from the current fine state.
+    const std::size_t n = static_cast<std::size_t>(fine.n);
+    parallel_chunks(n, 4 * kGrain,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        Vec2 acc = fine.x[i] * fine.adiag[i];
+        for (int k = fine.astart[i]; k < fine.astart[i + 1]; ++k) {
+          acc += fine.x[static_cast<std::size_t>(
+                     fine.acol[static_cast<std::size_t>(k)])] *
+                 fine.aoff[static_cast<std::size_t>(k)];
+        }
+        fine.r[i] = fine.b[i] - acc;
+      }
+    });
+    Level& cl = levels_[1];
+    std::fill(cl.b.begin(), cl.b.end(), Vec2{0.0, 0.0});
+    std::fill(cl.x.begin(), cl.x.end(), Vec2{0.0, 0.0});
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int k = fine.pstart[i]; k < fine.pstart[i + 1]; ++k) {
+        cl.b[static_cast<std::size_t>(fine.pcol[static_cast<std::size_t>(k)])] +=
+            fine.r[i] * fine.pw[static_cast<std::size_t>(k)];
+      }
+    }
+    vcycle(1);
+    parallel_chunks(n, 4 * kGrain,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        Vec2 acc{};
+        for (int k = fine.pstart[i]; k < fine.pstart[i + 1]; ++k) {
+          acc += cl.x[static_cast<std::size_t>(
+                     fine.pcol[static_cast<std::size_t>(k)])] *
+                 fine.pw[static_cast<std::size_t>(k)];
+        }
+        fine.x[i] += acc;
+      }
+    });
+    double mv = 0.0;
+    for (int s = 0; s < opt_.post_sweeps; ++s) {
+      mv = smooth(fine, fine.x, fine.b);
+      ++res.fine_sweeps;
+    }
+    ++res.cycles;
+    if (mv <= opt_.tol) {
+      res.converged = true;
+      break;
+    }
+  }
+  x = fine.x;
+  return res;
+}
+
+}  // namespace anr

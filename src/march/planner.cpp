@@ -60,7 +60,8 @@ MarchPlanner::MarchPlanner(FieldOfInterest m1, FieldOfInterest m2_shape,
   m2_stats_ = mesh_stats(m2_mesh_.mesh);
   HoleFillResult filled = fill_holes(m2_mesh_.mesh);
   DiskMap disk = harmonic_disk_map(filled.mesh, opt_.disk);
-  ANR_CHECK_MSG(disk.converged, "M2 harmonic map did not converge");
+  ANR_CHECK_MSG(disk.converged,
+                "M2 harmonic map did not converge: " + disk.status.to_string());
   interpolator_ = std::make_unique<OverlapInterpolator>(filled, disk);
   cvt_ = std::make_unique<GridCvt>(m2_, opt_.density, opt_.cvt_samples);
   if (opt_.adjustment == AdjustmentEngine::kLocalVoronoi) {
@@ -100,6 +101,12 @@ void MarchPlanner::set_observer(obs::Registry* registry) {
       "plan_robust fallback attempts that produced the plan");
   ins_.plans_degraded = registry->counter(
       "anr_plans_degraded_total", {}, "plans produced by a fallback mode");
+  ins_.harmonic_nonconverged = registry->counter(
+      "anr_harmonic_nonconverged_total", {},
+      "harmonic relaxations that exhausted their sweep budget");
+  ins_.harmonic_multigrid = registry->counter(
+      "anr_harmonic_multigrid_total", {},
+      "harmonic relaxations solved by the multigrid engine");
 }
 
 const char* plan_mode_name(PlanMode mode) {
@@ -167,8 +174,14 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
   } else {
     t_disk = harmonic_disk_map(t_filled.mesh, opt_.disk);
   }
-  ANR_CHECK_MSG(t_disk.converged || !opt_.distributed,
-                "distributed relaxation did not converge");
+  if (t_disk.used_multigrid) obs::inc(ins_.harmonic_multigrid);
+  if (!t_disk.converged) {
+    // Surface the typed status instead of silently planning from a
+    // half-relaxed map (the centralized path used to do exactly that);
+    // plan_robust treats the throw as a degradation trigger.
+    obs::inc(ins_.harmonic_nonconverged);
+    ANR_CHECK_MSG(false, t_disk.status.to_string());
+  }
   harm_span.finish();
 
   // Boundary robots: vertices of T's *outer* loop — they land on M2's rim.

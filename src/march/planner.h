@@ -206,6 +206,8 @@ class MarchPlanner {
     obs::Counter* fallback_relaxed = nullptr;
     obs::Counter* fallback_baseline = nullptr;
     obs::Counter* plans_degraded = nullptr;
+    obs::Counter* harmonic_nonconverged = nullptr;
+    obs::Counter* harmonic_multigrid = nullptr;
   };
 
   /// The full pipeline with the extraction radius scaled by

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <numeric>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "geom/polygon.h"
@@ -12,6 +14,11 @@
 namespace anr {
 
 namespace {
+
+// Below this size insertions follow input order; above it a serpentine
+// grid sort makes consecutive insertions spatial neighbors, so the
+// walk-based point location stays O(1) expected per insert.
+constexpr int kSpatialSortMin = 2048;
 
 // Internal triangle record. Triangles touching the three synthetic "super"
 // vertices are tested symbolically (super vertices act as points at
@@ -31,6 +38,7 @@ class Builder {
     BBox bb;
     for (Vec2 p : pts) bb.expand(p);
     span_ = std::max({bb.width(), bb.height(), 1.0});
+    lo_ = bb.lo;
     Vec2 c = bb.center();
 
     // Symbolic-perturbation jitter: work on deterministically perturbed
@@ -57,11 +65,45 @@ class Builder {
     work_.push_back(c + Vec2{-2.0 * span_, -1.5 * span_});
     work_.push_back(c + Vec2{2.0 * span_, -1.5 * span_});
     work_.push_back(c + Vec2{0.0, 2.5 * span_});
-    tris_.push_back(make_rec(Tri{s0_, s0_ + 1, s0_ + 2}));
+
+    // Location hint grid over the input bounding box: each cell remembers
+    // the most recent finite triangle whose centroid landed in it, seeding
+    // the adjacency walk near the query point.
+    side_ = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(n) / 2.0)));
+    hint_.assign(static_cast<std::size_t>(side_) * static_cast<std::size_t>(side_), -1);
+
+    tris_.reserve(4 * n + 16);
+    em_.reserve(4 * n + 16);
+    add_tri(Tri{s0_, s0_ + 1, s0_ + 2});
   }
 
   TriangleMesh run() {
-    for (int pi = 0; pi < s0_; ++pi) {
+    std::vector<int> order(static_cast<std::size_t>(s0_));
+    std::iota(order.begin(), order.end(), 0);
+    if (s0_ >= kSpatialSortMin) {
+      // Serpentine (boustrophedon) cell order: row-major over coarse grid
+      // cells, alternating column direction per row, input index as the
+      // tie-break. Keeps consecutive insertions spatially adjacent.
+      const int cols = std::max(1, static_cast<int>(
+          std::sqrt(static_cast<double>(s0_) / 4.0)));
+      const double cell = span_ / static_cast<double>(cols);
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        Vec2 pa = work_[static_cast<std::size_t>(a)];
+        Vec2 pb = work_[static_cast<std::size_t>(b)];
+        int ya = std::clamp(static_cast<int>((pa.y - lo_.y) / cell), 0, cols - 1);
+        int yb = std::clamp(static_cast<int>((pb.y - lo_.y) / cell), 0, cols - 1);
+        if (ya != yb) return ya < yb;
+        int xa = std::clamp(static_cast<int>((pa.x - lo_.x) / cell), 0, cols - 1);
+        int xb = std::clamp(static_cast<int>((pb.x - lo_.x) / cell), 0, cols - 1);
+        if ((ya & 1) != 0) {
+          xa = cols - 1 - xa;
+          xb = cols - 1 - xb;
+        }
+        if (xa != xb) return xa < xb;
+        return a < b;
+      });
+    }
+    for (int pi : order) {
       insert(pi);
     }
     std::vector<Tri> out;
@@ -76,7 +118,56 @@ class Builder {
  private:
   bool is_super(int v) const { return v >= s0_; }
 
-  TriRec make_rec(Tri t) {
+  static std::uint64_t edge_key(VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
+
+  // Persistent edge -> alive-triangle incidence (at most two per edge in a
+  // valid triangulation), updated as triangles are created and killed. This
+  // replaces the per-insertion O(n log n) rebuild of a full edge map.
+  void link_edges(int ti) {
+    const Tri& t = tris_[static_cast<std::size_t>(ti)].t;
+    for (int k = 0; k < 3; ++k) {
+      auto [it, inserted] =
+          em_.try_emplace(edge_key(t[static_cast<std::size_t>(k)],
+                                   t[static_cast<std::size_t>((k + 1) % 3)]),
+                          std::array<int, 2>{-1, -1});
+      auto& slots = it->second;
+      if (slots[0] < 0) {
+        slots[0] = ti;
+      } else if (slots[1] < 0) {
+        slots[1] = ti;
+      } else {
+        ANR_CHECK_MSG(false, "edge incident to more than two alive triangles");
+      }
+    }
+  }
+
+  void unlink_edges(int ti) {
+    const Tri& t = tris_[static_cast<std::size_t>(ti)].t;
+    for (int k = 0; k < 3; ++k) {
+      std::uint64_t key = edge_key(t[static_cast<std::size_t>(k)],
+                                   t[static_cast<std::size_t>((k + 1) % 3)]);
+      auto it = em_.find(key);
+      ANR_CHECK_MSG(it != em_.end(), "unlinking an unregistered edge");
+      auto& slots = it->second;
+      if (slots[0] == ti) slots[0] = -1;
+      if (slots[1] == ti) slots[1] = -1;
+      if (slots[0] < 0 && slots[1] < 0) em_.erase(it);
+    }
+  }
+
+  int neighbor_across(VertexId a, VertexId b, int self) const {
+    auto it = em_.find(edge_key(a, b));
+    if (it == em_.end()) return -1;
+    if (it->second[0] != self && it->second[0] >= 0) return it->second[0];
+    if (it->second[1] != self && it->second[1] >= 0) return it->second[1];
+    return -1;
+  }
+
+  int add_tri(Tri t) {
     TriRec tr;
     // Orient CCW in working coordinates (well-conditioned: super vertices
     // are only ~2.5 spans away, and symbolic tests never use their
@@ -97,7 +188,26 @@ class Builder {
       tr.cc = circumcenter(a, b, c);
       tr.r2 = distance2(tr.cc, a);
     }
-    return tr;
+    int ti = static_cast<int>(tris_.size());
+    tris_.push_back(tr);
+    link_edges(ti);
+    last_tri_ = ti;
+    if (tr.supers == 0) {
+      Vec2 centroid = (work_[static_cast<std::size_t>(t[0])] +
+                       work_[static_cast<std::size_t>(t[1])] +
+                       work_[static_cast<std::size_t>(t[2])]) *
+                      (1.0 / 3.0);
+      hint_[hint_cell(centroid)] = ti;
+    }
+    return ti;
+  }
+
+  std::size_t hint_cell(Vec2 p) const {
+    double cell = span_ / static_cast<double>(side_);
+    int cx = std::clamp(static_cast<int>((p.x - lo_.x) / cell), 0, side_ - 1);
+    int cy = std::clamp(static_cast<int>((p.y - lo_.y) / cell), 0, side_ - 1);
+    return static_cast<std::size_t>(cy) * static_cast<std::size_t>(side_) +
+           static_cast<std::size_t>(cx);
   }
 
   // Conflict ("p inside circumcircle") test with super vertices treated as
@@ -141,37 +251,61 @@ class Builder {
                              work_[static_cast<std::size_t>(tr.t[2])]);
   }
 
-  // Edge -> alive triangle incidence, rebuilt per insertion (the cavity
-  // search and the pinch repair both need it).
-  std::map<EdgeKey, std::vector<int>> alive_edge_map() const {
-    std::map<EdgeKey, std::vector<int>> em;
-    for (std::size_t ti = 0; ti < tris_.size(); ++ti) {
-      const TriRec& tr = tris_[ti];
-      if (!tr.alive) continue;
-      for (int k = 0; k < 3; ++k) {
-        em[EdgeKey(tr.t[static_cast<std::size_t>(k)],
-                   tr.t[static_cast<std::size_t>((k + 1) % 3)])]
-            .push_back(static_cast<int>(ti));
+  // Straight walk from `start` toward p: repeatedly step across an edge
+  // whose supporting line separates the current triangle from p. Super
+  // vertices have concrete far coordinates, so the walk is uniform over the
+  // whole (super-)triangulation. Returns a triangle containing p, or -1 if
+  // the step limit trips (epsilon cycling on degenerate inputs) — callers
+  // fall back to the exhaustive scan.
+  int locate_walk(Vec2 p, int start) const {
+    int cur = start;
+    const int limit =
+        96 + 4 * static_cast<int>(std::sqrt(static_cast<double>(tris_.size())));
+    for (int step = 0; step < limit; ++step) {
+      const TriRec& tr = tris_[static_cast<std::size_t>(cur)];
+      int nxt = -1;
+      for (int k = 0; k < 3 && nxt < 0; ++k) {
+        VertexId a = tr.t[static_cast<std::size_t>(k)];
+        VertexId b = tr.t[static_cast<std::size_t>((k + 1) % 3)];
+        if (signed_area2(work_[static_cast<std::size_t>(a)],
+                         work_[static_cast<std::size_t>(b)], p) < 0.0) {
+          nxt = neighbor_across(a, b, cur);
+        }
       }
+      if (nxt < 0) return cur;
+      cur = nxt;
     }
-    return em;
+    return -1;
   }
 
   void insert(int pi) {
     Vec2 p = work_[static_cast<std::size_t>(pi)];
-    auto em = alive_edge_map();
 
     // Seed: an alive triangle containing p (always exists — the symbolic
-    // super triangles tile the rest of the plane).
+    // super triangles tile the rest of the plane). Fast path: walk from the
+    // hint-grid triangle (or the most recently created one); the exhaustive
+    // scan only runs when the walk lands on a borderline non-conflicting
+    // triangle, preserving the scan's exact tie-breaking there.
     int seed = -1;
-    for (std::size_t ti = 0; ti < tris_.size(); ++ti) {
-      const TriRec& tr = tris_[ti];
-      if (!tr.alive) continue;
-      if (triangle_contains(tr, p) && in_conflict(tr, p)) {
-        seed = static_cast<int>(ti);
-        break;
+    int start = hint_[hint_cell(p)];
+    if (start < 0 || !tris_[static_cast<std::size_t>(start)].alive) {
+      start = last_tri_;
+    }
+    int loc = locate_walk(p, start);
+    if (loc >= 0 && triangle_contains(tris_[static_cast<std::size_t>(loc)], p) &&
+        in_conflict(tris_[static_cast<std::size_t>(loc)], p)) {
+      seed = loc;
+    }
+    if (seed < 0) {
+      for (std::size_t ti = 0; ti < tris_.size(); ++ti) {
+        const TriRec& tr = tris_[ti];
+        if (!tr.alive) continue;
+        if (triangle_contains(tr, p) && in_conflict(tr, p)) {
+          seed = static_cast<int>(ti);
+          break;
+        }
+        if (seed < 0 && triangle_contains(tr, p)) seed = static_cast<int>(ti);
       }
-      if (seed < 0 && triangle_contains(tr, p)) seed = static_cast<int>(ti);
     }
     ANR_CHECK_MSG(seed >= 0, "no triangle contains the insertion point");
 
@@ -179,19 +313,22 @@ class Builder {
     // Growing from the containing triangle keeps the cavity connected even
     // when borderline conflict tests disagree far away (near-degenerate
     // inputs); stray "conflicting" islands are simply not excavated.
-    std::vector<char> in_cavity(tris_.size(), 0);
+    // Generation-stamped marks avoid an O(tris) clear per insertion.
+    if (stamp_.size() < tris_.size()) stamp_.resize(tris_.size(), 0);
+    ++gen_;
     bad_.clear();
     bad_.push_back(seed);
-    in_cavity[static_cast<std::size_t>(seed)] = 1;
+    stamp_[static_cast<std::size_t>(seed)] = gen_;
     for (std::size_t head = 0; head < bad_.size(); ++head) {
       const TriRec& tr = tris_[static_cast<std::size_t>(bad_[head])];
       for (int k = 0; k < 3; ++k) {
-        EdgeKey e(tr.t[static_cast<std::size_t>(k)],
-                  tr.t[static_cast<std::size_t>((k + 1) % 3)]);
-        for (int tj : em[e]) {
-          if (in_cavity[static_cast<std::size_t>(tj)]) continue;
+        auto it = em_.find(edge_key(tr.t[static_cast<std::size_t>(k)],
+                                    tr.t[static_cast<std::size_t>((k + 1) % 3)]));
+        if (it == em_.end()) continue;
+        for (int tj : it->second) {
+          if (tj < 0 || stamp_[static_cast<std::size_t>(tj)] == gen_) continue;
           if (!in_conflict(tris_[static_cast<std::size_t>(tj)], p)) continue;
-          in_cavity[static_cast<std::size_t>(tj)] = 1;
+          stamp_[static_cast<std::size_t>(tj)] = gen_;
           bad_.push_back(tj);
         }
       }
@@ -233,7 +370,7 @@ class Builder {
       std::vector<int> candidates;
       for (std::size_t ti = 0; ti < tris_.size(); ++ti) {
         const TriRec& tr = tris_[ti];
-        if (!tr.alive || in_cavity[ti]) continue;
+        if (!tr.alive || stamp_[ti] == gen_) continue;
         if (tr.t[0] == pinch || tr.t[1] == pinch || tr.t[2] == pinch) {
           candidates.push_back(static_cast<int>(ti));
         }
@@ -251,7 +388,10 @@ class Builder {
             VertexId a = tr.t[static_cast<std::size_t>(k)];
             VertexId b = tr.t[static_cast<std::size_t>((k + 1) % 3)];
             if (a != pinch && b != pinch) continue;
-            for (int tj : em[EdgeKey(a, b)]) {
+            auto it = em_.find(edge_key(a, b));
+            if (it == em_.end()) continue;
+            for (int tj : it->second) {
+              if (tj < 0) continue;
               for (std::size_t o = 0; o < candidates.size(); ++o) {
                 if (!grouped[o] && candidates[o] == tj) {
                   grouped[o] = 1;
@@ -266,27 +406,35 @@ class Builder {
         }
       }
       for (int ti : best_fan) {
-        in_cavity[static_cast<std::size_t>(ti)] = 1;
+        stamp_[static_cast<std::size_t>(ti)] = gen_;
         bad_.push_back(ti);
       }
     }
 
     for (int ti : bad_) {
       tris_[static_cast<std::size_t>(ti)].alive = false;
+      unlink_edges(ti);
     }
     for (const auto& [e, cnt] : cavity_edges_) {
       if (cnt != 1) continue;
-      tris_.push_back(make_rec(Tri{e.a, e.b, pi}));
+      add_tri(Tri{e.a, e.b, pi});
     }
   }
 
   const std::vector<Vec2>& input_;
   std::vector<Vec2> work_;
   double span_ = 1.0;
+  Vec2 lo_;
   int s0_ = 0;
   std::vector<TriRec> tris_;
   std::vector<int> bad_;
   std::map<EdgeKey, int> cavity_edges_;
+  std::unordered_map<std::uint64_t, std::array<int, 2>> em_;
+  std::vector<int> stamp_;
+  int gen_ = 0;
+  int last_tri_ = 0;
+  int side_ = 1;
+  std::vector<int> hint_;
 };
 
 }  // namespace

@@ -18,9 +18,17 @@ namespace anr {
 ///
 /// Near-degenerate inputs (exactly cocircular lattice points) are handled
 /// by the epsilon guard in the in-circumcircle predicate: ambiguous flips
-/// are skipped, so the result may be only *near*-Delaunay there, which is
-/// fine for every consumer in this library. Requires >= 3 non-collinear
-/// points.
+/// are skipped, so the result may be only *near*-Delaunay there — possibly
+/// including zero-area boundary slivers and, above the spatial-sort
+/// threshold, insertion-order sliver artifacts of measure ~one lattice
+/// cell. The mesh is always an edge-manifold triangulated disk with no
+/// inverted triangles, which is what every consumer in this library relies
+/// on. Requires >= 3 non-collinear points.
+///
+/// Construction is incremental Bowyer–Watson with hinted point location:
+/// each insertion walks the triangulation from a hint-grid seed instead of
+/// scanning all triangles, and inputs above a size threshold are inserted
+/// in a serpentine spatial order, making construction near-O(n log n).
 TriangleMesh delaunay(const std::vector<Vec2>& pts);
 
 }  // namespace anr

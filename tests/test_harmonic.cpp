@@ -1,10 +1,12 @@
 // Harmonic disk maps: embedding validity, boundary conditions, weight
-// schemes, distributed equivalence.
+// schemes, distributed equivalence, and the multigrid solver (Gauss–
+// Seidel differential + thread-count determinism).
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "common/check.h"
+#include "common/task_arena.h"
 #include "foi/foi_mesher.h"
 #include "harmonic/disk_map.h"
 #include "harmonic/distributed_disk_map.h"
@@ -121,6 +123,88 @@ TEST(DiskMap, DeterministicAcrossRuns) {
   for (std::size_t v = 0; v < mesh.num_vertices(); ++v) {
     EXPECT_EQ(a.disk_pos[v], b.disk_pos[v]);
   }
+}
+
+// A mesh large enough that kAuto picks the multigrid path (interior
+// count above DiskMapOptions::multigrid_threshold).
+FoiMesh large_blob_mesh(int target_points = 6000) {
+  Polygon blob = make_circle({0, 0}, 400.0, 64);
+  FieldOfInterest foi{std::move(blob)};
+  MesherOptions opt;
+  opt.target_grid_points = target_points;
+  return mesh_foi(foi, opt);
+}
+
+TEST(DiskMapMultigrid, MatchesGaussSeidel) {
+  FoiMesh fm = large_blob_mesh();
+  DiskMapOptions gs_opt;
+  gs_opt.solver = HarmonicSolver::kGaussSeidel;
+  DiskMap gs = harmonic_disk_map(fm.mesh, gs_opt);
+  ASSERT_TRUE(gs.converged);
+  ASSERT_FALSE(gs.used_multigrid);
+
+  DiskMapOptions mg_opt;
+  mg_opt.solver = HarmonicSolver::kMultigrid;
+  DiskMap mg = harmonic_disk_map(fm.mesh, mg_opt);
+  ASSERT_TRUE(mg.converged);
+  ASSERT_TRUE(mg.used_multigrid);
+  EXPECT_GT(mg.cycles, 0);
+  EXPECT_TRUE(mg.status.ok());
+  // Both solve the same linear system to the same tolerance; the V-cycle
+  // converges in far fewer fine-level sweeps.
+  EXPECT_LT(mg.sweeps, gs.sweeps);
+  expect_valid_disk_map(fm.mesh, mg);
+  for (std::size_t v = 0; v < fm.mesh.num_vertices(); ++v) {
+    EXPECT_NEAR(gs.disk_pos[v].x, mg.disk_pos[v].x, 1e-6) << v;
+    EXPECT_NEAR(gs.disk_pos[v].y, mg.disk_pos[v].y, 1e-6) << v;
+  }
+}
+
+TEST(DiskMapMultigrid, AutoSelectsByInteriorCount) {
+  // Small mesh: kAuto stays on the historical flat sweep.
+  DiskMap small = harmonic_disk_map(lattice_mesh());
+  EXPECT_FALSE(small.used_multigrid);
+  EXPECT_TRUE(small.status.ok());
+
+  // Lowering the threshold flips the same mesh onto the multigrid path
+  // without changing the embedding's validity.
+  DiskMapOptions opt;
+  opt.multigrid_threshold = 1;
+  TriangleMesh mesh = lattice_mesh();
+  DiskMap forced = harmonic_disk_map(mesh, opt);
+  EXPECT_TRUE(forced.used_multigrid);
+  expect_valid_disk_map(mesh, forced);
+}
+
+TEST(DiskMapMultigrid, DeterministicAcrossArenaThreads) {
+  FoiMesh fm = large_blob_mesh(4000);
+  DiskMapOptions opt;
+  opt.solver = HarmonicSolver::kMultigrid;
+  set_arena_threads(1);
+  DiskMap serial = harmonic_disk_map(fm.mesh, opt);
+  for (int threads : {2, 4}) {
+    set_arena_threads(threads);
+    DiskMap par = harmonic_disk_map(fm.mesh, opt);
+    ASSERT_EQ(serial.disk_pos.size(), par.disk_pos.size());
+    for (std::size_t v = 0; v < serial.disk_pos.size(); ++v) {
+      ASSERT_EQ(serial.disk_pos[v], par.disk_pos[v])
+          << "vertex " << v << " diverged at " << threads << " threads";
+    }
+    EXPECT_EQ(serial.sweeps, par.sweeps);
+    EXPECT_EQ(serial.cycles, par.cycles);
+  }
+  set_arena_threads(0);
+}
+
+TEST(DiskMapMultigrid, NonConvergenceSurfacesStatus) {
+  TriangleMesh mesh = lattice_mesh();
+  DiskMapOptions opt;
+  opt.max_sweeps = 1;  // impossible budget
+  DiskMap map = harmonic_disk_map(mesh, opt);
+  EXPECT_FALSE(map.converged);
+  EXPECT_FALSE(map.status.ok());
+  EXPECT_NE(map.status.to_string().find("did not converge"),
+            std::string::npos);
 }
 
 // Property sweep: maps of meshed FoI shapes are always valid embeddings.

@@ -14,6 +14,7 @@
 //     paper's global-connectivity argument).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <ostream>
 #include <vector>
@@ -42,12 +43,14 @@ std::ostream& operator<<(std::ostream& os, const SweepCase& c) {
             << c.seed << "_sep" << c.separation_cr << "_t" << c.intra_threads;
 }
 
-// Small-but-real settings so the sweep stays within test-suite budget.
-PlannerOptions sweep_options() {
+// Small-but-real settings so the sweep stays within test-suite budget;
+// the large-n cases scale the grid and CVT sampling with the swarm (and
+// trim adjustment steps) exactly as the scaling bench does.
+PlannerOptions sweep_options(int robots) {
   PlannerOptions opt;
-  opt.mesher.target_grid_points = 350;
-  opt.cvt_samples = 4000;
-  opt.max_adjust_steps = 5;
+  opt.mesher.target_grid_points = std::max(350, robots);
+  opt.cvt_samples = std::max(4000, 2 * robots);
+  opt.max_adjust_steps = robots >= 1024 ? 3 : 5;
   return opt;
 }
 
@@ -66,7 +69,8 @@ TEST_P(PlanInvariants, HoldAcrossTheSweep) {
   Vec2 offset = sc.m1.centroid() +
                 Vec2{c.separation_cr * sc.comm_range, 0.0} -
                 sc.m2_shape.centroid();
-  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, sweep_options());
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range,
+                       sweep_options(c.robots));
   MarchPlan plan = planner.plan(deploy, offset);
 
   ASSERT_EQ(plan.trajectories.size(), deploy.size());
@@ -123,7 +127,11 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SweepCase{1, 72, 7, 10.0}, SweepCase{1, 100, 1, 16.0},
                       SweepCase{5, 72, 3, 12.0}, SweepCase{2, 100, 2, 20.0},
                       SweepCase{1, 72, 7, 10.0, 4},
-                      SweepCase{5, 72, 3, 12.0, 4}),
+                      SweepCase{5, 72, 3, 12.0, 4},
+                      // Large-n: spatial-sorted Delaunay + scaled CVT
+                      // (serial and through the parallel hot paths).
+                      SweepCase{1, 1024, 11, 10.0},
+                      SweepCase{1, 1024, 11, 10.0, 4}),
     [](const ::testing::TestParamInfo<SweepCase>& info) {
       const SweepCase& c = info.param;
       return "scenario" + std::to_string(c.scenario_id) + "_n" +
