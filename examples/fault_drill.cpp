@@ -3,7 +3,17 @@
 // the survival rate, global connectivity C, stable link ratio L, and the
 // extra distance D the recovery cost.
 //
-//   ./fault_drill [seed] [--events]
+//   ./fault_drill [seed] [--events] [--decentralized] [--loss-rate p]
+//                 [--partition t0:t1]
+//
+//   --decentralized   run the local-knowledge execution mode (per-robot
+//                     controllers over the message simulator) instead of
+//                     the centralized oracle engine; adds message-count
+//                     and detection/recovery-latency columns
+//   --loss-rate p     drop each transmission attempt with probability p
+//                     (decentralized mode; control plane retransmits)
+//   --partition f0:f1 cut every link of robot 12 during the window
+//                     [f0, f1] x total_time (fractions in [0, 1])
 //
 // The same seed always produces the same campaign, the same execution,
 // and the same event log.
@@ -18,6 +28,7 @@
 #include "fault/fault_schedule.h"
 #include "foi/scenario.h"
 #include "io/event_io.h"
+#include "march/decentralized_engine.h"
 #include "march/execution_engine.h"
 #include "march/planner.h"
 
@@ -31,24 +42,73 @@ anr::PlannerOptions drill_options() {
   return opt;
 }
 
+constexpr int kPartitionRobot = 12;
+
+void add_partition(anr::fault::FaultSchedule& schedule, int num_robots,
+                   double t0, double duration) {
+  for (int j = 0; j < num_robots; ++j) {
+    if (j == kPartitionRobot) continue;
+    anr::fault::FaultEvent e;
+    e.kind = anr::fault::FaultKind::kLinkDropout;
+    e.link_a = std::min(kPartitionRobot, j);
+    e.link_b = std::max(kPartitionRobot, j);
+    e.t_start = t0;
+    e.duration = duration;
+    schedule.add(e);
+  }
+}
+
+void print_events(const anr::ExecutionReport& rep, const std::string& label) {
+  std::cout << "--- " << label << " ---\n";
+  for (const anr::ExecutionEvent& e : rep.events) {
+    std::cout << "  t=" << anr::fmt(e.t, 4) << "  "
+              << anr::exec_event_name(e.type);
+    if (e.robot >= 0) std::cout << "  robot=" << e.robot;
+    if (!e.detail.empty()) std::cout << "  (" << e.detail << ")";
+    std::cout << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t seed = 42;
-  bool print_events = false;
+  bool events = false;
+  bool decentralized = false;
+  double loss_rate = 0.0;
+  double partition_f0 = -1.0, partition_f1 = -1.0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--events") {
-      print_events = true;
+      events = true;
+    } else if (arg == "--decentralized") {
+      decentralized = true;
+    } else if (arg == "--loss-rate" && i + 1 < argc) {
+      loss_rate = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--partition" && i + 1 < argc) {
+      std::string window = argv[++i];
+      const std::size_t colon = window.find(':');
+      if (colon == std::string::npos) {
+        std::cerr << "--partition expects f0:f1 (fractions of total time)\n";
+        return 1;
+      }
+      partition_f0 = std::strtod(window.substr(0, colon).c_str(), nullptr);
+      partition_f1 = std::strtod(window.substr(colon + 1).c_str(), nullptr);
     } else {
       seed = std::strtoull(arg.c_str(), nullptr, 10);
     }
   }
 
   anr::TextTable table;
-  table.header({"scenario", "recovery", "survival", "C always", "C final",
-                "L", "D plan", "D exec", "D extra", "pauses", "absorbs",
-                "degraded"});
+  if (decentralized) {
+    table.header({"scenario", "recovery", "survival", "C always", "C final",
+                  "L", "D extra", "messages", "retx", "detect lat",
+                  "recover lat", "absorbs", "degraded"});
+  } else {
+    table.header({"scenario", "recovery", "survival", "C always", "C final",
+                  "L", "D plan", "D exec", "D extra", "pauses", "absorbs",
+                  "degraded"});
+  }
 
   for (int id : {1, 5}) {
     anr::Scenario sc = anr::scenario(id);
@@ -77,40 +137,72 @@ int main(int argc, char** argv) {
     jam.t_start = 0.2 * plan.total_time;
     jam.duration = 0.6 * plan.total_time;
     schedule.add(jam);
+    if (partition_f0 >= 0.0 && partition_f1 > partition_f0) {
+      add_partition(schedule, 72, partition_f0 * plan.total_time,
+                    (partition_f1 - partition_f0) * plan.total_time);
+    }
     schedule.normalize();
 
     for (bool recovery : {true, false}) {
-      anr::ExecutionOptions eo;
-      eo.enable_recovery = recovery;
-      anr::ExecutionEngine engine(sc.comm_range, eo);
-      anr::ExecutionReport rep = engine.run(plan, schedule, m2_world);
+      const std::string label = "scenario " + std::to_string(id) +
+                                ", recovery " + (recovery ? "on" : "off");
+      if (decentralized) {
+        anr::DecentralizedOptions dopt;
+        dopt.enable_recovery = recovery;
+        dopt.loss_rate = loss_rate;
+        dopt.loss_seed = seed * 31 + 7;
+        dopt.delay_seed = seed * 17 + 3;
+        anr::DecentralizedEngine engine(sc.comm_range, dopt);
+        anr::DecentralizedReport rep = engine.run(plan, schedule, m2_world);
 
-      table.row({"scenario " + std::to_string(id),
-                 recovery ? "on" : "off", anr::fmt_pct(rep.survival_rate),
-                 rep.connected_throughout ? "yes" : "no",
-                 rep.final_connected ? "yes" : "no",
-                 anr::fmt_pct(rep.stable_link_ratio),
-                 anr::fmt(rep.planned_distance, 1),
-                 anr::fmt(rep.executed_distance, 1),
-                 anr::fmt(rep.extra_distance, 1),
-                 std::to_string(rep.pauses),
-                 std::to_string(rep.recoveries),
-                 rep.degraded ? "yes" : "no"});
+        auto fmt_latency = [](double v) {
+          return v < 0.0 ? std::string("-") : anr::fmt(v, 4);
+        };
+        table.row({"scenario " + std::to_string(id),
+                   recovery ? "on" : "off",
+                   anr::fmt_pct(rep.exec.survival_rate),
+                   rep.exec.connected_throughout ? "yes" : "no",
+                   rep.exec.final_connected ? "yes" : "no",
+                   anr::fmt_pct(rep.exec.stable_link_ratio),
+                   anr::fmt(rep.exec.extra_distance, 1),
+                   std::to_string(rep.messages_sent),
+                   std::to_string(rep.retransmissions),
+                   fmt_latency(rep.mean_detection_latency),
+                   fmt_latency(rep.mean_recovery_latency),
+                   std::to_string(rep.absorbs),
+                   rep.exec.degraded ? "yes" : "no"});
+        if (events) print_events(rep.exec, label);
+      } else {
+        anr::ExecutionOptions eo;
+        eo.enable_recovery = recovery;
+        anr::ExecutionEngine engine(sc.comm_range, eo);
+        anr::ExecutionReport rep = engine.run(plan, schedule, m2_world);
 
-      if (print_events) {
-        std::cout << "--- scenario " << id << ", recovery "
-                  << (recovery ? "on" : "off") << " ---\n";
-        for (const anr::ExecutionEvent& e : rep.events) {
-          std::cout << "  t=" << anr::fmt(e.t, 4) << "  "
-                    << anr::exec_event_name(e.type);
-          if (e.robot >= 0) std::cout << "  robot=" << e.robot;
-          if (!e.detail.empty()) std::cout << "  (" << e.detail << ")";
-          std::cout << "\n";
-        }
+        table.row({"scenario " + std::to_string(id),
+                   recovery ? "on" : "off", anr::fmt_pct(rep.survival_rate),
+                   rep.connected_throughout ? "yes" : "no",
+                   rep.final_connected ? "yes" : "no",
+                   anr::fmt_pct(rep.stable_link_ratio),
+                   anr::fmt(rep.planned_distance, 1),
+                   anr::fmt(rep.executed_distance, 1),
+                   anr::fmt(rep.extra_distance, 1),
+                   std::to_string(rep.pauses),
+                   std::to_string(rep.recoveries),
+                   rep.degraded ? "yes" : "no"});
+        if (events) print_events(rep, label);
       }
     }
   }
 
-  std::cout << "fault campaign seed " << seed << "\n" << table.str();
+  std::cout << "fault campaign seed " << seed;
+  if (decentralized) {
+    std::cout << ", decentralized, loss rate " << anr::fmt(loss_rate, 2);
+  }
+  if (partition_f0 >= 0.0) {
+    std::cout << ", partition " << anr::fmt(partition_f0, 2) << ":"
+              << anr::fmt(partition_f1, 2) << " of robot "
+              << kPartitionRobot;
+  }
+  std::cout << "\n" << table.str();
   return 0;
 }

@@ -24,9 +24,9 @@ cmake -S "$REPO_ROOT" -B "$BUILD_DIR" \
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target test_runtime test_composition test_network test_grid_index \
   test_obs test_task_arena test_parallel_determinism test_shard \
-  test_harmonic test_delaunay >/dev/null
+  test_harmonic test_delaunay test_protocols test_decentralized >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R '^(test_runtime|test_composition|test_network|test_grid_index|test_obs|test_task_arena|test_parallel_determinism|test_shard|test_harmonic|test_delaunay)$'
+  -R '^(test_runtime|test_composition|test_network|test_grid_index|test_obs|test_task_arena|test_parallel_determinism|test_shard|test_harmonic|test_delaunay|test_protocols|test_decentralized)$'
 echo "OK: TSan sweep clean"

@@ -49,7 +49,9 @@
 #include "harmonic/disk_map.h"
 #include "harmonic/distributed_disk_map.h"
 #include "harmonic/rotation_search.h"
+#include "march/decentralized_engine.h"
 #include "march/execution_engine.h"
+#include "march/local_controller.h"
 #include "march/metrics.h"
 #include "march/mission.h"
 #include "march/planner.h"
@@ -67,6 +69,7 @@
 #include "mesh/triangle_mesh.h"
 #include "net/connectivity.h"
 #include "net/connectivity_monitor.h"
+#include "net/fault_bridge.h"
 #include "net/incremental_connectivity.h"
 #include "net/network.h"
 #include "net/protocols/boundary_walk.h"

@@ -37,6 +37,16 @@ const char* exec_event_name(ExecEventType type) {
       return "degraded";
     case ExecEventType::kCompleted:
       return "completed";
+    case ExecEventType::kPeerSuspected:
+      return "peer_suspected";
+    case ExecEventType::kSuspicionCleared:
+      return "suspicion_cleared";
+    case ExecEventType::kIsolated:
+      return "isolated";
+    case ExecEventType::kRejoined:
+      return "rejoined";
+    case ExecEventType::kCoordinatorElected:
+      return "coordinator_elected";
   }
   return "unknown";
 }

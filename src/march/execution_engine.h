@@ -50,6 +50,13 @@ enum class ExecEventType {
   kRetargeted,        ///< mission change spliced mid-march
   kDegraded,          ///< a retry/backoff/wall budget was exhausted
   kCompleted,         ///< all alive robots reached their timeline ends
+  // Decentralized-mode events (march/decentralized_engine.h): emitted by
+  // the per-robot local controllers, never by a global oracle.
+  kPeerSuspected,       ///< first peer passed its missed-heartbeat budget
+  kSuspicionCleared,    ///< a suspected peer was heard again (partition heal)
+  kIsolated,            ///< a robot stopped hearing anyone (cut off)
+  kRejoined,            ///< an isolated robot regained contact and resumed
+  kCoordinatorElected,  ///< closest-live-neighbor election settled
 };
 
 /// Stable lowercase name ("fault_injected", ...).

@@ -4,12 +4,27 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "net/unit_disk_graph.h"
 
 namespace anr::net {
 
+namespace {
+
+/// Uniform double in [0, 1) from a 64-bit hash.
+double unit_interval(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::size_t message_bytes(const Message& m) {
+  // 16-byte header (src, tag, lengths) + 4 bytes per int + 8 per real.
+  return 16 + 4 * m.ints.size() + 8 * m.reals.size();
+}
+
 Network::Network(std::vector<std::vector<NodeId>> adjacency)
-    : adj_(std::move(adjacency)), inbox_(adj_.size()) {
+    : adj_(std::move(adjacency)), inbox_(adj_.size()), seen_(adj_.size()) {
   for (std::size_t v = 0; v < adj_.size(); ++v) {
     auto& nb = adj_[v];
     std::sort(nb.begin(), nb.end());
@@ -40,21 +55,79 @@ void Network::set_link_delays(int max_delay, std::uint64_t seed) {
   delay_state_ = seed * 0x9e3779b97f4a7c15ull + 0xbf58476d1ce4e5b9ull;
 }
 
-void Network::send(NodeId from, NodeId to, Message m) {
-  ANR_CHECK_MSG(linked(from, to), "send over non-existent link");
+void Network::set_message_loss(double p, std::uint64_t seed) {
+  ANR_CHECK(p >= 0.0 && p < 1.0);
+  loss_p_ = p;
+  loss_state_ = splitmix64(seed ^ 0x10551055c0ffee00ull);
+}
+
+void Network::set_link_outage(LinkOutageFn down) { down_ = std::move(down); }
+
+void Network::set_reliability(ReliabilityOptions opt) {
+  ANR_CHECK(opt.retry_interval >= 1);
+  ANR_CHECK(opt.max_retries >= 0);
+  reliability_ = opt;
+}
+
+void Network::update_topology(std::vector<std::vector<NodeId>> adjacency) {
+  ANR_CHECK_MSG(adjacency.size() == adj_.size(),
+                "topology update must keep the node count");
+  for (std::size_t v = 0; v < adjacency.size(); ++v) {
+    auto& nb = adjacency[v];
+    std::sort(nb.begin(), nb.end());
+    nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+    for (NodeId u : nb) {
+      ANR_CHECK_MSG(u >= 0 && static_cast<std::size_t>(u) < adjacency.size(),
+                    "adjacency references missing node");
+      ANR_CHECK_MSG(u != static_cast<NodeId>(v), "self-loop in adjacency");
+    }
+  }
+  adj_ = std::move(adjacency);
+}
+
+void Network::update_topology(const std::vector<Vec2>& positions, double r) {
+  update_topology(unit_disk_adjacency(positions, r));
+}
+
+std::uint64_t Network::next_delay_draw() {
+  delay_state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = delay_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+bool Network::next_loss_draw() {
+  if (loss_p_ <= 0.0) return false;
+  loss_state_ = splitmix64(loss_state_);
+  return unit_interval(loss_state_) < loss_p_;
+}
+
+void Network::transmit(NodeId from, NodeId to, Message m, PendingKind kind,
+                       bool reliable, std::uint64_t seq) {
   m.src = from;
+  ++messages_sent_;
+  bytes_sent_ += kind == PendingKind::kAck ? 12 : message_bytes(m);
+  if (next_loss_draw()) {
+    ++messages_lost_;
+    return;
+  }
   std::size_t delay = 1;
   if (max_delay_ > 1) {
     // splitmix64-style deterministic stream.
-    delay_state_ += 0x9e3779b97f4a7c15ull;
-    std::uint64_t z = delay_state_;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    z ^= z >> 31;
-    delay = 1 + static_cast<std::size_t>(z % static_cast<std::uint64_t>(max_delay_));
+    delay = 1 + static_cast<std::size_t>(
+                    next_delay_draw() % static_cast<std::uint64_t>(max_delay_));
   }
-  queue_.push_back(Pending{to, rounds_ + delay, std::move(m)});
-  ++messages_sent_;
+  queue_.push_back(Pending{to, rounds_ + delay, kind, reliable, seq, std::move(m)});
+}
+
+void Network::send(NodeId from, NodeId to, Message m) {
+  if (reliable_default_) {
+    send_reliable(from, to, std::move(m));
+    return;
+  }
+  ANR_CHECK_MSG(linked(from, to), "send over non-existent link");
+  transmit(from, to, std::move(m), PendingKind::kData, false, 0);
 }
 
 void Network::broadcast(NodeId from, const Message& m) {
@@ -63,27 +136,104 @@ void Network::broadcast(NodeId from, const Message& m) {
   }
 }
 
+void Network::send_reliable(NodeId from, NodeId to, Message m) {
+  ANR_CHECK_MSG(linked(from, to), "send over non-existent link");
+  const std::uint64_t seq = next_seq_++;
+  unacked_.push_back(Unacked{
+      from, to, seq, 0,
+      rounds_ + 1 + static_cast<std::size_t>(reliability_.retry_interval), m});
+  transmit(from, to, std::move(m), PendingKind::kData, true, seq);
+}
+
+void Network::broadcast_reliable(NodeId from, const Message& m) {
+  for (NodeId to : neighbors(from)) {
+    send_reliable(from, to, m);
+  }
+}
+
 bool Network::deliver_round() {
   ++rounds_;
+  // Retransmission sweep: overdue unacked messages go back on the wire
+  // (fresh loss/delay draws); entries past the retry budget are
+  // abandoned. Insertion order keeps this deterministic.
+  for (std::size_t i = 0; i < unacked_.size();) {
+    Unacked& u = unacked_[i];
+    if (u.next_retry > rounds_) {
+      ++i;
+      continue;
+    }
+    if (u.attempts >= reliability_.max_retries) {
+      ++messages_expired_;
+      unacked_.erase(unacked_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    ++u.attempts;
+    ++retransmissions_;
+    u.next_retry = rounds_ + static_cast<std::size_t>(reliability_.retry_interval);
+    transmit(u.from, u.to, u.msg, PendingKind::kData, true, u.seq);
+    ++i;
+  }
+
   if (queue_.empty()) return false;
   // Deterministic delivery order: by receiver, then sender, preserving
   // send order within a pair. Only messages whose delay elapsed arrive.
-  std::stable_sort(queue_.begin(), queue_.end(),
+  // The queue is swapped out first because ack transmissions during the
+  // sweep append fresh entries.
+  std::vector<Pending> current;
+  current.swap(queue_);
+  std::stable_sort(current.begin(), current.end(),
                    [](const Pending& a, const Pending& b) {
                      if (a.to != b.to) return a.to < b.to;
                      return a.msg.src < b.msg.src;
                    });
   bool delivered = false;
   std::vector<Pending> later;
-  later.reserve(queue_.size());
-  for (Pending& p : queue_) {
-    if (p.due_round <= rounds_) {
-      inbox_[static_cast<std::size_t>(p.to)].push_back(std::move(p.msg));
-      delivered = true;
-    } else {
+  later.reserve(current.size());
+  for (Pending& p : current) {
+    if (p.due_round > rounds_) {
       later.push_back(std::move(p));
+      continue;
     }
+    // The link must still be up when the delay elapses: topology updates
+    // and scripted outages both kill traffic in flight.
+    if (!linked(p.msg.src, p.to) ||
+        (down_ && down_(p.msg.src, p.to, rounds_))) {
+      ++messages_lost_;
+      continue;
+    }
+    if (p.kind == PendingKind::kAck) {
+      for (std::size_t i = 0; i < unacked_.size(); ++i) {
+        if (unacked_[i].seq == p.seq) {
+          unacked_.erase(unacked_.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      continue;
+    }
+    if (p.reliable) {
+      // Ack every copy (a lost ack otherwise deadlocks the sender), but
+      // deliver only the first.
+      Message ack;
+      ack.tag = 0;
+      if (linked(p.to, p.msg.src)) {
+        ++acks_sent_;
+        transmit(p.to, p.msg.src, std::move(ack), PendingKind::kAck, false,
+                 p.seq);
+      }
+      auto& seen = seen_[static_cast<std::size_t>(p.to)];
+      if (!seen.insert(p.seq).second) {
+        ++duplicates_suppressed_;
+        continue;
+      }
+    }
+    inbox_[static_cast<std::size_t>(p.to)].push_back(std::move(p.msg));
+    ++messages_delivered_;
+    delivered = true;
   }
+  // Not-yet-due messages keep their relative (send) order ahead of the
+  // acks generated this round.
+  later.insert(later.end(), std::make_move_iterator(queue_.begin()),
+               std::make_move_iterator(queue_.end()));
   queue_ = std::move(later);
   return delivered;
 }
@@ -93,7 +243,7 @@ std::vector<Message> Network::take_inbox(NodeId v) {
 }
 
 bool Network::quiescent() const {
-  if (!queue_.empty()) return false;
+  if (!queue_.empty() || !unacked_.empty()) return false;
   for (const auto& box : inbox_) {
     if (!box.empty()) return false;
   }
@@ -102,6 +252,13 @@ bool Network::quiescent() const {
 
 void Network::reset_stats() {
   messages_sent_ = 0;
+  messages_delivered_ = 0;
+  messages_lost_ = 0;
+  retransmissions_ = 0;
+  messages_expired_ = 0;
+  duplicates_suppressed_ = 0;
+  acks_sent_ = 0;
+  bytes_sent_ = 0;
   rounds_ = 0;
 }
 

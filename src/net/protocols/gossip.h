@@ -26,9 +26,12 @@ struct GossipResult {
   double max_relative_error = 0.0;
 };
 
-/// Runs synchronous gossip averaging over `net`'s topology for `rounds`
-/// rounds: each round every node broadcasts its estimate and replaces it
-/// by the average of its own and received values.
+/// Runs gossip averaging over `net`'s topology for `rounds` gossip
+/// rounds in round-tagged lockstep: each node broadcasts its round-k
+/// estimate and computes round k+1 only once all round-k neighbor values
+/// arrived. The estimates equal the synchronous schedule's exactly —
+/// byte-identical under any link delay, and under message loss when the
+/// network runs in reliable (ack/retransmit) mode.
 GossipResult run_gossip_mean(Network& net, const std::vector<double>& values,
                              int rounds);
 

@@ -23,10 +23,11 @@ using Key = std::array<int, 3>;  // (hop of reference, reference id, root id)
 SubgroupResult run_subgroup_detection(
     const TriangleMesh& mesh, const std::vector<char>& is_boundary,
     const std::function<bool(VertexId, VertexId)>& survives, int max_delay,
-    std::uint64_t delay_seed) {
+    std::uint64_t delay_seed, double loss_rate, std::uint64_t loss_seed) {
   const int n = static_cast<int>(mesh.num_vertices());
   ANR_CHECK(is_boundary.size() == static_cast<std::size_t>(n));
   ANR_CHECK(max_delay >= 1);
+  ANR_CHECK(loss_rate >= 0.0 && loss_rate < 1.0);
 
   std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n));
   for (const EdgeKey& e : mesh.edges()) {
@@ -35,6 +36,12 @@ SubgroupResult run_subgroup_detection(
   }
   Network net(adj);
   if (max_delay > 1) net.set_link_delays(max_delay, delay_seed);
+  if (loss_rate > 0.0) {
+    // A lossy channel needs the ack/retransmit layer underneath or the
+    // BFS flood silently under-reaches; the protocol itself is unchanged.
+    net.set_message_loss(loss_rate, loss_seed);
+    net.set_reliable_default(true);
+  }
 
   SubgroupResult out;
   out.boundary_hops.assign(static_cast<std::size_t>(n), -1);
@@ -42,8 +49,11 @@ SubgroupResult run_subgroup_detection(
   out.subgroup_root.assign(static_cast<std::size_t>(n), -1);
   out.reference.assign(static_cast<std::size_t>(n), -1);
 
+  // The quiescence cap pays for retransmission stretch under loss: each
+  // hop may wait out the full retry schedule before its message lands.
   const std::size_t kMaxRounds = (8 * static_cast<std::size_t>(n) + 64) *
-                                 static_cast<std::size_t>(max_delay);
+                                 static_cast<std::size_t>(max_delay) *
+                                 (loss_rate > 0.0 ? 18 : 1);
 
   auto forward_reach = [&](int v, int hops) {
     for (NodeId u : net.neighbors(v)) {

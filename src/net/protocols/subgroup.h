@@ -43,10 +43,14 @@ struct SubgroupResult {
 /// `survives(u, v)` says whether the M1 link (u, v) still holds at the
 /// mapped destinations; `is_boundary[v]` marks boundary vertices of the
 /// triangulation. Topology = edges of `mesh`. `max_delay` > 1 runs the
-/// protocol under asynchronous delivery (deterministic in `delay_seed`).
+/// protocol under asynchronous delivery (deterministic in `delay_seed`);
+/// `loss_rate` > 0 additionally drops each transmission attempt with
+/// that probability (deterministic in `loss_seed`) and runs the whole
+/// protocol over the ack/retransmit layer, so the result is unchanged.
 SubgroupResult run_subgroup_detection(
     const TriangleMesh& mesh, const std::vector<char>& is_boundary,
     const std::function<bool(VertexId, VertexId)>& survives,
-    int max_delay = 1, std::uint64_t delay_seed = 0);
+    int max_delay = 1, std::uint64_t delay_seed = 0,
+    double loss_rate = 0.0, std::uint64_t loss_seed = 0);
 
 }  // namespace anr::net

@@ -286,6 +286,92 @@ TEST_P(AsyncProtocols, SubgroupDelayInvariant) {
 INSTANTIATE_TEST_SUITE_P(DelaySeeds, AsyncProtocols,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+// The hostile-channel tier: delay > 1 AND message loss, with the
+// protocols running over the ack/retransmit layer. Same answers.
+class LossyProtocols : public ::testing::TestWithParam<int> {};
+
+TEST_P(LossyProtocols, FloodSumSurvivesLossWithRetransmission) {
+  auto pts = testutil::lattice_disk({0, 0}, 40.0, 10.0);
+  std::vector<double> vals(pts.size());
+  double want = 0.0;
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = static_cast<double>(i);
+    want += vals[i];
+  }
+  net::Network net(pts, 12.0);
+  net.set_link_delays(3, static_cast<std::uint64_t>(GetParam()));
+  net.set_message_loss(0.15, static_cast<std::uint64_t>(100 + GetParam()));
+  // Budget the retries for the channel: with delay 3 the ack round trip
+  // is ~6 rounds, so a 2-round retry interval burns ~3 attempts per
+  // successful exchange before the ack can possibly land.
+  net::ReliabilityOptions rel;
+  rel.retry_interval = 2;
+  rel.max_retries = 32;
+  net.set_reliability(rel);
+  net.set_reliable_default(true);
+  auto res = net::run_flood_sum(net, vals);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_NEAR(res.sum, want, 1e-9);
+  EXPECT_GT(net.retransmissions(), 0u);
+  EXPECT_EQ(net.messages_expired(), 0u);
+}
+
+TEST_P(LossyProtocols, GossipLockstepIsByteIdenticalUnderLoss) {
+  auto pts = testutil::lattice_disk({0, 0}, 40.0, 10.0);
+  std::vector<double> vals(pts.size());
+  Rng rng(3);
+  for (double& v : vals) v = rng.uniform(-10.0, 10.0);
+
+  net::Network clean(pts, 12.0);
+  auto sync = net::run_gossip_mean(clean, vals, 60);
+
+  net::Network hostile(pts, 12.0);
+  hostile.set_link_delays(3, static_cast<std::uint64_t>(GetParam()));
+  hostile.set_message_loss(0.15, static_cast<std::uint64_t>(200 + GetParam()));
+  hostile.set_reliable_default(true);
+  auto lossy = net::run_gossip_mean(hostile, vals, 60);
+
+  // Round-tagged lockstep: the estimates equal the synchronous
+  // schedule's bit for bit — loss costs retransmissions and rounds,
+  // never accuracy.
+  ASSERT_EQ(lossy.estimates.size(), sync.estimates.size());
+  for (std::size_t i = 0; i < sync.estimates.size(); ++i) {
+    EXPECT_EQ(lossy.estimates[i], sync.estimates[i]) << "node " << i;
+  }
+  EXPECT_GT(hostile.retransmissions(), 0u);
+  EXPECT_GE(lossy.rounds, sync.rounds);
+}
+
+TEST_P(LossyProtocols, SubgroupSurvivesLossWithRetransmission) {
+  TriangleMesh mesh = lattice_mesh();
+  const std::size_t n = mesh.num_vertices();
+  std::vector<char> is_boundary(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (mesh.is_boundary_vertex(static_cast<VertexId>(v))) is_boundary[v] = 1;
+  }
+  std::set<VertexId> unlucky;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!is_boundary[v] && mesh.position(static_cast<VertexId>(v)).norm() < 20.0) {
+      unlucky.insert(static_cast<VertexId>(v));
+    }
+  }
+  auto survives = [&](VertexId a, VertexId b) {
+    return !unlucky.count(a) && !unlucky.count(b);
+  };
+  auto sync = net::run_subgroup_detection(mesh, is_boundary, survives);
+  auto lossy = net::run_subgroup_detection(
+      mesh, is_boundary, survives, /*max_delay=*/3,
+      /*delay_seed=*/static_cast<std::uint64_t>(GetParam()),
+      /*loss_rate=*/0.15,
+      /*loss_seed=*/static_cast<std::uint64_t>(300 + GetParam()));
+  EXPECT_EQ(sync.reached, lossy.reached);
+  EXPECT_EQ(sync.boundary_hops, lossy.boundary_hops);
+  EXPECT_EQ(sync.subgroup_root, lossy.subgroup_root);
+  EXPECT_EQ(sync.reference, lossy.reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSeeds, LossyProtocols, ::testing::Values(1, 2, 3));
+
 TEST(Subgroup, AllReachedWhenNothingBreaks) {
   TriangleMesh mesh = lattice_mesh();
   std::vector<char> is_boundary(mesh.num_vertices(), 0);
