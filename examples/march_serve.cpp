@@ -1,15 +1,23 @@
 // march_serve — batch/streaming front end of the mission-service runtime.
 //
-// Reads newline-delimited JSON planning requests (stdin or --input FILE),
-// executes them on a MissionService worker pool with planner caching, and
-// writes one JSON result line per request to stdout, in input order.
-// See src/io/job_io.h for the request/response schema.
+// Batch mode (default): reads newline-delimited JSON planning requests
+// (stdin or --input FILE), executes them on a MissionService worker pool
+// with planner caching, and writes one JSON result line per request to
+// stdout, in input order. See src/io/job_io.h for the schema.
+//
+// Streaming mode (--stream / --listen): a long-lived frontend speaking
+// length-prefixed frames (src/io/frame_io.h) with per-request deadlines
+// and SLO-driven admission control (src/runtime/admission.h): full
+// service while healthy, shedding to the degraded baseline plan as
+// pressure builds, typed kRejectedOverload beyond that.
 //
 // Usage:
 //   march_serve [--threads N] [--intra-threads N] [--queue N] [--reject]
 //               [--cache N] [--shards N] [--random-routing]
 //               [--kill-shard K@J] [--drain-shard K@J] [--revive-shard K@J]
 //               [--input FILE] [--stats] [--metrics FILE]
+//               [--stream] [--listen PATH] [--slo S]
+//               [--shed-pressure X] [--reject-pressure Y]
 //
 //   --threads N    worker threads (default: hardware concurrency).
 //                  With --shards this is PER SHARD (default then 2).
@@ -35,21 +43,40 @@
 //                  drills fire in submission order. Requires --shards.
 //   --input FILE   read requests from FILE instead of stdin
 //   --stats        print a service-stats JSON snapshot to stderr at exit
-//                  (with --shards: router + per-shard breakdown)
-//   --metrics FILE write a Prometheus text exposition of the run's metrics
-//                  (job/cache/planner families; per-shard series are
-//                  labeled {shard="i"}) to FILE at exit; "-" writes to
-//                  stderr
+//                  (with --shards: router + per-shard breakdown; in
+//                  streaming mode also gateway accept/shed/reject counts)
+//   --metrics FILE write the run's metrics to FILE at exit — Prometheus
+//                  text, or NDJSON when FILE ends in ".ndjson"; "-"
+//                  writes text to stderr. Also written on SIGTERM/SIGINT,
+//                  so a killed run still leaves a complete snapshot.
+//   --stream       serve framed requests on stdin/stdout until EOF
+//   --listen PATH  serve framed requests on a unix socket at PATH,
+//                  one connection at a time, until terminated
+//   --slo S        streaming admission SLO: target p99 end-to-end
+//                  latency for full-service jobs, seconds (default 1.0)
+//   --shed-pressure X / --reject-pressure Y
+//                  admission thresholds over pressure =
+//                  max(queue occupancy, p99/SLO); shed at X (default
+//                  0.75), reject at Y (default 1.5)
 //
 // Example (sharded, with a mid-batch kill drill):
 //   ./build/examples/march_serve --shards 4 --threads 1 --kill-shard 2@5
 //       --revive-shard 2@9 --stats --input jobs.ndjson
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
+#include <mutex>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "anr/anr.h"
 
@@ -72,6 +99,11 @@ struct ServeOptions {
   std::string metrics;
   bool stats = false;
   bool threads_set = false;
+  bool stream = false;
+  std::string listen;
+  double slo = 1.0;
+  double shed_pressure = 0.75;
+  double reject_pressure = 1.5;
 };
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
@@ -79,7 +111,9 @@ struct ServeOptions {
             << " [--threads N] [--intra-threads N] [--queue N] [--reject]"
                " [--cache N] [--shards N] [--random-routing]"
                " [--kill-shard K@J] [--drain-shard K@J] [--revive-shard K@J]"
-               " [--input FILE] [--stats] [--metrics FILE]\n";
+               " [--input FILE] [--stats] [--metrics FILE]"
+               " [--stream] [--listen PATH] [--slo S]"
+               " [--shed-pressure X] [--reject-pressure Y]\n";
   std::exit(2);
 }
 
@@ -139,6 +173,16 @@ ServeOptions parse(int argc, char** argv) {
       opt.stats = true;
     } else if (arg == "--metrics") {
       opt.metrics = need_value();
+    } else if (arg == "--stream") {
+      opt.stream = true;
+    } else if (arg == "--listen") {
+      opt.listen = need_value();
+    } else if (arg == "--slo") {
+      opt.slo = std::stod(need_value());
+    } else if (arg == "--shed-pressure") {
+      opt.shed_pressure = std::stod(need_value());
+    } else if (arg == "--reject-pressure") {
+      opt.reject_pressure = std::stod(need_value());
     } else {
       usage_and_exit(argv[0]);
     }
@@ -146,6 +190,10 @@ ServeOptions parse(int argc, char** argv) {
   if (opt.shards <= 1 && (!opt.drills.empty() || opt.random_routing)) {
     std::cerr << "march_serve: --kill/--drain/--revive-shard and"
                  " --random-routing require --shards N (N > 1)\n";
+    std::exit(2);
+  }
+  if (opt.stream && !opt.listen.empty()) {
+    std::cerr << "march_serve: --stream and --listen are exclusive\n";
     std::exit(2);
   }
   for (const Drill& d : opt.drills) {
@@ -167,10 +215,103 @@ const char* drill_name(Drill::Action a) {
   return "?";
 }
 
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Writes the metrics snapshot in the format the file name asks for.
+/// Safe to call from the signal-watcher thread: Registry::snapshot()
+/// takes only the registry mutex, which no planning hot path holds.
+bool write_metrics_file(const obs::Registry& registry,
+                        const std::string& path) {
+  std::string text;
+  if (ends_with(path, ".ndjson")) {
+    std::ostringstream os;
+    write_metrics_ndjson(registry, os);
+    text = os.str();
+  } else {
+    text = metrics_text_exposition(registry);
+  }
+  if (path == "-") {
+    std::cerr << "/metricsz\n" << text;
+    return true;
+  }
+  std::ofstream mf(path);
+  if (!mf) {
+    std::cerr << "march_serve: cannot write " << path << "\n";
+    return false;
+  }
+  mf << text;
+  mf.flush();
+  return static_cast<bool>(mf);
+}
+
+/// std::streambuf over a raw fd, enough for the framed protocol on a
+/// unix socket (blocking reads/writes, 8 KiB buffers).
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(ibuf_, ibuf_, ibuf_);
+    setp(obuf_, obuf_ + sizeof(obuf_));
+  }
+  ~FdStreambuf() override { sync(); }
+
+ protected:
+  int underflow() override {
+    ssize_t n;
+    do {
+      n = ::read(fd_, ibuf_, sizeof(ibuf_));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();
+    setg(ibuf_, ibuf_, ibuf_ + n);
+    return traits_type::to_int_type(ibuf_[0]);
+  }
+
+  int overflow(int ch) override {
+    if (flush_buffer() != 0) return traits_type::eof();
+    if (ch != traits_type::eof()) {
+      *pptr() = static_cast<char>(ch);
+      pbump(1);
+    }
+    return ch == traits_type::eof() ? 0 : ch;
+  }
+
+  int sync() override { return flush_buffer(); }
+
+ private:
+  int flush_buffer() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      p += n;
+    }
+    setp(obuf_, obuf_ + sizeof(obuf_));
+    return 0;
+  }
+
+  int fd_;
+  char ibuf_[8192];
+  char obuf_[8192];
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ServeOptions opt = parse(argc, argv);
+  const bool streaming = opt.stream || !opt.listen.empty();
+
+  // Block termination signals before any thread exists so every worker
+  // inherits the mask; a dedicated watcher consumes them with sigwait.
+  sigset_t term_set;
+  sigemptyset(&term_set);
+  sigaddset(&term_set, SIGTERM);
+  sigaddset(&term_set, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &term_set, nullptr);
 
   std::ifstream file;
   if (!opt.input.empty()) {
@@ -183,7 +324,9 @@ int main(int argc, char** argv) {
   std::istream& in = opt.input.empty() ? std::cin : file;
 
   obs::Registry registry;
-  if (!opt.metrics.empty()) opt.service.registry = &registry;
+  // Streaming always wires the registry: the admission controller reads
+  // its latency histograms even when no --metrics file is requested.
+  if (!opt.metrics.empty() || streaming) opt.service.registry = &registry;
 
   // Single-service path (the default) is untouched by sharding; the
   // sharded path routes every submission through the consistent-hash
@@ -198,7 +341,7 @@ int main(int argc, char** argv) {
     // deliberate 2 per shard unless the user chose.
     if (!opt.threads_set) so.shard.threads = 2;
     if (opt.random_routing) so.routing = shard::RoutingPolicy::kRandom;
-    if (!opt.metrics.empty()) so.registry = &registry;
+    if (opt.service.registry != nullptr) so.registry = &registry;
     sharded = std::make_unique<shard::ShardedMissionService>(so);
   } else {
     single = std::make_unique<runtime::MissionService>(opt.service);
@@ -207,6 +350,136 @@ int main(int argc, char** argv) {
     return sharded ? sharded->submit(std::move(job))
                    : single->submit(std::move(job));
   };
+
+  auto print_stats = [&] {
+    if (!opt.stats) return;
+    if (sharded) {
+      std::cerr << shard::sharded_stats_to_json(sharded->stats()).dump(2)
+                << "\n";
+    } else {
+      std::cerr << stats_to_json(single->stats()).dump(2) << "\n";
+    }
+  };
+
+  // flush_output is the one exit path for observability artifacts; both
+  // the clean end of main and the signal watcher funnel through it, the
+  // once_flag keeps a racing SIGTERM from double-writing.
+  std::once_flag flush_once;
+  auto flush_output = [&] {
+    std::call_once(flush_once, [&] {
+      print_stats();
+      if (!opt.metrics.empty()) {
+        if (write_metrics_file(registry, opt.metrics) &&
+            opt.metrics != "-") {
+          std::cerr << "/metricsz -> " << opt.metrics << " ("
+                    << registry.snapshot().size() << " series)\n";
+        }
+      }
+    });
+  };
+
+  // The watcher thread turns SIGTERM/SIGINT into a flush-and-exit: even
+  // a run killed mid-batch leaves complete stats and metrics behind.
+  std::thread([&flush_output, term_set] {
+    int sig = 0;
+    sigwait(&term_set, &sig);
+    flush_output();
+    std::cerr.flush();
+    std::_Exit(sig == SIGINT ? 130 : 143);
+  }).detach();
+
+  if (streaming) {
+    // Admission-controlled streaming: controller watches the
+    // full-service latency histograms the service(s) registered above.
+    runtime::AdmissionOptions ao;
+    ao.slo_seconds = opt.slo;
+    ao.shed_pressure = opt.shed_pressure;
+    ao.reject_pressure = opt.reject_pressure;
+    ao.queue_capacity = opt.service.queue_capacity *
+                        static_cast<std::size_t>(std::max(1, opt.shards));
+    ao.registry = &registry;
+    runtime::AdmissionController controller(ao);
+    if (sharded) {
+      for (int i = 0; i < opt.shards; ++i) {
+        controller.watch(registry.histogram(
+            "anr_job_e2e_full_seconds", {{"shard", std::to_string(i)}}));
+      }
+    } else {
+      controller.watch(registry.histogram("anr_job_e2e_full_seconds", {}));
+    }
+    runtime::GatewayBackend backend;
+    backend.submit = submit_one;
+    backend.queue_depth = [&]() -> std::size_t {
+      if (single) return single->queue_depth();
+      std::size_t total = 0;
+      for (int i = 0; i < opt.shards; ++i) {
+        total += sharded->shard_service(i).queue_depth();
+      }
+      return total;
+    };
+    runtime::ServingGateway gateway(std::move(backend), &controller);
+    runtime::StreamFrontend frontend(&gateway);
+
+    auto report = [&](const runtime::StreamStats& ss) {
+      std::cerr << "stream: " << ss.requests << " requests, "
+                << ss.responses << " responses (" << ss.plan_frames
+                << " with binary plans), " << ss.bad_requests
+                << " bad, " << ss.protocol_errors << " protocol errors\n";
+      if (opt.stats) {
+        std::cerr << runtime::gateway_stats_to_json(gateway.stats()).dump(2)
+                  << "\n";
+      }
+    };
+
+    if (opt.stream) {
+      runtime::StreamStats ss = frontend.serve(in, std::cout);
+      report(ss);
+    } else {
+      int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (listen_fd < 0) {
+        std::cerr << "march_serve: socket() failed\n";
+        return 1;
+      }
+      ::unlink(opt.listen.c_str());
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      if (opt.listen.size() >= sizeof(addr.sun_path)) {
+        std::cerr << "march_serve: socket path too long\n";
+        return 1;
+      }
+      std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                    opt.listen.c_str());
+      if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)) != 0 ||
+          ::listen(listen_fd, 8) != 0) {
+        std::cerr << "march_serve: cannot listen on " << opt.listen << "\n";
+        return 1;
+      }
+      std::cerr << "listening on " << opt.listen << "\n";
+      for (;;) {
+        int conn = ::accept(listen_fd, nullptr, nullptr);
+        if (conn < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        FdStreambuf buf_in(conn), buf_out(conn);
+        std::istream cin_fd(&buf_in);
+        std::ostream cout_fd(&buf_out);
+        runtime::StreamStats ss = frontend.serve(cin_fd, cout_fd);
+        report(ss);
+        ::close(conn);
+      }
+      ::close(listen_fd);
+      ::unlink(opt.listen.c_str());
+    }
+    if (sharded) {
+      sharded->shutdown();
+    } else {
+      single->shutdown();
+    }
+    flush_output();
+    return 0;
+  }
 
   std::map<std::string, std::vector<Vec2>> deployments;
 
@@ -260,6 +533,7 @@ int main(int argc, char** argv) {
         // not JSON at all: keep the positional id
       }
       bad.ok = false;
+      bad.status = runtime::JobStatus::kRejectedInvalid;
       bad.error = std::string("bad request: ") + e.what();
       std::promise<runtime::JobResult> p;
       p.set_value(std::move(bad));
@@ -278,31 +552,9 @@ int main(int argc, char** argv) {
 
   if (sharded) {
     sharded->shutdown();
-    if (opt.stats) {
-      std::cerr << shard::sharded_stats_to_json(sharded->stats()).dump(2)
-                << "\n";
-    }
   } else {
     single->shutdown();
-    if (opt.stats) {
-      std::cerr << stats_to_json(single->stats()).dump(2) << "\n";
-    }
   }
-  if (!opt.metrics.empty()) {
-    // Same text a /metricsz HTTP endpoint would serve, written at exit.
-    std::string text = metrics_text_exposition(registry);
-    if (opt.metrics == "-") {
-      std::cerr << "/metricsz\n" << text;
-    } else {
-      std::ofstream mf(opt.metrics);
-      if (!mf) {
-        std::cerr << "march_serve: cannot write " << opt.metrics << "\n";
-        return 1;
-      }
-      mf << text;
-      std::cerr << "/metricsz -> " << opt.metrics << " ("
-                << registry.snapshot().size() << " series)\n";
-    }
-  }
+  flush_output();
   return failures == 0 ? 0 : 1;
 }

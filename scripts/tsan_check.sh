@@ -10,8 +10,10 @@
 # (full plans at 2/4/8 arena threads), the sharded-router suite
 # (concurrent submit against kill/drain/revive transitions), the
 # harmonic solver suite (multigrid smoothing through parallel_chunks at
-# several arena widths), and the Delaunay suite (hinted construction
-# feeding the parallel consumers).
+# several arena widths), the Delaunay suite (hinted construction
+# feeding the parallel consumers), the admission suite (gateway
+# submit/refresh racing a multi-threaded backend), and the codec suite
+# (encode/decode used concurrently by the serving path).
 #
 # Usage: scripts/tsan_check.sh [build-dir]
 set -euo pipefail
@@ -24,9 +26,10 @@ cmake -S "$REPO_ROOT" -B "$BUILD_DIR" \
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target test_runtime test_composition test_network test_grid_index \
   test_obs test_task_arena test_parallel_determinism test_shard \
-  test_harmonic test_delaunay test_protocols test_decentralized >/dev/null
+  test_harmonic test_delaunay test_protocols test_decentralized \
+  test_admission test_plan_codec >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R '^(test_runtime|test_composition|test_network|test_grid_index|test_obs|test_task_arena|test_parallel_determinism|test_shard|test_harmonic|test_delaunay|test_protocols|test_decentralized)$'
+  -R '^(test_runtime|test_composition|test_network|test_grid_index|test_obs|test_task_arena|test_parallel_determinism|test_shard|test_harmonic|test_delaunay|test_protocols|test_decentralized|test_admission|test_plan_codec)$'
 echo "OK: TSan sweep clean"

@@ -150,6 +150,14 @@ JobRequest job_from_json(
   runtime::PlanJob& job = req.job;
   if (v.has("id")) job.id = v.at("id").as_string();
   req.include_plan = v.has("include_plan") && v.at("include_plan").as_bool();
+  if (v.has("plan_encoding")) {
+    const std::string& enc = v.at("plan_encoding").as_string();
+    if (enc == "binary") {
+      req.binary_plan = true;
+    } else if (enc != "json") {
+      throw std::runtime_error("plan_encoding must be \"json\" or \"binary\"");
+    }
+  }
 
   int robots = 144;
   std::uint64_t seed = 1;
@@ -176,6 +184,10 @@ JobRequest job_from_json(
   if (v.has("robots")) robots = static_cast<int>(v.at("robots").as_number());
   if (v.has("seed")) {
     seed = static_cast<std::uint64_t>(v.at("seed").as_number());
+  }
+
+  if (v.has("deadline")) {
+    job.deadline_seconds = v.at("deadline").as_number();
   }
 
   if (v.has("offset")) {
@@ -221,9 +233,14 @@ json::Value result_to_json(const runtime::JobResult& result,
   json::Object o;
   o.emplace("id", result.id);
   o.emplace("ok", result.ok);
+  o.emplace("status", runtime::job_status_name(result.status));
   if (!result.ok) {
     o.emplace("error", result.error);
     return json::Value(std::move(o));
+  }
+  o.emplace("degraded", result.degradation.degraded);
+  if (result.degradation.degraded) {
+    o.emplace("plan_mode", plan_mode_name(result.degradation.mode));
   }
   o.emplace("cache_hit", result.cache_hit);
   o.emplace("queue_seconds", result.queue_seconds);

@@ -28,11 +28,18 @@
 //                distributed, exhaustive_rotation, extraction
 //                "auto"|"gabriel", adjustment "grid"|"local",
 //                transition_time, rotation_partitions, rotation_depth
+//   deadline     queue-wait deadline, seconds (0 = none); expired jobs
+//                resolve "deadline_expired" without planning
 //   include_plan embed the full plan_to_json payload in the result
+//   plan_encoding "json" (default) or "binary": over the streaming
+//                frontend, ship the included plan as a binary
+//                kResponsePlan frame instead of embedded JSON
 //
-// The result line echoes the id and reports ok/error, cache_hit, stage
-// timings, and the plan's headline diagnostics; with include_plan the
-// complete plan document is attached under "plan".
+// The result line echoes the id and reports ok/error, the typed final
+// status ("ok", "degraded", "rejected_overload", ...), whether the plan
+// was degraded (and by which fallback mode), cache_hit, stage timings,
+// and the plan's headline diagnostics; with include_plan the complete
+// plan document is attached under "plan".
 #pragma once
 
 #include "io/json.h"
@@ -48,6 +55,11 @@ FieldOfInterest foi_from_json(const json::Value& v);
 struct JobRequest {
   runtime::PlanJob job;
   bool include_plan = false;
+  /// "plan_encoding": "binary" — with include_plan over the streaming
+  /// frontend, ship the plan as an io/plan_codec document in a
+  /// kResponsePlan frame instead of embedding plan_to_json. Batch mode
+  /// ignores it (NDJSON lines cannot carry raw bytes).
+  bool binary_plan = false;
 };
 
 /// Parses one request object (throws std::runtime_error / ContractViolation

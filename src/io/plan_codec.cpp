@@ -1,0 +1,380 @@
+#include "io/plan_codec.h"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace anr {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 24;       // magic + version + count + sum
+constexpr std::size_t kTableEntrySize = 24;   // tag + reserved + offset + size
+constexpr std::uint32_t kSectionCount = 3;
+constexpr std::size_t kChecksumOffset = 16;
+
+// Section tags, ASCII packed little-endian ("SCLR" reads forward in a
+// hex dump of the little-endian u32).
+constexpr std::uint32_t tag_of(const char (&s)[5]) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(s[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[3])) << 24;
+}
+constexpr std::uint32_t kTagScalars = tag_of("SCLR");
+constexpr std::uint32_t kTagPoints = tag_of("PNTS");
+constexpr std::uint32_t kTagTrajectories = tag_of("TRAJ");
+
+// Fixed scalar-section layout: 6 doubles, 6 int32s, 1 uint64.
+constexpr std::size_t kScalarSectionSize = 6 * 8 + 6 * 4 + 8;
+
+// --- little-endian append primitives ---------------------------------------
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void patch_u64(std::string& out, std::size_t at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+// FNV-1a with an explicit running state, so the checksum can skip its own
+// field without copying the document.
+std::uint64_t fnv1a64_accum(std::uint64_t h, const char* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::uint64_t document_checksum(std::string_view doc) {
+  // The whole document with the 8 checksum bytes treated as zero.
+  static constexpr char kZeros[8] = {};
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  h = fnv1a64_accum(h, doc.data(), kChecksumOffset);
+  h = fnv1a64_accum(h, kZeros, sizeof(kZeros));
+  h = fnv1a64_accum(h, doc.data() + kChecksumOffset + 8,
+                    doc.size() - kChecksumOffset - 8);
+  return h;
+}
+
+void put_points(std::string& out, const std::vector<Vec2>& pts) {
+  put_u64(out, pts.size());
+  for (Vec2 p : pts) {
+    put_f64(out, p.x);
+    put_f64(out, p.y);
+  }
+}
+
+// --- bounds-checked reader --------------------------------------------------
+
+/// Sequential cursor over one section. Every get_* reports failure
+/// instead of reading past the end; the caller threads the error string.
+class Reader {
+ public:
+  Reader(std::string_view bytes, std::string* error)
+      : bytes_(bytes), error_(error) {}
+
+  bool fail(const std::string& why) {
+    if (error_ != nullptr && error_->empty()) *error_ = why;
+    failed_ = true;
+    return false;
+  }
+
+  bool failed() const { return failed_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool at_end() const { return pos_ == bytes_.size(); }
+
+  bool get_u32(std::uint32_t* v) {
+    if (remaining() < 4) return fail("truncated u32");
+    std::uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+      r |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *v = r;
+    return true;
+  }
+
+  bool get_u64(std::uint64_t* v) {
+    if (remaining() < 8) return fail("truncated u64");
+    std::uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+      r |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *v = r;
+    return true;
+  }
+
+  bool get_i32(std::int32_t* v) {
+    std::uint32_t u = 0;
+    if (!get_u32(&u)) return false;
+    *v = static_cast<std::int32_t>(u);
+    return true;
+  }
+
+  bool get_f64(double* v) {
+    std::uint64_t u = 0;
+    if (!get_u64(&u)) return false;
+    *v = std::bit_cast<double>(u);
+    return true;
+  }
+
+  /// Validates that a count of `elem_size`-byte elements fits in the
+  /// bytes still unread — the guard that makes corrupt counts fail typed
+  /// instead of attempting a multi-gigabyte allocation.
+  bool check_count(std::uint64_t count, std::size_t elem_size,
+                   const char* what) {
+    if (count > remaining() / elem_size) {
+      return fail(std::string("implausible ") + what + " count");
+    }
+    return true;
+  }
+
+ private:
+  std::string_view bytes_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+bool read_points(Reader& r, std::vector<Vec2>* out, const char* what) {
+  std::uint64_t n = 0;
+  if (!r.get_u64(&n)) return false;
+  if (!r.check_count(n, 16, what)) return false;
+  out->resize(static_cast<std::size_t>(n));
+  for (Vec2& p : *out) {
+    if (!r.get_f64(&p.x) || !r.get_f64(&p.y)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool looks_like_binary_plan(std::string_view bytes) {
+  return bytes.size() >= sizeof(kPlanCodecMagic) &&
+         std::memcmp(bytes.data(), kPlanCodecMagic,
+                     sizeof(kPlanCodecMagic)) == 0;
+}
+
+std::string encode_plan(const MarchPlan& plan) {
+  // Payload sections first; the header needs their sizes.
+  std::string scalars;
+  scalars.reserve(kScalarSectionSize);
+  put_f64(scalars, plan.rotation_angle);
+  put_f64(scalars, plan.rotation_objective);
+  put_f64(scalars, plan.predicted_link_ratio);
+  put_f64(scalars, plan.max_boundary_gap);
+  put_f64(scalars, plan.transition_end);
+  put_f64(scalars, plan.total_time);
+  put_i32(scalars, plan.rotation_evaluations);
+  put_i32(scalars, plan.snapped_targets);
+  put_i32(scalars, plan.repaired_robots);
+  put_i32(scalars, plan.repaired_subgroups);
+  put_i32(scalars, plan.unmeshed_robots);
+  put_i32(scalars, plan.adjust_steps);
+  put_u64(scalars, plan.protocol_messages);
+
+  std::string points;
+  put_points(points, plan.start);
+  put_points(points, plan.mapped_targets);
+  put_points(points, plan.final_positions);
+
+  std::string trajs;
+  put_u64(trajs, plan.trajectories.size());
+  for (const Trajectory& t : plan.trajectories) {
+    put_u64(trajs, t.num_waypoints());
+    for (std::size_t i = 0; i < t.num_waypoints(); ++i) {
+      put_f64(trajs, t.times()[i]);
+      put_f64(trajs, t.waypoints()[i].x);
+      put_f64(trajs, t.waypoints()[i].y);
+    }
+  }
+
+  const struct {
+    std::uint32_t tag;
+    const std::string* payload;
+  } sections[kSectionCount] = {{kTagScalars, &scalars},
+                               {kTagPoints, &points},
+                               {kTagTrajectories, &trajs}};
+
+  std::string out;
+  out.reserve(kHeaderSize + kSectionCount * kTableEntrySize + scalars.size() +
+              points.size() + trajs.size());
+  out.append(kPlanCodecMagic, sizeof(kPlanCodecMagic));
+  put_u32(out, kPlanCodecVersion);
+  put_u32(out, kSectionCount);
+  put_u64(out, 0);  // checksum, patched below
+
+  std::uint64_t cursor = kHeaderSize + kSectionCount * kTableEntrySize;
+  for (const auto& s : sections) {
+    put_u32(out, s.tag);
+    put_u32(out, 0);  // reserved
+    put_u64(out, cursor);
+    put_u64(out, s.payload->size());
+    cursor += s.payload->size();
+  }
+  for (const auto& s : sections) out.append(*s.payload);
+
+  patch_u64(out, kChecksumOffset, document_checksum(out));
+  return out;
+}
+
+std::optional<MarchPlan> decode_plan(std::string_view bytes,
+                                     std::string* error) {
+  if (error != nullptr) error->clear();
+  auto fail = [&](const std::string& why) -> std::optional<MarchPlan> {
+    if (error != nullptr && error->empty()) {
+      *error = "binary plan: " + why;
+    }
+    return std::nullopt;
+  };
+
+  if (!looks_like_binary_plan(bytes)) return fail("bad magic");
+  if (bytes.size() < kHeaderSize) return fail("truncated header");
+
+  Reader header(bytes.substr(sizeof(kPlanCodecMagic)), nullptr);
+  std::uint32_t version = 0, count = 0;
+  std::uint64_t checksum = 0;
+  header.get_u32(&version);
+  header.get_u32(&count);
+  header.get_u64(&checksum);
+  if (version != kPlanCodecVersion) {
+    return fail("unsupported version " + std::to_string(version));
+  }
+  if (count != kSectionCount) {
+    return fail("expected " + std::to_string(kSectionCount) +
+                " sections, header says " + std::to_string(count));
+  }
+  const std::size_t table_end = kHeaderSize + count * kTableEntrySize;
+  if (bytes.size() < table_end) return fail("truncated section table");
+  if (checksum != document_checksum(bytes)) return fail("checksum mismatch");
+
+  // Section table: fixed tag order, reserved bytes zero, payloads
+  // contiguous from the end of the table through the end of the document.
+  // The strictness makes the byte stream canonical — every encoded plan
+  // has exactly one valid representation.
+  constexpr std::uint32_t kExpectedTags[kSectionCount] = {
+      kTagScalars, kTagPoints, kTagTrajectories};
+  std::string_view payloads[kSectionCount];
+  {
+    Reader table(bytes.substr(kHeaderSize, count * kTableEntrySize), nullptr);
+    std::uint64_t cursor = table_end;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t tag = 0, reserved = 0;
+      std::uint64_t offset = 0, size = 0;
+      table.get_u32(&tag);
+      table.get_u32(&reserved);
+      table.get_u64(&offset);
+      table.get_u64(&size);
+      if (tag != kExpectedTags[i]) {
+        return fail("unexpected section tag at index " + std::to_string(i));
+      }
+      if (reserved != 0) return fail("nonzero reserved field");
+      if (offset != cursor) return fail("non-contiguous section layout");
+      if (size > bytes.size() - offset) {
+        return fail("section extends past end of document");
+      }
+      payloads[i] = bytes.substr(static_cast<std::size_t>(offset),
+                                 static_cast<std::size_t>(size));
+      cursor = offset + size;
+    }
+    if (cursor != bytes.size()) return fail("trailing bytes after sections");
+  }
+
+  MarchPlan plan;
+  std::string why;
+
+  if (payloads[0].size() != kScalarSectionSize) {
+    return fail("scalar section has wrong size");
+  }
+  {
+    Reader r(payloads[0], &why);
+    r.get_f64(&plan.rotation_angle);
+    r.get_f64(&plan.rotation_objective);
+    r.get_f64(&plan.predicted_link_ratio);
+    r.get_f64(&plan.max_boundary_gap);
+    r.get_f64(&plan.transition_end);
+    r.get_f64(&plan.total_time);
+    r.get_i32(&plan.rotation_evaluations);
+    r.get_i32(&plan.snapped_targets);
+    r.get_i32(&plan.repaired_robots);
+    r.get_i32(&plan.repaired_subgroups);
+    r.get_i32(&plan.unmeshed_robots);
+    r.get_i32(&plan.adjust_steps);
+    std::uint64_t messages = 0;
+    r.get_u64(&messages);
+    plan.protocol_messages = static_cast<std::size_t>(messages);
+    if (r.failed()) return fail(why);
+  }
+
+  {
+    Reader r(payloads[1], &why);
+    if (!read_points(r, &plan.start, "start point") ||
+        !read_points(r, &plan.mapped_targets, "mapped-target point") ||
+        !read_points(r, &plan.final_positions, "final-position point")) {
+      return fail(why);
+    }
+    if (!r.at_end()) return fail("trailing bytes in point section");
+  }
+
+  {
+    Reader r(payloads[2], &why);
+    std::uint64_t n_traj = 0;
+    if (!r.get_u64(&n_traj)) return fail(why);
+    // A trajectory costs at least its 8-byte waypoint count.
+    if (!r.check_count(n_traj, 8, "trajectory")) return fail(why);
+    plan.trajectories.reserve(static_cast<std::size_t>(n_traj));
+    for (std::uint64_t i = 0; i < n_traj; ++i) {
+      std::uint64_t n_wp = 0;
+      if (!r.get_u64(&n_wp)) return fail(why);
+      if (!r.check_count(n_wp, 24, "waypoint")) return fail(why);
+      Trajectory t;
+      for (std::uint64_t w = 0; w < n_wp; ++w) {
+        double time = 0.0;
+        Vec2 p;
+        if (!r.get_f64(&time) || !r.get_f64(&p.x) || !r.get_f64(&p.y)) {
+          return fail(why);
+        }
+        // Trajectory::append enforces nondecreasing times; corrupt time
+        // sequences (including NaN, which fails every ordering test) must
+        // come back typed, not as a contract violation.
+        if (!t.empty() && !(time >= t.end_time())) {
+          return fail("trajectory times decrease");
+        }
+        t.append(p, time);
+      }
+      plan.trajectories.push_back(std::move(t));
+    }
+    if (!r.at_end()) return fail("trailing bytes in trajectory section");
+  }
+
+  return plan;
+}
+
+}  // namespace anr

@@ -1,0 +1,70 @@
+// Binary MarchPlan codec: the wire/cache/golden encoding of a plan.
+//
+// plan_io's JSON documents are the human-readable archive format; every
+// hot path that moves plans around — the streaming serve frontend's
+// response frames, golden snapshots, cache spills — pays text-codec cost
+// and loses double precision unless printed at full round-trip width.
+// This module is the compact alternative: a length-prefixed, versioned,
+// little-endian binary encoding whose doubles are raw IEEE-754 bit
+// patterns, so encode -> decode is bit-exact by construction and
+// encoding the same plan twice yields identical bytes.
+//
+// Document layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       8     magic "ANRPLANB"
+//   8       4     u32 codec version (kPlanCodecVersion)
+//   12      4     u32 section count (3 in version 1)
+//   16      8     u64 FNV-1a checksum of the whole document with these
+//                 eight bytes zeroed (detects any bit of corruption)
+//   24      24*k  section table: {u32 tag, u32 reserved(=0),
+//                 u64 offset, u64 size} per section
+//   ...           section payloads, contiguous, in table order
+//
+// Version-1 sections, in fixed order:
+//   "SCLR"  the plan's scalar diagnostics (fixed 80-byte layout)
+//   "PNTS"  start / mapped_targets / final_positions point sets
+//   "TRAJ"  per-robot timed trajectories
+//
+// Like the JSON format, meshes are not persisted (derivable and large);
+// MeshStats come back default-constructed.
+//
+// decode_plan() never throws and never crashes on hostile input: every
+// read is bounds-checked, counts are validated against the remaining
+// bytes before any allocation, and any truncation or corruption —
+// anywhere in the document, including the header — comes back as a typed
+// error (tests/test_plan_codec.cpp proves this at every byte offset).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "march/planner.h"
+
+namespace anr {
+
+/// Bumped on any change to the byte layout. A committed binary golden
+/// (tests/golden/plan_codec_v1.anrp) pins version 1 against silent drift.
+inline constexpr std::uint32_t kPlanCodecVersion = 1;
+
+/// The 8 magic bytes opening every binary plan document.
+inline constexpr char kPlanCodecMagic[8] = {'A', 'N', 'R', 'P',
+                                            'L', 'A', 'N', 'B'};
+
+/// Serializes the persistable parts of a plan (same field set as
+/// plan_to_json). Deterministic: equal plans encode to equal bytes.
+std::string encode_plan(const MarchPlan& plan);
+
+/// Parses a binary plan document. Returns nullopt on any malformation —
+/// bad magic, unsupported version, broken section table, checksum
+/// mismatch, truncation — with the reason in `error` when non-null.
+std::optional<MarchPlan> decode_plan(std::string_view bytes,
+                                     std::string* error = nullptr);
+
+/// True when `bytes` opens with the binary-plan magic (format sniffing
+/// for load_plan and other auto-detecting readers).
+bool looks_like_binary_plan(std::string_view bytes);
+
+}  // namespace anr

@@ -4,8 +4,10 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "common/check.h"
+#include "io/plan_codec.h"
 
 namespace anr {
 
@@ -165,18 +167,36 @@ std::string errno_message(const std::string& verb, const std::string& path) {
          (errno != 0 ? std::strerror(errno) : "unknown I/O error");
 }
 
+bool has_binary_extension(const std::string& path) {
+  auto ends_with = [&](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+  };
+  return ends_with(".anrp") || ends_with(".bin");
+}
+
 }  // namespace
 
 bool save_plan(const MarchPlan& plan, const std::string& path,
-               std::string* error) {
+               std::string* error, PlanFormat format) {
   set_error(error, "");
+  if (format == PlanFormat::kAuto) {
+    format = has_binary_extension(path) ? PlanFormat::kBinary
+                                        : PlanFormat::kJson;
+  }
   errno = 0;
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) {
     set_error(error, errno_message("cannot open for writing", path));
     return false;
   }
-  out << plan_to_json(plan).dump(2) << '\n';
+  if (format == PlanFormat::kBinary) {
+    std::string bytes = encode_plan(plan);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  } else {
+    out << plan_to_json(plan).dump(2) << '\n';
+  }
   out.flush();
   if (!out) {
     set_error(error, errno_message("write failed for", path));
@@ -189,7 +209,7 @@ std::optional<MarchPlan> load_plan(const std::string& path,
                                    std::string* error) {
   set_error(error, "");
   errno = 0;
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     set_error(error, errno_message("cannot open", path));
     return std::nullopt;
@@ -200,8 +220,17 @@ std::optional<MarchPlan> load_plan(const std::string& path,
     set_error(error, errno_message("read failed for", path));
     return std::nullopt;
   }
+  const std::string bytes = buf.str();
+  // Content sniffing, not extension: cached/streamed plans keep working
+  // however the file was named.
+  if (looks_like_binary_plan(bytes)) {
+    std::string why;
+    auto plan = decode_plan(bytes, &why);
+    if (!plan.has_value()) set_error(error, path + ": " + why);
+    return plan;
+  }
   try {
-    return plan_from_json(json::parse(buf.str()));
+    return plan_from_json(json::parse(bytes));
   } catch (const std::exception& e) {
     set_error(error, path + ": " + e.what());
     return std::nullopt;

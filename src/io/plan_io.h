@@ -29,13 +29,23 @@ MarchPlan plan_from_json(const json::Value& v);
 json::Value metrics_to_json(const TransitionMetrics& m);
 TransitionMetrics metrics_from_json(const json::Value& v);
 
-/// Convenience: write/read a plan (pretty-printed JSON) to a file.
-/// Returns false / nullopt on failure. When `error` is non-null it
-/// receives the reason — the OS error (errno) for I/O failures, the
-/// parse/validation message for malformed documents — instead of the
-/// caller having to guess from a bare false.
+/// On-disk plan representation. kAuto picks by file extension on save
+/// (".anrp" / ".bin" -> binary, everything else JSON); loading always
+/// auto-detects by content (the binary magic), never by name.
+enum class PlanFormat {
+  kAuto,
+  kJson,    ///< pretty-printed plan_to_json document (the archive format)
+  kBinary,  ///< io/plan_codec document (compact, bit-exact doubles)
+};
+
+/// Convenience: write/read a plan to a file. Returns false / nullopt on
+/// failure. When `error` is non-null it receives the reason — the OS
+/// error (errno) for I/O failures, the parse/validation message for
+/// malformed documents — instead of the caller having to guess from a
+/// bare false.
 bool save_plan(const MarchPlan& plan, const std::string& path,
-               std::string* error = nullptr);
+               std::string* error = nullptr,
+               PlanFormat format = PlanFormat::kAuto);
 std::optional<MarchPlan> load_plan(const std::string& path,
                                    std::string* error = nullptr);
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "baselines/hungarian_march.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "common/task_arena.h"
@@ -42,6 +43,8 @@ const char* job_status_name(JobStatus status) {
       return "rejected_invalid";
     case JobStatus::kRejectedShutdown:
       return "rejected_shutdown";
+    case JobStatus::kRejectedOverload:
+      return "rejected_overload";
     case JobStatus::kDeadlineExpired:
       return "deadline_expired";
     case JobStatus::kError:
@@ -146,6 +149,10 @@ MissionService::MissionService(ServiceOptions options)
     }
     ins_.e2e_seconds = reg.histogram("anr_job_e2e_seconds", base,
                                      "submit-to-resolution latency");
+    ins_.e2e_full_seconds =
+        reg.histogram("anr_job_e2e_full_seconds", base,
+                      "submit-to-resolution latency, full-service jobs only "
+                      "(the admission controller's SLO signal)");
     ins_.queue_seconds =
         reg.histogram("anr_job_queue_seconds", base, "queue-wait latency");
     ins_.build_seconds = reg.histogram(
@@ -296,6 +303,9 @@ void MissionService::worker_loop() {
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);
       count_job(JobStatus::kDeadlineExpired);
       obs::observe(ins_.e2e_seconds, waited);
+      if (item.job.level == ServiceLevel::kFull) {
+        obs::observe(ins_.e2e_full_seconds, waited);
+      }
       JobResult r;
       r.id = item.job.id;
       r.status = JobStatus::kDeadlineExpired;
@@ -308,6 +318,7 @@ void MissionService::worker_loop() {
     }
     queue_wait_.record(waited, opt_.latency_reservoir);
     obs::observe(ins_.queue_seconds, waited);
+    const ServiceLevel level = item.job.level;
     JobResult result = execute(std::move(item.job), waited);
     switch (result.status) {
       case JobStatus::kOk:
@@ -321,10 +332,13 @@ void MissionService::worker_loop() {
         break;
     }
     count_job(result.status);
-    obs::observe(ins_.e2e_seconds,
-                 std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - item.enqueued)
-                     .count());
+    const double e2e = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - item.enqueued)
+                           .count();
+    obs::observe(ins_.e2e_seconds, e2e);
+    if (level == ServiceLevel::kFull) {
+      obs::observe(ins_.e2e_full_seconds, e2e);
+    }
     item.promise.set_value(std::move(result));
     finish_active();
   }
@@ -386,6 +400,11 @@ std::size_t MissionService::active_jobs() const {
   return active_;
 }
 
+std::size_t MissionService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
 void MissionService::wait_idle() const {
   std::unique_lock<std::mutex> lock(queue_mutex_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
@@ -421,6 +440,9 @@ void MissionService::watchdog_loop() {
       double waited =
           std::chrono::duration<double>(now - q.enqueued).count();
       obs::observe(ins_.e2e_seconds, waited);
+      if (q.job.level == ServiceLevel::kFull) {
+        obs::observe(ins_.e2e_full_seconds, waited);
+      }
       JobResult r;
       r.id = q.job.id;
       r.status = JobStatus::kDeadlineExpired;
@@ -433,7 +455,88 @@ void MissionService::watchdog_loop() {
   }
 }
 
+std::shared_ptr<const HungarianMarchPlanner> MissionService::baseline_for(
+    const PlanJob& job, bool* hit) {
+  // Key on everything that feeds HungarianMarchPlanner construction: the
+  // full planner fingerprint (a superset of the fields it reads — cheap
+  // over-segmentation, never aliasing) plus the robot count, which sizes
+  // the precomputed CVT coverage.
+  CacheKey key = CacheKey::of(job.m1, job.m2_shape, job.r_c, job.options,
+                              job.closure_tag);
+  const std::string memo_key =
+      key.bytes() + "#n=" + std::to_string(job.positions.size());
+  {
+    std::lock_guard<std::mutex> lock(baseline_mutex_);
+    auto it = baselines_.find(memo_key);
+    if (it != baselines_.end()) {
+      if (hit != nullptr) *hit = true;
+      return it->second;
+    }
+  }
+  if (hit != nullptr) *hit = false;
+  BaselineOptions base;
+  base.transition_time = job.options.transition_time;
+  auto built = std::make_shared<const HungarianMarchPlanner>(
+      job.m1, job.m2_shape, job.r_c,
+      static_cast<int>(job.positions.size()), base);
+  std::lock_guard<std::mutex> lock(baseline_mutex_);
+  // No single-flight here: concurrent misses may build twice, which is
+  // acceptable for a baseline and keeps the shed path wait-free against
+  // stalls in a peer's construction.
+  auto [it, inserted] = baselines_.emplace(memo_key, std::move(built));
+  const std::size_t cap = std::max<std::size_t>(1, opt_.cache_capacity);
+  if (inserted && baselines_.size() > cap) {
+    // Arbitrary eviction (whatever buckets first), never the entry we
+    // just inserted. This is an overload escape valve, not a tuned cache.
+    auto victim = baselines_.begin();
+    if (victim->first == memo_key) ++victim;
+    baselines_.erase(victim);
+  }
+  return it->second;
+}
+
+JobResult MissionService::execute_degraded(PlanJob&& job,
+                                           double queue_seconds) {
+  JobResult result;
+  result.id = job.id;
+  result.queue_seconds = queue_seconds;
+  try {
+    Stopwatch build_sw;
+    bool hit = false;
+    std::shared_ptr<const HungarianMarchPlanner> baseline =
+        baseline_for(job, &hit);
+    result.build_seconds = build_sw.seconds();
+    result.cache_hit = hit;
+    if (!hit) {
+      planner_build_.record(result.build_seconds, opt_.latency_reservoir);
+      obs::observe(ins_.build_seconds, result.build_seconds);
+    }
+    Stopwatch plan_sw;
+    result.plan = baseline->plan(job.positions, job.m2_offset);
+    result.plan_seconds = plan_sw.seconds();
+    plan_exec_.record(result.plan_seconds, opt_.latency_reservoir);
+    result.ok = true;
+    // A shed job is degraded by definition: the caller asked for (at
+    // most) the baseline, so the result always reports the fallback mode.
+    result.status = JobStatus::kDegraded;
+    result.degradation.degraded = true;
+    result.degradation.mode = PlanMode::kBaselineFallback;
+    result.degradation.attempts.push_back(
+        PlanAttempt{PlanMode::kBaselineFallback, true, ""});
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.status = JobStatus::kError;
+    result.error = e.what();
+    result.degradation.attempts.push_back(
+        PlanAttempt{PlanMode::kBaselineFallback, false, e.what()});
+  }
+  return result;
+}
+
 JobResult MissionService::execute(PlanJob&& job, double queue_seconds) {
+  if (job.level == ServiceLevel::kDegradedOnly) {
+    return execute_degraded(std::move(job), queue_seconds);
+  }
   JobResult result;
   result.id = job.id;
   result.queue_seconds = queue_seconds;

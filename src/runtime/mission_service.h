@@ -33,12 +33,17 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "io/json.h"
 #include "march/planner.h"
 #include "obs/metrics.h"
 #include "runtime/planner_cache.h"
+
+namespace anr {
+class HungarianMarchPlanner;
+}
 
 namespace anr::runtime {
 
@@ -95,12 +100,20 @@ enum class JobStatus {
   kRejectedQueueFull, ///< shed by kReject backpressure
   kRejectedInvalid,   ///< failed input validation at submit()
   kRejectedShutdown,  ///< submitted after shutdown()
+  kRejectedOverload,  ///< refused by SLO-driven admission control
   kDeadlineExpired,   ///< spent longer than its deadline in the queue
   kError,             ///< every planning attempt failed
 };
 
 /// Stable lowercase name ("ok", "rejected_invalid", ...).
 const char* job_status_name(JobStatus status);
+
+/// What quality of service a job is entitled to. The admission layer
+/// (runtime/admission.h) downgrades to kDegradedOnly under SLO pressure.
+enum class ServiceLevel {
+  kFull,          ///< the paper pipeline (plan / plan_robust chain)
+  kDegradedOnly,  ///< shed: skip straight to the cheap baseline fallback
+};
 
 /// One planning job: the full planner configuration plus the swarm state.
 struct PlanJob {
@@ -116,6 +129,11 @@ struct PlanJob {
   /// Queue-wait deadline in seconds; 0 disables. A job still queued this
   /// long after submit() resolves as kDeadlineExpired without planning.
   double deadline_seconds = 0.0;
+  /// Shed jobs (kDegradedOnly) bypass the planner cache and the primary
+  /// pipeline entirely: they plan through a memoized Hungarian baseline,
+  /// resolve as kDegraded with degradation.mode == kBaselineFallback,
+  /// and cost a fraction of a full plan — the overload escape valve.
+  ServiceLevel level = ServiceLevel::kFull;
 };
 
 struct JobResult {
@@ -222,6 +240,11 @@ class MissionService {
   /// Jobs currently being executed by a worker.
   std::size_t active_jobs() const;
 
+  /// Jobs currently waiting in the queue. Cheap (one mutex acquisition);
+  /// the admission controller polls this as its occupancy signal.
+  std::size_t queue_depth() const;
+  std::size_t queue_capacity() const { return opt_.queue_capacity; }
+
   /// Blocks until the queue is empty and no worker is executing a job.
   /// Only guaranteed to terminate once new submissions stop arriving.
   void wait_idle() const;
@@ -252,6 +275,11 @@ class MissionService {
   /// Decrements the active-job count and signals idle waiters.
   void finish_active();
   JobResult execute(PlanJob&& job, double queue_seconds);
+  JobResult execute_degraded(PlanJob&& job, double queue_seconds);
+  /// Memoized Hungarian baseline for shed jobs: one per distinct
+  /// (planner configuration, robot count). `hit` reports reuse.
+  std::shared_ptr<const HungarianMarchPlanner> baseline_for(const PlanJob& job,
+                                                            bool* hit);
   /// nullopt when the job is valid; otherwise the rejection message.
   static std::optional<std::string> validate(const PlanJob& job);
 
@@ -260,8 +288,9 @@ class MissionService {
     obs::Gauge* queue_depth = nullptr;
     obs::Counter* submitted = nullptr;
     obs::Counter* retried = nullptr;
-    obs::Counter* by_status[7] = {};  ///< indexed by JobStatus
+    obs::Counter* by_status[8] = {};  ///< indexed by JobStatus
     obs::Histogram* e2e_seconds = nullptr;
+    obs::Histogram* e2e_full_seconds = nullptr;  ///< full-level jobs only
     obs::Histogram* queue_seconds = nullptr;
     obs::Histogram* build_seconds = nullptr;
   };
@@ -298,6 +327,14 @@ class MissionService {
   StageRecorder planner_build_;
   StageRecorder plan_exec_;
   Instruments ins_;
+
+  /// Shed-path planner memo (see PlanJob::level). Separate from the
+  /// MarchPlanner cache on purpose: baselines are tiny, and an overloaded
+  /// service must never wait behind a single-flight full-planner build.
+  mutable std::mutex baseline_mutex_;
+  std::unordered_map<std::string,
+                     std::shared_ptr<const HungarianMarchPlanner>>
+      baselines_;
 };
 
 }  // namespace anr::runtime

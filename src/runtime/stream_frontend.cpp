@@ -1,0 +1,137 @@
+#include "runtime/stream_frontend.h"
+
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "io/frame_io.h"
+#include "io/job_io.h"
+#include "io/plan_codec.h"
+#include "io/plan_io.h"
+
+namespace anr::runtime {
+
+StreamFrontend::StreamFrontend(ServingGateway* gateway,
+                               StreamFrontendOptions options)
+    : gateway_(gateway), opt_(options) {
+  ANR_CHECK_MSG(gateway_ != nullptr, "stream frontend needs a gateway");
+  ANR_CHECK(opt_.max_inflight >= 1);
+}
+
+StreamStats StreamFrontend::serve(std::istream& in, std::ostream& out) {
+  stop_.store(false, std::memory_order_relaxed);
+  StreamStats stats;
+
+  std::mutex mu;
+  std::condition_variable cv_push;  // reader waits for window space
+  std::condition_variable cv_pop;   // writer waits for work
+  std::deque<Pending> pending;
+  bool reader_done = false;
+
+  std::thread writer([&] {
+    for (;;) {
+      Pending item;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_pop.wait(lock, [&] { return !pending.empty() || reader_done; });
+        if (pending.empty()) return;
+        item = std::move(pending.front());
+        pending.pop_front();
+      }
+      cv_push.notify_one();
+      JobResult r = item.future.get();
+      const bool as_binary = item.binary_plan && item.include_plan && r.ok;
+      if (as_binary) {
+        // JSON headline without the embedded plan; the plan rides as a
+        // codec document behind it in the same frame.
+        const std::string headline = result_to_json(r, false).dump();
+        write_frame(out, FrameType::kResponsePlan,
+                    make_response_plan_payload(headline,
+                                               encode_plan(r.plan)));
+        ++stats.plan_frames;
+      } else {
+        write_frame(out, FrameType::kResponse,
+                    result_to_json(r, item.include_plan).dump());
+      }
+      ++stats.responses;
+      out.flush();
+    }
+  });
+
+  auto enqueue = [&](Pending&& p) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv_push.wait(lock, [&] { return pending.size() < opt_.max_inflight; });
+    pending.push_back(std::move(p));
+    lock.unlock();
+    cv_pop.notify_one();
+  };
+  auto finish = [&](const std::string* terminal_error) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      reader_done = true;
+    }
+    cv_pop.notify_all();
+    writer.join();  // every accepted request answered before the error
+    if (terminal_error != nullptr) {
+      write_frame(out, FrameType::kError, *terminal_error);
+      out.flush();
+      ++stats.protocol_errors;
+    }
+    return stats;
+  };
+
+  std::map<std::string, std::vector<Vec2>> deployments;
+  std::uint64_t frame_no = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Frame frame;
+    std::string why;
+    const FrameReadStatus st = read_frame(in, &frame, &why);
+    if (st == FrameReadStatus::kEof) break;
+    if (st == FrameReadStatus::kError) return finish(&why);
+    ++stats.frames_read;
+    ++frame_no;
+    if (frame.type != FrameType::kRequest) {
+      why = std::string("unexpected ") + frame_type_name(frame.type) +
+            " frame from client";
+      return finish(&why);
+    }
+    Pending p;
+    try {
+      JobRequest req = job_from_json(json::parse(frame.payload), &deployments);
+      if (req.job.id.empty()) {
+        req.job.id = "frame-" + std::to_string(frame_no);
+      }
+      p.include_plan = req.include_plan;
+      p.binary_plan = req.binary_plan;
+      p.future = gateway_->submit(std::move(req.job));
+      ++stats.requests;
+    } catch (const std::exception& e) {
+      // Malformed request: answer in-band and keep serving, like batch
+      // mode does for a bad NDJSON line.
+      JobResult bad;
+      bad.id = "frame-" + std::to_string(frame_no);
+      try {
+        const json::Value v = json::parse(frame.payload);
+        if (v.is_object() && v.as_object().count("id") &&
+            v.at("id").is_string() && !v.at("id").as_string().empty()) {
+          bad.id = v.at("id").as_string();
+        }
+      } catch (...) {
+      }
+      bad.ok = false;
+      bad.status = JobStatus::kRejectedInvalid;
+      bad.error = std::string("bad request: ") + e.what();
+      std::promise<JobResult> prom;
+      prom.set_value(std::move(bad));
+      p.future = prom.get_future();
+      ++stats.bad_requests;
+    }
+    enqueue(std::move(p));
+  }
+  return finish(nullptr);
+}
+
+}  // namespace anr::runtime

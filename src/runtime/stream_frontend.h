@@ -1,0 +1,93 @@
+// StreamFrontend: the long-lived streaming serve loop.
+//
+// Batch march_serve reads every request before printing any result; a
+// resident planning service wants request/response streaming: a client
+// writes kRequest frames (io/frame_io.h) carrying the io/job_io.h JSON
+// schema and receives one response frame per request, in request order,
+// as soon as each job resolves. This class is that loop, layered on the
+// admission-controlled ServingGateway:
+//
+//   reader (caller's thread)          writer (internal thread)
+//   ------------------------          ------------------------
+//   read_frame(in)                    pop oldest pending future
+//   parse JSON -> PlanJob             future.get()
+//   gateway->submit(job)  ----------> write kResponse / kResponsePlan
+//   push future (bounded)             flush
+//
+// The pending window is bounded (StreamFrontendOptions::max_inflight):
+// when the writer falls behind, the reader stops consuming input, which
+// backpressures the client through the pipe/socket buffer — on top of
+// the admission controller already shedding or rejecting under SLO
+// pressure. Responses preserve request order (FIFO), so a client may
+// pipeline requests and match responses by position or by echoed id.
+//
+// Error handling mirrors batch mode: a request that fails to parse gets
+// a kResponse frame with ok=false, status "rejected_invalid" — the
+// stream keeps serving. Only protocol-level damage (garbage frame type,
+// truncated frame) emits a terminal kError frame and ends the session.
+//
+// request_stop() (e.g. from a SIGTERM watcher) makes the reader stop
+// after the current frame; already-submitted jobs still get their
+// response frames before serve() returns (graceful drain).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <istream>
+#include <mutex>
+#include <ostream>
+
+#include "runtime/admission.h"
+
+namespace anr::runtime {
+
+struct StreamFrontendOptions {
+  /// Maximum responses submitted but not yet written before the reader
+  /// stalls (client-visible backpressure).
+  std::size_t max_inflight = 128;
+};
+
+struct StreamStats {
+  std::uint64_t frames_read = 0;
+  std::uint64_t requests = 0;         ///< kRequest frames parsed OK
+  std::uint64_t bad_requests = 0;     ///< answered ok=false inline
+  std::uint64_t responses = 0;        ///< response frames written
+  std::uint64_t plan_frames = 0;      ///< of which kResponsePlan
+  std::uint64_t protocol_errors = 0;  ///< terminal kError frames written
+};
+
+class StreamFrontend {
+ public:
+  /// `gateway` must outlive the frontend.
+  explicit StreamFrontend(ServingGateway* gateway,
+                          StreamFrontendOptions options = {});
+
+  StreamFrontend(const StreamFrontend&) = delete;
+  StreamFrontend& operator=(const StreamFrontend&) = delete;
+
+  /// Serves one session: reads frames from `in` until EOF, a protocol
+  /// error, or request_stop(); writes every pending response to `out`
+  /// before returning. Runs the writer on an internal thread; the
+  /// reader runs on the calling thread.
+  StreamStats serve(std::istream& in, std::ostream& out);
+
+  /// Asks the current serve() to stop reading (thread-safe; sticky for
+  /// the current session only).
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  struct Pending {
+    std::future<JobResult> future;
+    bool include_plan = false;
+    bool binary_plan = false;
+  };
+
+  ServingGateway* gateway_;
+  StreamFrontendOptions opt_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace anr::runtime

@@ -1,0 +1,377 @@
+// SLO-driven admission control: threshold ladder, monotonicity, the
+// histogram-delta latency window, and the gateway accounting identity
+// accepted + shed + rejected == submitted — audited against both a
+// controllable fake backend and the real MissionService shed path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "foi/scenario.h"
+#include "coverage/lloyd.h"
+#include "runtime/admission.h"
+#include "runtime/mission_service.h"
+
+namespace anr::runtime {
+namespace {
+
+int severity(AdmitDecision d) { return static_cast<int>(d); }
+
+// ---------------------------------------------------------------------
+// Controller: decision ladder off the occupancy signal alone.
+
+TEST(AdmissionController, ThresholdLadder) {
+  AdmissionOptions opt;
+  opt.queue_capacity = 100;  // occupancy == depth / 100
+  AdmissionController ctrl(opt);
+  std::size_t depth = 0;
+  ctrl.set_queue_probe([&] { return depth; });
+
+  depth = 0;
+  EXPECT_EQ(ctrl.admit().decision, AdmitDecision::kAccept);
+  depth = 74;  // pressure 0.74 < 0.75
+  EXPECT_EQ(ctrl.admit().decision, AdmitDecision::kAccept);
+  depth = 75;  // pressure 0.75: not < shed_pressure
+  EXPECT_EQ(ctrl.admit().decision, AdmitDecision::kShed);
+  depth = 149;  // pressure 1.49 < 1.5
+  EXPECT_EQ(ctrl.admit().decision, AdmitDecision::kShed);
+  depth = 150;  // pressure 1.5: reject
+  EXPECT_EQ(ctrl.admit().decision, AdmitDecision::kReject);
+}
+
+TEST(AdmissionController, DecisionMonotoneInPressure) {
+  AdmissionOptions opt;
+  opt.queue_capacity = 100;
+  AdmissionController ctrl(opt);
+  std::size_t depth = 0;
+  ctrl.set_queue_probe([&] { return depth; });
+
+  double prev_pressure = -1.0;
+  int prev_severity = -1;
+  for (depth = 0; depth <= 250; ++depth) {
+    const AdmitResult r = ctrl.admit();
+    EXPECT_GE(r.pressure, prev_pressure);
+    EXPECT_GE(severity(r.decision), prev_severity)
+        << "decision improved while pressure rose (depth " << depth << ")";
+    prev_pressure = r.pressure;
+    prev_severity = severity(r.decision);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Controller: the histogram-delta latency window.
+
+TEST(AdmissionController, WindowP99FromBucketDeltas) {
+  obs::Registry registry;
+  obs::Histogram* h = registry.histogram("lat", {});
+
+  AdmissionOptions opt;
+  opt.min_window_count = 16;
+  AdmissionController ctrl(opt);
+  ctrl.watch(h);
+
+  // 90 fast + 11 slow observations: the p99 rank lands in the slow
+  // bucket. The held value is that bucket's upper bound — a conservative
+  // overestimate, never an underestimate.
+  for (int i = 0; i < 90; ++i) h->observe(0.010);
+  for (int i = 0; i < 11; ++i) h->observe(0.080);
+  ctrl.refresh();
+  EXPECT_GE(ctrl.window_p99(), 0.080);
+  EXPECT_LE(ctrl.window_p99(), 0.080 * h->spec().factor);
+
+  // Next window: only the *new* observations count. 30 fast samples move
+  // the p99 down to the fast bucket even though the histogram's
+  // cumulative counts still remember the slow burst.
+  for (int i = 0; i < 30; ++i) h->observe(0.010);
+  ctrl.refresh();
+  EXPECT_GE(ctrl.window_p99(), 0.010);
+  EXPECT_LT(ctrl.window_p99(), 0.080);
+}
+
+TEST(AdmissionController, QuietWindowsDecayTheHeldP99) {
+  obs::Registry registry;
+  obs::Histogram* h = registry.histogram("lat", {});
+
+  AdmissionOptions opt;
+  opt.min_window_count = 16;
+  opt.idle_decay = 0.5;
+  AdmissionController ctrl(opt);
+  ctrl.watch(h);
+
+  for (int i = 0; i < 32; ++i) h->observe(0.080);
+  ctrl.refresh();
+  const double held = ctrl.window_p99();
+  ASSERT_GT(held, 0.0);
+
+  ctrl.refresh();  // no new samples: decay, don't latch
+  EXPECT_DOUBLE_EQ(ctrl.window_p99(), held * 0.5);
+  ctrl.refresh();
+  EXPECT_DOUBLE_EQ(ctrl.window_p99(), held * 0.25);
+
+  // Below min_window_count new samples also counts as quiet.
+  for (int i = 0; i < 5; ++i) h->observe(10.0);
+  ctrl.refresh();
+  EXPECT_DOUBLE_EQ(ctrl.window_p99(), held * 0.125);
+}
+
+TEST(AdmissionController, LatencyPressureAloneCanShed) {
+  obs::Registry registry;
+  obs::Histogram* h = registry.histogram("lat", {});
+
+  AdmissionOptions opt;
+  opt.slo_seconds = 0.1;
+  AdmissionController ctrl(opt);
+  ctrl.watch(h);  // no queue probe: occupancy reads 0
+
+  for (int i = 0; i < 32; ++i) h->observe(0.080);
+  ctrl.refresh();
+  const AdmitResult r = ctrl.admit();
+  // Held p99 in [0.08, 0.16] -> pressure in [0.8, 1.6]; with the default
+  // thresholds that is at least shedding territory.
+  EXPECT_GE(r.pressure, 0.8);
+  EXPECT_NE(r.decision, AdmitDecision::kAccept);
+  EXPECT_DOUBLE_EQ(r.pressure, r.p99_seconds / opt.slo_seconds);
+}
+
+// ---------------------------------------------------------------------
+// Gateway: accounting identity and per-decision contracts against a
+// fully controllable backend.
+
+class FakeBackend {
+ public:
+  FakeBackend() : worker_([this] { loop(); }) {}
+
+  ~FakeBackend() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      down_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+  std::future<JobResult> submit(PlanJob job) {
+    std::promise<JobResult> promise;
+    std::future<JobResult> future = promise.get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back({std::move(job), std::move(promise)});
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  std::size_t queue_depth() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  void pause() {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = true;
+  }
+
+  void resume() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      paused_ = false;
+    }
+    cv_.notify_all();
+  }
+
+  std::uint64_t executed() const { return executed_.load(); }
+
+ private:
+  struct Item {
+    PlanJob job;
+    std::promise<JobResult> promise;
+  };
+
+  void loop() {
+    for (;;) {
+      Item item;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return down_ || (!paused_ && !queue_.empty()); });
+        if (down_ && queue_.empty()) return;
+        if (paused_ || queue_.empty()) continue;
+        item = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      executed_.fetch_add(1);
+      JobResult r;
+      r.id = item.job.id;
+      r.ok = true;
+      if (item.job.level == ServiceLevel::kDegradedOnly) {
+        // Mirror the MissionService shed-path contract.
+        r.status = JobStatus::kDegraded;
+        r.degradation.degraded = true;
+        r.degradation.mode = PlanMode::kBaselineFallback;
+      } else {
+        r.status = JobStatus::kOk;
+      }
+      item.promise.set_value(std::move(r));
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool paused_ = false;
+  bool down_ = false;
+  std::atomic<std::uint64_t> executed_{0};
+  std::thread worker_;
+};
+
+PlanJob tiny_job(const std::string& id) {
+  PlanJob job;
+  job.id = id;
+  job.positions = {{0.0, 0.0}};
+  return job;
+}
+
+TEST(ServingGateway, AccountingIdentityAndDecisionContracts) {
+  obs::Registry registry;
+  FakeBackend backend_impl;
+
+  AdmissionOptions ao;
+  ao.queue_capacity = 20;
+  ao.registry = &registry;
+  AdmissionController ctrl(ao);
+  GatewayBackend backend;
+  backend.submit = [&](PlanJob j) { return backend_impl.submit(std::move(j)); };
+  backend.queue_depth = [&] { return backend_impl.queue_depth(); };
+  ServingGateway gateway(std::move(backend), &ctrl, /*refresh_every=*/16);
+
+  // Pause the backend so the queue — and with it occupancy pressure —
+  // climbs through the shed band into rejection as the burst lands.
+  backend_impl.pause();
+  constexpr int kJobs = 300;
+  std::vector<std::future<JobResult>> futures;
+  std::vector<AdmitResult> verdicts(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    futures.push_back(gateway.submit(tiny_job("burst-" + std::to_string(i)),
+                                     &verdicts[static_cast<std::size_t>(i)]));
+  }
+  backend_impl.resume();
+
+  std::uint64_t accepted = 0, shed = 0, rejected = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    const AdmitResult& v = verdicts[static_cast<std::size_t>(i)];
+    const JobResult r = futures[static_cast<std::size_t>(i)].get();
+    switch (v.decision) {
+      case AdmitDecision::kAccept:
+        ++accepted;
+        EXPECT_LT(v.pressure, ao.shed_pressure);
+        EXPECT_EQ(r.status, JobStatus::kOk);
+        break;
+      case AdmitDecision::kShed:
+        ++shed;
+        EXPECT_GE(v.pressure, ao.shed_pressure);
+        EXPECT_LT(v.pressure, ao.reject_pressure);
+        EXPECT_EQ(r.status, JobStatus::kDegraded);
+        EXPECT_TRUE(r.degradation.degraded);
+        EXPECT_EQ(r.degradation.mode, PlanMode::kBaselineFallback);
+        break;
+      case AdmitDecision::kReject:
+        ++rejected;
+        EXPECT_GE(v.pressure, ao.reject_pressure);
+        EXPECT_FALSE(r.ok);
+        EXPECT_EQ(r.status, JobStatus::kRejectedOverload);
+        break;
+    }
+  }
+  // The paused burst must actually have traversed the whole ladder.
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(rejected, 0u);
+
+  const GatewayStats gs = gateway.stats();
+  EXPECT_EQ(gs.submitted, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(gs.accepted + gs.shed + gs.rejected, gs.submitted);
+  EXPECT_EQ(gs.accepted, accepted);
+  EXPECT_EQ(gs.shed, shed);
+  EXPECT_EQ(gs.rejected, rejected);
+
+  // Rejected jobs never reach the backend.
+  EXPECT_EQ(backend_impl.executed(), accepted + shed);
+
+  // The metrics reconcile with the gateway's own counters.
+  EXPECT_EQ(
+      registry.counter("anr_admit_total", {{"decision", "accept"}})->value(),
+      accepted);
+  EXPECT_EQ(registry.counter("anr_admit_total", {{"decision", "shed"}})->value(),
+            shed);
+  EXPECT_EQ(
+      registry.counter("anr_admit_total", {{"decision", "reject"}})->value(),
+      rejected);
+}
+
+TEST(ServingGateway, RejectResolvesImmediatelyWithoutBackendWork) {
+  FakeBackend backend_impl;
+  AdmissionOptions ao;
+  ao.queue_capacity = 1;
+  AdmissionController ctrl(ao);
+  GatewayBackend backend;
+  backend.submit = [&](PlanJob j) { return backend_impl.submit(std::move(j)); };
+  backend.queue_depth = [] { return std::size_t{10}; };  // pressure 10
+  ServingGateway gateway(std::move(backend), &ctrl);
+
+  std::future<JobResult> f = gateway.submit(tiny_job("doomed"));
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const JobResult r = f.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.status, JobStatus::kRejectedOverload);
+  EXPECT_NE(r.error.find("pressure"), std::string::npos);
+  EXPECT_EQ(backend_impl.executed(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// End to end: a shed job through the real MissionService resolves as a
+// degraded baseline plan — a real, usable trajectory set.
+
+TEST(ServingGateway, ShedThroughRealServiceProducesDegradedPlan) {
+  MissionService service;  // default options; shed path builds no planner
+
+  AdmissionOptions ao;
+  ao.queue_capacity = 4;
+  ao.shed_pressure = 0.1;   // constant probe below holds pressure in the
+  ao.reject_pressure = 2.0; // shed band: every job is downgraded
+  AdmissionController ctrl(ao);
+  GatewayBackend backend;
+  backend.submit = [&](PlanJob j) { return service.submit(std::move(j)); };
+  backend.queue_depth = [] { return std::size_t{1}; };  // occupancy 0.25
+  ServingGateway gateway(std::move(backend), &ctrl);
+
+  const Scenario sc = scenario(1);
+  PlanJob job;
+  job.id = "shed-real";
+  job.m1 = sc.m1;
+  job.m2_shape = sc.m2_shape;
+  job.r_c = sc.comm_range;
+  job.m2_offset = sc.m1.centroid() + Vec2{12.0 * sc.comm_range, 0.0} -
+                  sc.m2_shape.centroid();
+  job.positions =
+      optimal_coverage_positions(sc.m1, 24, /*seed=*/1, uniform_density())
+          .positions;
+
+  AdmitResult verdict;
+  const JobResult r = gateway.submit(std::move(job), &verdict).get();
+  EXPECT_EQ(verdict.decision, AdmitDecision::kShed);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, JobStatus::kDegraded);
+  EXPECT_TRUE(r.degradation.degraded);
+  EXPECT_EQ(r.degradation.mode, PlanMode::kBaselineFallback);
+  EXPECT_EQ(r.plan.trajectories.size(), 24u);
+  EXPECT_GT(r.plan.total_time, 0.0);
+}
+
+}  // namespace
+}  // namespace anr::runtime

@@ -1,0 +1,228 @@
+// Binary plan codec: bit-exact round trips, hostile-input robustness,
+// cross-format agreement with the JSON archive, and a committed binary
+// golden pinning the version-1 byte layout.
+//
+// The fuzz sections run the decoder over every truncation prefix and
+// every single-byte corruption of a valid document: all must fail with a
+// typed error, none may crash or over-read (the ASan CI sweep runs this
+// test for exactly that reason).
+//
+// Regenerate the binary golden (only on an intentional layout change,
+// together with a kPlanCodecVersion bump) with
+//   ANR_REGEN_GOLDEN=1 ./test_plan_codec
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "io/plan_codec.h"
+#include "io/plan_io.h"
+
+namespace anr {
+namespace {
+
+#ifndef ANR_GOLDEN_DIR
+#define ANR_GOLDEN_DIR "golden"
+#endif
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// A seeded random plan exercising the full persisted surface: robots
+// with empty, single-point, and long trajectories; magnitudes from
+// subnormal-adjacent to 1e300; negative scalars where the schema allows.
+MarchPlan random_plan(std::uint64_t seed) {
+  Rng rng(seed);
+  MarchPlan plan;
+  const int robots = rng.uniform_int(0, 12);
+  auto wild = [&]() {
+    // Span many binades so double round-trips are actually stressed.
+    const double mag = std::pow(10.0, rng.uniform(-300.0, 300.0));
+    return rng.chance(0.5) ? mag : -mag;
+  };
+  for (int i = 0; i < robots; ++i) {
+    plan.start.push_back({wild(), wild()});
+    plan.mapped_targets.push_back({wild(), wild()});
+    plan.final_positions.push_back({wild(), wild()});
+    Trajectory t;
+    const int waypoints = rng.uniform_int(0, 8);
+    double time = rng.uniform(0.0, 10.0);
+    for (int w = 0; w < waypoints; ++w) {
+      t.append({wild(), wild()}, time);
+      time += rng.uniform(0.0, 5.0);
+    }
+    plan.trajectories.push_back(std::move(t));
+  }
+  plan.rotation_angle = rng.uniform(-3.2, 3.2);
+  plan.rotation_objective = wild();
+  plan.rotation_evaluations = rng.uniform_int(0, 1 << 20);
+  plan.predicted_link_ratio = rng.uniform(0.0, 1.0);
+  plan.snapped_targets = rng.uniform_int(0, robots);
+  plan.repaired_robots = rng.uniform_int(0, robots);
+  plan.repaired_subgroups = rng.uniform_int(0, 4);
+  plan.unmeshed_robots = rng.uniform_int(0, robots);
+  plan.max_boundary_gap = wild();
+  plan.transition_end = rng.uniform(0.0, 1e6);
+  plan.total_time = plan.transition_end + rng.uniform(0.0, 1e6);
+  plan.adjust_steps = rng.uniform_int(0, 64);
+  plan.protocol_messages =
+      static_cast<std::size_t>(rng.uniform_int(0, 1 << 30));
+  return plan;
+}
+
+TEST(PlanCodec, RoundTripBitIdentical) {
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    const MarchPlan plan = random_plan(seed);
+    const std::string bytes = encode_plan(plan);
+    ASSERT_TRUE(looks_like_binary_plan(bytes)) << "seed " << seed;
+
+    std::string error;
+    std::optional<MarchPlan> back = decode_plan(bytes, &error);
+    ASSERT_TRUE(back.has_value()) << "seed " << seed << ": " << error;
+
+    // Bit-exactness via the codec's own determinism: equal persisted
+    // state <=> equal bytes, so re-encoding must reproduce the document.
+    EXPECT_EQ(encode_plan(*back), bytes) << "seed " << seed;
+
+    // And the structure survived, not just the byte stream.
+    ASSERT_EQ(back->trajectories.size(), plan.trajectories.size());
+    for (std::size_t i = 0; i < plan.trajectories.size(); ++i) {
+      EXPECT_EQ(back->trajectories[i].times(), plan.trajectories[i].times());
+      const auto& got = back->trajectories[i].waypoints();
+      const auto& want = plan.trajectories[i].waypoints();
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t w = 0; w < want.size(); ++w) {
+        EXPECT_EQ(got[w].x, want[w].x);
+        EXPECT_EQ(got[w].y, want[w].y);
+      }
+    }
+    EXPECT_EQ(back->rotation_angle, plan.rotation_angle);
+    EXPECT_EQ(back->max_boundary_gap, plan.max_boundary_gap);
+    EXPECT_EQ(back->total_time, plan.total_time);
+    EXPECT_EQ(back->protocol_messages, plan.protocol_messages);
+  }
+}
+
+TEST(PlanCodec, EncodingIsDeterministic) {
+  const MarchPlan plan = random_plan(7);
+  EXPECT_EQ(encode_plan(plan), encode_plan(plan));
+}
+
+TEST(PlanCodec, EveryTruncationFailsTyped) {
+  const std::string bytes = encode_plan(random_plan(3));
+  ASSERT_GT(bytes.size(), 24u);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::string error;
+    const std::optional<MarchPlan> got =
+        decode_plan(std::string_view(bytes.data(), len), &error);
+    EXPECT_FALSE(got.has_value()) << "prefix of " << len << " bytes decoded";
+    EXPECT_FALSE(error.empty()) << "prefix of " << len << " bytes: no reason";
+  }
+}
+
+TEST(PlanCodec, EverySingleByteCorruptionFailsTyped) {
+  // The FNV-1a checksum covers the whole document, so flipping any byte
+  // anywhere — header, section table, payload, the checksum itself —
+  // must surface as a typed error.
+  std::string bytes = encode_plan(random_plan(5));
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<char>(bytes[i] ^ 0xFF);
+    std::string error;
+    const std::optional<MarchPlan> got = decode_plan(bytes, &error);
+    EXPECT_FALSE(got.has_value()) << "corruption at byte " << i << " decoded";
+    EXPECT_FALSE(error.empty()) << "corruption at byte " << i << ": no reason";
+    bytes[i] = static_cast<char>(bytes[i] ^ 0xFF);
+  }
+}
+
+TEST(PlanCodec, RejectsForeignBytes) {
+  std::string error;
+  EXPECT_FALSE(decode_plan("", &error).has_value());
+  EXPECT_FALSE(decode_plan("{\"plan\":1}", &error).has_value());
+  EXPECT_FALSE(looks_like_binary_plan("{\"plan\":1}"));
+  EXPECT_FALSE(looks_like_binary_plan("ANRPLAN"));  // magic cut short
+}
+
+// ---------------------------------------------------------------------
+// Cross-format: the JSON archive goldens, pushed through the binary
+// codec, must come back describing the identical plan.
+
+void check_cross_format(int scenario_id) {
+  const std::string json_path = std::string(ANR_GOLDEN_DIR) + "/scenario" +
+                                std::to_string(scenario_id) + "_plan.json";
+  std::string error;
+  std::optional<MarchPlan> from_json = load_plan(json_path, &error);
+  ASSERT_TRUE(from_json.has_value()) << json_path << ": " << error;
+
+  const std::string tmp_path =
+      "codec_tmp_scenario" + std::to_string(scenario_id) + ".anrp";
+  ASSERT_TRUE(save_plan(*from_json, tmp_path, &error)) << error;
+
+  const std::string raw = slurp(tmp_path);
+  ASSERT_TRUE(looks_like_binary_plan(raw))
+      << ".anrp extension must have picked the binary format";
+
+  std::optional<MarchPlan> from_binary = load_plan(tmp_path, &error);
+  std::remove(tmp_path.c_str());
+  ASSERT_TRUE(from_binary.has_value()) << error;
+
+  // Equal persisted state <=> equal binary encodings.
+  EXPECT_EQ(encode_plan(*from_binary), encode_plan(*from_json))
+      << "JSON -> binary -> load diverged for scenario " << scenario_id;
+}
+
+TEST(PlanCodecCrossFormat, Scenario1) { check_cross_format(1); }
+TEST(PlanCodecCrossFormat, Scenario5) { check_cross_format(5); }
+TEST(PlanCodecCrossFormat, Scenario6) { check_cross_format(6); }
+
+// ---------------------------------------------------------------------
+// Version pin: the committed binary golden is the scenario-1 archive
+// plan pushed through encode_plan. Any byte-layout change diffs here and
+// demands a kPlanCodecVersion bump alongside the regenerated golden.
+
+TEST(PlanCodecGolden, Version1LayoutPinned) {
+  ASSERT_EQ(kPlanCodecVersion, 1u)
+      << "codec version changed: regenerate tests/golden/plan_codec_v1.anrp "
+         "and rename it for the new version";
+
+  const std::string json_path =
+      std::string(ANR_GOLDEN_DIR) + "/scenario1_plan.json";
+  std::string error;
+  std::optional<MarchPlan> plan = load_plan(json_path, &error);
+  ASSERT_TRUE(plan.has_value()) << json_path << ": " << error;
+  const std::string bytes = encode_plan(*plan);
+
+  const std::string golden_path =
+      std::string(ANR_GOLDEN_DIR) + "/plan_codec_v1.anrp";
+  if (std::getenv("ANR_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out.good());
+    out << bytes;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  const std::string golden = slurp(golden_path);
+  ASSERT_FALSE(golden.empty()) << "missing golden file " << golden_path
+                               << " (run with ANR_REGEN_GOLDEN=1)";
+  EXPECT_EQ(bytes, golden)
+      << "binary plan bytes diverged from the version-1 golden";
+
+  // The committed document itself still decodes to the same plan.
+  std::optional<MarchPlan> from_golden = decode_plan(golden, &error);
+  ASSERT_TRUE(from_golden.has_value()) << error;
+  EXPECT_EQ(encode_plan(*from_golden), encode_plan(*plan));
+}
+
+}  // namespace
+}  // namespace anr

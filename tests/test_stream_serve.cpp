@@ -1,0 +1,298 @@
+// Streaming serve path: frame codec robustness, the StreamFrontend
+// request/response loop end to end over in-memory streams, and the
+// march_serve SIGTERM contract (a killed batch still flushes a complete,
+// valid NDJSON metrics snapshot and exits 143).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fcntl.h>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "io/frame_io.h"
+#include "io/job_io.h"
+#include "io/json.h"
+#include "io/plan_codec.h"
+#include "runtime/admission.h"
+#include "runtime/mission_service.h"
+#include "runtime/stream_frontend.h"
+
+namespace anr {
+namespace {
+
+// ---------------------------------------------------------------------
+// Frame codec.
+
+TEST(FrameIo, RoundTripAndCleanEof) {
+  std::stringstream s;
+  ASSERT_TRUE(write_frame(s, FrameType::kRequest, "{\"id\":\"a\"}"));
+  ASSERT_TRUE(write_frame(s, FrameType::kResponse, ""));
+  ASSERT_TRUE(write_frame(s, FrameType::kError, std::string("b\0in", 4)));
+
+  Frame f;
+  std::string err;
+  ASSERT_EQ(read_frame(s, &f, &err), FrameReadStatus::kFrame) << err;
+  EXPECT_EQ(f.type, FrameType::kRequest);
+  EXPECT_EQ(f.payload, "{\"id\":\"a\"}");
+  ASSERT_EQ(read_frame(s, &f, &err), FrameReadStatus::kFrame) << err;
+  EXPECT_EQ(f.type, FrameType::kResponse);
+  EXPECT_TRUE(f.payload.empty());
+  ASSERT_EQ(read_frame(s, &f, &err), FrameReadStatus::kFrame) << err;
+  EXPECT_EQ(f.type, FrameType::kError);
+  EXPECT_EQ(f.payload, std::string("b\0in", 4));  // binary-safe payloads
+  EXPECT_EQ(read_frame(s, &f, &err), FrameReadStatus::kEof);
+}
+
+TEST(FrameIo, TruncationsAreTypedErrors) {
+  const std::string whole = encode_frame(FrameType::kRequest, "payload");
+  // EOF exactly at a boundary is clean; anywhere mid-frame is an error.
+  for (std::size_t len = 1; len < whole.size(); ++len) {
+    std::stringstream s(whole.substr(0, len));
+    Frame f;
+    std::string err;
+    EXPECT_EQ(read_frame(s, &f, &err), FrameReadStatus::kError)
+        << "prefix of " << len << " bytes";
+    EXPECT_FALSE(err.empty());
+  }
+  std::stringstream empty;
+  Frame f;
+  EXPECT_EQ(read_frame(empty, &f), FrameReadStatus::kEof);
+}
+
+TEST(FrameIo, HostileLengthAndTypeAreRejected) {
+  // A length word beyond kMaxFramePayload must fail before any buffer is
+  // sized to it.
+  std::string oversized;
+  const std::uint64_t huge = kMaxFramePayload + 1;
+  for (int i = 0; i < 4; ++i) {
+    oversized.push_back(static_cast<char>((huge >> (8 * i)) & 0xFF));
+  }
+  oversized.push_back(1);  // kRequest
+  std::stringstream s1(oversized);
+  Frame f;
+  std::string err;
+  EXPECT_EQ(read_frame(s1, &f, &err), FrameReadStatus::kError);
+  EXPECT_NE(err.find("payload"), std::string::npos);
+
+  std::string unknown_type = encode_frame(FrameType::kRequest, "x");
+  unknown_type[4] = 9;  // not a FrameType
+  std::stringstream s2(unknown_type);
+  EXPECT_EQ(read_frame(s2, &f, &err), FrameReadStatus::kError);
+}
+
+TEST(FrameIo, ResponsePlanPayloadSplits) {
+  const std::string json = "{\"id\":\"x\",\"ok\":true}";
+  const std::string plan = std::string("ANRPLANB") + std::string(16, '\0');
+  const std::string payload = make_response_plan_payload(json, plan);
+
+  std::string_view got_json, got_plan;
+  std::string err;
+  ASSERT_TRUE(split_response_plan_payload(payload, &got_json, &got_plan, &err))
+      << err;
+  EXPECT_EQ(got_json, json);
+  EXPECT_EQ(got_plan, plan);
+
+  // Malformed: shorter than its own length prefix / missing prefix.
+  EXPECT_FALSE(split_response_plan_payload(payload.substr(0, 3), &got_json,
+                                           &got_plan, &err));
+  std::string overrun = payload.substr(0, 4 + json.size() - 1);
+  EXPECT_FALSE(
+      split_response_plan_payload(overrun, &got_json, &got_plan, &err));
+}
+
+// ---------------------------------------------------------------------
+// StreamFrontend end to end over in-memory streams.
+
+struct Serving {
+  runtime::MissionService service;
+  runtime::AdmissionController controller;
+  runtime::ServingGateway gateway;
+  runtime::StreamFrontend frontend;
+
+  Serving()
+      : service(small_service()),
+        controller(runtime::AdmissionOptions{}),
+        gateway(backend(), &controller),
+        frontend(&gateway) {}
+
+  static runtime::ServiceOptions small_service() {
+    runtime::ServiceOptions so;
+    so.threads = 2;
+    return so;
+  }
+
+  runtime::GatewayBackend backend() {
+    runtime::GatewayBackend b;
+    b.submit = [this](runtime::PlanJob j) {
+      return service.submit(std::move(j));
+    };
+    b.queue_depth = [this] { return service.queue_depth(); };
+    return b;
+  }
+};
+
+std::string small_request(const std::string& id, const char* extra) {
+  return "{\"id\":\"" + id +
+         "\",\"scenario\":1,\"robots\":24,\"separation\":12,"
+         "\"options\":{\"grid_points\":250,\"cvt_samples\":1000,"
+         "\"max_adjust_steps\":2}" +
+         extra + "}";
+}
+
+TEST(StreamFrontendTest, ServesRequestsInOrderWithBinaryPlan) {
+  Serving s;
+  std::stringstream in;
+  write_frame(in, FrameType::kRequest, small_request("first", ""));
+  write_frame(in, FrameType::kRequest,
+              small_request("second",
+                            ",\"include_plan\":true,"
+                            "\"plan_encoding\":\"binary\""));
+  write_frame(in, FrameType::kRequest, "{\"scenario\": not-json");
+  std::stringstream out;
+
+  const runtime::StreamStats stats = s.frontend.serve(in, out);
+  EXPECT_EQ(stats.frames_read, 3u);
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.bad_requests, 1u);
+  EXPECT_EQ(stats.responses, 3u);
+  EXPECT_EQ(stats.plan_frames, 1u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+
+  Frame f;
+  std::string err;
+
+  // Response 1: plain result for "first".
+  ASSERT_EQ(read_frame(out, &f, &err), FrameReadStatus::kFrame) << err;
+  ASSERT_EQ(f.type, FrameType::kResponse);
+  json::Value r1 = json::parse(f.payload);
+  EXPECT_EQ(r1.at("id").as_string(), "first");
+  EXPECT_TRUE(r1.at("ok").as_bool());
+  EXPECT_EQ(r1.as_object().count("plan"), 0u);
+
+  // Response 2: kResponsePlan with a decodable binary plan document.
+  ASSERT_EQ(read_frame(out, &f, &err), FrameReadStatus::kFrame) << err;
+  ASSERT_EQ(f.type, FrameType::kResponsePlan);
+  std::string_view headline, plan_bytes;
+  ASSERT_TRUE(split_response_plan_payload(f.payload, &headline, &plan_bytes,
+                                          &err))
+      << err;
+  json::Value r2 = json::parse(std::string(headline));
+  EXPECT_EQ(r2.at("id").as_string(), "second");
+  EXPECT_TRUE(r2.at("ok").as_bool());
+  ASSERT_TRUE(looks_like_binary_plan(plan_bytes));
+  std::optional<MarchPlan> plan = decode_plan(plan_bytes, &err);
+  ASSERT_TRUE(plan.has_value()) << err;
+  EXPECT_EQ(plan->trajectories.size(), 24u);
+
+  // Response 3: the malformed request answered in-band, stream survived.
+  ASSERT_EQ(read_frame(out, &f, &err), FrameReadStatus::kFrame) << err;
+  ASSERT_EQ(f.type, FrameType::kResponse);
+  json::Value r3 = json::parse(f.payload);
+  EXPECT_FALSE(r3.at("ok").as_bool());
+  EXPECT_EQ(r3.at("status").as_string(), "rejected_invalid");
+
+  EXPECT_EQ(read_frame(out, &f, &err), FrameReadStatus::kEof);
+}
+
+TEST(StreamFrontendTest, NonRequestFrameIsTerminalProtocolError) {
+  Serving s;
+  std::stringstream in;
+  write_frame(in, FrameType::kResponse, "{}");  // clients must not do this
+  std::stringstream out;
+
+  const runtime::StreamStats stats = s.frontend.serve(in, out);
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.protocol_errors, 1u);
+
+  Frame f;
+  std::string err;
+  ASSERT_EQ(read_frame(out, &f, &err), FrameReadStatus::kFrame) << err;
+  EXPECT_EQ(f.type, FrameType::kError);
+  EXPECT_NE(f.payload.find("response"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// march_serve SIGTERM contract. The binary path arrives via
+// ANR_MARCH_SERVE_BIN (wired in tests/CMakeLists.txt); the test forks
+// it on a long batch, SIGTERMs it mid-run, and requires exit 143 plus a
+// complete, parseable NDJSON metrics file.
+
+TEST(MarchServeSignal, SigtermMidBatchFlushesValidNdjsonMetrics) {
+  const char* bin = std::getenv("ANR_MARCH_SERVE_BIN");
+#ifdef ANR_MARCH_SERVE_BIN_DEFAULT
+  if (bin == nullptr || bin[0] == '\0') bin = ANR_MARCH_SERVE_BIN_DEFAULT;
+#endif
+  if (bin == nullptr || bin[0] == '\0') {
+    GTEST_SKIP() << "ANR_MARCH_SERVE_BIN not set";
+  }
+  if (access(bin, X_OK) != 0) {
+    GTEST_SKIP() << "march_serve binary not built at " << bin;
+  }
+
+  const std::string input_path = "sigterm_jobs.ndjson";
+  const std::string metrics_path = "sigterm_metrics.ndjson";
+  std::remove(metrics_path.c_str());
+  {
+    std::ofstream jobs(input_path);
+    ASSERT_TRUE(jobs.good());
+    for (int i = 0; i < 400; ++i) {
+      jobs << "{\"id\":\"sig-" << i
+           << "\",\"scenario\":1,\"robots\":36,\"separation\":12,"
+              "\"options\":{\"grid_points\":300,\"cvt_samples\":1500,"
+              "\"max_adjust_steps\":3}}\n";
+    }
+  }
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: silence stdout (hundreds of result lines), keep stderr.
+    const int devnull = open("/dev/null", O_WRONLY);
+    if (devnull >= 0) dup2(devnull, STDOUT_FILENO);
+    execl(bin, bin, "--threads", "1", "--input", input_path.c_str(),
+          "--metrics", metrics_path.c_str(), static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+
+  // Give the batch time to start planning, then kill it mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus)) << "march_serve did not exit cleanly";
+  EXPECT_EQ(WEXITSTATUS(wstatus), 143) << "expected the SIGTERM exit code";
+
+  // The flushed metrics file must be complete, valid NDJSON with the
+  // service's job counters present.
+  std::ifstream metrics(metrics_path);
+  ASSERT_TRUE(metrics.good()) << "no metrics file flushed on SIGTERM";
+  std::string line;
+  int lines = 0;
+  bool saw_jobs_total = false;
+  while (std::getline(metrics, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    json::Value v;
+    ASSERT_NO_THROW(v = json::parse(line))
+        << "metrics line " << lines << " is not valid JSON: " << line;
+    ASSERT_TRUE(v.is_object());
+    EXPECT_GT(v.as_object().count("name"), 0u);
+    if (v.at("name").as_string() == "anr_jobs_total") saw_jobs_total = true;
+  }
+  EXPECT_GT(lines, 0) << "metrics file is empty";
+  EXPECT_TRUE(saw_jobs_total) << "anr_jobs_total series missing";
+
+  std::remove(input_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+}  // namespace
+}  // namespace anr
