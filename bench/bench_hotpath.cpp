@@ -313,6 +313,73 @@ BENCHMARK(BM_RotationSearchThreads)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// --- fast marching ---------------------------------------------------------
+// The terrain-routing hot path: one narrow-band sweep to exhaustion per
+// robot start, then per-goal gradient-descent extraction. Propagation is
+// O(N log N) in cells; the router parallelizes over robots with
+// byte-identical fields at any thread count (tests/test_fmm.cpp), so the
+// thread bench tracks only latency.
+
+CostField fmm_field(int max_cells) {
+  BBox bb;
+  bb.expand({0.0, 0.0});
+  bb.expand({1000.0, 1000.0});
+  CostFieldSpec spec;
+  spec.bounds = bb;
+  spec.max_cells = max_cells;
+  spec.slope_weight = 2.5;
+  spec.uphill_penalty = 0.4;
+  spec.mud.push_back({{500.0, 620.0}, 90.0, 3.0});
+  spec.keep_out.push_back(make_rect({420.0, 430.0}, {580.0, 540.0}));
+  return CostField::build(spec,
+                          HeightField::rolling(bb, 10, 35.0, 160.0, 99));
+}
+
+void BM_FastMarchPropagation(benchmark::State& state) {
+  CostField field = fmm_field(static_cast<int>(state.range(0)));
+  const Vec2 src{80.0, 80.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fast_march(field, src));
+  }
+  state.counters["cells"] = static_cast<double>(field.cell_count());
+  state.SetComplexityN(field.cell_count());
+}
+BENCHMARK(BM_FastMarchPropagation)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+
+void BM_GeodesicExtraction(benchmark::State& state) {
+  CostField field = fmm_field(static_cast<int>(state.range(0)));
+  const Vec2 src{80.0, 80.0};
+  const Vec2 goal{920.0, 920.0};
+  FastMarchResult fm = fast_march(field, src);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_geodesic(field, fm, src, goal));
+  }
+}
+BENCHMARK(BM_GeodesicExtraction)->Arg(64)->Arg(256);
+
+void BM_TerrainRouterSolveThreads(benchmark::State& state) {
+  TrajectoryOptions topt;
+  topt.motion = MotionModel::kTerrainGeodesic;
+  BBox bb;
+  bb.expand({0.0, 0.0});
+  bb.expand({1000.0, 1000.0});
+  topt.terrain.terrain = HeightField::rolling(bb, 10, 35.0, 160.0, 99);
+  topt.terrain.slope_weight = 2.5;
+  auto starts = random_points(32, 13);
+  set_arena_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    TerrainRouter router(topt, bb, 80.0);
+    router.solve(starts);
+    benchmark::DoNotOptimize(router.stats().solves);
+  }
+  set_arena_threads(0);
+}
+BENCHMARK(BM_TerrainRouterSolveThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 // --- full plan -------------------------------------------------------------
 
 void BM_FullPlanWithAdjustment(benchmark::State& state) {

@@ -4,7 +4,7 @@
 // extra distance D the recovery cost.
 //
 //   ./fault_drill [seed] [--events] [--decentralized] [--loss-rate p]
-//                 [--partition t0:t1]
+//                 [--partition t0:t1] [--terrain] [--dump-terrain]
 //
 //   --decentralized   run the local-knowledge execution mode (per-robot
 //                     controllers over the message simulator) instead of
@@ -14,6 +14,13 @@
 //                     (decentralized mode; control plane retransmits)
 //   --partition f0:f1 cut every link of robot 12 during the window
 //                     [f0, f1] x total_time (fractions in [0, 1])
+//   --terrain         plan geodesics over rolling hills with a mud patch
+//                     and a keep-out block in the corridor, and splice a
+//                     scripted mid-march retarget so recovery replans
+//                     geodesics over the same cost field (centralized
+//                     engine only)
+//   --dump-terrain    write the rasterized cost field per scenario as
+//                     fault_drill_terrain_scenario<id>.json
 //
 // The same seed always produces the same campaign, the same execution,
 // and the same event log.
@@ -27,10 +34,13 @@
 #include "coverage/lloyd.h"
 #include "fault/fault_schedule.h"
 #include "foi/scenario.h"
+#include "geom/polygon.h"
 #include "io/event_io.h"
+#include "io/terrain_io.h"
 #include "march/decentralized_engine.h"
 #include "march/execution_engine.h"
 #include "march/planner.h"
+#include "march/terrain_router.h"
 
 namespace {
 
@@ -40,6 +50,28 @@ anr::PlannerOptions drill_options() {
   opt.cvt_samples = 4000;
   opt.max_adjust_steps = 5;
   return opt;
+}
+
+// The terrain family validated by the invariant sweep: rolling hills with
+// slope + uphill cost, one mud patch north of the corridor, and a keep-out
+// block wholly inside the corridor (it must not overlap M1 or M2).
+void add_terrain(anr::PlannerOptions& opt, const anr::Scenario& sc,
+                 const anr::FieldOfInterest& m2_world) {
+  anr::BBox tb = sc.m1.bbox();
+  tb.expand(m2_world.bbox().lo);
+  tb.expand(m2_world.bbox().hi);
+  const anr::Vec2 mid =
+      anr::lerp(sc.m1.centroid(), m2_world.centroid(), 0.5);
+  const double rc = sc.comm_range;
+  opt.trajectory.motion = anr::MotionModel::kTerrainGeodesic;
+  opt.trajectory.terrain.terrain =
+      anr::HeightField::rolling(tb, 10, 35.0, 160.0, /*seed=*/99);
+  opt.trajectory.terrain.slope_weight = 2.5;
+  opt.trajectory.terrain.uphill_penalty = 0.4;
+  opt.trajectory.terrain.mud.push_back(
+      {{mid.x, mid.y + 2.0 * rc}, 90.0, 3.0});
+  opt.trajectory.terrain.keep_out.push_back(anr::make_rect(
+      {mid.x - rc, mid.y - 0.75 * rc}, {mid.x + rc, mid.y + 0.75 * rc}));
 }
 
 constexpr int kPartitionRobot = 12;
@@ -75,6 +107,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   bool events = false;
   bool decentralized = false;
+  bool terrain = false;
+  bool dump_terrain = false;
   double loss_rate = 0.0;
   double partition_f0 = -1.0, partition_f1 = -1.0;
   for (int i = 1; i < argc; ++i) {
@@ -83,6 +117,11 @@ int main(int argc, char** argv) {
       events = true;
     } else if (arg == "--decentralized") {
       decentralized = true;
+    } else if (arg == "--terrain") {
+      terrain = true;
+    } else if (arg == "--dump-terrain") {
+      terrain = true;
+      dump_terrain = true;
     } else if (arg == "--loss-rate" && i + 1 < argc) {
       loss_rate = std::strtod(argv[++i], nullptr);
     } else if (arg == "--partition" && i + 1 < argc) {
@@ -118,10 +157,31 @@ int main(int argc, char** argv) {
     anr::Vec2 offset = sc.m1.centroid() +
                        anr::Vec2{12.0 * sc.comm_range, 0.0} -
                        sc.m2_shape.centroid();
-    anr::MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range,
-                              drill_options());
-    anr::MarchPlan plan = planner.plan(deploy, offset);
     anr::FieldOfInterest m2_world = sc.m2_shape.translated(offset);
+    anr::PlannerOptions popt = drill_options();
+    if (terrain) add_terrain(popt, sc, m2_world);
+    anr::MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, popt);
+    anr::MarchPlan plan = planner.plan(deploy, offset);
+    if (terrain) {
+      std::cout << "scenario " << id << " terrain plan: fmm solves "
+                << plan.fmm_solves << ", goal snapped "
+                << plan.fmm_goal_snapped << ", fallbacks "
+                << plan.fmm_fallbacks << "\n";
+    }
+    if (dump_terrain) {
+      anr::BBox tb = sc.m1.bbox();
+      tb.expand(m2_world.bbox().lo);
+      tb.expand(m2_world.bbox().hi);
+      anr::TerrainRouter router(popt.trajectory, tb, sc.comm_range);
+      const std::string path =
+          "fault_drill_terrain_scenario" + std::to_string(id) + ".json";
+      std::string err;
+      if (!anr::save_cost_field(router.field(), path, &err)) {
+        std::cerr << "cost field dump failed: " << err << "\n";
+      } else {
+        std::cout << "wrote " << path << "\n";
+      }
+    }
 
     anr::Rng rng(seed ^ static_cast<std::uint64_t>(id));
     anr::fault::CampaignOptions co;
@@ -175,6 +235,17 @@ int main(int argc, char** argv) {
       } else {
         anr::ExecutionOptions eo;
         eo.enable_recovery = recovery;
+        if (terrain) {
+          // Scripted retarget drill: mid-march, abandon the current goal
+          // and head a further 2 r_c east. retarget_mid_march replans
+          // through the same terrain-aware planner, so the spliced legs
+          // are geodesics over the keep-out cost field.
+          anr::MissionChange mc;
+          mc.t = 0.35 * plan.total_time;
+          mc.planner = &planner;
+          mc.m2_offset = offset + anr::Vec2{2.0 * sc.comm_range, 0.0};
+          eo.mission_changes.push_back(mc);
+        }
         anr::ExecutionEngine engine(sc.comm_range, eo);
         anr::ExecutionReport rep = engine.run(plan, schedule, m2_world);
 
@@ -203,6 +274,7 @@ int main(int argc, char** argv) {
               << anr::fmt(partition_f1, 2) << " of robot "
               << kPartitionRobot;
   }
+  if (terrain) std::cout << ", terrain geodesics + scripted retarget";
   std::cout << "\n" << table.str();
   return 0;
 }

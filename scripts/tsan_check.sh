@@ -13,7 +13,9 @@
 # several arena widths), the Delaunay suite (hinted construction
 # feeding the parallel consumers), the admission suite (gateway
 # submit/refresh racing a multi-threaded backend), and the codec suite
-# (encode/decode used concurrently by the serving path).
+# (encode/decode used concurrently by the serving path), and the FMM
+# suite (per-robot fast-marching solves fanned out over parallel_chunks
+# must produce byte-identical ToA fields at any thread count).
 #
 # Usage: scripts/tsan_check.sh [build-dir]
 set -euo pipefail
@@ -27,9 +29,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target test_runtime test_composition test_network test_grid_index \
   test_obs test_task_arena test_parallel_determinism test_shard \
   test_harmonic test_delaunay test_protocols test_decentralized \
-  test_admission test_plan_codec >/dev/null
+  test_admission test_plan_codec test_fmm >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R '^(test_runtime|test_composition|test_network|test_grid_index|test_obs|test_task_arena|test_parallel_determinism|test_shard|test_harmonic|test_delaunay|test_protocols|test_decentralized|test_admission|test_plan_codec)$'
+  -R '^(test_runtime|test_composition|test_network|test_grid_index|test_obs|test_task_arena|test_parallel_determinism|test_shard|test_harmonic|test_delaunay|test_protocols|test_decentralized|test_admission|test_plan_codec|test_fmm)$'
 echo "OK: TSan sweep clean"

@@ -1,0 +1,43 @@
+// Terrain-routing persistence: cost fields as JSON (for viz / drill
+// archives) and time-of-arrival fields as a compact checksummed binary
+// (for golden pins and offline diffing — the checksum makes heap
+// tie-break regressions surface as a one-line mismatch).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+#include "terrain/fast_marching.h"
+
+namespace anr {
+
+/// Serializes the cost field: grid shape, origin/cell size, per-cell
+/// costs (blocked cells as the string "inf" — JSON has no infinity).
+json::Value cost_field_to_json(const CostField& field);
+
+/// Convenience: pretty-printed cost_field_to_json to a file.
+bool save_cost_field(const CostField& field, const std::string& path,
+                     std::string* error = nullptr);
+
+/// A loaded ToA snapshot: grid shape plus the per-cell times.
+struct ToaSnapshot {
+  int nx = 0;
+  int ny = 0;
+  double cell = 0.0;
+  std::vector<double> toa;
+};
+
+/// Writes the ToA field as a little-endian binary record
+/// ("ANRTOA01" magic, nx, ny, cell size, payload doubles, FNV-1a
+/// checksum over the payload bytes).
+bool save_toa(const CostField& field, const std::vector<double>& toa,
+              const std::string& path, std::string* error = nullptr);
+
+/// Reads a ToA record back, validating magic, sizes, and checksum.
+std::optional<ToaSnapshot> load_toa(const std::string& path,
+                                    std::string* error = nullptr);
+
+}  // namespace anr

@@ -1,5 +1,8 @@
 #include "march/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
 #include "net/unit_disk_graph.h"
 
@@ -24,6 +27,33 @@ double predicted_stable_link_ratio(const std::vector<Vec2>& p,
     bool at_end = distance2(q[static_cast<std::size_t>(i)],
                             q[static_cast<std::size_t>(j)]) <= r2 + 1e-9;
     if (at_start && at_end) ++stable;
+  }
+  return static_cast<double>(stable) / static_cast<double>(links.size());
+}
+
+double predicted_stable_link_ratio_bounded(
+    const std::vector<Vec2>& p, const std::vector<Vec2>& q,
+    const std::vector<double>& path_lengths,
+    const std::vector<std::pair<int, int>>& links, double r_c) {
+  ANR_CHECK(p.size() == q.size());
+  ANR_CHECK(path_lengths.size() == p.size());
+  if (links.empty()) return 1.0;
+  const double r2 = r_c * r_c;
+  std::size_t stable = 0;
+  for (auto [i, j] : links) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    const std::size_t uj = static_cast<std::size_t>(j);
+    const double d0 = distance(p[ui], p[uj]);
+    const double d1 = distance(q[ui], q[uj]);
+    if (d0 * d0 > r2 + 1e-9 || d1 * d1 > r2 + 1e-9) continue;
+    auto deviation = [&](std::size_t r) {
+      const double d = distance(p[r], q[r]);
+      const double len = std::max(path_lengths[r], d);
+      return 0.5 * std::sqrt(std::max(0.0, len * len - d * d));
+    };
+    const double dev = deviation(ui) + deviation(uj);
+    if (dev > 0.0 && std::max(d0, d1) + dev > r_c + 1e-9) continue;
+    ++stable;
   }
   return static_cast<double>(stable) / static_cast<double>(links.size());
 }

@@ -31,6 +31,20 @@ double predicted_stable_link_ratio(const std::vector<Vec2>& p,
                                    const std::vector<std::pair<int, int>>& links,
                                    double r_c);
 
+/// Path-length-aware predicted stable link ratio for curved (geodesic)
+/// motion. `path_lengths[i]` bounds the Euclidean length of robot i's
+/// routed path from p_i to q_i. A path of length L between endpoints at
+/// distance d stays within 0.5*sqrt(L^2 - d^2) of the straight chord, so
+/// under constant-progress motion the pair distance is bounded by the
+/// straight-line endpoint maximum plus both deviations. A link survives
+/// iff it holds at both endpoints AND that bound stays within r_c; with
+/// straight paths (L == d) this reduces exactly to
+/// predicted_stable_link_ratio.
+double predicted_stable_link_ratio_bounded(
+    const std::vector<Vec2>& p, const std::vector<Vec2>& q,
+    const std::vector<double>& path_lengths,
+    const std::vector<std::pair<int, int>>& links, double r_c);
+
 /// Sum of straight-line displacements |q_i - p_i|.
 double total_displacement(const std::vector<Vec2>& p,
                           const std::vector<Vec2>& q);

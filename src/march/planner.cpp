@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <queue>
 
 #include "baselines/hungarian_march.h"
@@ -82,6 +83,7 @@ void MarchPlanner::set_observer(obs::Registry* registry) {
   ins_.stage_rotation = stage("rotation_search");
   ins_.stage_interpolation = stage("interpolation");
   ins_.stage_adjustment = stage("adjustment");
+  ins_.stage_routing = stage("terrain_routing");
   ins_.plan_seconds =
       registry->histogram("anr_plan_seconds", {}, "end-to-end plan() latency");
   ins_.plans = registry->counter("anr_plans_total", {}, "plans produced");
@@ -107,6 +109,21 @@ void MarchPlanner::set_observer(obs::Registry* registry) {
   ins_.harmonic_multigrid = registry->counter(
       "anr_harmonic_multigrid_total", {},
       "harmonic relaxations solved by the multigrid engine");
+  ins_.fmm_solves = registry->counter(
+      "anr_fmm_solves_total", {}, "per-robot fast-marching ToA solves");
+  ins_.fmm_goal_snapped = registry->counter(
+      "anr_fmm_goal_snapped_total", {},
+      "targets snapped out of keep-out cells");
+  auto fmm_fallback = [&](const char* reason) {
+    return registry->counter(
+        "anr_fmm_fallbacks_total", {{"reason", reason}},
+        "geodesic routes degraded to straight-line motion");
+  };
+  ins_.fmm_fb_blocked_start = fmm_fallback("blocked_start");
+  ins_.fmm_fb_unreachable = fmm_fallback("unreachable");
+  ins_.fmm_fb_stuck_descent = fmm_fallback("stuck_descent");
+  ins_.fmm_fb_out_of_domain = fmm_fallback("out_of_domain");
+  ins_.fmm_fb_connectivity = fmm_fallback("connectivity");
 }
 
 const char* plan_mode_name(PlanMode mode) {
@@ -145,6 +162,31 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
   ANR_CHECK_MSG(net::is_connected(adjacency),
                 "initial deployment is not connected");
   auto links = communication_links(positions, r_c_);
+
+  // --- 0. Terrain routing precomputation (ROADMAP item 3) ----------------
+  // One fast-marching ToA solve per robot start; rotation probes then read
+  // travel times by bilinear sampling instead of re-solving. A uniform
+  // cost field routes, times, and costs exactly like straight-line
+  // motion, so the planner bypasses the router entirely in that case —
+  // uniform-field kTerrainGeodesic plans are byte-identical to kStraight
+  // plans by construction.
+  std::unique_ptr<TerrainRouter> router;
+  if (opt_.trajectory.motion == MotionModel::kTerrainGeodesic) {
+    obs::Span route_span(ins_.spans, "terrain_routing", ins_.stage_routing);
+    BBox domain = m1_.bbox();
+    const BBox m2_box = m2_.bbox();
+    domain.expand(m2_box.lo + m2_offset);
+    domain.expand(m2_box.hi + m2_offset);
+    // Repair parallel-marches may target M1 translated by the full march
+    // offset; cover that band so their goals stay inside the field.
+    domain.expand(m1_.bbox().lo + m2_offset);
+    domain.expand(m1_.bbox().hi + m2_offset);
+    for (Vec2 p : positions) domain.expand(p);
+    router = std::make_unique<TerrainRouter>(opt_.trajectory, domain, r_c_);
+    router->solve(positions);
+    route_span.finish();
+  }
+  const bool terrain_active = router != nullptr && !router->uniform();
 
   // --- 1. Triangulation T -------------------------------------------------
   obs::Span ext_span(ins_.spans, "extraction", ins_.stage_extraction);
@@ -258,6 +300,7 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
     std::vector<int> hints;
     std::vector<MappedTarget> mapped;
     std::vector<Vec2> q;
+    std::vector<double> lens;  ///< geodesic path-length bounds per robot
   };
   auto map_targets_into = [&](double theta, int* snapped, MapScratch& s) {
     interpolator_->map_all_into(meshed_disk, theta, s.hints, s.mapped);
@@ -290,16 +333,46 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
   double diag = std::max(m1_.bbox().width() + m1_.bbox().height(), 1.0) *
                 static_cast<double>(n) * 1e4;
 
-  auto objective_value = [&](const std::vector<Vec2>& q) {
+  // Under terrain routing, method (a) predicts link survival from the
+  // geodesic path-length bounds (curved paths deviate from the chord) and
+  // method (b) / the tie-breaker minimize cost-metric travel time instead
+  // of Euclidean displacement, so the rotation search optimizes L and D
+  // under realistic motion.
+  auto motion_cost = [&](const std::vector<Vec2>& q) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      total += router->travel_time(static_cast<int>(r), q[r]);
+    }
+    return total;
+  };
+  auto path_bounds_into = [&](const std::vector<Vec2>& q,
+                              std::vector<double>& lens) {
+    lens.resize(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      lens[r] = router->path_length_bound(static_cast<int>(r), q[r]);
+    }
+  };
+  auto objective_value = [&](const std::vector<Vec2>& q,
+                             std::vector<double>& lens) {
     if (opt_.objective == MarchObjective::kMaxStableLinks) {
       // The link ratio is quantized (k / |links|), so plateaus are common
       // and the interval search would pick among ties arbitrarily. Break
       // ties toward less displacement — too small to ever outvote a
       // single preserved link.
-      return predicted_stable_link_ratio(positions, q, links, r_c_) -
-             total_displacement(positions, q) / diag;
+      double ratio;
+      if (terrain_active) {
+        path_bounds_into(q, lens);
+        ratio =
+            predicted_stable_link_ratio_bounded(positions, q, lens, links, r_c_);
+      } else {
+        ratio = predicted_stable_link_ratio(positions, q, links, r_c_);
+      }
+      const double disp = terrain_active ? motion_cost(q)
+                                         : total_displacement(positions, q);
+      return ratio - disp / diag;
     }
-    return -total_displacement(positions, q);
+    return -(terrain_active ? motion_cost(q)
+                            : total_displacement(positions, q));
   };
 
   // Candidate angles of a probe round evaluate concurrently, each chunk
@@ -322,7 +395,7 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
                       MapScratch& s = slots[chunk];
                       for (std::size_t k = begin; k < end; ++k) {
                         map_targets_into(thetas[k], nullptr, s);
-                        values[k] = objective_value(s.q);
+                        values[k] = objective_value(s.q, s.lens);
                       }
                     });
   };
@@ -411,9 +484,49 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
       repair_targets(positions, targets, adjacency, is_boundary, r_c_);
   plan.repaired_robots = rep.repaired;
   plan.repaired_subgroups = rep.subgroups;
+
+  // Repair parallel-marches can sling targets past every box the router's
+  // domain was built from. Rather than degrading those robots to straight
+  // chords (which would bypass keep-out enforcement), grow the field to
+  // cover all final targets and re-solve — rare, and one extra solve pass.
+  int prior_fmm_solves = 0;
+  if (terrain_active) {
+    bool out_of_field = false;
+    for (std::size_t r = 0; r < n && !out_of_field; ++r) {
+      out_of_field = !router->field().contains(targets[r]);
+    }
+    if (out_of_field) {
+      obs::Span regrow_span(ins_.spans, "terrain_routing", ins_.stage_routing);
+      prior_fmm_solves = router->stats().solves;
+      BBox grown = router->field().bounds();
+      for (Vec2 g : targets) grown.expand(g);
+      router = std::make_unique<TerrainRouter>(opt_.trajectory, grown, r_c_);
+      router->solve(positions);
+    }
+  }
+
+  // Keep-out enforcement: no robot may be *sent* into a blocked cell.
+  // Repair / ring re-spacing can land targets there; snap each to the
+  // nearest unblocked cell center (deterministic ring scan).
+  if (terrain_active && router->field().has_blocked()) {
+    for (std::size_t r = 0; r < n; ++r) {
+      bool snapped = false;
+      targets[r] = router->unblocked_target(targets[r], &snapped);
+      if (snapped) ++plan.fmm_goal_snapped;
+    }
+    if (plan.fmm_goal_snapped > 0) plan.max_boundary_gap = ring_gap(targets);
+  }
+
   plan.mapped_targets = targets;
-  plan.predicted_link_ratio =
-      predicted_stable_link_ratio(positions, targets, links, r_c_);
+  if (terrain_active) {
+    std::vector<double> lens;
+    path_bounds_into(targets, lens);
+    plan.predicted_link_ratio = predicted_stable_link_ratio_bounded(
+        positions, targets, lens, links, r_c_);
+  } else {
+    plan.predicted_link_ratio =
+        predicted_stable_link_ratio(positions, targets, links, r_c_);
+  }
 
 
   // --- 7. Transition trajectories (Eqn. 2 with hole detours) --------------
@@ -421,16 +534,128 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
   for (const Polygon& h : m2_.holes()) {
     obstacles.push_back(h.translated(m2_offset));
   }
+  // Keep-out polygons join the obstacle set for straight chords under
+  // terrain routing (fallbacks and connectivity straightenings): a
+  // degraded route must not cut through the region the geodesics were
+  // avoiding. route_around needs both endpoints outside every obstacle,
+  // so the augmented set only applies when that holds.
+  std::vector<Polygon> guarded_obstacles = obstacles;
+  if (terrain_active) {
+    for (const Polygon& ko : opt_.trajectory.terrain.keep_out) {
+      guarded_obstacles.push_back(ko);
+    }
+  }
+  auto chord_obstacles = [&](Vec2 a, Vec2 b) -> const std::vector<Polygon>& {
+    for (const Polygon& ko : opt_.trajectory.terrain.keep_out) {
+      if (ko.contains(a) || ko.contains(b)) return obstacles;
+    }
+    return guarded_obstacles;
+  };
   plan.trajectories.reserve(n);
   for (std::size_t r = 0; r < n; ++r) {
-    plan.trajectories.push_back(make_timed_path(
-        positions[r], targets[r], 0.0, opt_.transition_time, obstacles));
+    if (terrain_active) {
+      // Geodesic waypoints in the cost metric; each leg still honors the
+      // FoI hole detours. Unroutable robots fall back to the straight
+      // segment (typed, counted below) detoured around keep-out.
+      TerrainRoute rt = router->route(static_cast<int>(r), targets[r]);
+      if (rt.geodesic) {
+        plan.trajectories.push_back(make_timed_path_via(
+            rt.points, 0.0, opt_.transition_time, obstacles));
+      } else {
+        plan.trajectories.push_back(
+            make_timed_path(positions[r], targets[r], 0.0,
+                            opt_.transition_time,
+                            chord_obstacles(positions[r], targets[r])));
+      }
+    } else {
+      plan.trajectories.push_back(make_timed_path(
+          positions[r], targets[r], 0.0, opt_.transition_time, obstacles));
+    }
   }
   interp_span.finish();
   obs::inc(ins_.snapped_targets,
            static_cast<std::uint64_t>(plan.snapped_targets));
   obs::inc(ins_.repaired_robots,
            static_cast<std::uint64_t>(plan.repaired_robots));
+  if (terrain_active) {
+    const RouterStats& rs = router->stats();
+    plan.fmm_solves = prior_fmm_solves + rs.solves;
+    plan.fmm_fallbacks = rs.fallbacks;
+    obs::inc(ins_.fmm_solves, static_cast<std::uint64_t>(rs.solves));
+    obs::inc(ins_.fmm_goal_snapped,
+             static_cast<std::uint64_t>(plan.fmm_goal_snapped));
+    obs::inc(ins_.fmm_fb_blocked_start,
+             static_cast<std::uint64_t>(rs.fb_blocked_start));
+    obs::inc(ins_.fmm_fb_unreachable,
+             static_cast<std::uint64_t>(rs.fb_unreachable));
+    obs::inc(ins_.fmm_fb_stuck_descent,
+             static_cast<std::uint64_t>(rs.fb_stuck_descent));
+    obs::inc(ins_.fmm_fb_out_of_domain,
+             static_cast<std::uint64_t>(rs.fb_out_of_domain));
+
+    // Transition connectivity guard (C = 1, Def. 2). Synchronized straight
+    // motion inherits the paper's connectivity argument; independently
+    // curved geodesics can diverge mid-flight and split marginal links.
+    // Sample the transition densely and straighten the worst-deviating
+    // routes — skipping robots whose straight chord would cross a keep-out
+    // cell — until the sampled march stays connected. Each straightening
+    // is a typed degradation, tallied with the other fmm fallbacks.
+    const int kGuardSamples = 257;
+    std::vector<Vec2> guard_pos(n);
+    auto first_disconnect = [&]() {
+      for (int k = 0; k < kGuardSamples; ++k) {
+        const double tk =
+            opt_.transition_time * k / static_cast<double>(kGuardSamples - 1);
+        for (std::size_t r = 0; r < n; ++r) {
+          guard_pos[r] = plan.trajectories[r].position(tk);
+        }
+        if (!net::is_connected(guard_pos, r_c_)) return k;
+      }
+      return -1;
+    };
+    // Deviation of each routed polyline from its chord: the robots that
+    // bend the most are the likeliest link-breakers, so they straighten
+    // first (deterministic order: deviation desc, then index). Robots
+    // whose chord crosses keep-out straighten to the chord with a
+    // route_around detour hugging the polygon boundary — the most
+    // neighbor-coherent path that still honors the region. Only robots
+    // with an endpoint inside a keep-out polygon are pinned to their
+    // geodesic (a plain chord would cut through the region).
+    auto endpoint_in_keep_out = [&](std::size_t r) {
+      for (const Polygon& ko : opt_.trajectory.terrain.keep_out) {
+        if (ko.contains(positions[r]) || ko.contains(targets[r])) return true;
+      }
+      return false;
+    };
+    std::vector<std::pair<double, std::size_t>> by_deviation;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (endpoint_in_keep_out(r)) continue;
+      const Segment chord{positions[r], targets[r]};
+      double dev = 0.0;
+      for (Vec2 w : plan.trajectories[r].waypoints()) {
+        dev = std::max(dev, distance(w, lerp(chord.a, chord.b,
+                                             closest_point_param(chord, w))));
+      }
+      if (dev > 1e-9) by_deviation.emplace_back(-dev, r);
+    }
+    std::sort(by_deviation.begin(), by_deviation.end());
+    std::size_t next = 0;
+    const std::size_t batch = std::max<std::size_t>(1, n / 16);
+    int straightened = 0;
+    while (next < by_deviation.size() && first_disconnect() >= 0) {
+      for (std::size_t b = 0; b < batch && next < by_deviation.size();
+           ++b, ++next) {
+        const std::size_t r = by_deviation[next].second;
+        plan.trajectories[r] = make_timed_path(
+            positions[r], targets[r], 0.0, opt_.transition_time,
+            chord_obstacles(positions[r], targets[r]));
+        ++straightened;
+      }
+    }
+    plan.fmm_fallbacks += straightened;
+    obs::inc(ins_.fmm_fb_connectivity,
+             static_cast<std::uint64_t>(straightened));
+  }
 
   // --- 8. Minor local adjustment: connectivity-safe Lloyd -----------------
   obs::Span adjust_span(ins_.spans, "adjustment", ins_.stage_adjustment);
@@ -467,7 +692,8 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
     for (std::size_t r = 0; r < n; ++r) cand[r] = cents[r] + m2_offset;
 
     // Connectivity-safe step: try the full move; halve collectively while
-    // the trial configuration would split the network (Sec. III-D-1).
+    // the trial configuration would split the network (Sec. III-D-1) or —
+    // under terrain routing — march a robot through a keep-out cell.
     double factor = 1.0;
     bool ok = false;
     int max_halvings = opt_.safe_adjustment ? 7 : 1;
@@ -475,7 +701,17 @@ MarchPlan MarchPlanner::plan_impl(const std::vector<Vec2>& positions,
       for (std::size_t r = 0; r < n; ++r) {
         trial[r] = lerp(cur[r], cand[r], factor);
       }
-      if (!opt_.safe_adjustment || connectivity.check(trial)) {
+      bool blocked_move = false;
+      if (terrain_active && router->field().has_blocked()) {
+        for (std::size_t r = 0; r < n; ++r) {
+          if (router->segment_blocked(cur[r], trial[r])) {
+            blocked_move = true;
+            break;
+          }
+        }
+      }
+      if (!blocked_move &&
+          (!opt_.safe_adjustment || connectivity.check(trial))) {
         ok = true;
         break;
       }

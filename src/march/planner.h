@@ -34,6 +34,7 @@
 #include "harmonic/composition.h"
 #include "harmonic/rotation_search.h"
 #include "march/repair.h"
+#include "march/terrain_router.h"
 #include "march/trajectory.h"
 #include "mesh/mesh_quality.h"
 #include "obs/metrics.h"
@@ -87,6 +88,10 @@ struct PlannerOptions {
   double alpha_scale = 1.0;
   /// Density for the adjustment CVT (defaults to uniform).
   DensityFn density;
+  /// Step-7 motion model and terrain cost-field knobs. With
+  /// kTerrainGeodesic over a uniform cost field the planner runs the
+  /// unmodified straight-line pipeline (plans are byte-identical).
+  TrajectoryOptions trajectory;
 };
 
 /// Everything a plan produced, for metrics and inspection.
@@ -119,6 +124,12 @@ struct MarchPlan {
   MeshStats t_stats;   ///< robot triangulation summary
   MeshStats m2_stats;  ///< M2 grid mesh summary
   std::size_t protocol_messages = 0;  ///< distributed-mode message total
+
+  // Terrain-routing diagnostics (kTerrainGeodesic only; in-memory — not
+  // part of the serialized plan, which stays byte-stable).
+  int fmm_solves = 0;        ///< fast-marching solves run for this plan
+  int fmm_goal_snapped = 0;  ///< targets snapped out of keep-out cells
+  int fmm_fallbacks = 0;     ///< robots degraded to straight-line motion
 };
 
 /// Which attempt of the fallback chain produced a plan.
@@ -198,6 +209,7 @@ class MarchPlanner {
     obs::Histogram* stage_rotation = nullptr;
     obs::Histogram* stage_interpolation = nullptr;
     obs::Histogram* stage_adjustment = nullptr;
+    obs::Histogram* stage_routing = nullptr;
     obs::Histogram* plan_seconds = nullptr;
     obs::Counter* plans = nullptr;
     obs::Counter* rotation_probes = nullptr;
@@ -208,6 +220,13 @@ class MarchPlanner {
     obs::Counter* plans_degraded = nullptr;
     obs::Counter* harmonic_nonconverged = nullptr;
     obs::Counter* harmonic_multigrid = nullptr;
+    obs::Counter* fmm_solves = nullptr;
+    obs::Counter* fmm_goal_snapped = nullptr;
+    obs::Counter* fmm_fb_blocked_start = nullptr;
+    obs::Counter* fmm_fb_unreachable = nullptr;
+    obs::Counter* fmm_fb_stuck_descent = nullptr;
+    obs::Counter* fmm_fb_out_of_domain = nullptr;
+    obs::Counter* fmm_fb_connectivity = nullptr;
   };
 
   /// The full pipeline with the extraction radius scaled by

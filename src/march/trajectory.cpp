@@ -227,21 +227,31 @@ std::vector<Vec2> route_around(Vec2 a, Vec2 b,
 
 Trajectory make_timed_path(Vec2 p, Vec2 q, double t0, double t1,
                            const std::vector<Polygon>& obstacles) {
+  return make_timed_path_via({p, q}, t0, t1, obstacles);
+}
+
+Trajectory make_timed_path_via(const std::vector<Vec2>& via, double t0,
+                               double t1,
+                               const std::vector<Polygon>& obstacles) {
   ANR_CHECK(t1 >= t0);
-  std::vector<Vec2> mids = route_around(p, q, obstacles);
+  ANR_CHECK_MSG(!via.empty(), "timed path needs at least one waypoint");
   std::vector<Vec2> pts;
-  pts.reserve(mids.size() + 2);
-  pts.push_back(p);
-  for (Vec2 m : mids) pts.push_back(m);
-  pts.push_back(q);
+  pts.reserve(via.size());
+  pts.push_back(via.front());
+  for (std::size_t i = 0; i + 1 < via.size(); ++i) {
+    for (Vec2 m : route_around(via[i], via[i + 1], obstacles)) {
+      pts.push_back(m);
+    }
+    pts.push_back(via[i + 1]);
+  }
 
   double total = 0.0;
   for (std::size_t i = 1; i < pts.size(); ++i) total += distance(pts[i - 1], pts[i]);
 
   Trajectory out;
   if (total <= 0.0) {
-    out.append(p, t0);
-    out.append(q, t1);
+    out.append(pts.front(), t0);
+    out.append(pts.back(), t1);
     return out;
   }
   double acc = 0.0;

@@ -62,4 +62,12 @@ std::vector<Vec2> route_around(Vec2 a, Vec2 b,
 Trajectory make_timed_path(Vec2 p, Vec2 q, double t0, double t1,
                            const std::vector<Polygon>& obstacles);
 
+/// Builds a constant-speed trajectory through `via` (first point at t0,
+/// last at t1), detouring each leg around `obstacles`. With a two-point
+/// polyline this is exactly make_timed_path. Used for terrain geodesics,
+/// whose waypoints still honor FoI hole detours per leg.
+Trajectory make_timed_path_via(const std::vector<Vec2>& via, double t0,
+                               double t1,
+                               const std::vector<Polygon>& obstacles);
+
 }  // namespace anr

@@ -99,6 +99,31 @@ CacheKey CacheKey::of(const FieldOfInterest& m1,
   fp.b(options.exhaustive_rotation);
   fp.f64(options.alpha_scale);
   fp.b(static_cast<bool>(options.density));
+  // Terrain-routing options: two planners differing only in motion model
+  // or cost-field knobs must never share a cache entry.
+  fp.tag('t');
+  fp.i32(static_cast<int>(options.trajectory.motion));
+  const TerrainCostOptions& tc = options.trajectory.terrain;
+  fp.f64(tc.slope_weight);
+  fp.f64(tc.uphill_penalty);
+  fp.i32(tc.max_cells);
+  fp.f64(tc.padding_cr);
+  fp.u64(tc.mud.size());
+  for (const MudPatch& m : tc.mud) {
+    fp.f64(m.center.x);
+    fp.f64(m.center.y);
+    fp.f64(m.radius);
+    fp.f64(m.cost);
+  }
+  fp.u64(tc.keep_out.size());
+  for (const Polygon& ko : tc.keep_out) fp.polygon(ko);
+  fp.u64(tc.terrain.hills().size());
+  for (const Hill& h : tc.terrain.hills()) {
+    fp.f64(h.center.x);
+    fp.f64(h.center.y);
+    fp.f64(h.amplitude);
+    fp.f64(h.radius);
+  }
   fp.str(closure_tag);
 
   CacheKey key;

@@ -87,6 +87,33 @@ void SvgCanvas::foi(const FieldOfInterest& region, const std::string& color) {
   for (const Polygon& h : region.holes()) polygon(h, hole);
 }
 
+void SvgCanvas::cost_field(const CostField& field) {
+  double max_cost = field.min_cost();
+  for (double c : field.costs()) {
+    if (c != CostField::kInf) max_cost = std::max(max_cost, c);
+  }
+  const double span = std::max(max_cost - field.min_cost(), 1e-12);
+  const double half = field.cell_size() * 0.5;
+  for (int i = 0; i < field.cell_count(); ++i) {
+    const double c = field.cost(i);
+    const bool blocked = c == CostField::kInf;
+    if (!blocked && c <= field.min_cost()) continue;  // baseline: unshaded
+    const Vec2 ctr = field.center(i);
+    SvgStyle cell;
+    cell.stroke = "none";
+    if (blocked) {
+      cell.fill = "#7a1f1f";
+      cell.opacity = 0.8;
+    } else {
+      cell.fill = "#8a6d3b";
+      cell.opacity = 0.1 + 0.5 * (c - field.min_cost()) / span;
+    }
+    polygon(make_rect({ctr.x - half, ctr.y - half},
+                      {ctr.x + half, ctr.y + half}),
+            cell);
+  }
+}
+
 void SvgCanvas::mesh(const TriangleMesh& m, const SvgStyle& style) {
   for (const EdgeKey& e : m.edges()) {
     line(m.position(e.a), m.position(e.b), style);

@@ -14,6 +14,7 @@
 #include "geom/vec2.h"
 #include "march/trajectory.h"
 #include "mesh/triangle_mesh.h"
+#include "terrain/fast_marching.h"
 
 namespace anr {
 
@@ -43,6 +44,11 @@ class SvgCanvas {
 
   /// Outer boundary solid, holes hatched gray.
   void foi(const FieldOfInterest& region, const std::string& color = "#555555");
+
+  /// Terrain cost field as a cell heat layer: cells costlier than the
+  /// minimum shaded brown (opacity scaled by relative cost), keep-out
+  /// cells dark red. Draw this first so the plan layers stay on top.
+  void cost_field(const CostField& field);
 
   /// All mesh edges.
   void mesh(const TriangleMesh& m, const SvgStyle& style = {});

@@ -37,14 +37,32 @@ PlannerOptions golden_options() {
   return opt;
 }
 
-MarchPlan make_plan(int scenario_id) {
+MarchPlan make_plan(int scenario_id, bool geodesic = false) {
   Scenario sc = scenario(scenario_id);
   auto deploy =
       optimal_coverage_positions(sc.m1, 72, /*seed=*/1, uniform_density())
           .positions;
   Vec2 offset = sc.m1.centroid() + Vec2{12.0 * sc.comm_range, 0.0} -
                 sc.m2_shape.centroid();
-  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, golden_options());
+  PlannerOptions opt = golden_options();
+  if (geodesic) {
+    // Fixed non-uniform terrain (rolling hills + slope cost + one mud
+    // patch): pins the whole fast-marching pipeline — cost-field raster,
+    // per-robot ToA solves, geodesic extraction, connectivity guard —
+    // byte-for-byte through save_plan.
+    FieldOfInterest m2_world = sc.m2_shape.translated(offset);
+    BBox tb = sc.m1.bbox();
+    tb.expand(m2_world.bbox().lo);
+    tb.expand(m2_world.bbox().hi);
+    const Vec2 mid = lerp(sc.m1.centroid(), m2_world.centroid(), 0.5);
+    opt.trajectory.motion = MotionModel::kTerrainGeodesic;
+    opt.trajectory.terrain.terrain =
+        HeightField::rolling(tb, 10, 30.0, 150.0, /*seed=*/77);
+    opt.trajectory.terrain.slope_weight = 2.0;
+    opt.trajectory.terrain.uphill_penalty = 0.3;
+    opt.trajectory.terrain.mud.push_back({mid, 100.0, 2.5});
+  }
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, opt);
   return planner.plan(deploy, offset);
 }
 
@@ -56,10 +74,11 @@ std::string slurp(const std::string& path) {
   return ss.str();
 }
 
-void check_scenario(int id) {
-  std::string golden_path = std::string(ANR_GOLDEN_DIR) + "/scenario" +
-                            std::to_string(id) + "_plan.json";
-  MarchPlan plan = make_plan(id);
+void check_scenario(int id, bool geodesic = false) {
+  const std::string stem = "scenario" + std::to_string(id) +
+                           (geodesic ? "_plan_geodesic" : "_plan");
+  std::string golden_path = std::string(ANR_GOLDEN_DIR) + "/" + stem + ".json";
+  MarchPlan plan = make_plan(id, geodesic);
 
   if (std::getenv("ANR_REGEN_GOLDEN") != nullptr) {
     std::string err;
@@ -71,8 +90,7 @@ void check_scenario(int id) {
   ASSERT_FALSE(golden.empty()) << "missing golden file " << golden_path
                                << " (run with ANR_REGEN_GOLDEN=1)";
 
-  std::string tmp_path =
-      "golden_tmp_scenario" + std::to_string(id) + "_plan.json";
+  std::string tmp_path = "golden_tmp_" + stem + ".json";
   std::string err;
   ASSERT_TRUE(save_plan(plan, tmp_path, &err)) << err;
   std::string got = slurp(tmp_path);
@@ -91,6 +109,21 @@ TEST(GoldenPlan, Scenario5ByteIdentical) { check_scenario(5); }
 // harmonic sweep ordering on hole-filled meshes, where the coloring sees
 // the patched interior triangles.
 TEST(GoldenPlan, Scenario6ByteIdentical) { check_scenario(6); }
+
+// Terrain-geodesic variants over a fixed non-uniform cost field: any
+// numeric drift in the fast-marching solver, the geodesic extractor, the
+// bounded link predictor, or the connectivity guard shows up here.
+TEST(GoldenPlanGeodesic, Scenario1ByteIdentical) {
+  check_scenario(1, /*geodesic=*/true);
+}
+
+TEST(GoldenPlanGeodesic, Scenario5ByteIdentical) {
+  check_scenario(5, /*geodesic=*/true);
+}
+
+TEST(GoldenPlanGeodesic, Scenario6ByteIdentical) {
+  check_scenario(6, /*geodesic=*/true);
+}
 
 }  // namespace
 }  // namespace anr

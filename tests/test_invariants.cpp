@@ -16,14 +16,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <ostream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/task_arena.h"
 #include "coverage/lloyd.h"
 #include "foi/scenario.h"
+#include "io/plan_io.h"
 #include "march/planner.h"
 #include "march/transition_sim.h"
+#include "terrain/height_field.h"
 
 namespace anr {
 namespace {
@@ -138,6 +144,141 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(c.robots) + "_seed" + std::to_string(c.seed) +
              "_t" + std::to_string(c.intra_threads);
     });
+
+// ---------------------------------------------------------------------------
+// Terrain-cost marching (ISSUE 10): kTerrainGeodesic must preserve every
+// invariant above, keep trajectories out of keep-out regions, and collapse
+// to the straight-line pipeline byte-for-byte when the cost field is
+// uniform.
+
+std::string plan_bytes(const MarchPlan& plan, const std::string& tag) {
+  const std::string path = "invariants_tmp_" + tag + "_plan.json";
+  std::string err;
+  EXPECT_TRUE(save_plan(plan, path, &err)) << err;
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::remove(path.c_str());
+  return ss.str();
+}
+
+MarchPlan plan_scenario(const Scenario& sc, const std::vector<Vec2>& deploy,
+                        Vec2 offset, const PlannerOptions& opt) {
+  MarchPlanner planner(sc.m1, sc.m2_shape, sc.comm_range, opt);
+  return planner.plan(deploy, offset);
+}
+
+// Acceptance pin: on a flat height field with no mud and no keep-out the
+// rasterized cost field is uniform, the planner bypasses the router, and
+// the serialized geodesic plan is byte-identical to the straight plan.
+TEST(TerrainInvariants, UniformFieldGeodesicByteIdenticalToStraight) {
+  for (int id : {1, 5, 6}) {
+    Scenario sc = scenario(id);
+    std::vector<Vec2> deploy =
+        optimal_coverage_positions(sc.m1, 72, /*seed=*/1, uniform_density())
+            .positions;
+    Vec2 offset = sc.m1.centroid() + Vec2{12.0 * sc.comm_range, 0.0} -
+                  sc.m2_shape.centroid();
+
+    PlannerOptions straight = sweep_options(72);
+    PlannerOptions geodesic = straight;
+    geodesic.trajectory.motion = MotionModel::kTerrainGeodesic;
+
+    MarchPlan a = plan_scenario(sc, deploy, offset, straight);
+    MarchPlan b = plan_scenario(sc, deploy, offset, geodesic);
+    EXPECT_EQ(b.fmm_solves, 0) << "scenario " << id;  // router bypassed
+    EXPECT_EQ(b.fmm_fallbacks, 0) << "scenario " << id;
+    EXPECT_EQ(plan_bytes(a, "straight" + std::to_string(id)),
+              plan_bytes(b, "geodesic" + std::to_string(id)))
+        << "scenario " << id;
+  }
+}
+
+TEST(TerrainInvariants, SlopeMudAndKeepOutPreserveMarchInvariants) {
+  Scenario sc = scenario(1);
+  const int robots = 72;
+  std::vector<Vec2> deploy =
+      optimal_coverage_positions(sc.m1, robots, /*seed=*/7, uniform_density())
+          .positions;
+  Vec2 offset = sc.m1.centroid() + Vec2{12.0 * sc.comm_range, 0.0} -
+                sc.m2_shape.centroid();
+  FieldOfInterest m2_world = sc.m2_shape.translated(offset);
+
+  BBox terrain_box = sc.m1.bbox();
+  terrain_box.expand(m2_world.bbox().lo);
+  terrain_box.expand(m2_world.bbox().hi);
+
+  // Rolling hills with slope cost and an asymmetric uphill penalty, one
+  // mud patch north of the corridor, and a keep-out block wholly inside
+  // the empty corridor (it must not overlap M1 or M2: a robot deployed
+  // inside keep-out has no clean route out). Mid-band robots detour.
+  const Vec2 mid = lerp(sc.m1.centroid(), m2_world.centroid(), 0.5);
+  PlannerOptions opt = sweep_options(robots);
+  opt.trajectory.motion = MotionModel::kTerrainGeodesic;
+  opt.trajectory.terrain.terrain =
+      HeightField::rolling(terrain_box, 10, 35.0, 160.0, /*seed=*/99);
+  opt.trajectory.terrain.slope_weight = 2.5;
+  opt.trajectory.terrain.uphill_penalty = 0.4;
+  opt.trajectory.terrain.mud.push_back(
+      {{mid.x, mid.y + 2.0 * sc.comm_range}, 90.0, 3.0});
+  const Vec2 ko_lo{mid.x - sc.comm_range, mid.y - 0.75 * sc.comm_range};
+  const Vec2 ko_hi{mid.x + sc.comm_range, mid.y + 0.75 * sc.comm_range};
+  opt.trajectory.terrain.keep_out.push_back(make_rect(ko_lo, ko_hi));
+
+  MarchPlan plan = plan_scenario(sc, deploy, offset, opt);
+  ASSERT_EQ(plan.trajectories.size(), deploy.size());
+  // At least one solve pass ran (repair targets can trigger a regrow +
+  // re-solve), and the connectivity guard straightens some routes — the
+  // typed degradation is expected to engage, not stay silent.
+  EXPECT_GE(plan.fmm_solves, robots);
+  EXPECT_GT(plan.fmm_fallbacks, 0);
+  EXPECT_LE(plan.fmm_fallbacks, robots);
+
+  // The paper's guarantees survive the terrain metric: C = 1 throughout,
+  // L a well-formed fraction, D finite and >= the straight-line bound.
+  TransitionMetrics m = simulate_transition(plan.trajectories, sc.comm_range,
+                                            plan.transition_end, 120);
+  EXPECT_TRUE(m.global_connectivity);
+  EXPECT_GE(m.stable_link_ratio, 0.0);
+  EXPECT_LE(m.stable_link_ratio, 1.0 + 1e-12);
+  EXPECT_TRUE(std::isfinite(m.total_distance));
+  double straight_line = 0.0;
+  for (const Trajectory& t : plan.trajectories) {
+    ASSERT_FALSE(t.empty());
+    const double chord = distance(t.start(), t.end());
+    EXPECT_GE(t.length(), chord - 1e-9);
+    straight_line += chord;
+  }
+  EXPECT_GE(m.total_distance, straight_line - 1e-6);
+
+  // Keep-out never entered. Blocked cells over-approximate the polygon
+  // only up to one cell diagonal (a route can clip a corner of the rect
+  // while staying out of every blocked cell), and straightened chords
+  // hug the polygon boundary exactly, so assert against the rect inset
+  // by a conservative 2.5-cell margin. The cell estimate doubles the
+  // padding to absorb a possible domain regrow for stray repair targets.
+  BBox domain = terrain_box;
+  for (Vec2 p : deploy) domain.expand(p);
+  const double pad = opt.trajectory.terrain.padding_cr * sc.comm_range;
+  const double extent = std::max(domain.hi.x - domain.lo.x + 4.0 * pad,
+                                 domain.hi.y - domain.lo.y + 4.0 * pad);
+  const double margin = 2.5 * extent / opt.trajectory.terrain.max_cells;
+  const Vec2 in_lo{ko_lo.x + margin, ko_lo.y + margin};
+  const Vec2 in_hi{ko_hi.x - margin, ko_hi.y - margin};
+  ASSERT_LT(in_lo.x, in_hi.x);
+  ASSERT_LT(in_lo.y, in_hi.y);
+  for (const Trajectory& t : plan.trajectories) {
+    for (int k = 0; k <= 200; ++k) {
+      const double tt =
+          t.start_time() +
+          (t.end_time() - t.start_time()) * static_cast<double>(k) / 200.0;
+      const Vec2 p = t.position(tt);
+      EXPECT_FALSE(p.x > in_lo.x && p.x < in_hi.x && p.y > in_lo.y &&
+                   p.y < in_hi.y)
+          << "trajectory sample inside keep-out at t=" << tt;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace anr

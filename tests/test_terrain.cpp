@@ -1,11 +1,14 @@
-// Terrain prototype: height field math and surface-aware metrics.
+// Terrain prototype: height field math, surface-aware metrics, and
+// cost-field degenerate cases (flat/uniform, single-cell, out-of-domain).
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "common/check.h"
 #include "coverage/lloyd.h"
 #include "foi/scenario.h"
 #include "march/planner.h"
+#include "terrain/fast_marching.h"
 #include "terrain/surface_metrics.h"
 
 namespace anr {
@@ -119,6 +122,112 @@ TEST(SurfaceMetrics, HillsCostDistanceAndLinks) {
   // The 3D link model can only remove links relative to the planar one.
   EXPECT_LE(hilly.base.initial_links, flat.base.initial_links);
   EXPECT_GT(hilly.max_climb, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Cost-field degenerate cases. The FMM pipeline earns its keep on rough
+// ground; these pin the boring ends of the input space, where it must
+// collapse to something exactly predictable.
+
+TEST(CostFieldDegenerate, FlatTerrainBuildsUniformField) {
+  CostFieldSpec spec;
+  spec.bounds.expand({0.0, 0.0});
+  spec.bounds.expand({200.0, 120.0});
+  spec.max_cells = 64;
+  spec.slope_weight = 3.0;    // irrelevant: |∇z| = 0 everywhere
+  spec.uphill_penalty = 0.5;  // irrelevant for the same reason
+  CostField field = CostField::build(spec, HeightField{});
+
+  EXPECT_TRUE(field.uniform());
+  EXPECT_FALSE(field.has_blocked());
+  EXPECT_DOUBLE_EQ(field.min_cost(), 1.0);
+  for (int i = 0; i < field.cell_count(); ++i)
+    ASSERT_DOUBLE_EQ(field.cost(i), 1.0);
+
+  // Unit cost => ToA is Euclidean distance (up to the grid metric) and
+  // the extracted geodesic is the straight chord.
+  const Vec2 src{20.0, 20.0};
+  const Vec2 goal{180.0, 100.0};
+  FastMarchResult fm = fast_march(field, src);
+  EXPECT_FALSE(fm.source_blocked);
+  EXPECT_EQ(fm.accepted, field.cell_count());
+  GeodesicPath path = extract_geodesic(field, fm, src, goal);
+  ASSERT_TRUE(path.ok) << path.failure;
+  const double chord = distance(src, goal);
+  EXPECT_NEAR(path.time, chord, 2.0 * field.cell_size());
+  double poly = 0.0;
+  for (std::size_t i = 1; i < path.points.size(); ++i)
+    poly += distance(path.points[i - 1], path.points[i]);
+  // Simplification should leave an essentially straight polyline.
+  EXPECT_LE(poly, chord * 1.01 + 2.0 * field.cell_size());
+}
+
+TEST(CostFieldDegenerate, SingleCellFieldMarchesTrivially) {
+  CostFieldSpec spec;
+  spec.bounds.expand({0.0, 0.0});
+  spec.bounds.expand({10.0, 10.0});
+  spec.max_cells = 1;  // 1x1 grid: the entire domain is one cell
+  CostField field = CostField::build(spec, HeightField{});
+  ASSERT_EQ(field.nx(), 1);
+  ASSERT_EQ(field.ny(), 1);
+  ASSERT_EQ(field.cell_count(), 1);
+
+  const Vec2 src{2.0, 2.0};
+  const Vec2 goal{8.0, 9.0};
+  FastMarchResult fm = fast_march(field, src);
+  EXPECT_FALSE(fm.source_blocked);
+  ASSERT_TRUE(fm.reached(0));
+  // The lone cell seeds at cost * |src - center|.
+  EXPECT_NEAR(fm.toa[0], distance(src, field.center(0)), 1e-12);
+  EXPECT_GE(sample_toa(field, fm.toa, goal), 0.0);
+
+  GeodesicPath path = extract_geodesic(field, fm, src, goal);
+  ASSERT_TRUE(path.ok) << path.failure;
+  ASSERT_GE(path.points.size(), 2u);
+  EXPECT_EQ(path.points.front(), src);
+  EXPECT_EQ(path.points.back(), goal);
+}
+
+TEST(CostFieldDegenerate, SamplingOutsideDomainThrows) {
+  CostFieldSpec spec;
+  spec.bounds.expand({0.0, 0.0});
+  spec.bounds.expand({100.0, 100.0});
+  spec.max_cells = 16;
+  CostField field = CostField::build(spec, HeightField{});
+  const Vec2 outside{150.0, 50.0};
+  ASSERT_FALSE(field.contains(outside));
+
+  // Bounds-checked sampling: out-of-domain queries are contract
+  // violations, never silent clamps.
+  EXPECT_THROW(field.index_of(outside), ContractViolation);
+  EXPECT_THROW(field.cost_at(outside), ContractViolation);
+  EXPECT_THROW(field.blocked_at(outside), ContractViolation);
+  EXPECT_THROW(fast_march(field, outside), ContractViolation);
+
+  FastMarchResult fm = fast_march(field, {50.0, 50.0});
+  EXPECT_THROW(sample_toa(field, fm.toa, outside), ContractViolation);
+  EXPECT_THROW(extract_geodesic(field, fm, {50.0, 50.0}, outside),
+               ContractViolation);
+}
+
+TEST(CostFieldDegenerate, ZeroAmplitudeHillsActFlat) {
+  // flat() is a structural predicate (no hills), not a value predicate:
+  // a zero-amplitude hill reports flat() == false yet contributes no
+  // height anywhere. Everything downstream must treat it as flat ground.
+  HeightField h({Hill{{50.0, 50.0}, 0.0, 30.0}});
+  EXPECT_FALSE(h.flat());
+  EXPECT_DOUBLE_EQ(h.height({50.0, 50.0}), 0.0);
+  EXPECT_EQ(h.gradient({40.0, 60.0}), (Vec2{0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(h.surface_length({0, 0}, {60, 80}, 64), 100.0);
+
+  CostFieldSpec spec;
+  spec.bounds.expand({0.0, 0.0});
+  spec.bounds.expand({100.0, 100.0});
+  spec.max_cells = 32;
+  spec.slope_weight = 4.0;
+  CostField field = CostField::build(spec, h);
+  EXPECT_TRUE(field.uniform());
+  EXPECT_DOUBLE_EQ(field.min_cost(), 1.0);
 }
 
 }  // namespace
